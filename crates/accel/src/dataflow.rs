@@ -1,0 +1,141 @@
+//! Spatial-array dataflow alternatives (§IV).
+//!
+//! The paper's device model "employs the output-stationary dataflow rather
+//! than the row-stationary dataflow" after finding it "provides a good
+//! balance in terms of MAC utilization and energy-efficiency across all of
+//! the layers we evaluate". This module makes that design choice explicit
+//! and ablatable: each dataflow determines how often the three GEMM
+//! operands are re-fetched from on-package memory given the double-buffered
+//! per-PE SRAM, which feeds both the roofline memory term and a DRAM-access
+//! energy estimate.
+//!
+//! Re-fetch factors follow the standard taxonomy (Chen et al., *Eyeriss*):
+//! the stationary operand is fetched once; partial sums of non-output-
+//! stationary flows make a round trip per reduction tile.
+
+use mcdla_dnn::{DataType, Layer};
+use serde::{Deserialize, Serialize};
+
+/// Which operand stays pinned in the PE array's local storage.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Dataflow {
+    /// Output feature maps accumulate in place (the paper's choice).
+    #[default]
+    OutputStationary,
+    /// Weights stay pinned; partial sums spill and return.
+    WeightStationary,
+    /// Eyeriss-style row-stationary compromise.
+    RowStationary,
+}
+
+impl Dataflow {
+    /// All modeled dataflows.
+    pub const ALL: [Dataflow; 3] = [
+        Dataflow::OutputStationary,
+        Dataflow::WeightStationary,
+        Dataflow::RowStationary,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataflow::OutputStationary => "output-stationary",
+            Dataflow::WeightStationary => "weight-stationary",
+            Dataflow::RowStationary => "row-stationary",
+        }
+    }
+
+    /// `(x, w, y)` on-package-memory re-fetch factors: how many times each
+    /// operand's bytes cross the HBM interface per layer evaluation.
+    pub fn refetch_factors(self) -> (f64, f64, f64) {
+        match self {
+            // Outputs accumulate on-chip: every operand moves once.
+            Dataflow::OutputStationary => (1.0, 1.0, 1.0),
+            // Weights move once, but partial sums round-trip once per
+            // input-channel tile (modeled as one extra Y round trip).
+            Dataflow::WeightStationary => (1.0, 1.0, 3.0),
+            // Row-stationary amortizes across operands: modest extra X
+            // traffic, half the WS partial-sum spill.
+            Dataflow::RowStationary => (1.5, 1.0, 2.0),
+        }
+    }
+
+    /// Forward-pass HBM bytes for `layer` at `batch` under this dataflow.
+    pub fn forward_bytes(self, layer: &Layer, batch: u64, dtype: DataType) -> u64 {
+        let (fx, fw, fy) = self.refetch_factors();
+        let x = layer.input_bytes(batch, dtype) as f64;
+        let w = layer.weight_bytes(dtype) as f64;
+        let y = layer.output_bytes(batch, dtype) as f64;
+        (x * fx + w * fw + y * fy).round() as u64
+    }
+
+    /// DRAM-access energy of one forward pass in joules, at `pj_per_byte`
+    /// (≈ 15 pJ/byte for HBM2-class memory).
+    pub fn forward_dram_energy_j(
+        self,
+        layer: &Layer,
+        batch: u64,
+        dtype: DataType,
+        pj_per_byte: f64,
+    ) -> f64 {
+        self.forward_bytes(layer, batch, dtype) as f64 * pj_per_byte * 1e-12
+    }
+}
+
+impl std::fmt::Display for Dataflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcdla_dnn::Benchmark;
+
+    #[test]
+    fn output_stationary_moves_least_for_conv_layers() {
+        // §IV's rationale: for the evaluated layers (large Y relative to
+        // the SRAM), OS avoids partial-sum spills and minimizes traffic.
+        let net = Benchmark::VggE.build();
+        for l in net.layers().iter().filter(|l| l.has_weights()) {
+            let os = Dataflow::OutputStationary.forward_bytes(l, 64, DataType::F32);
+            let ws = Dataflow::WeightStationary.forward_bytes(l, 64, DataType::F32);
+            let rs = Dataflow::RowStationary.forward_bytes(l, 64, DataType::F32);
+            assert!(os <= ws, "{}: OS {os} > WS {ws}", l.name());
+            assert!(os <= rs, "{}: OS {os} > RS {rs}", l.name());
+        }
+    }
+
+    #[test]
+    fn os_matches_layer_bytes_touched() {
+        // The accel roofline's forward_bytes_touched *is* the OS traffic.
+        let net = Benchmark::AlexNet.build();
+        for l in net.layers() {
+            assert_eq!(
+                Dataflow::OutputStationary.forward_bytes(l, 32, DataType::F32),
+                l.forward_bytes_touched(32, DataType::F32),
+                "{}",
+                l.name()
+            );
+        }
+    }
+
+    #[test]
+    fn energy_scales_with_bytes() {
+        let net = Benchmark::ResNet.build();
+        let l = &net.layers()[1];
+        let e1 = Dataflow::OutputStationary.forward_dram_energy_j(l, 64, DataType::F32, 15.0);
+        let e2 = Dataflow::WeightStationary.forward_dram_energy_j(l, 64, DataType::F32, 15.0);
+        assert!(e2 > e1);
+        let bytes = Dataflow::OutputStationary.forward_bytes(l, 64, DataType::F32);
+        assert!((e1 - bytes as f64 * 15e-12).abs() < 1e-12);
+    }
+
+    #[test]
+    fn names_and_display() {
+        assert_eq!(Dataflow::OutputStationary.to_string(), "output-stationary");
+        assert_eq!(Dataflow::ALL.len(), 3);
+        assert_eq!(Dataflow::default(), Dataflow::OutputStationary);
+    }
+}

@@ -1,0 +1,34 @@
+//! Ablation studies over the design choices DESIGN.md calls out
+//! (recompute policy, gradient bucketing, prefetch lookahead, boundary
+//! pipelining, page placement).
+
+use mcdla_bench::print_table;
+use mcdla_core::{ablation, SystemDesign};
+
+fn main() {
+    for design in [SystemDesign::DcDla, SystemDesign::McDlaBwAware] {
+        let rows: Vec<Vec<String>> = ablation::ablations(design)
+            .iter()
+            .flat_map(|a| {
+                let spread = a.spread();
+                a.variants
+                    .iter()
+                    .map(|(label, secs)| {
+                        vec![
+                            a.name.clone(),
+                            a.benchmark.clone(),
+                            label.clone(),
+                            format!("{:.3} ms", secs * 1e3),
+                            format!("{spread:.2}x"),
+                        ]
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        print_table(
+            &format!("ablations on {design}"),
+            &["mechanism", "network", "variant", "iteration", "spread"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Dynamic energy-per-iteration comparison (§V-C extended): integrates the
+//! simulated timelines against a busy/idle device power model instead of
+//! static TDPs.
+
+use mcdla_bench::print_table;
+use mcdla_core::{experiment, EnergyReport, PowerModel, SystemDesign};
+use mcdla_dnn::Benchmark;
+use mcdla_memnode::{DimmKind, MemoryNodeConfig};
+use mcdla_parallel::ParallelStrategy;
+
+fn main() {
+    let node = MemoryNodeConfig::with_dimm(DimmKind::Lrdimm128);
+    let mut rows = Vec::new();
+    for bm in Benchmark::ALL {
+        let dc = experiment::simulate(SystemDesign::DcDla, bm, ParallelStrategy::DataParallel);
+        let mc = experiment::simulate(
+            SystemDesign::McDlaBwAware,
+            bm,
+            ParallelStrategy::DataParallel,
+        );
+        let e_dc = EnergyReport::from_iteration(&dc, &PowerModel::dgx_baseline());
+        let e_mc = EnergyReport::from_iteration(&mc, &PowerModel::mc_dla(&node, 8));
+        rows.push(vec![
+            bm.name().to_owned(),
+            format!("{:.1} J", e_dc.total_joules()),
+            format!("{:.1} J", e_mc.total_joules()),
+            format!("{:.2}x", e_mc.perf_per_watt_vs(&e_dc)),
+        ]);
+    }
+    print_table(
+        "energy per iteration (data-parallel, 128 GB LRDIMM memory-nodes)",
+        &["network", "DC-DLA", "MC-DLA(B)", "energy gain"],
+        &rows,
+    );
+    println!("static §V-C estimate for comparison: 2.1x-2.6x perf/W");
+}

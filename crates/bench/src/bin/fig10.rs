@@ -1,0 +1,36 @@
+//! Regenerates Figure 10: the LOCAL vs BW_AWARE page allocation policies
+//! and their latency equations.
+
+use mcdla_bench::{fmt_gbs, print_table};
+use mcdla_memnode::{MemoryNodeConfig, PagePolicy, RemoteAllocator, Side};
+
+fn main() {
+    let node = MemoryNodeConfig::paper_baseline();
+    let side_bw = node.group_bandwidth_gbs(); // N*B/2 = 75 GB/s
+    let d_bytes: u64 = 1 << 30; // a 1 GiB cudaMallocRemote request
+
+    let mut rows = Vec::new();
+    for policy in [PagePolicy::Local, PagePolicy::BwAware] {
+        let mut alloc =
+            RemoteAllocator::new(node.capacity_bytes() / 2, node.capacity_bytes() / 2, 2 << 20);
+        let a = alloc.malloc_remote(d_bytes, policy).expect("fits");
+        let bw = RemoteAllocator::effective_bandwidth_gbs(policy, side_bw);
+        rows.push(vec![
+            policy.to_string(),
+            format!("{:.0} MiB", a.bytes_on(Side::Left) as f64 / (1 << 20) as f64),
+            format!("{:.0} MiB", a.bytes_on(Side::Right) as f64 / (1 << 20) as f64),
+            fmt_gbs(bw),
+            format!("{:.2} ms", d_bytes as f64 / (bw * 1e9) * 1e3),
+        ]);
+    }
+    print_table(
+        "Figure 10 (1 GiB allocation, N=6 links, B=25 GB/s)",
+        &["policy", "left node", "right node", "effective BW", "latency"],
+        &rows,
+    );
+    println!("Latency_LOCAL    = D / (N*B/2)  -> {:.2} ms", d_bytes as f64 / (side_bw * 1e9) * 1e3);
+    println!(
+        "Latency_BW_AWARE = D / (N*B)    -> {:.2} ms",
+        d_bytes as f64 / (2.0 * side_bw * 1e9) * 1e3
+    );
+}

@@ -1,0 +1,39 @@
+//! Regenerates Figure 11: breakdown of computation / synchronization /
+//! memory-virtualization latencies for data-parallel (a) and
+//! model-parallel (b) training, normalized to the tallest stack per
+//! benchmark.
+
+use mcdla_bench::print_table;
+use mcdla_core::experiment;
+use mcdla_parallel::ParallelStrategy;
+
+fn main() {
+    for strategy in ParallelStrategy::ALL {
+        let bars = experiment::fig11(strategy);
+        let rows: Vec<Vec<String>> = bars
+            .iter()
+            .map(|b| {
+                vec![
+                    b.benchmark.clone(),
+                    b.design.to_string(),
+                    format!("{:.3}", b.stack[0]),
+                    format!("{:.3}", b.stack[1]),
+                    format!("{:.3}", b.stack[2]),
+                    format!("{:.3}", b.stack.iter().sum::<f64>()),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Figure 11 ({strategy})"),
+            &[
+                "network",
+                "design",
+                "computation",
+                "synchronization",
+                "memory virt",
+                "stack total",
+            ],
+            &rows,
+        );
+    }
+}

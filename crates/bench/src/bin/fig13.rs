@@ -1,0 +1,43 @@
+//! Regenerates Figure 13: performance of all six designs, normalized per
+//! benchmark, for data-parallel (a) and model-parallel (b) training, plus
+//! the §V-B headline speedups.
+
+use mcdla_bench::{fmt_x, print_table};
+use mcdla_core::{experiment, SystemDesign};
+use mcdla_parallel::ParallelStrategy;
+
+fn main() {
+    for strategy in ParallelStrategy::ALL {
+        let data = experiment::fig13(strategy);
+        let headers: Vec<String> = std::iter::once("network".to_owned())
+            .chain(SystemDesign::ALL.iter().map(|d| d.name().to_owned()))
+            .collect();
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let rows: Vec<Vec<String>> = data
+            .iter()
+            .map(|row| {
+                std::iter::once(row.benchmark.clone())
+                    .chain(row.performance.iter().map(|(_, p)| format!("{p:.3}")))
+                    .collect()
+            })
+            .collect();
+        print_table(&format!("Figure 13 ({strategy})"), &header_refs, &rows);
+        for design in [
+            SystemDesign::HcDla,
+            SystemDesign::McDlaStar,
+            SystemDesign::McDlaLocal,
+            SystemDesign::McDlaBwAware,
+        ] {
+            let s = experiment::speedup_vs_dc(design, strategy);
+            println!(
+                "{} vs DC-DLA ({strategy}): HarMean {}",
+                design.name(),
+                fmt_x(s.harmonic_mean)
+            );
+        }
+    }
+    println!(
+        "MC-DLA(B) overall harmonic-mean speedup: {} (paper: 2.8x)",
+        fmt_x(experiment::headline_speedup())
+    );
+}

@@ -1,0 +1,37 @@
+//! Regenerates Figure 14: MC-DLA(B) speedup over DC-DLA as a function of
+//! the input batch size (128 / 256 / 1024 / 2048, plus the paper's default
+//! 512), with per-strategy harmonic means.
+
+use mcdla_bench::{fmt_x, print_table};
+use mcdla_core::experiment;
+use mcdla_sim::stats::harmonic_mean;
+
+fn main() {
+    let batches = [128u64, 256, 512, 1024, 2048];
+    let cells = experiment::fig14(&batches);
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.batch.to_string(),
+                c.strategy.to_string(),
+                c.benchmark.clone(),
+                fmt_x(c.speedup),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 14 (MC-DLA(B) speedup over DC-DLA vs batch size)",
+        &["batch", "strategy", "network", "speedup"],
+        &rows,
+    );
+    let all: Vec<f64> = cells
+        .iter()
+        .filter(|c| c.benchmark != "HarMean")
+        .map(|c| c.speedup)
+        .collect();
+    println!(
+        "harmonic mean across all batch sizes: {} (paper: 2.17x)",
+        fmt_x(harmonic_mean(&all).unwrap_or(0.0))
+    );
+}

@@ -1,0 +1,39 @@
+//! Regenerates Figure 2: CNN execution time across five accelerator
+//! generations (normalized to Kepler, left axis) and the memory
+//! virtualization overhead over a fixed PCIe gen3 host interface (right
+//! axis).
+
+use mcdla_bench::{fmt_pct, print_table};
+use mcdla_core::experiment;
+
+fn main() {
+    let cells = experiment::fig2();
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.benchmark.clone(),
+                c.generation.to_string(),
+                format!("{:.3}", c.normalized_time),
+                fmt_pct(c.overhead),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 2 (single device, PCIe gen3 host interface)",
+        &["network", "device", "time (norm. to Kepler)", "virt overhead"],
+        &rows,
+    );
+    // The headline claims of §I.
+    for bm in ["AlexNet", "GoogLeNet", "VGG-E", "ResNet"] {
+        let series: Vec<&experiment::Fig2Cell> =
+            cells.iter().filter(|c| c.benchmark == bm).collect();
+        let last = series.last().expect("five generations");
+        println!(
+            "{bm}: Kepler->TPUv2 time reduction {:.1}x, overhead {} -> {}",
+            1.0 / last.normalized_time,
+            fmt_pct(series[0].overhead),
+            fmt_pct(last.overhead),
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Regenerates the Fig. 5 / Fig. 7 interconnect structures: ring hop
+//! counts, participants, link budgets, and per-device virtualization
+//! bandwidth of every layout.
+
+use mcdla_bench::{fmt_gbs, print_table};
+use mcdla_interconnect::{check_link_budget, Ring, SystemInterconnect};
+
+fn main() {
+    let layouts = [
+        SystemInterconnect::dgx_cube_mesh(25.0),
+        SystemInterconnect::hc_dla(25.0),
+        SystemInterconnect::mc_dla_star_a(25.0),
+        SystemInterconnect::mc_dla_star_b(25.0),
+        SystemInterconnect::mc_dla_ring(25.0),
+    ];
+    let mut rows = Vec::new();
+    for sys in &layouts {
+        let shapes = sys.ring_shapes();
+        let hops: Vec<String> = shapes.iter().map(|s| s.hops.to_string()).collect();
+        let rings: Vec<Ring> = sys.rings().iter().map(|r| r.ring.clone()).collect();
+        let budget = match check_link_budget(sys.topology(), &rings, 6) {
+            Ok(used) => format!("ok (max {} of 6)", used.iter().max().unwrap_or(&0)),
+            Err((node, used)) => format!("exceeded at {node} ({used})"),
+        };
+        rows.push(vec![
+            sys.name().to_owned(),
+            format!("{} dev + {} mem", sys.devices().len(), sys.memory_nodes().len()),
+            hops.join("/"),
+            budget,
+            fmt_gbs(sys.virt_bandwidth_gbs(1)),
+            fmt_gbs(sys.virt_bandwidth_gbs(2)),
+        ]);
+    }
+    print_table(
+        "Figs. 5 & 7 (interconnect layouts, B = 25 GB/s per link)",
+        &[
+            "layout",
+            "nodes",
+            "ring hops",
+            "link budget",
+            "virt BW (1 target)",
+            "virt BW (2 targets)",
+        ],
+        &rows,
+    );
+    println!("note: the star layouts are modeled at hop-count fidelity; their");
+    println!("ring link budget is carried by the long rings of Fig. 7(a)/(b).");
+}

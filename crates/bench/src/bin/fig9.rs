@@ -1,0 +1,46 @@
+//! Regenerates Figure 9: collective latency vs number of nodes in the ring
+//! (normalized to a 2-node ring), 50 GB/s bi-directional links, 4 KB
+//! messages, 8 MB synchronization size.
+
+use mcdla_bench::print_table;
+use mcdla_interconnect::{CollectiveKind, CollectiveModel, RingShape};
+use mcdla_sim::Bytes;
+
+fn main() {
+    let model = CollectiveModel::paper_fig9();
+    let sync = Bytes::from_mib(8);
+    let base: Vec<f64> = CollectiveKind::ALL
+        .iter()
+        .map(|k| {
+            model
+                .latency(*k, sync, RingShape::device_ring(2))
+                .as_secs_f64()
+        })
+        .collect();
+    let mut rows = Vec::new();
+    for nodes in (2..=36).step_by(2) {
+        let mut row = vec![nodes.to_string()];
+        for (k, b) in CollectiveKind::ALL.iter().zip(&base) {
+            let t = model
+                .latency(*k, sync, RingShape::device_ring(nodes))
+                .as_secs_f64();
+            row.push(format!("{:.3}", t / b));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Figure 9 (latency normalized to a 2-node ring)",
+        &["nodes", "all-gather", "all-reduce", "broadcast"],
+        &rows,
+    );
+    let t8 = model
+        .latency(CollectiveKind::AllReduce, sync, RingShape::device_ring(8))
+        .as_secs_f64();
+    let t16 = model
+        .latency(CollectiveKind::AllReduce, sync, RingShape::device_ring(16))
+        .as_secs_f64();
+    println!(
+        "DC-DLA (8 nodes) -> MC-DLA (16 nodes) all-reduce overhead at 8 MB: {:.1}% (paper: ~7%)",
+        (t16 / t8 - 1.0) * 100.0
+    );
+}

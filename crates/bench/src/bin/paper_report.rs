@@ -1,0 +1,148 @@
+//! Runs the complete evaluation matrix and prints the paper-vs-measured
+//! summary recorded in EXPERIMENTS.md.
+
+use mcdla_bench::{fmt_pct, fmt_x, print_table};
+use mcdla_core::{experiment, SystemDesign};
+use mcdla_dnn::Benchmark;
+use mcdla_parallel::ParallelStrategy;
+use mcdla_sim::stats::harmonic_mean;
+
+fn main() {
+    println!("mcdla paper report — Kwon & Rhu, MICRO-51 2018\n");
+
+    // Fig. 13 headline numbers.
+    let dp = experiment::speedup_vs_dc(SystemDesign::McDlaBwAware, ParallelStrategy::DataParallel);
+    let mp = experiment::speedup_vs_dc(SystemDesign::McDlaBwAware, ParallelStrategy::ModelParallel);
+    let mut rows = vec![
+        vec![
+            "MC-DLA(B) speedup, data-parallel".into(),
+            fmt_x(dp.harmonic_mean),
+            "3.5x".into(),
+        ],
+        vec![
+            "MC-DLA(B) speedup, model-parallel".into(),
+            fmt_x(mp.harmonic_mean),
+            "2.1x".into(),
+        ],
+        vec![
+            "MC-DLA(B) speedup, overall".into(),
+            fmt_x(experiment::headline_speedup()),
+            "2.8x".into(),
+        ],
+    ];
+
+    // Oracle fraction (§V-B: 84%-99%, average 95%).
+    let mut fr = Vec::new();
+    for strategy in ParallelStrategy::ALL {
+        for bm in Benchmark::ALL {
+            let mc = experiment::simulate(SystemDesign::McDlaBwAware, bm, strategy);
+            let o = experiment::simulate(SystemDesign::DcDlaOracle, bm, strategy);
+            fr.push(o.iteration_time.as_secs_f64() / mc.iteration_time.as_secs_f64());
+        }
+    }
+    let lo = fr.iter().cloned().fold(f64::MAX, f64::min);
+    let hi = fr.iter().cloned().fold(0.0f64, f64::max);
+    rows.push(vec![
+        "MC-DLA(B) fraction of oracle".into(),
+        format!(
+            "{}-{} (HarMean {})",
+            fmt_pct(lo),
+            fmt_pct(hi.min(1.0)),
+            fmt_pct(harmonic_mean(&fr).unwrap_or(0.0))
+        ),
+        "84%-99% (avg 95%)".into(),
+    ]);
+
+    // MC-DLA(S) loss vs MC-DLA(B) (§V-B: avg 14%, max 24%).
+    let mut losses = Vec::new();
+    for strategy in ParallelStrategy::ALL {
+        for bm in Benchmark::ALL {
+            let s = experiment::simulate(SystemDesign::McDlaStar, bm, strategy);
+            let b = experiment::simulate(SystemDesign::McDlaBwAware, bm, strategy);
+            losses.push(1.0 - b.iteration_time.as_secs_f64() / s.iteration_time.as_secs_f64());
+        }
+    }
+    rows.push(vec![
+        "MC-DLA(S) performance loss vs (B)".into(),
+        format!(
+            "avg {} max {}",
+            fmt_pct(losses.iter().sum::<f64>() / losses.len() as f64),
+            fmt_pct(losses.iter().cloned().fold(0.0f64, f64::max))
+        ),
+        "avg 14%, max 24%".into(),
+    ]);
+
+    // MC-DLA(L) fraction of MC-DLA(B) (§V-B: 96%).
+    let mut lb = Vec::new();
+    for strategy in ParallelStrategy::ALL {
+        for bm in Benchmark::ALL {
+            let l = experiment::simulate(SystemDesign::McDlaLocal, bm, strategy);
+            let b = experiment::simulate(SystemDesign::McDlaBwAware, bm, strategy);
+            lb.push(b.iteration_time.as_secs_f64() / l.iteration_time.as_secs_f64());
+        }
+    }
+    rows.push(vec![
+        "MC-DLA(L) fraction of MC-DLA(B)".into(),
+        fmt_pct(harmonic_mean(&lb).unwrap_or(0.0)),
+        "96%".into(),
+    ]);
+
+    // HC-DLA (§V-B: +32% DP, +38% MP).
+    let hc_dp = experiment::speedup_vs_dc(SystemDesign::HcDla, ParallelStrategy::DataParallel);
+    let hc_mp = experiment::speedup_vs_dc(SystemDesign::HcDla, ParallelStrategy::ModelParallel);
+    rows.push(vec![
+        "HC-DLA speedup (DP / MP)".into(),
+        format!("{} / {}", fmt_x(hc_dp.harmonic_mean), fmt_x(hc_mp.harmonic_mean)),
+        "1.32x / 1.38x".into(),
+    ]);
+
+    // Sensitivity studies.
+    let s = experiment::sensitivity();
+    rows.push(vec![
+        "DC-DLA gain from PCIe gen4".into(),
+        fmt_pct(s.dc_gen4_improvement),
+        "38%".into(),
+    ]);
+    rows.push(vec!["gap with PCIe gen4".into(), fmt_x(s.gen4_gap), "2.1x".into()]);
+    rows.push(vec![
+        "gap with TPUv2-class device".into(),
+        fmt_x(s.faster_device_gap),
+        "3.2x".into(),
+    ]);
+    rows.push(vec!["gap with DGX-2-class node".into(), fmt_x(s.dgx2_gap), "2.9x".into()]);
+    rows.push(vec![
+        "gap with cDMA compression (CNNs)".into(),
+        fmt_x(s.cdma_cnn_gap),
+        "2.3x".into(),
+    ]);
+
+    // Fig. 14 aggregate.
+    let cells = experiment::fig14(&[128, 256, 1024, 2048]);
+    let all: Vec<f64> = cells
+        .iter()
+        .filter(|c| c.benchmark != "HarMean")
+        .map(|c| c.speedup)
+        .collect();
+    rows.push(vec![
+        "batch-sweep speedup (Fig. 14)".into(),
+        fmt_x(harmonic_mean(&all).unwrap_or(0.0)),
+        "2.17x".into(),
+    ]);
+
+    // Scalability (§V-D).
+    let sc = experiment::scalability(&Benchmark::CNNS);
+    for devices in [4usize, 8] {
+        let on: Vec<f64> = sc
+            .iter()
+            .filter(|r| r.devices == devices)
+            .map(|r| r.dc_virt_on)
+            .collect();
+        rows.push(vec![
+            format!("DC-DLA scaling at {devices} devices (virt on)"),
+            fmt_x(harmonic_mean(&on).unwrap_or(0.0)),
+            if devices == 4 { "1.3x" } else { "2.7x" }.into(),
+        ]);
+    }
+
+    print_table("paper vs measured", &["metric", "measured", "paper"], &rows);
+}

@@ -1,0 +1,58 @@
+//! Regenerates the §V-D scalability study: data-parallel CNN training on
+//! 2/4/8 devices with and without memory virtualization.
+
+use mcdla_bench::{fmt_x, print_table};
+use mcdla_core::experiment;
+use mcdla_dnn::Benchmark;
+use mcdla_sim::stats::harmonic_mean;
+
+fn main() {
+    let rows_data = experiment::scalability(&Benchmark::CNNS);
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            vec![
+                r.benchmark.clone(),
+                r.devices.to_string(),
+                fmt_x(r.dc_virt_on),
+                fmt_x(r.dc_virt_off),
+                fmt_x(r.mc),
+            ]
+        })
+        .collect();
+    print_table(
+        "§V-D scalability (speedup over the same design's 1-device run)",
+        &[
+            "network",
+            "devices",
+            "DC-DLA (virt on)",
+            "DC-DLA (virt off)",
+            "MC-DLA(B)",
+        ],
+        &rows,
+    );
+    for devices in [4usize, 8] {
+        let on: Vec<f64> = rows_data
+            .iter()
+            .filter(|r| r.devices == devices)
+            .map(|r| r.dc_virt_on)
+            .collect();
+        let off: Vec<f64> = rows_data
+            .iter()
+            .filter(|r| r.devices == devices)
+            .map(|r| r.dc_virt_off)
+            .collect();
+        let mc: Vec<f64> = rows_data
+            .iter()
+            .filter(|r| r.devices == devices)
+            .map(|r| r.mc)
+            .collect();
+        println!(
+            "{devices} devices: DC virt-on {} (paper: {}), virt-off {} (paper: ~{devices}x), MC {}",
+            fmt_x(harmonic_mean(&on).unwrap_or(0.0)),
+            if devices == 4 { "1.3x" } else { "2.7x" },
+            fmt_x(harmonic_mean(&off).unwrap_or(0.0)),
+            fmt_x(harmonic_mean(&mc).unwrap_or(0.0)),
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! §VI / Fig. 15: MC-DLA on an NVSwitch-class scale-out plane, weak-scaled
+//! from 8 to 64 devices (the paper's stated future-work direction,
+//! implemented).
+
+use mcdla_bench::{fmt_pct, print_table};
+use mcdla_core::experiment;
+use mcdla_dnn::Benchmark;
+
+fn main() {
+    for bm in [Benchmark::ResNet, Benchmark::RnnGru] {
+        let rows: Vec<Vec<String>> =
+            experiment::scale_out(bm, &[8, 16, 32, 64])
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.devices.to_string(),
+                        format!("{:.2} ms", r.iteration_secs * 1e3),
+                        format!("{:.2}x", r.throughput_vs_8),
+                        fmt_pct(r.sync_fraction),
+                    ]
+                })
+                .collect();
+        print_table(
+            &format!("§VI scale-out, {bm} (weak scaling, 64 samples/device)"),
+            &["devices", "iteration", "throughput vs 8", "sync fraction"],
+            &rows,
+        );
+    }
+}

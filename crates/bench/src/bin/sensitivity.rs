@@ -1,0 +1,33 @@
+//! Regenerates the §V-B sensitivity studies: PCIe gen4, a TPUv2-class
+//! device-node, a DGX-2-class node, and cDMA-style activation compression.
+
+use mcdla_bench::{fmt_pct, fmt_x, print_table};
+use mcdla_core::experiment;
+
+fn main() {
+    let s = experiment::sensitivity();
+    print_table(
+        "§V-B sensitivity (MC-DLA(B) over DC-DLA, harmonic means)",
+        &["study", "measured", "paper"],
+        &[
+            vec!["baseline".into(), fmt_x(s.baseline), "2.8x".into()],
+            vec![
+                "DC-DLA improvement from PCIe gen4".into(),
+                fmt_pct(s.dc_gen4_improvement),
+                "38%".into(),
+            ],
+            vec!["gap with PCIe gen4".into(), fmt_x(s.gen4_gap), "2.1x".into()],
+            vec![
+                "gap with TPUv2-class device".into(),
+                fmt_x(s.faster_device_gap),
+                "3.2x".into(),
+            ],
+            vec!["gap with DGX-2-class node".into(), fmt_x(s.dgx2_gap), "2.9x".into()],
+            vec![
+                "gap with cDMA compression (CNNs)".into(),
+                fmt_x(s.cdma_cnn_gap),
+                "2.3x".into(),
+            ],
+        ],
+    );
+}

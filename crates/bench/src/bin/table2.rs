@@ -1,0 +1,68 @@
+//! Regenerates Table II: device-/memory-node configuration parameters.
+
+use mcdla_accel::DeviceConfig;
+use mcdla_bench::print_table;
+use mcdla_memnode::MemoryNodeConfig;
+
+fn main() {
+    let d = DeviceConfig::paper_baseline();
+    print_table(
+        "Table II (device-node)",
+        &["parameter", "value"],
+        &[
+            vec!["Number of PEs".into(), d.pe_count.to_string()],
+            vec!["MACs per PE".into(), d.macs_per_pe.to_string()],
+            vec![
+                "PE operating frequency".into(),
+                format!("{} GHz", d.frequency_ghz),
+            ],
+            vec![
+                "Local SRAM buffer size per PE".into(),
+                format!("{} KB", d.sram_per_pe_bytes / 1024),
+            ],
+            vec![
+                "Memory bandwidth".into(),
+                format!("{} GB/sec", d.memory_bandwidth_gbs),
+            ],
+            vec![
+                "Memory access latency".into(),
+                format!("{} cycles", d.memory_latency_cycles),
+            ],
+            vec![
+                "Number of high-bandwidth links (N)".into(),
+                d.link_count.to_string(),
+            ],
+            vec![
+                "Communication bandwidth per link (B)".into(),
+                format!("{} GB/sec", d.link_bandwidth_gbs),
+            ],
+        ],
+    );
+    let m = MemoryNodeConfig::paper_baseline();
+    print_table(
+        "Table II (memory-node)",
+        &["parameter", "value"],
+        &[
+            vec![
+                "Memory bandwidth".into(),
+                format!("{} GB/sec", m.memory_bandwidth_gbs),
+            ],
+            vec![
+                "Memory access latency".into(),
+                format!("{} ns (100 cycles at 1 GHz)", m.memory_latency_ns),
+            ],
+            vec![
+                "Number of high-bandwidth links (N)".into(),
+                m.link_count.to_string(),
+            ],
+            vec![
+                "Communication bandwidth per link (B)".into(),
+                format!("{} GB/sec", m.link_bandwidth_gbs),
+            ],
+            vec![
+                "DIMMs / capacity".into(),
+                format!("{} x {} = {:.2} TB", m.dimm_count, m.dimm, m.capacity_bytes() as f64 / 1e12),
+            ],
+        ],
+    );
+}

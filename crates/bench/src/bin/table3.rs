@@ -1,0 +1,33 @@
+//! Regenerates Table III: the evaluated benchmark suite.
+
+use mcdla_bench::print_table;
+use mcdla_dnn::{Benchmark, DataType};
+
+fn main() {
+    let rows: Vec<Vec<String>> = Benchmark::ALL
+        .iter()
+        .map(|bm| {
+            let net = bm.build();
+            let depth = match bm.timesteps() {
+                Some(t) => format!("{t} timesteps"),
+                None => format!("{} layers", net.weighted_depth()),
+            };
+            let fp = net.footprint(512, DataType::F32);
+            vec![
+                bm.name().to_owned(),
+                net.application().to_string(),
+                depth,
+                format!("{:.1}M", net.total_params() as f64 / 1e6),
+                format!(
+                    "{:.1} GB",
+                    fp.total_unvirtualized() as f64 / 1e9
+                ),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table III (benchmarks; footprint at batch 512, unvirtualized)",
+        &["network", "application", "depth", "params", "train footprint"],
+        &rows,
+    );
+}

@@ -1,0 +1,52 @@
+//! Regenerates Table IV (memory-node power) and the §V-C power-efficiency
+//! numbers, using the measured MC-DLA(B) speedup.
+
+use mcdla_bench::{fmt_pct, fmt_x, print_table};
+use mcdla_core::experiment;
+use mcdla_memnode::{DimmKind, MemoryNodeConfig, SystemPower, DGX_SYSTEM_TDP_WATTS};
+
+fn main() {
+    let rows: Vec<Vec<String>> = DimmKind::ALL
+        .iter()
+        .map(|d| {
+            let node = MemoryNodeConfig::with_dimm(*d);
+            vec![
+                d.name().to_owned(),
+                format!("{:.1}", d.tdp_watts()),
+                format!("{:.0}", node.tdp_watts()),
+                format!("{:.1}", node.gb_per_watt()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table IV (DDR4-2400 memory-node power)",
+        &["DDR4 module", "DIMM TDP (W)", "node TDP (W)", "GB/W"],
+        &rows,
+    );
+
+    let speedup = experiment::headline_speedup();
+    println!("measured MC-DLA(B) harmonic-mean speedup: {}", fmt_x(speedup));
+    println!("DGX-class baseline system TDP: {DGX_SYSTEM_TDP_WATTS} W");
+    let mut rows = Vec::new();
+    for dimm in [DimmKind::Rdimm8, DimmKind::Lrdimm128] {
+        let p = SystemPower::mc_dla(&MemoryNodeConfig::with_dimm(dimm), 8);
+        rows.push(vec![
+            dimm.name().to_owned(),
+            format!("{:.0} W", p.memnode_watts),
+            fmt_pct(p.overhead_fraction()),
+            format!("{:.2} TB", p.added_capacity_bytes as f64 / 1e12),
+            fmt_x(p.perf_per_watt_gain(speedup)),
+        ]);
+    }
+    print_table(
+        "§V-C system power (8 memory-nodes)",
+        &[
+            "memory-node DIMM",
+            "added power",
+            "overhead",
+            "added capacity",
+            "perf/W vs DC-DLA",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,238 @@
+//! Ablation studies over the design choices DESIGN.md calls out.
+//!
+//! Each ablation varies exactly one mechanism and reports MC-DLA(B) /
+//! DC-DLA iteration times on a representative workload pair (one CNN, one
+//! RNN), quantifying how much each design ingredient matters:
+//!
+//! * **recompute policy** (footnote 4) — recompute cheap layers vs
+//!   offloading their inputs too;
+//! * **gradient bucketing** — the 8 MB NCCL-style fusion target;
+//! * **prefetch lookahead** — how far ahead the DMA engine fetches during
+//!   backpropagation;
+//! * **boundary pipelining** — chunked overlap of blocking model-parallel
+//!   collectives;
+//! * **page placement** — Fig. 10's LOCAL vs BW_AWARE (the MC-DLA(L) vs
+//!   MC-DLA(B) comparison, included here for completeness).
+
+use mcdla_dnn::Benchmark;
+use mcdla_parallel::ParallelStrategy;
+use mcdla_vmem::VirtPolicy;
+use serde::{Deserialize, Serialize};
+
+use crate::design::{SystemConfig, SystemDesign};
+use crate::engine::IterationSim;
+
+/// One ablation: a named knob and the iteration time of each variant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ablation {
+    /// Mechanism being ablated.
+    pub name: String,
+    /// Workload the variants ran on.
+    pub benchmark: String,
+    /// Design point the variants ran on.
+    pub design: SystemDesign,
+    /// `(variant label, iteration seconds)` pairs.
+    pub variants: Vec<(String, f64)>,
+}
+
+impl Ablation {
+    /// Iteration time of the slowest variant divided by the fastest —
+    /// how much this knob matters.
+    pub fn spread(&self) -> f64 {
+        let min = self.variants.iter().map(|(_, t)| *t).fold(f64::MAX, f64::min);
+        let max = self.variants.iter().map(|(_, t)| *t).fold(0.0f64, f64::max);
+        if min > 0.0 {
+            max / min
+        } else {
+            0.0
+        }
+    }
+}
+
+fn run(cfg: SystemConfig, bm: Benchmark, strategy: ParallelStrategy) -> f64 {
+    let net = bm.build();
+    IterationSim::new(cfg, &net, strategy)
+        .run()
+        .iteration_time
+        .as_secs_f64()
+}
+
+fn run_policy(
+    cfg: SystemConfig,
+    bm: Benchmark,
+    strategy: ParallelStrategy,
+    policy: VirtPolicy,
+) -> f64 {
+    let net = bm.build();
+    IterationSim::with_policy(cfg, &net, strategy, policy)
+        .run()
+        .iteration_time
+        .as_secs_f64()
+}
+
+/// Runs the full ablation suite on `design` for a CNN and an RNN.
+pub fn ablations(design: SystemDesign) -> Vec<Ablation> {
+    let mut out = Vec::new();
+    for bm in [Benchmark::VggE, Benchmark::RnnGru] {
+        // Recompute policy (data-parallel, where overlay traffic binds).
+        let recompute = VirtPolicy::paper_default();
+        let offload_all = VirtPolicy {
+            recompute_cheap: false,
+            ..VirtPolicy::paper_default()
+        };
+        out.push(Ablation {
+            name: "recompute cheap layers (footnote 4)".into(),
+            benchmark: bm.name().into(),
+            design,
+            variants: vec![
+                (
+                    "recompute".into(),
+                    run_policy(
+                        SystemConfig::new(design),
+                        bm,
+                        ParallelStrategy::DataParallel,
+                        recompute,
+                    ),
+                ),
+                (
+                    "offload everything".into(),
+                    run_policy(
+                        SystemConfig::new(design),
+                        bm,
+                        ParallelStrategy::DataParallel,
+                        offload_all,
+                    ),
+                ),
+            ],
+        });
+
+        // Gradient bucket size (data-parallel).
+        out.push(Ablation {
+            name: "gradient bucket size".into(),
+            benchmark: bm.name().into(),
+            design,
+            variants: [64 << 10, 1 << 20, 8 << 20, 64 << 20]
+                .into_iter()
+                .map(|bytes: u64| {
+                    let mut cfg = SystemConfig::new(design);
+                    cfg.sync_bucket_bytes = bytes;
+                    (
+                        format!("{} MiB", bytes as f64 / (1 << 20) as f64),
+                        run(cfg, bm, ParallelStrategy::DataParallel),
+                    )
+                })
+                .collect(),
+        });
+
+        // Prefetch lookahead (data-parallel).
+        out.push(Ablation {
+            name: "prefetch lookahead".into(),
+            benchmark: bm.name().into(),
+            design,
+            variants: [0usize, 1, 4, 16]
+                .into_iter()
+                .map(|look| {
+                    let mut cfg = SystemConfig::new(design);
+                    cfg.prefetch_lookahead = look;
+                    (format!("{look} layers"), run(cfg, bm, ParallelStrategy::DataParallel))
+                })
+                .collect(),
+        });
+
+        // Boundary pipelining (model-parallel, where it matters).
+        out.push(Ablation {
+            name: "boundary collective pipelining".into(),
+            benchmark: bm.name().into(),
+            design,
+            variants: [0.0f64, 0.5, 1.0]
+                .into_iter()
+                .map(|f| {
+                    let mut cfg = SystemConfig::new(design);
+                    cfg.boundary_pipeline_fraction = f;
+                    (format!("{:.0}% hidden", f * 100.0), run(cfg, bm, ParallelStrategy::ModelParallel))
+                })
+                .collect(),
+        });
+
+        // Page placement: the MC-DLA(L) vs MC-DLA(B) pair.
+        out.push(Ablation {
+            name: "page placement (Fig. 10)".into(),
+            benchmark: bm.name().into(),
+            design: SystemDesign::McDlaBwAware,
+            variants: vec![
+                (
+                    "LOCAL".into(),
+                    run(
+                        SystemConfig::new(SystemDesign::McDlaLocal),
+                        bm,
+                        ParallelStrategy::DataParallel,
+                    ),
+                ),
+                (
+                    "BW_AWARE".into(),
+                    run(
+                        SystemConfig::new(SystemDesign::McDlaBwAware),
+                        bm,
+                        ParallelStrategy::DataParallel,
+                    ),
+                ),
+            ],
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recompute_policy_helps_dc_dla() {
+        // Offloading cheap layers' inputs adds PCIe traffic: the recompute
+        // optimization must never lose on the bandwidth-starved design.
+        let abl = ablations(SystemDesign::DcDla);
+        for a in abl.iter().filter(|a| a.name.contains("recompute")) {
+            let recompute = a.variants[0].1;
+            let offload = a.variants[1].1;
+            assert!(
+                recompute <= offload * 1.001,
+                "{}: recompute {recompute} worse than offload {offload}",
+                a.benchmark
+            );
+        }
+    }
+
+    #[test]
+    fn lookahead_zero_is_never_faster() {
+        let abl = ablations(SystemDesign::DcDla);
+        for a in abl.iter().filter(|a| a.name.contains("lookahead")) {
+            let zero = a.variants[0].1;
+            let best = a.variants.iter().map(|(_, t)| *t).fold(f64::MAX, f64::min);
+            assert!(zero >= best * 0.999, "{}: zero lookahead beat {best}", a.benchmark);
+        }
+    }
+
+    #[test]
+    fn pipelining_is_monotone_for_model_parallel() {
+        let abl = ablations(SystemDesign::McDlaBwAware);
+        for a in abl.iter().filter(|a| a.name.contains("pipelining")) {
+            let times: Vec<f64> = a.variants.iter().map(|(_, t)| *t).collect();
+            assert!(
+                times.windows(2).all(|w| w[1] <= w[0] * 1.001),
+                "{}: more pipelining slowed things: {times:?}",
+                a.benchmark
+            );
+        }
+    }
+
+    #[test]
+    fn bw_aware_never_loses_to_local() {
+        for a in ablations(SystemDesign::McDlaBwAware)
+            .iter()
+            .filter(|a| a.name.contains("page placement"))
+        {
+            assert!(a.variants[1].1 <= a.variants[0].1 * 1.001, "{}", a.benchmark);
+            assert!(a.spread() >= 1.0);
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! The paper's evaluation experiments (§V), packaged as reusable runners.
+//!
+//! Each function reproduces the data behind one table or figure; the
+//! `mcdla-bench` harness formats them into the paper's rows/series.
+
+use mcdla_accel::{DeviceConfig, DeviceGeneration};
+use mcdla_dnn::Benchmark;
+use mcdla_parallel::ParallelStrategy;
+use mcdla_sim::stats::harmonic_mean;
+use serde::{Deserialize, Serialize};
+
+use crate::design::{SystemConfig, SystemDesign};
+use crate::engine::IterationSim;
+use crate::report::IterationReport;
+
+/// Runs one (design, benchmark, strategy) cell with paper-default
+/// configuration.
+pub fn simulate(
+    design: SystemDesign,
+    benchmark: Benchmark,
+    strategy: ParallelStrategy,
+) -> IterationReport {
+    simulate_with(SystemConfig::new(design), benchmark, strategy)
+}
+
+/// Runs one cell with an explicit configuration.
+pub fn simulate_with(
+    cfg: SystemConfig,
+    benchmark: Benchmark,
+    strategy: ParallelStrategy,
+) -> IterationReport {
+    let net = benchmark.build();
+    IterationSim::new(cfg, &net, strategy).run()
+}
+
+/// One benchmark's row of Figure 13: performance per design, normalized to
+/// the fastest design (the oracle).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig13Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// `(design, normalized performance)` in [`SystemDesign::ALL`] order.
+    pub performance: Vec<(SystemDesign, f64)>,
+}
+
+/// Figure 13 data for one parallelization strategy.
+pub fn fig13(strategy: ParallelStrategy) -> Vec<Fig13Row> {
+    Benchmark::ALL
+        .iter()
+        .map(|bm| {
+            let reports: Vec<IterationReport> = SystemDesign::ALL
+                .iter()
+                .map(|d| simulate(*d, *bm, strategy))
+                .collect();
+            let best = reports
+                .iter()
+                .map(IterationReport::performance)
+                .fold(f64::MIN, f64::max);
+            Fig13Row {
+                benchmark: bm.name().to_owned(),
+                performance: reports
+                    .iter()
+                    .map(|r| (r.design, r.performance() / best))
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+/// Speedups of `design` over DC-DLA across the suite, plus the harmonic
+/// mean the paper reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupSummary {
+    /// Design compared against DC-DLA.
+    pub design: SystemDesign,
+    /// Strategy evaluated.
+    pub strategy: ParallelStrategy,
+    /// `(benchmark, speedup)` per workload.
+    pub per_benchmark: Vec<(String, f64)>,
+    /// Harmonic mean over the suite (§V: all averages are harmonic means).
+    pub harmonic_mean: f64,
+}
+
+/// Speedup of a design over DC-DLA for one strategy, over the full suite.
+pub fn speedup_vs_dc(design: SystemDesign, strategy: ParallelStrategy) -> SpeedupSummary {
+    speedup_vs_dc_with(design, strategy, &Benchmark::ALL, SystemConfig::new)
+}
+
+/// Like [`speedup_vs_dc`] with a benchmark subset and config customization
+/// (applied to **both** the design and the DC-DLA baseline).
+pub fn speedup_vs_dc_with(
+    design: SystemDesign,
+    strategy: ParallelStrategy,
+    benchmarks: &[Benchmark],
+    mut config: impl FnMut(SystemDesign) -> SystemConfig,
+) -> SpeedupSummary {
+    let mut per_benchmark = Vec::new();
+    for bm in benchmarks {
+        let dc = simulate_with(config(SystemDesign::DcDla), *bm, strategy);
+        let d = simulate_with(config(design), *bm, strategy);
+        per_benchmark.push((bm.name().to_owned(), d.speedup_over(&dc)));
+    }
+    let values: Vec<f64> = per_benchmark.iter().map(|(_, s)| *s).collect();
+    SpeedupSummary {
+        design,
+        strategy,
+        harmonic_mean: harmonic_mean(&values).unwrap_or(0.0),
+        per_benchmark,
+    }
+}
+
+/// The paper's headline: MC-DLA(B) speedup over DC-DLA, harmonic-mean over
+/// both strategies and all eight workloads (the quoted "average 2.8x").
+pub fn headline_speedup() -> f64 {
+    let mut all = Vec::new();
+    for strategy in ParallelStrategy::ALL {
+        let s = speedup_vs_dc(SystemDesign::McDlaBwAware, strategy);
+        all.extend(s.per_benchmark.iter().map(|(_, v)| *v));
+    }
+    harmonic_mean(&all).unwrap_or(0.0)
+}
+
+/// One Fig. 11 stacked bar: the three busy-time components, normalized to
+/// the tallest stack of the benchmark's group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig11Bar {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Design point.
+    pub design: SystemDesign,
+    /// Normalized (computation, synchronization, memory virtualization).
+    pub stack: [f64; 3],
+}
+
+/// Figure 11 data for one strategy: per benchmark, one stacked bar per
+/// design, normalized to the tallest stack within the benchmark.
+pub fn fig11(strategy: ParallelStrategy) -> Vec<Fig11Bar> {
+    let mut bars = Vec::new();
+    for bm in Benchmark::ALL {
+        let reports: Vec<IterationReport> = SystemDesign::ALL
+            .iter()
+            .map(|d| simulate(*d, bm, strategy))
+            .collect();
+        let tallest = reports
+            .iter()
+            .map(|r| r.breakdown_secs().iter().sum::<f64>())
+            .fold(f64::MIN, f64::max);
+        for r in &reports {
+            let b = r.breakdown_secs();
+            bars.push(Fig11Bar {
+                benchmark: bm.name().to_owned(),
+                design: r.design,
+                stack: [b[0] / tallest, b[1] / tallest, b[2] / tallest],
+            });
+        }
+    }
+    bars
+}
+
+/// One Fig. 12 group: CPU memory-bandwidth usage of a benchmark under one
+/// design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig12Row {
+    /// Design point (DC-DLA, HC-DLA, MC-DLA(B)).
+    pub design: SystemDesign,
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Average draw per socket, data-parallel (GB/s).
+    pub avg_data_parallel_gbs: f64,
+    /// Average draw per socket, model-parallel (GB/s).
+    pub avg_model_parallel_gbs: f64,
+    /// Peak draw per socket (GB/s), max over both strategies.
+    pub max_gbs: f64,
+}
+
+/// Figure 12 data: DC-DLA, HC-DLA and MC-DLA CPU memory-bandwidth usage.
+pub fn fig12() -> Vec<Fig12Row> {
+    let designs = [
+        SystemDesign::DcDla,
+        SystemDesign::HcDla,
+        SystemDesign::McDlaBwAware,
+    ];
+    let mut rows = Vec::new();
+    for design in designs {
+        for bm in Benchmark::ALL {
+            let dp = simulate(design, bm, ParallelStrategy::DataParallel);
+            let mp = simulate(design, bm, ParallelStrategy::ModelParallel);
+            rows.push(Fig12Row {
+                design,
+                benchmark: bm.name().to_owned(),
+                avg_data_parallel_gbs: dp.cpu_socket_avg_gbs,
+                avg_model_parallel_gbs: mp.cpu_socket_avg_gbs,
+                max_gbs: dp.cpu_socket_max_gbs.max(mp.cpu_socket_max_gbs),
+            });
+        }
+    }
+    rows
+}
+
+/// One Fig. 14 cell: MC-DLA(B) speedup over DC-DLA at a batch size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig14Cell {
+    /// Global batch size.
+    pub batch: u64,
+    /// Strategy.
+    pub strategy: ParallelStrategy,
+    /// Benchmark name (`"HarMean"` for the aggregate).
+    pub benchmark: String,
+    /// Speedup over DC-DLA at the same batch.
+    pub speedup: f64,
+}
+
+/// Figure 14 data: batch-size sensitivity (paper sweeps 128–2048).
+pub fn fig14(batches: &[u64]) -> Vec<Fig14Cell> {
+    let mut cells = Vec::new();
+    for &batch in batches {
+        for strategy in ParallelStrategy::ALL {
+            let summary = speedup_vs_dc_with(
+                SystemDesign::McDlaBwAware,
+                strategy,
+                &Benchmark::ALL,
+                |d| SystemConfig::new(d).with_batch(batch),
+            );
+            for (bm, s) in &summary.per_benchmark {
+                cells.push(Fig14Cell {
+                    batch,
+                    strategy,
+                    benchmark: bm.clone(),
+                    speedup: *s,
+                });
+            }
+            cells.push(Fig14Cell {
+                batch,
+                strategy,
+                benchmark: "HarMean".to_owned(),
+                speedup: summary.harmonic_mean,
+            });
+        }
+    }
+    cells
+}
+
+/// One Fig. 2 cell: a CNN on one historical device generation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig2Cell {
+    /// CNN benchmark.
+    pub benchmark: String,
+    /// Device generation.
+    pub generation: DeviceGeneration,
+    /// Execution time normalized to the benchmark's Kepler time.
+    pub normalized_time: f64,
+    /// Memory-virtualization overhead fraction (right axis of Fig. 2).
+    pub overhead: f64,
+}
+
+/// Figure 2 data: single-device execution time across five accelerator
+/// generations (PCIe gen3 fixed) plus the virtualization overhead.
+pub fn fig2() -> Vec<Fig2Cell> {
+    let mut cells = Vec::new();
+    for bm in Benchmark::CNNS {
+        let mut kepler_time = None;
+        for generation in DeviceGeneration::ALL {
+            let mk = |design: SystemDesign| {
+                let mut cfg = SystemConfig::new(design).with_devices(1);
+                // Generations already encode sustained throughput.
+                cfg.device = generation.device_config();
+                cfg
+            };
+            let virt = simulate_with(mk(SystemDesign::DcDla), bm, ParallelStrategy::DataParallel);
+            let oracle = simulate_with(
+                mk(SystemDesign::DcDlaOracle),
+                bm,
+                ParallelStrategy::DataParallel,
+            );
+            // Left axis: plain execution time (no virtualization) — the
+            // 20x-34x device-compute trend. Right axis: the overhead once
+            // memory is virtualized over the fixed PCIe gen3 interface.
+            let t = oracle.iteration_time.as_secs_f64();
+            let base = *kepler_time.get_or_insert(t);
+            cells.push(Fig2Cell {
+                benchmark: bm.name().to_owned(),
+                generation,
+                normalized_time: t / base,
+                overhead: virt.virtualization_overhead_vs(&oracle),
+            });
+        }
+    }
+    cells
+}
+
+/// One §V-D scalability row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalabilityRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Device count.
+    pub devices: usize,
+    /// DC-DLA speedup over its 1-device run, virtualization enabled.
+    pub dc_virt_on: f64,
+    /// DC-DLA speedup with virtualization disabled (near-linear).
+    pub dc_virt_off: f64,
+    /// MC-DLA(B) speedup over its 1-device run.
+    pub mc: f64,
+}
+
+/// §V-D: strong-scaling of data-parallel CNN training to 1/2/4/8 devices.
+pub fn scalability(benchmarks: &[Benchmark]) -> Vec<ScalabilityRow> {
+    let mut rows = Vec::new();
+    for bm in benchmarks {
+        let run = |design: SystemDesign, devices: usize| {
+            simulate_with(
+                SystemConfig::new(design).with_devices(devices),
+                *bm,
+                ParallelStrategy::DataParallel,
+            )
+            .iteration_time
+            .as_secs_f64()
+        };
+        let dc1 = run(SystemDesign::DcDla, 1);
+        let oracle1 = run(SystemDesign::DcDlaOracle, 1);
+        let mc1 = run(SystemDesign::McDlaBwAware, 1);
+        for devices in [2usize, 4, 8] {
+            rows.push(ScalabilityRow {
+                benchmark: bm.name().to_owned(),
+                devices,
+                dc_virt_on: dc1 / run(SystemDesign::DcDla, devices),
+                dc_virt_off: oracle1 / run(SystemDesign::DcDlaOracle, devices),
+                mc: mc1 / run(SystemDesign::McDlaBwAware, devices),
+            });
+        }
+    }
+    rows
+}
+
+/// The §V-B sensitivity studies, as MC-DLA(B)-over-DC-DLA harmonic-mean
+/// speedups under modified configurations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensitivitySummary {
+    /// Baseline gap (paper: 2.8x).
+    pub baseline: f64,
+    /// DC-DLA's own improvement from PCIe gen4 (paper: +38%).
+    pub dc_gen4_improvement: f64,
+    /// Gap with PCIe gen4 DC-DLA (paper: 2.1x).
+    pub gen4_gap: f64,
+    /// Gap with a TPUv2-class device-node (paper: 3.2x).
+    pub faster_device_gap: f64,
+    /// Gap with a DGX-2-class node (paper: 2.9x).
+    pub dgx2_gap: f64,
+    /// Gap on CNNs with cDMA-style 2.6x activation compression
+    /// (paper: 2.3x).
+    pub cdma_cnn_gap: f64,
+}
+
+/// Runs all §V-B sensitivity studies.
+pub fn sensitivity() -> SensitivitySummary {
+    let gap = |config: &dyn Fn(SystemDesign) -> SystemConfig, benchmarks: &[Benchmark]| {
+        let mut all = Vec::new();
+        for strategy in ParallelStrategy::ALL {
+            let s = speedup_vs_dc_with(SystemDesign::McDlaBwAware, strategy, benchmarks, config);
+            all.extend(s.per_benchmark.iter().map(|(_, v)| *v));
+        }
+        harmonic_mean(&all).unwrap_or(0.0)
+    };
+    let baseline = gap(&|d| SystemConfig::new(d), &Benchmark::ALL);
+    let gen4_gap = gap(&|d| SystemConfig::new(d).with_pcie_gen4(), &Benchmark::ALL);
+    let faster_device_gap = gap(
+        &|d| SystemConfig::new(d).with_device(DeviceConfig::tpu_v2_like()),
+        &Benchmark::ALL,
+    );
+    let dgx2_gap = gap(
+        &|d| SystemConfig::new(d).with_device(DeviceConfig::dgx2_like()),
+        &Benchmark::ALL,
+    );
+    let cdma_cnn_gap = gap(
+        &|d| SystemConfig::new(d).with_compression(2.6),
+        &Benchmark::CNNS,
+    );
+    // DC-DLA gen4 vs gen3 improvement.
+    let mut ratios = Vec::new();
+    for strategy in ParallelStrategy::ALL {
+        for bm in Benchmark::ALL {
+            let gen3 = simulate(SystemDesign::DcDla, bm, strategy);
+            let gen4 = simulate_with(
+                SystemConfig::new(SystemDesign::DcDla).with_pcie_gen4(),
+                bm,
+                strategy,
+            );
+            ratios.push(gen4.speedup_over(&gen3));
+        }
+    }
+    SensitivitySummary {
+        baseline,
+        dc_gen4_improvement: harmonic_mean(&ratios).unwrap_or(0.0) - 1.0,
+        gen4_gap,
+        faster_device_gap,
+        dgx2_gap,
+        cdma_cnn_gap,
+    }
+}
+
+/// One §VI scale-out data point: an NVSwitch-class plane of `devices`
+/// device-nodes and as many memory-nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaleOutRow {
+    /// Device count on the plane.
+    pub devices: usize,
+    /// Iteration time in seconds (weak scaling: 64 samples per device).
+    pub iteration_secs: f64,
+    /// Training throughput (samples/sec) relative to the 8-device plane.
+    pub throughput_vs_8: f64,
+    /// Collective fraction of the iteration.
+    pub sync_fraction: f64,
+}
+
+/// §VI (Fig. 15): scales the MC-DLA ring beyond one backplane via an
+/// NVSwitch-class plane, training data-parallel with 64 samples per device
+/// (weak scaling, the large-batch regime of §V-D's citations).
+pub fn scale_out(benchmark: Benchmark, device_counts: &[usize]) -> Vec<ScaleOutRow> {
+    let mut rows = Vec::new();
+    let mut base: Option<f64> = None;
+    for &devices in device_counts {
+        let cfg = SystemConfig::new(SystemDesign::McDlaBwAware)
+            .with_devices(devices)
+            .with_batch(64 * devices as u64);
+        let r = simulate_with(cfg, benchmark, ParallelStrategy::DataParallel);
+        let t = r.iteration_time.as_secs_f64();
+        let throughput = 64.0 * devices as f64 / t;
+        let base_tp = *base.get_or_insert(throughput * 8.0 / devices as f64);
+        rows.push(ScaleOutRow {
+            devices,
+            iteration_secs: t,
+            throughput_vs_8: throughput / base_tp,
+            sync_fraction: (r.sync_busy.as_secs_f64() / t).min(1.0),
+        });
+    }
+    rows
+}

@@ -1,0 +1,49 @@
+//! # `mcdla-core` — the memory-centric DL system architecture simulator
+//!
+//! The paper's contribution (Kwon & Rhu, *Beyond the Memory Wall: A Case
+//! for Memory-centric HPC System for Deep Learning*, MICRO-51 2018),
+//! assembled from the substrate crates:
+//!
+//! * [`SystemDesign`] / [`SystemConfig`] — the six evaluated design points:
+//!   DC-DLA, HC-DLA, MC-DLA(S), MC-DLA(L), MC-DLA(B), DC-DLA(O);
+//! * [`VirtPath`] — each design's effective memory-virtualization data
+//!   path (PCIe/host for DC/HC, memory-node links for MC), validated
+//!   against the max-min fluid-flow solver;
+//! * [`IterationSim`] — the training-iteration engine overlapping
+//!   computation, ring-collective synchronization and memory-overlaying
+//!   DMA per device (§IV);
+//! * [`experiment`] — runners for every table and figure of §V.
+//!
+//! # Examples
+//!
+//! Reproducing the headline comparison on one workload:
+//!
+//! ```
+//! use mcdla_core::{experiment, SystemDesign};
+//! use mcdla_dnn::Benchmark;
+//! use mcdla_parallel::ParallelStrategy;
+//!
+//! let dc = experiment::simulate(SystemDesign::DcDla, Benchmark::VggE,
+//!     ParallelStrategy::DataParallel);
+//! let mc = experiment::simulate(SystemDesign::McDlaBwAware, Benchmark::VggE,
+//!     ParallelStrategy::DataParallel);
+//! let speedup = mc.speedup_over(&dc);
+//! assert!(speedup > 1.5, "MC-DLA(B) should clearly beat DC-DLA: {speedup}");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ablation;
+mod design;
+mod energy;
+mod engine;
+pub mod experiment;
+mod report;
+mod virt_path;
+
+pub use design::{HostConfig, PcieGen, SystemConfig, SystemDesign};
+pub use energy::{EnergyReport, PowerModel};
+pub use engine::IterationSim;
+pub use report::IterationReport;
+pub use virt_path::VirtPath;

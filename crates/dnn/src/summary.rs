@@ -1,0 +1,158 @@
+//! Per-layer and per-network cost summaries.
+//!
+//! The quantities the paper's §V-A bottleneck analysis reasons about —
+//! compute intensity, feature-map-to-weight ratios, synchronization volume
+//! per unit compute — exposed as a queryable summary table.
+
+use serde::{Deserialize, Serialize};
+
+use crate::layer::Layer;
+use crate::network::Network;
+use crate::tensor::DataType;
+
+/// One layer's cost summary at a batch size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerSummary {
+    /// Layer name.
+    pub name: String,
+    /// Operator description.
+    pub kind: String,
+    /// Forward MACs.
+    pub forward_macs: u64,
+    /// Weight bytes.
+    pub weight_bytes: u64,
+    /// Stash (offloadable activation) bytes.
+    pub stash_bytes: u64,
+    /// Arithmetic intensity: forward MACs per byte touched (0 for
+    /// memory-only layers).
+    pub macs_per_byte: f64,
+}
+
+impl LayerSummary {
+    fn of(layer: &Layer, batch: u64, dtype: DataType) -> Self {
+        let macs = layer.forward_macs(batch);
+        let touched = layer.forward_bytes_touched(batch, dtype);
+        LayerSummary {
+            name: layer.name().to_owned(),
+            kind: format!("{:?}", layer.kind()),
+            forward_macs: macs,
+            weight_bytes: layer.weight_bytes(dtype),
+            stash_bytes: layer.stash_bytes(batch, dtype),
+            macs_per_byte: if touched > 0 {
+                macs as f64 / touched as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Whole-network cost summary at a batch size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkSummary {
+    /// Network name.
+    pub name: String,
+    /// Per-layer rows in topological order.
+    pub layers: Vec<LayerSummary>,
+    /// Total forward MACs.
+    pub total_forward_macs: u64,
+    /// Total physical weight bytes.
+    pub total_weight_bytes: u64,
+    /// Total stash bytes (the overlay traffic, one direction).
+    pub total_stash_bytes: u64,
+}
+
+impl NetworkSummary {
+    /// Summarizes `net` at `batch`.
+    pub fn of(net: &Network, batch: u64, dtype: DataType) -> Self {
+        let layers: Vec<LayerSummary> = net
+            .layers()
+            .iter()
+            .map(|l| LayerSummary::of(l, batch, dtype))
+            .collect();
+        NetworkSummary {
+            name: net.name().to_owned(),
+            total_forward_macs: net.total_forward_macs(batch),
+            total_weight_bytes: net.total_weight_bytes(dtype),
+            total_stash_bytes: layers.iter().map(|l| l.stash_bytes).sum(),
+            layers,
+        }
+    }
+
+    /// The §V-A diagnostic: stashed-activation bytes per weight byte.
+    /// Well above 1 for CNNs (feature maps dominate), near or below 1 for
+    /// recurrent networks at modest batch.
+    pub fn activation_to_weight_ratio(&self) -> f64 {
+        if self.total_weight_bytes == 0 {
+            0.0
+        } else {
+            self.total_stash_bytes as f64 / self.total_weight_bytes as f64
+        }
+    }
+
+    /// The layer with the highest arithmetic intensity.
+    pub fn most_compute_bound(&self) -> Option<&LayerSummary> {
+        self.layers
+            .iter()
+            .max_by(|a, b| a.macs_per_byte.total_cmp(&b.macs_per_byte))
+    }
+
+    /// The `n` layers with the largest stashes — the overlay traffic
+    /// hot-spots a practitioner would attack first.
+    pub fn largest_stashes(&self, n: usize) -> Vec<&LayerSummary> {
+        let mut rows: Vec<&LayerSummary> = self.layers.iter().collect();
+        rows.sort_by(|a, b| b.stash_bytes.cmp(&a.stash_bytes));
+        rows.truncate(n);
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::Benchmark;
+
+    #[test]
+    fn totals_reconcile_with_network_analytics() {
+        for bm in [Benchmark::AlexNet, Benchmark::RnnLstm2] {
+            let net = bm.build();
+            let s = NetworkSummary::of(&net, 64, DataType::F32);
+            assert_eq!(s.total_forward_macs, net.total_forward_macs(64));
+            assert_eq!(s.total_weight_bytes, net.total_weight_bytes(DataType::F32));
+            assert_eq!(s.layers.len(), net.layer_count());
+        }
+    }
+
+    #[test]
+    fn section_5a_ratios() {
+        // CNN feature maps dominate weights; a narrow LSTM inverts.
+        let vgg = NetworkSummary::of(&Benchmark::VggE.build(), 64, DataType::F32);
+        assert!(vgg.activation_to_weight_ratio() > 1.0, "{}", vgg.activation_to_weight_ratio());
+        let lstm = NetworkSummary::of(&Benchmark::RnnLstm1.build(), 16, DataType::F32);
+        // h=512 LSTM at batch 16: one 8.4 MB weight tensor vs small stashes.
+        assert!(lstm.activation_to_weight_ratio() < 1.0, "{}", lstm.activation_to_weight_ratio());
+    }
+
+    #[test]
+    fn hotspots_are_the_early_large_feature_maps() {
+        let s = NetworkSummary::of(&Benchmark::VggE.build(), 64, DataType::F32);
+        let top = s.largest_stashes(3);
+        assert_eq!(top.len(), 3);
+        assert!(top[0].stash_bytes >= top[1].stash_bytes);
+        // VGG's biggest stash is an early 224x224 feature map (the stage-1
+        // conv or the ReLU consuming it).
+        assert!(
+            top[0].name.starts_with("conv1") || top[0].name.starts_with("relu1"),
+            "unexpected hotspot {}",
+            top[0].name
+        );
+    }
+
+    #[test]
+    fn most_compute_bound_is_a_conv() {
+        let s = NetworkSummary::of(&Benchmark::ResNet.build(), 64, DataType::F32);
+        let hot = s.most_compute_bound().expect("non-empty");
+        assert!(hot.macs_per_byte > 50.0, "{}: {}", hot.name, hot.macs_per_byte);
+        assert!(hot.kind.contains("Conv2d"), "{}", hot.kind);
+    }
+}

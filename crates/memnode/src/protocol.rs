@@ -1,0 +1,204 @@
+//! The memory-node's protocol engine and optional payload-processing ASICs.
+//!
+//! Fig. 6 shows each memory-node fronting its DIMMs with a protocol engine
+//! compatible with the device-side interconnect, and notes that "an ASIC
+//! that handles encryption or compression can optionally be added". This
+//! module models that datapath: per-transfer protocol overhead, an optional
+//! compression unit (which multiplies effective link bandwidth, the cDMA
+//! observation of §V-B), and an optional encryption unit (which adds fixed
+//! pipeline latency but sustains line rate).
+
+use serde::{Deserialize, Serialize};
+
+/// Optional compression stage in the protocol engine datapath.
+#[derive(Debug, Copy, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompressionUnit {
+    /// Average compression ratio on DNN activation traffic (cDMA reports
+    /// 2.6x on CNN feature maps, driven by ReLU sparsity).
+    pub ratio: f64,
+    /// Throughput ceiling of the (de)compressor in GB/s of *uncompressed*
+    /// data.
+    pub throughput_gbs: f64,
+}
+
+impl CompressionUnit {
+    /// The cDMA-style unit of §V-B: 2.6x average ratio at line rate.
+    pub fn cdma() -> Self {
+        CompressionUnit {
+            ratio: 2.6,
+            throughput_gbs: 300.0,
+        }
+    }
+}
+
+/// Optional inline-encryption stage (AES-GCM-class).
+#[derive(Debug, Copy, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EncryptionUnit {
+    /// Added pipeline latency per transfer in nanoseconds.
+    pub latency_ns: u64,
+    /// Line-rate ceiling in GB/s.
+    pub throughput_gbs: f64,
+}
+
+impl EncryptionUnit {
+    /// A line-rate AES engine with sub-microsecond pipeline depth.
+    pub fn aes_line_rate() -> Self {
+        EncryptionUnit {
+            latency_ns: 500,
+            throughput_gbs: 400.0,
+        }
+    }
+}
+
+/// The Fig. 6 protocol engine: link termination plus optional payload
+/// stages.
+///
+/// # Examples
+///
+/// ```
+/// use mcdla_memnode::{CompressionUnit, ProtocolEngine};
+///
+/// let plain = ProtocolEngine::new(100.0);
+/// let compressed = ProtocolEngine::new(100.0).with_compression(CompressionUnit::cdma());
+/// // Compression multiplies effective bandwidth for compressible traffic.
+/// assert!(compressed.effective_bandwidth_gbs() > 2.0 * plain.effective_bandwidth_gbs());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolEngine {
+    link_bandwidth_gbs: f64,
+    compression: Option<CompressionUnit>,
+    encryption: Option<EncryptionUnit>,
+    /// Per-transfer protocol handshake latency in nanoseconds.
+    pub handshake_ns: u64,
+}
+
+impl ProtocolEngine {
+    /// An engine terminating `link_bandwidth_gbs` of link bandwidth with no
+    /// optional stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandwidth is not positive.
+    pub fn new(link_bandwidth_gbs: f64) -> Self {
+        assert!(link_bandwidth_gbs > 0.0, "bandwidth must be positive");
+        ProtocolEngine {
+            link_bandwidth_gbs,
+            compression: None,
+            encryption: None,
+            handshake_ns: 200,
+        }
+    }
+
+    /// Adds the compression stage.
+    pub fn with_compression(mut self, unit: CompressionUnit) -> Self {
+        self.compression = Some(unit);
+        self
+    }
+
+    /// Adds the encryption stage.
+    pub fn with_encryption(mut self, unit: EncryptionUnit) -> Self {
+        self.encryption = Some(unit);
+        self
+    }
+
+    /// Raw link bandwidth terminated by this engine.
+    pub fn link_bandwidth_gbs(&self) -> f64 {
+        self.link_bandwidth_gbs
+    }
+
+    /// Effective bandwidth seen by compressible traffic: the link carries
+    /// compressed bytes, so throughput multiplies by the ratio, bounded by
+    /// the ASIC's own throughput and (if present) the encryption engine.
+    pub fn effective_bandwidth_gbs(&self) -> f64 {
+        let mut bw = self.link_bandwidth_gbs;
+        if let Some(c) = self.compression {
+            bw = (bw * c.ratio).min(c.throughput_gbs);
+        }
+        if let Some(e) = self.encryption {
+            bw = bw.min(e.throughput_gbs);
+        }
+        bw
+    }
+
+    /// Wire bytes for a logical transfer of `bytes` (after compression).
+    pub fn wire_bytes(&self, bytes: u64) -> u64 {
+        match self.compression {
+            Some(c) => (bytes as f64 / c.ratio).round() as u64,
+            None => bytes,
+        }
+    }
+
+    /// Total fixed latency per transfer in nanoseconds (handshake plus
+    /// encryption pipeline).
+    pub fn fixed_latency_ns(&self) -> u64 {
+        self.handshake_ns + self.encryption.map_or(0, |e| e.latency_ns)
+    }
+
+    /// Transfer time in seconds for `bytes` of logical payload.
+    pub fn transfer_secs(&self, bytes: u64) -> f64 {
+        self.fixed_latency_ns() as f64 * 1e-9
+            + bytes as f64 / (self.effective_bandwidth_gbs() * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_engine_is_link_limited() {
+        let e = ProtocolEngine::new(150.0);
+        assert_eq!(e.effective_bandwidth_gbs(), 150.0);
+        assert_eq!(e.wire_bytes(1_000_000), 1_000_000);
+        assert_eq!(e.fixed_latency_ns(), 200);
+    }
+
+    #[test]
+    fn cdma_compression_multiplies_bandwidth() {
+        let e = ProtocolEngine::new(100.0).with_compression(CompressionUnit::cdma());
+        assert!((e.effective_bandwidth_gbs() - 260.0).abs() < 1e-9);
+        // Wire traffic shrinks by the ratio.
+        assert_eq!(e.wire_bytes(2_600_000), 1_000_000);
+    }
+
+    #[test]
+    fn compressor_throughput_caps_the_gain() {
+        let slow = CompressionUnit {
+            ratio: 4.0,
+            throughput_gbs: 200.0,
+        };
+        let e = ProtocolEngine::new(150.0).with_compression(slow);
+        assert_eq!(e.effective_bandwidth_gbs(), 200.0);
+    }
+
+    #[test]
+    fn encryption_adds_latency_not_bandwidth_loss() {
+        let e = ProtocolEngine::new(150.0).with_encryption(EncryptionUnit::aes_line_rate());
+        assert_eq!(e.effective_bandwidth_gbs(), 150.0);
+        assert_eq!(e.fixed_latency_ns(), 700);
+        // A slow encryptor would bind.
+        let slow = EncryptionUnit {
+            latency_ns: 100,
+            throughput_gbs: 80.0,
+        };
+        let e = ProtocolEngine::new(150.0).with_encryption(slow);
+        assert_eq!(e.effective_bandwidth_gbs(), 80.0);
+    }
+
+    #[test]
+    fn stacked_stages_compose() {
+        let e = ProtocolEngine::new(150.0)
+            .with_compression(CompressionUnit::cdma())
+            .with_encryption(EncryptionUnit::aes_line_rate());
+        // 150 * 2.6 = 390, capped by compressor 300, then AES 400 -> 300.
+        assert_eq!(e.effective_bandwidth_gbs(), 300.0);
+        let t = e.transfer_secs(300_000_000_000);
+        assert!((t - (1.0 + 700e-9)).abs() < 1e-6, "{t}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_panics() {
+        let _ = ProtocolEngine::new(0.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! The Table I software API extensions.
+//!
+//! MC-DLA adds a `deviceremote` memory tier to the CUDA runtime: allocation
+//! (`cudaMallocRemote`), release (`cudaFreeRemote`), and two new
+//! `cudaMemcpyAsync` directions (`LocalToRemote`, `RemoteToLocal`). This
+//! module provides that surface as a safe Rust facade over the driver-side
+//! [`RemoteAllocator`], so existing framework-level code (the overlay
+//! scheduler) can target host-backed and memory-node-backed stores through
+//! one interface.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use mcdla_memnode::{AllocError, PagePolicy, RemoteAllocator};
+use serde::{Deserialize, Serialize};
+
+/// Transfer direction of a `cudaMemcpyAsync` (Table I: "direction now
+/// includes LocalToRemote and RemoteToLocal").
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemcpyDirection {
+    /// Host DRAM → devicelocal (the legacy PCIe path).
+    HostToLocal,
+    /// devicelocal → host DRAM (the legacy PCIe path).
+    LocalToHost,
+    /// devicelocal → deviceremote (offload over the device-side links).
+    LocalToRemote,
+    /// deviceremote → devicelocal (prefetch over the device-side links).
+    RemoteToLocal,
+}
+
+impl MemcpyDirection {
+    /// True for the directions introduced by MC-DLA.
+    pub fn is_remote_tier(self) -> bool {
+        matches!(
+            self,
+            MemcpyDirection::LocalToRemote | MemcpyDirection::RemoteToLocal
+        )
+    }
+}
+
+impl fmt::Display for MemcpyDirection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemcpyDirection::HostToLocal => "HostToLocal",
+            MemcpyDirection::LocalToHost => "LocalToHost",
+            MemcpyDirection::LocalToRemote => "LocalToRemote",
+            MemcpyDirection::RemoteToLocal => "RemoteToLocal",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An opaque pointer into the `deviceremote` address space.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RemotePtr(u64);
+
+impl RemotePtr {
+    /// Raw handle value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// One recorded asynchronous copy.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemcpyOp {
+    /// Monotonic submission index (program order on the DMA stream).
+    pub seq: u64,
+    /// Transfer size in bytes.
+    pub bytes: u64,
+    /// Transfer direction.
+    pub direction: MemcpyDirection,
+}
+
+/// The MC-DLA runtime extension (`libcudart.so` additions of Table I),
+/// tracking `deviceremote` allocations and the asynchronous copy stream.
+///
+/// # Examples
+///
+/// ```
+/// use mcdla_memnode::PagePolicy;
+/// use mcdla_vmem::{MemcpyDirection, RemoteRuntime};
+///
+/// # fn main() -> Result<(), mcdla_memnode::AllocError> {
+/// let mut rt = RemoteRuntime::new(640_000_000_000, 640_000_000_000, PagePolicy::BwAware);
+/// let x = rt.cuda_malloc_remote(256 << 20)?;
+/// rt.cuda_memcpy_async(256 << 20, MemcpyDirection::LocalToRemote);
+/// rt.cuda_memcpy_async(256 << 20, MemcpyDirection::RemoteToLocal);
+/// rt.cuda_free_remote(x)?;
+/// assert_eq!(rt.remote_traffic_bytes(), 2 * (256 << 20));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RemoteRuntime {
+    allocator: RemoteAllocator,
+    policy: PagePolicy,
+    ptrs: BTreeMap<RemotePtr, u64>, // ptr -> allocation id
+    next_ptr: u64,
+    ops: Vec<MemcpyOp>,
+}
+
+impl RemoteRuntime {
+    /// Creates a runtime over the device's two half-memory-node shares
+    /// (2 MiB pages) with a default placement policy.
+    pub fn new(left_bytes: u64, right_bytes: u64, policy: PagePolicy) -> Self {
+        RemoteRuntime {
+            allocator: RemoteAllocator::new(left_bytes, right_bytes, 2 << 20),
+            policy,
+            ptrs: BTreeMap::new(),
+            next_ptr: 1,
+            ops: Vec::new(),
+        }
+    }
+
+    /// `cudaMallocRemote`: allocates `size` bytes of deviceremote memory
+    /// and returns a pointer to it (Table I).
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::OutOfMemory`] when the placement policy cannot satisfy
+    /// the request.
+    pub fn cuda_malloc_remote(&mut self, size: u64) -> Result<RemotePtr, AllocError> {
+        let alloc = self.allocator.malloc_remote(size, self.policy)?;
+        let ptr = RemotePtr(self.next_ptr);
+        self.next_ptr += 1;
+        self.ptrs.insert(ptr, alloc.id());
+        Ok(ptr)
+    }
+
+    /// `cudaFreeRemote`: frees memory allocated under deviceremote memory
+    /// (Table I).
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::UnknownAllocation`] for stale or foreign pointers.
+    pub fn cuda_free_remote(&mut self, ptr: RemotePtr) -> Result<(), AllocError> {
+        let id = self
+            .ptrs
+            .remove(&ptr)
+            .ok_or(AllocError::UnknownAllocation(ptr.0))?;
+        self.allocator.free_remote(id)
+    }
+
+    /// `cudaMemcpyAsync` with the extended direction set: records the copy
+    /// on the DMA stream and returns its op descriptor.
+    pub fn cuda_memcpy_async(&mut self, bytes: u64, direction: MemcpyDirection) -> MemcpyOp {
+        let op = MemcpyOp {
+            seq: self.ops.len() as u64,
+            bytes,
+            direction,
+        };
+        self.ops.push(op);
+        op
+    }
+
+    /// Placement policy in force.
+    pub fn policy(&self) -> PagePolicy {
+        self.policy
+    }
+
+    /// Live remote allocation count.
+    pub fn live_allocations(&self) -> usize {
+        self.ptrs.len()
+    }
+
+    /// Free deviceremote bytes.
+    pub fn free_bytes(&self) -> u64 {
+        self.allocator.free_bytes()
+    }
+
+    /// All recorded copies in submission order.
+    pub fn ops(&self) -> &[MemcpyOp] {
+        &self.ops
+    }
+
+    /// Total bytes moved through the new remote-tier directions.
+    pub fn remote_traffic_bytes(&self) -> u64 {
+        self.ops
+            .iter()
+            .filter(|o| o.direction.is_remote_tier())
+            .map(|o| o.bytes)
+            .sum()
+    }
+
+    /// Total bytes moved through the legacy host directions.
+    pub fn host_traffic_bytes(&self) -> u64 {
+        self.ops
+            .iter()
+            .filter(|o| !o.direction.is_remote_tier())
+            .map(|o| o.bytes)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt() -> RemoteRuntime {
+        RemoteRuntime::new(64 << 30, 64 << 30, PagePolicy::BwAware)
+    }
+
+    #[test]
+    fn malloc_free_round_trip() {
+        let mut r = rt();
+        let before = r.free_bytes();
+        let p = r.cuda_malloc_remote(1 << 30).unwrap();
+        assert_eq!(r.live_allocations(), 1);
+        assert!(r.free_bytes() < before);
+        r.cuda_free_remote(p).unwrap();
+        assert_eq!(r.live_allocations(), 0);
+        assert_eq!(r.free_bytes(), before);
+    }
+
+    #[test]
+    fn double_free_is_an_error() {
+        let mut r = rt();
+        let p = r.cuda_malloc_remote(4096).unwrap();
+        r.cuda_free_remote(p).unwrap();
+        assert!(matches!(
+            r.cuda_free_remote(p),
+            Err(AllocError::UnknownAllocation(_))
+        ));
+    }
+
+    #[test]
+    fn traffic_accounting_by_tier() {
+        let mut r = rt();
+        r.cuda_memcpy_async(100, MemcpyDirection::LocalToRemote);
+        r.cuda_memcpy_async(200, MemcpyDirection::RemoteToLocal);
+        r.cuda_memcpy_async(50, MemcpyDirection::HostToLocal);
+        r.cuda_memcpy_async(25, MemcpyDirection::LocalToHost);
+        assert_eq!(r.remote_traffic_bytes(), 300);
+        assert_eq!(r.host_traffic_bytes(), 75);
+        assert_eq!(r.ops().len(), 4);
+        assert_eq!(r.ops()[2].seq, 2);
+    }
+
+    #[test]
+    fn direction_classification() {
+        assert!(MemcpyDirection::LocalToRemote.is_remote_tier());
+        assert!(MemcpyDirection::RemoteToLocal.is_remote_tier());
+        assert!(!MemcpyDirection::HostToLocal.is_remote_tier());
+        assert!(!MemcpyDirection::LocalToHost.is_remote_tier());
+    }
+
+    #[test]
+    fn out_of_memory_propagates() {
+        let mut r = RemoteRuntime::new(4 << 20, 4 << 20, PagePolicy::BwAware);
+        assert!(r.cuda_malloc_remote(1 << 30).is_err());
+    }
+}

@@ -1,0 +1,76 @@
+//! The memory "capacity wall" (§II-B, §V-E): build a video-understanding
+//! model (CNN backbone + LSTM head, the §V-E motivation) with the public
+//! `NetworkBuilder` API, show that it cannot be trained un-virtualized on
+//! a 16 GB device, and that MC-DLA's memory-nodes make it trainable with
+//! room to spare.
+//!
+//! ```text
+//! cargo run --release --example capacity_wall
+//! ```
+
+use mcdla::dnn::{
+    Application, DataType, LayerKind, NetworkBuilder, PoolKind, RnnCellKind, TensorShape,
+};
+use mcdla::memnode::{DimmKind, MemoryNodeConfig};
+use mcdla::vmem::{peak_with_and_without_virtualization, VirtPolicy, VirtSchedule};
+
+fn main() {
+    // A §V-E style video network: a VGG-ish frame encoder feeding a
+    // 2048-wide LSTM over 64 video frames.
+    let mut b = NetworkBuilder::new("video-captioning", Application::LanguageModeling);
+    let mut x = b.input(TensorShape::chw(3, 224, 224));
+    for (stage, ch) in [(1usize, 64usize), (2, 128), (3, 256), (4, 512), (5, 512)] {
+        for i in 0..2 {
+            x = b
+                .conv(&format!("enc{stage}_{i}"), x, ch, 3, 1, 1)
+                .expect("conv");
+            x = b.relu(&format!("enc{stage}_{i}/relu"), x).expect("relu");
+        }
+        x = b
+            .pool(&format!("enc{stage}/pool"), x, PoolKind::Max, 2, 2, 0)
+            .expect("pool");
+    }
+    let feat = b.fully_connected("embed", x, 2048).expect("embed");
+    let mut h = b.unary("embed/drop", feat, LayerKind::Dropout).expect("drop");
+    let mut first = None;
+    for t in 0..64 {
+        h = b
+            .rnn_cell(&format!("lstm_t{t}"), h, RnnCellKind::Lstm, 2048, 2048)
+            .expect("cell");
+        match first {
+            None => first = Some(h),
+            Some(c0) => b.share_weights(h, c0).expect("share"),
+        }
+    }
+    let logits = b.fully_connected("decoder", h, 20_000).expect("decoder");
+    let _ = b.unary("prob", logits, LayerKind::Softmax).expect("prob");
+    let net = b.build();
+
+    println!("{net}");
+    let volta = 16u64 << 30;
+    for batch in [32u64, 64, 128, 256] {
+        let (virt, resident) = peak_with_and_without_virtualization(&net, batch, DataType::F32);
+        let fits = |b: u64| if b <= volta { "fits" } else { "EXCEEDS" };
+        println!(
+            "batch {batch:>4}: un-virtualized peak {:>6.1} GB ({}) | virtualized {:>5.1} GB ({})",
+            resident as f64 / 1e9,
+            fits(resident),
+            virt as f64 / 1e9,
+            fits(virt),
+        );
+    }
+
+    // How much backing store does the stress-test overlay schedule need,
+    // and how much do eight 128 GB-LRDIMM memory-nodes offer?
+    let sched = VirtSchedule::analyze(&net, 256, DataType::F32, VirtPolicy::paper_default());
+    let node = MemoryNodeConfig::with_dimm(DimmKind::Lrdimm128);
+    println!(
+        "\noverlay traffic per iteration at batch 256: {:.1} GB offloaded",
+        sched.offload_bytes() as f64 / 1e9
+    );
+    println!(
+        "MC-DLA pool: 8 memory-nodes x {:.2} TB = {:.1} TB of deviceremote memory",
+        node.capacity_bytes() as f64 / 1e12,
+        8.0 * node.capacity_bytes() as f64 / 1e12
+    );
+}

@@ -1,0 +1,72 @@
+//! Design-space exploration with the interconnect substrate: build the
+//! paper's layouts plus a custom 16-device scale-out ring (§VI's NVSwitch
+//! direction), and compare collective latencies and virtualization
+//! bandwidths.
+//!
+//! ```text
+//! cargo run --release --example custom_topology
+//! ```
+
+use mcdla::interconnect::{
+    CollectiveKind, CollectiveModel, NodeKind, Ring, SystemInterconnect, Topology,
+};
+use mcdla::sim::Bytes;
+
+fn main() {
+    let model = CollectiveModel::paper_fig9();
+    let sync = Bytes::from_mib(8);
+
+    println!("paper layouts (8 MB all-reduce):");
+    for sys in [
+        SystemInterconnect::dgx_cube_mesh(25.0),
+        SystemInterconnect::hc_dla(25.0),
+        SystemInterconnect::mc_dla_star_b(25.0),
+        SystemInterconnect::mc_dla_ring(25.0),
+    ] {
+        let t = model.striped_latency(CollectiveKind::AllReduce, sync, &sys.ring_shapes());
+        println!(
+            "  {:<14} rings {:>8}  all-reduce {:>10}  virt {:>5.0} GB/s",
+            sys.name(),
+            sys.ring_shapes()
+                .iter()
+                .map(|s| s.hops.to_string())
+                .collect::<Vec<_>>()
+                .join("/"),
+            t.to_string(),
+            sys.virt_bandwidth_gbs(2).max(sys.virt_bandwidth_gbs(1)),
+        );
+    }
+
+    // A custom §VI-style scale-out node: 16 devices and 16 memory-nodes on
+    // three alternating rings, built directly on the graph API.
+    let mut topo = Topology::new();
+    let devices: Vec<_> = (0..16)
+        .map(|i| topo.add_node(NodeKind::Device, format!("D{i}")))
+        .collect();
+    let mems: Vec<_> = (0..16)
+        .map(|i| topo.add_node(NodeKind::Memory, format!("M{i}")))
+        .collect();
+    let seq: Vec<_> = (0..16).flat_map(|i| [devices[i], mems[i]]).collect();
+    for _ in 0..3 {
+        for w in 0..seq.len() {
+            topo.add_duplex_link(seq[w], seq[(w + 1) % seq.len()], 25.0);
+        }
+    }
+    let ring = Ring::new(seq);
+    let shape = ring.shape(&topo);
+    println!("\ncustom 16+16 scale-out ring: {} participants, {} hops", shape.participants, shape.hops);
+    for mib in [1u64, 8, 64, 256] {
+        let t = model.striped_latency(CollectiveKind::AllReduce, Bytes::from_mib(mib), &[shape; 3]);
+        println!("  all-reduce {mib:>4} MiB over 3 rings: {t}");
+    }
+    let t8 = model.latency(
+        CollectiveKind::AllReduce,
+        sync,
+        mcdla::interconnect::RingShape::device_ring(8),
+    );
+    let t32 = model.latency(CollectiveKind::AllReduce, sync, shape);
+    println!(
+        "  16+16 ring costs {:.1}% more than the 8-device DGX ring at 8 MiB",
+        (t32.as_secs_f64() / t8.as_secs_f64() - 1.0) * 100.0
+    );
+}

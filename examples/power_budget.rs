@@ -1,0 +1,38 @@
+//! Power-aware memory-node provisioning (§V-C): sweep the Table IV DIMM
+//! options and report capacity, power overhead, and performance-per-watt
+//! against the measured MC-DLA(B) speedup.
+//!
+//! ```text
+//! cargo run --release --example power_budget
+//! ```
+
+use mcdla::core::experiment;
+use mcdla::memnode::{DimmKind, MemoryNodeConfig, SystemPower, DGX_SYSTEM_TDP_WATTS};
+
+fn main() {
+    let speedup = experiment::headline_speedup();
+    println!(
+        "measured MC-DLA(B) speedup {speedup:.2}x | DGX-class base {DGX_SYSTEM_TDP_WATTS} W\n"
+    );
+    println!(
+        "{:<15} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "DIMM", "node cap", "node TDP", "pool cap", "sys power", "perf/W"
+    );
+    for dimm in DimmKind::ALL {
+        let node = MemoryNodeConfig::with_dimm(dimm);
+        let power = SystemPower::mc_dla(&node, 8);
+        println!(
+            "{:<15} {:>7.2} TB {:>8.0} W {:>7.2} TB {:>8.0} W {:>9.2}x",
+            dimm.name(),
+            node.capacity_bytes() as f64 / 1e12,
+            node.tdp_watts(),
+            power.added_capacity_bytes as f64 / 1e12,
+            power.total_watts(),
+            power.perf_per_watt_gain(speedup),
+        );
+    }
+    println!(
+        "\npower-limited pick: 8 GB RDIMM (+7% system power); \
+         capacity pick: 128 GB LRDIMM (10.24 TB pool, best GB/W)"
+    );
+}

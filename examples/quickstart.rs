@@ -1,0 +1,39 @@
+//! Quickstart: compare all six system design points on one workload.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mcdla::core::{experiment, SystemDesign};
+use mcdla::dnn::Benchmark;
+use mcdla::parallel::ParallelStrategy;
+
+fn main() {
+    let benchmark = Benchmark::VggE;
+    let strategy = ParallelStrategy::DataParallel;
+    println!("one training iteration of {benchmark} ({strategy}, batch 512, 8 devices)\n");
+
+    let baseline = experiment::simulate(SystemDesign::DcDla, benchmark, strategy);
+    println!(
+        "{:<10} {:>12} {:>10} {:>12} {:>12} {:>9}",
+        "design", "iteration", "speedup", "compute", "virt DMA", "CPU avg"
+    );
+    for design in SystemDesign::ALL {
+        let r = experiment::simulate(design, benchmark, strategy);
+        println!(
+            "{:<10} {:>12} {:>9.2}x {:>12} {:>12} {:>6.1} GB/s",
+            design.name(),
+            r.iteration_time.to_string(),
+            r.speedup_over(&baseline),
+            r.compute_busy.to_string(),
+            r.virt_busy.to_string(),
+            r.cpu_socket_avg_gbs,
+        );
+    }
+
+    println!(
+        "\npaper headline — MC-DLA(B) harmonic-mean speedup across the whole \
+         suite: {:.2}x (paper reports 2.8x)",
+        experiment::headline_speedup()
+    );
+}

@@ -1,0 +1,157 @@
+//! Cross-crate accounting consistency: the quantities reported by the
+//! iteration engine must reconcile exactly with the substrate crates that
+//! produced them.
+
+use mcdla::core::{experiment, IterationSim, SystemConfig, SystemDesign};
+use mcdla::dnn::{Benchmark, DataType};
+use mcdla::parallel::{ParallelStrategy, WorkerPlan};
+use mcdla::vmem::{VirtPolicy, VirtSchedule};
+
+#[test]
+fn engine_virt_bytes_match_overlay_schedule() {
+    // Report bytes = offload + prefetch of the schedule the vmem crate
+    // derives independently.
+    for bm in Benchmark::ALL {
+        let net = bm.build();
+        let cfg = SystemConfig::new(SystemDesign::McDlaBwAware);
+        let plan = WorkerPlan::plan(
+            &net,
+            ParallelStrategy::DataParallel,
+            cfg.devices,
+            cfg.global_batch,
+            cfg.dtype,
+        );
+        let sched = VirtSchedule::analyze(
+            &net,
+            plan.virt_batch(),
+            cfg.dtype,
+            VirtPolicy::paper_default(),
+        );
+        let r = IterationSim::new(cfg, &net, ParallelStrategy::DataParallel).run();
+        assert_eq!(
+            r.virt_bytes.as_u64(),
+            sched.offload_bytes() + sched.prefetch_bytes(),
+            "{bm}: engine bytes disagree with schedule"
+        );
+    }
+}
+
+#[test]
+fn engine_sync_bytes_match_worker_plan() {
+    for strategy in ParallelStrategy::ALL {
+        let net = Benchmark::ResNet.build();
+        let cfg = SystemConfig::new(SystemDesign::DcDla);
+        let plan = WorkerPlan::plan(&net, strategy, cfg.devices, cfg.global_batch, cfg.dtype);
+        let r = IterationSim::new(cfg, &net, strategy).run();
+        assert_eq!(r.sync_bytes.as_u64(), plan.total_sync_bytes());
+    }
+}
+
+#[test]
+fn compression_scales_virt_bytes_exactly() {
+    let net = Benchmark::VggE.build();
+    let base = IterationSim::new(
+        SystemConfig::new(SystemDesign::DcDla),
+        &net,
+        ParallelStrategy::DataParallel,
+    )
+    .run();
+    let compressed = IterationSim::new(
+        SystemConfig::new(SystemDesign::DcDla).with_compression(2.0),
+        &net,
+        ParallelStrategy::DataParallel,
+    )
+    .run();
+    // 2x compression halves every transfer (up to per-op rounding).
+    let ratio = base.virt_bytes.as_f64() / compressed.virt_bytes.as_f64();
+    assert!((ratio - 2.0).abs() < 1e-3, "ratio {ratio}");
+}
+
+#[test]
+fn dp_virt_traffic_shrinks_with_worker_count() {
+    // Per-worker batch (and thus overlay traffic) divides by p.
+    let net = Benchmark::GoogLeNet.build();
+    let mk = |devices| {
+        IterationSim::new(
+            SystemConfig::new(SystemDesign::McDlaBwAware).with_devices(devices),
+            &net,
+            ParallelStrategy::DataParallel,
+        )
+        .run()
+        .virt_bytes
+        .as_u64()
+    };
+    let one = mk(1);
+    assert_eq!(mk(2), one / 2);
+    assert_eq!(mk(4), one / 4);
+    assert_eq!(mk(8), one / 8);
+}
+
+#[test]
+fn breakdown_components_bound_iteration_time() {
+    // Each busy-time component is a lower bound on the iteration (they all
+    // fit inside it), and the iteration never exceeds their serialized sum
+    // plus stalls.
+    for design in SystemDesign::ALL {
+        for bm in [Benchmark::AlexNet, Benchmark::RnnLstm2] {
+            let r = experiment::simulate(design, bm, ParallelStrategy::DataParallel);
+            let total = r.iteration_time.as_secs_f64();
+            for part in r.breakdown_secs() {
+                assert!(
+                    part <= total * (1.0 + 1e-9),
+                    "{design}/{bm}: component {part} exceeds iteration {total}"
+                );
+            }
+            let serialized: f64 = r.breakdown_secs().iter().sum::<f64>()
+                + r.memory_stall.as_secs_f64();
+            assert!(
+                total <= serialized * (1.0 + 1e-9) + 1e-12,
+                "{design}/{bm}: iteration {total} exceeds serialized bound {serialized}"
+            );
+        }
+    }
+}
+
+#[test]
+fn oracle_time_equals_pure_compute_for_single_device() {
+    // With no sync and no virtualization, the iteration is exactly the
+    // accel model's compute total.
+    use mcdla::accel::AccelTimingModel;
+    let net = Benchmark::AlexNet.build();
+    let cfg = SystemConfig::new(SystemDesign::DcDlaOracle).with_devices(1);
+    let model = AccelTimingModel::new(cfg.device.clone(), cfg.dtype);
+    let r = IterationSim::new(cfg, &net, ParallelStrategy::DataParallel).run();
+    // Backward adds recompute time for cheap layers; reconstruct it.
+    let mut expect = 0.0f64;
+    for l in net.layers() {
+        expect += model.forward_time(l, 512).as_secs_f64();
+        expect += model.backward_time(l, 512).as_secs_f64();
+        if l.is_cheap() {
+            expect += model.recompute_time(l, 512).as_secs_f64();
+        }
+    }
+    // The oracle does not virtualize, so no recompute either.
+    let mut expect_no_recompute = 0.0f64;
+    for l in net.layers() {
+        expect_no_recompute += model.forward_time(l, 512).as_secs_f64();
+        expect_no_recompute += model.backward_time(l, 512).as_secs_f64();
+    }
+    let got = r.iteration_time.as_secs_f64();
+    assert!(
+        (got - expect_no_recompute).abs() < 1e-9,
+        "oracle {got} != compute sum {expect_no_recompute} (with recompute: {expect})"
+    );
+}
+
+#[test]
+fn footprints_justify_virtualization_at_paper_batch() {
+    // §II-B: at batch 512, the CNNs exceed a 16 GiB device without
+    // virtualization.
+    for bm in [Benchmark::GoogLeNet, Benchmark::VggE, Benchmark::ResNet] {
+        let fp = bm.build().footprint(512, DataType::F32);
+        assert!(
+            fp.total_unvirtualized() > 16 * (1u64 << 30),
+            "{bm} unexpectedly fits"
+        );
+    }
+}

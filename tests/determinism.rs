@@ -1,0 +1,51 @@
+//! Bit-reproducibility: the simulator is deterministic — identical
+//! configurations produce identical picosecond-level results across runs
+//! and regardless of construction order.
+
+use mcdla::core::{experiment, IterationSim, SystemConfig, SystemDesign};
+use mcdla::dnn::Benchmark;
+use mcdla::parallel::ParallelStrategy;
+
+#[test]
+fn repeated_runs_are_identical() {
+    for design in SystemDesign::ALL {
+        for strategy in ParallelStrategy::ALL {
+            let a = experiment::simulate(design, Benchmark::GoogLeNet, strategy);
+            let b = experiment::simulate(design, Benchmark::GoogLeNet, strategy);
+            assert_eq!(a, b, "{design}/{strategy} not reproducible");
+        }
+    }
+}
+
+#[test]
+fn network_construction_is_deterministic() {
+    for bm in Benchmark::ALL {
+        assert_eq!(bm.build(), bm.build(), "{bm} builds differ");
+    }
+}
+
+#[test]
+fn fresh_simulator_instances_agree() {
+    let net = Benchmark::RnnGru.build();
+    let runs: Vec<_> = (0..3)
+        .map(|_| {
+            IterationSim::new(
+                SystemConfig::new(SystemDesign::McDlaBwAware),
+                &net,
+                ParallelStrategy::DataParallel,
+            )
+            .run()
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1]);
+    assert_eq!(runs[1], runs[2]);
+}
+
+#[test]
+fn experiment_runners_are_reproducible() {
+    assert_eq!(
+        experiment::fig13(ParallelStrategy::DataParallel),
+        experiment::fig13(ParallelStrategy::DataParallel)
+    );
+    assert_eq!(experiment::fig12(), experiment::fig12());
+}

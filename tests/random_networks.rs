@@ -1,0 +1,106 @@
+//! Full-stack fuzzing: every randomly generated (but structurally valid)
+//! network must flow through the complete pipeline — overlay analysis,
+//! residency replay, worker planning, and iteration simulation on every
+//! design point — without panicking, and the core invariants must hold on
+//! all of them.
+
+use mcdla::core::{IterationSim, SystemConfig, SystemDesign};
+use mcdla::dnn::generator::random_network;
+use mcdla::dnn::DataType;
+use mcdla::parallel::{ParallelStrategy, WorkerPlan};
+use mcdla::vmem::{ResidencyProfile, VirtPolicy, VirtSchedule};
+
+const SEEDS: u64 = 40;
+
+#[test]
+fn random_networks_survive_the_whole_pipeline() {
+    for seed in 0..SEEDS {
+        let net = random_network(seed);
+        let sched = VirtSchedule::analyze(&net, 32, DataType::F32, VirtPolicy::paper_default());
+        let profile = ResidencyProfile::replay(&net, &sched);
+        assert!(profile.peak_bytes >= profile.static_bytes, "seed {seed}");
+
+        for strategy in ParallelStrategy::ALL {
+            let plan = WorkerPlan::plan(&net, strategy, 8, 64, DataType::F32);
+            assert!(plan.macs_scale > 0.0 && plan.macs_scale <= 1.0);
+            for design in [SystemDesign::DcDla, SystemDesign::McDlaBwAware, SystemDesign::DcDlaOracle] {
+                let r = IterationSim::new(
+                    SystemConfig::new(design).with_batch(64),
+                    &net,
+                    strategy,
+                )
+                .run();
+                assert!(
+                    r.iteration_time.as_ps() > 0,
+                    "seed {seed} {design}/{strategy}: zero-time iteration"
+                );
+                assert!(
+                    r.compute_busy <= r.iteration_time,
+                    "seed {seed} {design}/{strategy}: compute exceeds iteration"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn virtualization_reduces_peak_on_every_random_network() {
+    for seed in 0..SEEDS {
+        let net = random_network(seed);
+        let on = VirtSchedule::analyze(&net, 64, DataType::F32, VirtPolicy::paper_default());
+        let off = VirtSchedule::analyze(&net, 64, DataType::F32, VirtPolicy::disabled());
+        let p_on = ResidencyProfile::replay(&net, &on).peak_bytes;
+        let p_off = ResidencyProfile::replay(&net, &off).peak_bytes;
+        assert!(
+            p_on <= p_off,
+            "seed {seed}: virtualized peak {p_on} above resident {p_off}"
+        );
+    }
+}
+
+#[test]
+fn oracle_bounds_every_random_network() {
+    for seed in 0..SEEDS {
+        let net = random_network(seed);
+        let mc = IterationSim::new(
+            SystemConfig::new(SystemDesign::McDlaBwAware).with_batch(64),
+            &net,
+            ParallelStrategy::DataParallel,
+        )
+        .run();
+        let oracle = IterationSim::new(
+            SystemConfig::new(SystemDesign::DcDlaOracle).with_batch(64),
+            &net,
+            ParallelStrategy::DataParallel,
+        )
+        .run();
+        assert!(
+            oracle.iteration_time <= mc.iteration_time,
+            "seed {seed}: oracle slower than MC-DLA(B)"
+        );
+    }
+}
+
+#[test]
+fn engine_accounting_holds_on_random_networks() {
+    for seed in 0..SEEDS / 2 {
+        let net = random_network(seed);
+        let cfg = SystemConfig::new(SystemDesign::DcDla).with_batch(64);
+        let plan = WorkerPlan::plan(
+            &net,
+            ParallelStrategy::DataParallel,
+            cfg.devices,
+            cfg.global_batch,
+            cfg.dtype,
+        );
+        let sched =
+            VirtSchedule::analyze(&net, plan.virt_batch(), cfg.dtype, VirtPolicy::paper_default());
+        let r = IterationSim::new(cfg, &net, ParallelStrategy::DataParallel).run();
+        assert_eq!(
+            r.virt_bytes.as_u64(),
+            sched.offload_bytes() + sched.prefetch_bytes(),
+            "seed {seed}"
+        );
+        assert_eq!(r.sync_bytes.as_u64(), plan.total_sync_bytes(), "seed {seed}");
+    }
+}
