@@ -56,11 +56,11 @@ impl DeviceGeneration {
     /// Sustained training throughput in tera-MACs per second.
     pub fn sustained_tmacs(self) -> f64 {
         match self {
-            DeviceGeneration::Kepler => 2.1,   // K40 4.3 TFLOPS fp32
-            DeviceGeneration::Maxwell => 3.4,  // M40 6.8 TFLOPS fp32
-            DeviceGeneration::Pascal => 10.6,  // P100 21.2 TFLOPS fp16
-            DeviceGeneration::Volta => 56.0,   // V100 tensor cores, sustained
-            DeviceGeneration::TpuV2 => 64.0,   // TPUv2 MXU, sustained
+            DeviceGeneration::Kepler => 2.1,  // K40 4.3 TFLOPS fp32
+            DeviceGeneration::Maxwell => 3.4, // M40 6.8 TFLOPS fp32
+            DeviceGeneration::Pascal => 10.6, // P100 21.2 TFLOPS fp16
+            DeviceGeneration::Volta => 56.0,  // V100 tensor cores, sustained
+            DeviceGeneration::TpuV2 => 64.0,  // TPUv2 MXU, sustained
         }
     }
 
@@ -125,8 +125,8 @@ mod tests {
         // Figure 2's headline: execution time reduced by 20x-34x over five
         // years. Pure compute ratio must land inside (or very near) that
         // band so workload mixes of compute/memory-bound layers land within.
-        let ratio = DeviceGeneration::TpuV2.sustained_tmacs()
-            / DeviceGeneration::Kepler.sustained_tmacs();
+        let ratio =
+            DeviceGeneration::TpuV2.sustained_tmacs() / DeviceGeneration::Kepler.sustained_tmacs();
         assert!(
             (20.0..=34.0).contains(&ratio),
             "compute scaling {ratio} outside Fig. 2's 20x-34x"

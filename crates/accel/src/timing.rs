@@ -177,9 +177,7 @@ mod tests {
         let base = model();
         let fast = AccelTimingModel::new(DeviceConfig::tpu_v2_like(), DataType::F32);
         let net = Benchmark::ResNet.build();
-        assert!(
-            fast.iteration_compute_time(&net, 64) < base.iteration_compute_time(&net, 64)
-        );
+        assert!(fast.iteration_compute_time(&net, 64) < base.iteration_compute_time(&net, 64));
     }
 
     #[test]
@@ -198,12 +196,18 @@ mod tests {
         // conv3 at batch 64: compute term dominates.
         let c_comp = conv3.forward_macs(64) as f64 / peak;
         let c_mem = conv3.forward_bytes_touched(64, DataType::F32) as f64 / bw;
-        assert!(c_comp > c_mem, "conv should be compute bound: {c_comp} {c_mem}");
+        assert!(
+            c_comp > c_mem,
+            "conv should be compute bound: {c_comp} {c_mem}"
+        );
         // fc6 at batch 1: memory term dominates (reads 38M weights for 9k
         // activations).
         let f_comp = fc6.forward_macs(1) as f64 / peak;
         let f_mem = fc6.forward_bytes_touched(1, DataType::F32) as f64 / bw;
-        assert!(f_mem > f_comp, "fc should be memory bound: {f_comp} {f_mem}");
+        assert!(
+            f_mem > f_comp,
+            "fc should be memory bound: {f_comp} {f_mem}"
+        );
     }
 
     #[test]

@@ -1,78 +1,54 @@
-//! Criterion benches regenerating each figure's data set (Figs. 2, 9, 11,
+//! Timing benches regenerating each figure's data set (Figs. 2, 9, 11,
 //! 12, 13, 14). These time the *simulator*, demonstrating that every paper
 //! figure regenerates in tractable time (§IV's "being able to perform
 //! simulation in tractable amount of time is crucial").
+//!
+//! Figure data flows through the shared scenario runner, so iterations
+//! after the first measure the memoized end-to-end path the CLI takes —
+//! exactly the performance a user of `mcdla all` experiences. The cold
+//! path is covered by `substrates.rs`'s grid benches on fresh runners.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use mcdla_bench::timing::bench;
 use mcdla_core::experiment;
 use mcdla_interconnect::{CollectiveKind, CollectiveModel, RingShape};
 use mcdla_parallel::ParallelStrategy;
 use mcdla_sim::Bytes;
 
-fn fig2(c: &mut Criterion) {
-    c.benchmark_group("fig2")
-        .sample_size(10)
-        .bench_function("generations_sweep", |b| {
-            b.iter(|| black_box(experiment::fig2()))
-        });
-}
+fn main() {
+    bench("fig2/generations_sweep", 10, || {
+        black_box(experiment::fig2())
+    });
 
-fn fig9(c: &mut Criterion) {
     let model = CollectiveModel::paper_fig9();
-    c.bench_function("fig9/collective_sweep", |b| {
-        b.iter(|| {
-            let mut acc = 0.0f64;
-            for nodes in 2..=36 {
-                for kind in CollectiveKind::ALL {
-                    acc += model
-                        .latency(kind, Bytes::from_mib(8), RingShape::device_ring(nodes))
-                        .as_secs_f64();
-                }
+    bench("fig9/collective_sweep", 10, || {
+        let mut acc = 0.0f64;
+        for nodes in 2..=36 {
+            for kind in CollectiveKind::ALL {
+                acc += model
+                    .latency(kind, Bytes::from_mib(8), RingShape::device_ring(nodes))
+                    .as_secs_f64();
             }
-            black_box(acc)
-        })
+        }
+        black_box(acc)
+    });
+
+    for strategy in ParallelStrategy::ALL {
+        bench(&format!("fig11/breakdown_{strategy}"), 10, || {
+            black_box(experiment::fig11(strategy))
+        });
+    }
+
+    bench("fig12/cpu_bandwidth", 10, || black_box(experiment::fig12()));
+
+    for strategy in ParallelStrategy::ALL {
+        bench(&format!("fig13/performance_{strategy}"), 10, || {
+            black_box(experiment::fig13(strategy))
+        });
+    }
+
+    bench("fig14/batch_sweep", 10, || {
+        black_box(experiment::fig14(&[128, 256, 1024, 2048]))
     });
 }
-
-fn fig11(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig11");
-    g.sample_size(10);
-    for strategy in ParallelStrategy::ALL {
-        g.bench_function(format!("breakdown_{strategy}"), |b| {
-            b.iter(|| black_box(experiment::fig11(strategy)))
-        });
-    }
-    g.finish();
-}
-
-fn fig12(c: &mut Criterion) {
-    c.benchmark_group("fig12")
-        .sample_size(10)
-        .bench_function("cpu_bandwidth", |b| {
-            b.iter(|| black_box(experiment::fig12()))
-        });
-}
-
-fn fig13(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig13");
-    g.sample_size(10);
-    for strategy in ParallelStrategy::ALL {
-        g.bench_function(format!("performance_{strategy}"), |b| {
-            b.iter(|| black_box(experiment::fig13(strategy)))
-        });
-    }
-    g.finish();
-}
-
-fn fig14(c: &mut Criterion) {
-    c.benchmark_group("fig14")
-        .sample_size(10)
-        .bench_function("batch_sweep", |b| {
-            b.iter(|| black_box(experiment::fig14(&[128, 256, 1024, 2048])))
-        });
-}
-
-criterion_group!(benches, fig2, fig9, fig11, fig12, fig13, fig14);
-criterion_main!(benches);

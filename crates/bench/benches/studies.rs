@@ -1,42 +1,27 @@
-//! Criterion benches for the §V-B sensitivity and §V-D scalability studies.
+//! Timing benches for the §V-B sensitivity and §V-D scalability studies.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use mcdla_bench::timing::bench;
 use mcdla_core::experiment;
 use mcdla_dnn::Benchmark;
 
-fn scalability(c: &mut Criterion) {
-    c.benchmark_group("scalability")
-        .sample_size(10)
-        .bench_function("cnn_1_to_8_devices", |b| {
-            b.iter(|| black_box(experiment::scalability(&Benchmark::CNNS)))
-        });
-}
+fn main() {
+    bench("scalability/cnn_1_to_8_devices", 10, || {
+        black_box(experiment::scalability(&Benchmark::CNNS))
+    });
 
-fn sensitivity(c: &mut Criterion) {
-    c.benchmark_group("sensitivity")
-        .sample_size(10)
-        .bench_function("all_studies", |b| {
-            b.iter(|| black_box(experiment::sensitivity()))
-        });
-}
+    bench("sensitivity/all_studies", 10, || {
+        black_box(experiment::sensitivity())
+    });
 
-fn ablations(c: &mut Criterion) {
-    c.benchmark_group("ablations")
-        .sample_size(10)
-        .bench_function("dc_dla_suite", |b| {
-            b.iter(|| black_box(mcdla_core::ablation::ablations(mcdla_core::SystemDesign::DcDla)))
-        });
-}
+    bench("ablations/dc_dla_suite", 10, || {
+        black_box(mcdla_core::ablation::ablations(
+            mcdla_core::SystemDesign::DcDla,
+        ))
+    });
 
-fn scale_out(c: &mut Criterion) {
-    c.benchmark_group("scale_out")
-        .sample_size(10)
-        .bench_function("resnet_8_to_64", |b| {
-            b.iter(|| black_box(experiment::scale_out(Benchmark::ResNet, &[8, 16, 32, 64])))
-        });
+    bench("scale_out/resnet_8_to_64", 10, || {
+        black_box(experiment::scale_out(Benchmark::ResNet, &[8, 16, 32, 64]))
+    });
 }
-
-criterion_group!(benches, scalability, sensitivity, ablations, scale_out);
-criterion_main!(benches);

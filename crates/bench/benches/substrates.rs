@@ -1,69 +1,71 @@
-//! Criterion microbenches of the simulation substrates: the fluid-flow
-//! max-min solver, the ring-collective model, the overlay scheduler, and
-//! one full iteration simulation per design point.
+//! Timing microbenches of the simulation substrates: the fluid-flow
+//! max-min solver, the overlay scheduler, one full iteration simulation
+//! per design point, and the scenario runner's cold-cache grid execution.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use mcdla_core::{IterationSim, SystemConfig, SystemDesign};
+use mcdla_bench::timing::bench;
+use mcdla_core::{IterationSim, Runner, ScenarioGrid, SystemConfig, SystemDesign};
 use mcdla_dnn::{Benchmark, DataType};
 use mcdla_parallel::ParallelStrategy;
 use mcdla_sim::{Bandwidth, Bytes, FlowNetwork, SimTime};
 use mcdla_vmem::{VirtPolicy, VirtSchedule};
 
-fn flow_network(c: &mut Criterion) {
-    c.bench_function("substrates/flow_max_min_32_flows", |b| {
-        b.iter(|| {
-            let mut net = FlowNetwork::new();
-            let shared = net.add_channel("socket", Bandwidth::gb_per_sec(80.0));
-            let mut paths = Vec::new();
-            for i in 0..32 {
-                let own = net.add_channel(format!("dev{i}"), Bandwidth::gb_per_sec(16.0));
-                paths.push(vec![own, shared]);
-            }
-            for p in &paths {
-                net.open_flow(SimTime::ZERO, p, Bytes::from_mb(100)).unwrap();
-            }
-            black_box(net.drain_all())
-        })
+fn main() {
+    bench("substrates/flow_max_min_32_flows", 20, || {
+        let mut net = FlowNetwork::new();
+        let shared = net.add_channel("socket", Bandwidth::gb_per_sec(80.0));
+        let mut paths = Vec::new();
+        for i in 0..32 {
+            let own = net.add_channel(format!("dev{i}"), Bandwidth::gb_per_sec(16.0));
+            paths.push(vec![own, shared]);
+        }
+        for p in &paths {
+            net.open_flow(SimTime::ZERO, p, Bytes::from_mb(100))
+                .unwrap();
+        }
+        black_box(net.drain_all())
     });
-}
 
-fn overlay_schedule(c: &mut Criterion) {
-    let mut g = c.benchmark_group("substrates/overlay_schedule");
     for bm in [Benchmark::GoogLeNet, Benchmark::RnnGru] {
         let net = bm.build();
-        g.bench_function(format!("{bm}"), |b| {
-            b.iter(|| {
-                black_box(VirtSchedule::analyze(
-                    &net,
-                    64,
-                    DataType::F32,
-                    VirtPolicy::paper_default(),
-                ))
-            })
+        bench(&format!("substrates/overlay_schedule/{bm}"), 20, || {
+            black_box(VirtSchedule::analyze(
+                &net,
+                64,
+                DataType::F32,
+                VirtPolicy::paper_default(),
+            ))
         });
     }
-    g.finish();
-}
 
-fn iteration_sim(c: &mut Criterion) {
-    let mut g = c.benchmark_group("substrates/iteration");
     let net = Benchmark::GoogLeNet.build();
     for design in SystemDesign::ALL {
-        g.bench_function(design.name(), |b| {
-            b.iter(|| {
+        bench(
+            &format!("substrates/iteration/{}", design.name()),
+            10,
+            || {
                 let sim = IterationSim::new(
                     SystemConfig::new(design),
                     &net,
                     ParallelStrategy::DataParallel,
                 );
                 black_box(sim.run())
-            })
-        });
+            },
+        );
     }
-    g.finish();
-}
 
-criterion_group!(benches, flow_network, overlay_schedule, iteration_sim);
-criterion_main!(benches);
+    // The scenario runner itself: the full 96-cell §V grid on a cold
+    // cache, serial vs parallel.
+    let scenarios = ScenarioGrid::paper_default().scenarios();
+    for threads in [1usize, 4] {
+        bench(
+            &format!("substrates/grid_96_cells/threads_{threads}"),
+            3,
+            || {
+                let runner = Runner::with_threads(threads);
+                black_box(runner.run_grid(&scenarios))
+            },
+        );
+    }
+}

@@ -1,48 +1,33 @@
-//! Criterion benches regenerating each table's data (Tables II, III, IV).
+//! Timing benches regenerating each table's data (Tables II, III, IV).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use mcdla_accel::DeviceConfig;
+use mcdla_bench::timing::bench;
 use mcdla_dnn::{Benchmark, DataType};
 use mcdla_memnode::{DimmKind, MemoryNodeConfig, SystemPower};
 
-fn table2(c: &mut Criterion) {
-    c.bench_function("table2/configs", |b| {
-        b.iter(|| {
-            let d = DeviceConfig::paper_baseline();
-            let m = MemoryNodeConfig::paper_baseline();
-            black_box((d.peak_macs_per_sec(), m.capacity_bytes()))
-        })
+fn main() {
+    bench("table2/configs", 100, || {
+        let d = DeviceConfig::paper_baseline();
+        let m = MemoryNodeConfig::paper_baseline();
+        black_box((d.peak_macs_per_sec(), m.capacity_bytes()))
     });
-}
 
-fn table3(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table3");
     for bm in Benchmark::ALL {
-        g.bench_function(format!("build_{bm}"), |b| {
-            b.iter(|| {
-                let net = bm.build();
-                black_box((net.total_params(), net.footprint(512, DataType::F32)))
-            })
+        bench(&format!("table3/build_{bm}"), 20, || {
+            let net = bm.build();
+            black_box((net.total_params(), net.footprint(512, DataType::F32)))
         });
     }
-    g.finish();
-}
 
-fn table4(c: &mut Criterion) {
-    c.bench_function("table4/power_model", |b| {
-        b.iter(|| {
-            let mut acc = 0.0f64;
-            for dimm in DimmKind::ALL {
-                let node = MemoryNodeConfig::with_dimm(dimm);
-                let p = SystemPower::mc_dla(&node, 8);
-                acc += node.gb_per_watt() + p.perf_per_watt_gain(2.8);
-            }
-            black_box(acc)
-        })
+    bench("table4/power_model", 100, || {
+        let mut acc = 0.0f64;
+        for dimm in DimmKind::ALL {
+            let node = MemoryNodeConfig::with_dimm(dimm);
+            let p = SystemPower::mc_dla(&node, 8);
+            acc += node.gb_per_watt() + p.perf_per_watt_gain(2.8);
+        }
+        black_box(acc)
     });
 }
-
-criterion_group!(benches, table2, table3, table4);
-criterion_main!(benches);

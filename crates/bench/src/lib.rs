@@ -1,15 +1,15 @@
 //! # `mcdla-bench` — the evaluation harness
 //!
-//! One binary per table/figure of the paper (run with
-//! `cargo run -p mcdla-bench --bin <name>`):
+//! One `mcdla` CLI regenerates every table and figure of the paper
+//! (`cargo run --release --bin mcdla -- <subcommand>`):
 //!
-//! | binary | regenerates |
+//! | subcommand | regenerates |
 //! |---|---|
 //! | `table2` | Table II device/memory-node configuration |
 //! | `table3` | Table III benchmark suite |
 //! | `table4` | Table IV memory-node power + §V-C perf/W |
 //! | `fig2` | Fig. 2 execution time across device generations |
-//! | `fig7_topologies` | Fig. 5/7 ring structure and link budgets |
+//! | `fig7` | Fig. 5/7 ring structure and link budgets |
 //! | `fig9` | Fig. 9 collective latency vs ring size |
 //! | `fig10` | Fig. 10 LOCAL vs BW_AWARE placement |
 //! | `fig11` | Fig. 11 latency breakdown stacks |
@@ -18,14 +18,28 @@
 //! | `fig14` | Fig. 14 batch-size sensitivity |
 //! | `scalability` | §V-D multi-device scaling |
 //! | `sensitivity` | §V-B sensitivity studies |
-//! | `paper_report` | the full paper-vs-measured summary |
+//! | `scale-out` | §VI NVSwitch-class weak scaling |
+//! | `ablations` | mechanism ablation studies |
+//! | `energy` | dynamic energy-per-iteration comparison |
+//! | `paper-report` | the full paper-vs-measured summary |
+//! | `sweep` | times every grid cell, writes `BENCH_scenarios.json` |
+//! | `all` | every report above, in order |
 //!
-//! Criterion benches (`cargo bench -p mcdla-bench`) time the simulator
-//! itself on each experiment.
+//! Global flags: `--json` (machine-readable experiment data where
+//! available), `--threads N` (worker threads; equivalent to the
+//! `MCDLA_THREADS` environment variable), `--out FILE` (`sweep` output
+//! path). The report bodies live in [`reports`]; the `mcdla` binary is a
+//! thin dispatcher.
+//!
+//! Timing benches (`cargo bench -p mcdla-bench`) time the simulator
+//! itself on each experiment through the [`timing`] harness.
 
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
+
+pub mod reports;
+pub mod timing;
 
 /// Renders an aligned ASCII table.
 ///

@@ -1,0 +1,62 @@
+//! A tiny wall-clock benchmark harness for the `benches/` targets.
+//!
+//! The build environment cannot fetch `criterion`, so the bench targets
+//! use this self-contained harness instead (`harness = false`): each
+//! bench runs a closure a fixed number of times after a warm-up pass and
+//! prints min/median/mean wall-clock per iteration in a stable,
+//! grep-friendly format.
+
+use std::time::{Duration, Instant};
+
+/// Runs `f` `iters` times (after one warm-up call) and prints
+/// `bench <name> ... min/median/mean` timings.
+pub fn bench<T>(name: &str, iters: usize, mut f: impl FnMut() -> T) {
+    let iters = iters.max(1);
+    std::hint::black_box(f()); // warm-up: touch lazy caches, page in code
+    let mut samples: Vec<Duration> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        samples.push(start.elapsed());
+    }
+    samples.sort();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "bench {name:<44} min {:>10} median {:>10} mean {:>10} ({iters} iters)",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(mean),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else {
+        format!("{:.1} us", secs * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_the_closure() {
+        let mut calls = 0usize;
+        bench("test/noop", 3, || calls += 1);
+        assert_eq!(calls, 4); // warm-up + 3 timed iterations
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.000 ms");
+        assert_eq!(fmt_duration(Duration::from_micros(7)), "7.0 us");
+    }
+}

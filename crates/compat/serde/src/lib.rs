@@ -1,0 +1,454 @@
+//! # `serde` (vendored workspace subset)
+//!
+//! A self-contained, dependency-free replacement for the parts of the
+//! `serde` + `serde_json` API surface this workspace uses. The build
+//! environment has no network access to crates.io, so the workspace
+//! vendors a minimal-but-real implementation instead of stubbing the
+//! derives out: `#[derive(Serialize, Deserialize)]` expands (via the
+//! sibling `serde_derive` proc-macro crate) to genuine field-by-field
+//! conversions through the [`Value`] data model, and the [`json`] module
+//! provides a complete JSON writer and parser on top of it.
+//!
+//! Supported shapes — everything the `mcdla` crates derive:
+//!
+//! * structs with named fields → JSON objects;
+//! * newtype / tuple structs → the inner value / a JSON array;
+//! * unit enum variants → JSON strings (`"Gen3"`);
+//! * data-carrying enum variants → externally tagged objects
+//!   (`{"Chw": {"c": 3, "h": 224, "w": 224}}`), matching serde's default
+//!   representation;
+//! * the primitive/container impls listed in this module.
+//!
+//! Unsupported (panics at derive time rather than silently drifting):
+//! generic types, borrowed fields, and `#[serde(...)]` attributes.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+
+/// The self-describing data model every serializable type converts
+/// through — a superset of JSON with integers kept exact.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer (emitted as a JSON number, no precision loss).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Seq(Vec<Value>),
+    /// JSON object; insertion order is preserved.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map()
+            .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    /// Numeric view as `f64` (accepts any number variant).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::U64(n) => Some(n as f64),
+            Value::I64(n) => Some(n as f64),
+            Value::F64(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `u64` (rejects negatives and non-integers).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(n) => Some(n),
+            Value::I64(n) => u64::try_from(n).ok(),
+            Value::F64(n) if n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64 => Some(n as u64),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::U64(n) => i64::try_from(n).ok(),
+            Value::I64(n) => Some(n),
+            Value::F64(n) if n.fract() == 0.0 && n.abs() <= i64::MAX as f64 => Some(n as i64),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization/deserialization failure with a human-readable path-free
+/// message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// A free-form error.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+
+    /// "expected X while deserializing Y".
+    pub fn expected(what: &str, ty: &str) -> Self {
+        Error(format!("expected {what} while deserializing {ty}"))
+    }
+
+    /// A required field was absent.
+    pub fn missing_field(field: &str) -> Self {
+        Error(format!("missing field `{field}`"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can convert themselves into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can reconstruct themselves from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from the data model.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+
+    /// Hook for types with a natural default when their field is absent
+    /// (`Option<T>` deserializes missing fields as `None`, like serde).
+    #[doc(hidden)]
+    fn from_missing_field(field: &str) -> Result<Self, Error> {
+        Err(Error::missing_field(field))
+    }
+}
+
+/// Derive-macro helper: extracts and deserializes one named field.
+#[doc(hidden)]
+pub fn __field<T: Deserialize>(map: &[(String, Value)], name: &str) -> Result<T, Error> {
+    match map.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v),
+        None => T::from_missing_field(name),
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_u64().ok_or_else(|| {
+                    Error::expected("unsigned integer", stringify!($t))
+                })?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_i64().ok_or_else(|| {
+                    Error::expected("integer", stringify!($t))
+                })?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::expected("number", "f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .map(|n| n as f32)
+            .ok_or_else(|| Error::expected("number", "f32"))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::expected("boolean", "bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::expected("string", "String"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error::expected("array", "Vec"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let n = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error::custom(format!("expected array of length {N}, got {n}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn from_missing_field(_field: &str) -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident : $i:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$i.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                const LEN: usize = 0 $(+ { let _ = stringify!($t); 1 })+;
+                let s = v.as_seq().ok_or_else(|| Error::expected("array", "tuple"))?;
+                if s.len() != LEN {
+                    return Err(Error::custom(format!(
+                        "expected {LEN}-element array, got {}", s.len()
+                    )));
+                }
+                Ok(($($t::from_value(&s[$i])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_map()
+            .ok_or_else(|| Error::expected("object", "map"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()), Ok(42));
+        assert_eq!(i64::from_value(&(-7i64).to_value()), Ok(-7));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(String::from_value(&"hi".to_value()), Ok("hi".to_owned()));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+    }
+
+    #[test]
+    fn u64_precision_is_exact() {
+        let big = u64::MAX - 3;
+        assert_eq!(u64::from_value(&big.to_value()), Ok(big));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1u64, 2.5f64), (3, 4.5)];
+        assert_eq!(Vec::<(u64, f64)>::from_value(&v.to_value()), Ok(v));
+        let arr = [1.0f64, 2.0, 3.0];
+        assert_eq!(<[f64; 3]>::from_value(&arr.to_value()), Ok(arr));
+        assert_eq!(Option::<u64>::from_value(&Value::Null), Ok(None));
+        assert_eq!(Option::<u64>::from_value(&Value::U64(9)), Ok(Some(9)));
+    }
+
+    #[test]
+    fn missing_option_field_is_none() {
+        let m = vec![("present".to_owned(), Value::U64(1))];
+        assert_eq!(__field::<Option<u64>>(&m, "absent"), Ok(None));
+        assert_eq!(__field::<Option<u64>>(&m, "present"), Ok(Some(1)));
+        assert!(__field::<u64>(&m, "absent").is_err());
+    }
+
+    #[test]
+    fn narrowing_checks_range() {
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+        assert!(u64::from_value(&Value::I64(-1)).is_err());
+    }
+}

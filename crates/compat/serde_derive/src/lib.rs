@@ -1,0 +1,462 @@
+//! # `serde_derive` (vendored workspace subset)
+//!
+//! `#[derive(Serialize, Deserialize)]` for the sibling vendored `serde`
+//! crate, implemented directly on `proc_macro` token streams (the build
+//! environment has no crates.io access, so `syn`/`quote` are unavailable).
+//!
+//! Supported input shapes: non-generic structs (named, tuple, unit) and
+//! enums whose variants are unit, tuple, or struct-like. Unsupported
+//! shapes (generics, unions, `#[serde(...)]` attributes) produce a
+//! compile-time panic with a clear message instead of silently wrong
+//! code.
+//!
+//! Representation matches serde's defaults: named structs are maps,
+//! newtype structs are transparent, unit enum variants are strings, and
+//! data-carrying variants are externally tagged single-entry maps.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the deriving type.
+enum Input {
+    /// `struct S { a: T, b: U }`
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct S(T, U);` with the field count.
+    TupleStruct { name: String, arity: usize },
+    /// `struct S;`
+    UnitStruct { name: String },
+    /// `enum E { ... }`
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let body = match &parsed {
+        Input::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            impl_serialize(
+                name,
+                &format!("::serde::Value::Map(vec![{}])", entries.join(", ")),
+            )
+        }
+        Input::TupleStruct { name, arity: 1 } => {
+            impl_serialize(name, "::serde::Serialize::to_value(&self.0)")
+        }
+        Input::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            impl_serialize(
+                name,
+                &format!("::serde::Value::Seq(vec![{}])", items.join(", ")),
+            )
+        }
+        Input::UnitStruct { name } => impl_serialize(name, "::serde::Value::Null"),
+        Input::Enum { name, variants } => {
+            let arms: Vec<String> = variants.iter().map(|v| serialize_arm(name, v)).collect();
+            impl_serialize(name, &format!("match self {{ {} }}", arms.join(" ")))
+        }
+    };
+    body.parse().expect("serialize impl must be valid Rust")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let body = match &parsed {
+        Input::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__field(__m, \"{f}\")?"))
+                .collect();
+            impl_deserialize(
+                name,
+                &format!(
+                    "let __m = __v.as_map().ok_or_else(|| \
+                     ::serde::Error::expected(\"map\", \"{name}\"))?;\n\
+                     ::std::result::Result::Ok({name} {{ {} }})",
+                    inits.join(", ")
+                ),
+            )
+        }
+        Input::TupleStruct { name, arity: 1 } => impl_deserialize(
+            name,
+            &format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"),
+        ),
+        Input::TupleStruct { name, arity } => impl_deserialize(
+            name,
+            &format!(
+                "let __s = __v.as_seq().ok_or_else(|| \
+                 ::serde::Error::expected(\"array\", \"{name}\"))?;\n\
+                 if __s.len() != {arity} {{ return ::std::result::Result::Err(\
+                 ::serde::Error::expected(\"{arity}-element array\", \"{name}\")); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        ),
+        Input::UnitStruct { name } => impl_deserialize(
+            name,
+            &format!("let _ = __v; ::std::result::Result::Ok({name})"),
+        ),
+        Input::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),",
+                        v = v.name
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.shape, VariantShape::Unit))
+                .map(|v| deserialize_data_arm(name, v))
+                .collect();
+            impl_deserialize(
+                name,
+                &format!(
+                    "match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                        {units}\n\
+                        __other => ::std::result::Result::Err(::serde::Error::custom(\
+                            format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                     }},\n\
+                     ::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                        let (__tag, __inner) = &__m[0];\n\
+                        match __tag.as_str() {{\n\
+                            {data}\n\
+                            __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                        }}\n\
+                     }},\n\
+                     _ => ::std::result::Result::Err(\
+                         ::serde::Error::expected(\"variant string or single-entry map\", \"{name}\")),\n\
+                     }}",
+                    units = unit_arms.join("\n"),
+                    data = data_arms.join("\n"),
+                ),
+            )
+        }
+    };
+    body.parse().expect("deserialize impl must be valid Rust")
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn serialize_arm(ty: &str, v: &Variant) -> String {
+    let name = &v.name;
+    match &v.shape {
+        VariantShape::Unit => {
+            format!("{ty}::{name} => ::serde::Value::Str(\"{name}\".to_string()),")
+        }
+        VariantShape::Tuple(1) => format!(
+            "{ty}::{name}(__a0) => ::serde::Value::Map(vec![(\"{name}\".to_string(), \
+             ::serde::Serialize::to_value(__a0))]),"
+        ),
+        VariantShape::Tuple(arity) => {
+            let binds: Vec<String> = (0..*arity).map(|i| format!("__a{i}")).collect();
+            let items: Vec<String> = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                .collect();
+            format!(
+                "{ty}::{name}({binds}) => ::serde::Value::Map(vec![(\"{name}\".to_string(), \
+                 ::serde::Value::Seq(vec![{items}]))]),",
+                binds = binds.join(", "),
+                items = items.join(", "),
+            )
+        }
+        VariantShape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"))
+                .collect();
+            format!(
+                "{ty}::{name} {{ {fields} }} => ::serde::Value::Map(vec![(\"{name}\".to_string(), \
+                 ::serde::Value::Map(vec![{entries}]))]),",
+                fields = fields.join(", "),
+                entries = entries.join(", "),
+            )
+        }
+    }
+}
+
+fn deserialize_data_arm(ty: &str, v: &Variant) -> String {
+    let name = &v.name;
+    match &v.shape {
+        VariantShape::Unit => unreachable!("unit variants handled in the string arm"),
+        VariantShape::Tuple(1) => format!(
+            "\"{name}\" => ::std::result::Result::Ok({ty}::{name}(\
+             ::serde::Deserialize::from_value(__inner)?)),"
+        ),
+        VariantShape::Tuple(arity) => format!(
+            "\"{name}\" => {{\n\
+                let __s = __inner.as_seq().ok_or_else(|| \
+                    ::serde::Error::expected(\"array\", \"{ty}::{name}\"))?;\n\
+                if __s.len() != {arity} {{ return ::std::result::Result::Err(\
+                    ::serde::Error::expected(\"{arity}-element array\", \"{ty}::{name}\")); }}\n\
+                ::std::result::Result::Ok({ty}::{name}({items}))\n\
+             }},",
+            items = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", "),
+        ),
+        VariantShape::Named(fields) => format!(
+            "\"{name}\" => {{\n\
+                let __fm = __inner.as_map().ok_or_else(|| \
+                    ::serde::Error::expected(\"map\", \"{ty}::{name}\"))?;\n\
+                ::std::result::Result::Ok({ty}::{name} {{ {inits} }})\n\
+             }},",
+            inits = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__field(__fm, \"{f}\")?"))
+                .collect::<Vec<_>>()
+                .join(", "),
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attributes_and_visibility(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive (vendored): generic type `{name}` is unsupported");
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Input::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Input::UnitStruct { name },
+            other => panic!("serde derive: unsupported struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde derive: expected enum body, found {other:?}"),
+        },
+        "union" => panic!("serde derive (vendored): unions are unsupported"),
+        kw => panic!("serde derive: unexpected keyword `{kw}`"),
+    }
+}
+
+/// Advances past outer attributes (`#[...]`) and visibility (`pub`,
+/// `pub(crate)`, ...).
+fn skip_attributes_and_visibility(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                match tokens.get(*i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        if g.stream().to_string().starts_with("serde") {
+                            panic!(
+                                "serde derive (vendored): #[serde(...)] attributes are unsupported"
+                            );
+                        }
+                        *i += 1;
+                    }
+                    other => panic!("serde derive: malformed attribute {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) / pub(super) / ...
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `a: T, b: U, ...` field names from a brace group, skipping the
+/// types (angle-bracket depth tracked so generic argument commas do not
+/// split fields).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            panic!(
+                "serde derive: expected field name, found {:?}",
+                tokens.get(i)
+            );
+        };
+        fields.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde derive: expected `:` after field, found {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the top-level comma-separated fields of a tuple struct/variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut count = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break; // trailing comma
+        }
+        skip_type(&tokens, &mut i);
+        count += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+/// Advances past one type, stopping at a top-level `,` (or the end).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(t) = tokens.get(*i) {
+        match t {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => {
+                    angle_depth += 1;
+                    *i += 1;
+                }
+                '>' => {
+                    angle_depth = angle_depth.saturating_sub(1);
+                    *i += 1;
+                }
+                ',' if angle_depth == 0 => return,
+                _ => *i += 1,
+            },
+            _ => *i += 1,
+        }
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break; // trailing comma before the closing brace
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            panic!(
+                "serde derive: expected variant name, found {:?}",
+                tokens.get(i)
+            );
+        };
+        let name = id.to_string();
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                VariantShape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                i += 1;
+                VariantShape::Tuple(arity)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the next comma.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            while i < tokens.len()
+                && !matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',')
+            {
+                i += 1;
+            }
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}

@@ -39,7 +39,11 @@ impl Ablation {
     /// Iteration time of the slowest variant divided by the fastest —
     /// how much this knob matters.
     pub fn spread(&self) -> f64 {
-        let min = self.variants.iter().map(|(_, t)| *t).fold(f64::MAX, f64::min);
+        let min = self
+            .variants
+            .iter()
+            .map(|(_, t)| *t)
+            .fold(f64::MAX, f64::min);
         let max = self.variants.iter().map(|(_, t)| *t).fold(0.0f64, f64::max);
         if min > 0.0 {
             max / min
@@ -134,7 +138,10 @@ pub fn ablations(design: SystemDesign) -> Vec<Ablation> {
                 .map(|look| {
                     let mut cfg = SystemConfig::new(design);
                     cfg.prefetch_lookahead = look;
-                    (format!("{look} layers"), run(cfg, bm, ParallelStrategy::DataParallel))
+                    (
+                        format!("{look} layers"),
+                        run(cfg, bm, ParallelStrategy::DataParallel),
+                    )
                 })
                 .collect(),
         });
@@ -149,7 +156,10 @@ pub fn ablations(design: SystemDesign) -> Vec<Ablation> {
                 .map(|f| {
                     let mut cfg = SystemConfig::new(design);
                     cfg.boundary_pipeline_fraction = f;
-                    (format!("{:.0}% hidden", f * 100.0), run(cfg, bm, ParallelStrategy::ModelParallel))
+                    (
+                        format!("{:.0}% hidden", f * 100.0),
+                        run(cfg, bm, ParallelStrategy::ModelParallel),
+                    )
                 })
                 .collect(),
         });
@@ -208,7 +218,11 @@ mod tests {
         for a in abl.iter().filter(|a| a.name.contains("lookahead")) {
             let zero = a.variants[0].1;
             let best = a.variants.iter().map(|(_, t)| *t).fold(f64::MAX, f64::min);
-            assert!(zero >= best * 0.999, "{}: zero lookahead beat {best}", a.benchmark);
+            assert!(
+                zero >= best * 0.999,
+                "{}: zero lookahead beat {best}",
+                a.benchmark
+            );
         }
     }
 
@@ -231,7 +245,11 @@ mod tests {
             .iter()
             .filter(|a| a.name.contains("page placement"))
         {
-            assert!(a.variants[1].1 <= a.variants[0].1 * 1.001, "{}", a.benchmark);
+            assert!(
+                a.variants[1].1 <= a.variants[0].1 * 1.001,
+                "{}",
+                a.benchmark
+            );
             assert!(a.spread() >= 1.0);
         }
     }

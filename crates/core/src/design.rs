@@ -288,7 +288,14 @@ mod tests {
         let names: Vec<&str> = SystemDesign::ALL.iter().map(|d| d.name()).collect();
         assert_eq!(
             names,
-            vec!["DC-DLA", "HC-DLA", "MC-DLA(S)", "MC-DLA(L)", "MC-DLA(B)", "DC-DLA(O)"]
+            vec![
+                "DC-DLA",
+                "HC-DLA",
+                "MC-DLA(S)",
+                "MC-DLA(L)",
+                "MC-DLA(B)",
+                "DC-DLA(O)"
+            ]
         );
     }
 

@@ -67,8 +67,7 @@ impl EnergyReport {
         let t = report.iteration_time.as_secs_f64();
         let busy = report.compute_busy.as_secs_f64().min(t);
         let idle = (t - busy).max(0.0);
-        let per_device =
-            busy * power.device_tdp_watts + idle * power.device_idle_watts;
+        let per_device = busy * power.device_tdp_watts + idle * power.device_idle_watts;
         EnergyReport {
             device_joules: per_device * report.devices as f64,
             memnode_joules: power.memnode_watts * power.memnode_count as f64 * t,
@@ -102,7 +101,11 @@ mod tests {
     fn mc_dla_wins_energy_per_iteration() {
         // MC-DLA finishes iterations so much faster that it consumes less
         // energy per iteration despite the added memory-node power.
-        let dc = simulate(SystemDesign::DcDla, Benchmark::VggE, ParallelStrategy::DataParallel);
+        let dc = simulate(
+            SystemDesign::DcDla,
+            Benchmark::VggE,
+            ParallelStrategy::DataParallel,
+        );
         let mc = simulate(
             SystemDesign::McDlaBwAware,
             Benchmark::VggE,
@@ -135,11 +138,17 @@ mod tests {
     fn idle_heavy_designs_draw_below_tdp() {
         // DC-DLA's devices idle while waiting on PCIe; average device power
         // must sit between the idle floor and TDP.
-        let r = simulate(SystemDesign::DcDla, Benchmark::VggE, ParallelStrategy::DataParallel);
+        let r = simulate(
+            SystemDesign::DcDla,
+            Benchmark::VggE,
+            ParallelStrategy::DataParallel,
+        );
         let p = PowerModel::dgx_baseline();
         let e = EnergyReport::from_iteration(&r, &p);
-        let avg_w =
-            e.device_joules / (r.iteration_time.as_secs_f64() * r.devices as f64);
-        assert!(avg_w > p.device_idle_watts && avg_w < p.device_tdp_watts, "{avg_w}");
+        let avg_w = e.device_joules / (r.iteration_time.as_secs_f64() * r.devices as f64);
+        assert!(
+            avg_w > p.device_idle_watts && avg_w < p.device_tdp_watts,
+            "{avg_w}"
+        );
     }
 }

@@ -91,8 +91,7 @@ impl<'a> IterationSim<'a> {
         // (NCCL splits every physical ring into two counter-rotating
         // logical rings), matching the paper's (N/2) x (2B) = 150 GB/s
         // aggregate communication bandwidth formula (§III-B).
-        let collectives =
-            CollectiveModel::with_link_bandwidth(2.0 * cfg.device.link_bandwidth_gbs);
+        let collectives = CollectiveModel::with_link_bandwidth(2.0 * cfg.device.link_bandwidth_gbs);
         let rings = ring_shapes(&cfg);
         let virt = VirtPath::from_config(&cfg);
         IterationSim {
@@ -140,7 +139,9 @@ impl<'a> IterationSim<'a> {
 
     fn transfer_time(&self, stash_bytes: u64) -> SimDuration {
         let vp = self.virt.as_ref().expect("virt path exists");
-        vp.op_latency + vp.bandwidth().transfer_time(Bytes::new(self.transfer_bytes(stash_bytes)))
+        vp.op_latency
+            + vp.bandwidth()
+                .transfer_time(Bytes::new(self.transfer_bytes(stash_bytes)))
     }
 
     /// Pinned-buffer budget for in-flight offloads.
@@ -148,7 +149,9 @@ impl<'a> IterationSim<'a> {
         if let Some(b) = self.cfg.pinned_budget_bytes {
             return b;
         }
-        let resident = (self.net.footprint(self.plan.virt_batch(), self.cfg.dtype)
+        let resident = (self
+            .net
+            .footprint(self.plan.virt_batch(), self.cfg.dtype)
             .total_virtualized() as f64
             * self.plan.weight_scale.max(self.plan.stash_scale)) as u64;
         self.cfg
@@ -202,8 +205,8 @@ impl<'a> IterationSim<'a> {
             // Pinned-buffer stall: wait until in-flight offload bytes fit.
             let ready_mem = earliest_under_budget(&pending, ready, budget);
             stall_total += ready_mem.saturating_since(ready);
-            let dur = self.timing.forward_time(layer, self.plan.worker_batch)
-                * self.plan.macs_scale;
+            let dur =
+                self.timing.forward_time(layer, self.plan.worker_batch) * self.plan.macs_scale;
             let c = compute.submit(ready_mem, dur);
             fwd_end[l] = c.end;
             // Launch the offloads whose last forward consumer just ran.
@@ -221,8 +224,7 @@ impl<'a> IterationSim<'a> {
                 if op.blocking {
                     let exposed = d * (1.0 - self.cfg.boundary_pipeline_fraction);
                     let gate = s.start + exposed;
-                    fwd_sync_end[l] =
-                        Some(fwd_sync_end[l].unwrap_or(SimTime::ZERO).max(gate));
+                    fwd_sync_end[l] = Some(fwd_sync_end[l].unwrap_or(SimTime::ZERO).max(gate));
                 }
             }
         }
@@ -303,8 +305,7 @@ impl<'a> IterationSim<'a> {
                 if op.blocking {
                     let exposed = d * (1.0 - self.cfg.boundary_pipeline_fraction);
                     let gate = s.start + exposed;
-                    bwd_sync_end[l] =
-                        Some(bwd_sync_end[l].unwrap_or(SimTime::ZERO).max(gate));
+                    bwd_sync_end[l] = Some(bwd_sync_end[l].unwrap_or(SimTime::ZERO).max(gate));
                 }
             }
         }
@@ -320,8 +321,7 @@ impl<'a> IterationSim<'a> {
         // Fig. 12 CPU memory-bandwidth accounting.
         let (avg_gbs, max_gbs) = match &self.virt {
             Some(vp) if vp.touches_host && virt_bytes > 0 => {
-                let per_socket_bytes =
-                    virt_bytes as f64 * self.cfg.devices_per_socket() as f64;
+                let per_socket_bytes = virt_bytes as f64 * self.cfg.devices_per_socket() as f64;
                 let avg = per_socket_bytes / iteration_time.as_secs_f64() / 1e9;
                 (avg, vp.socket_peak_gbs)
             }
@@ -360,9 +360,18 @@ fn ring_shapes(cfg: &SystemConfig) -> Vec<RingShape> {
         SystemDesign::HcDla => vec![RingShape::device_ring(n)],
         SystemDesign::McDlaStar => vec![
             // Fig. 7(b)'s 8/12/20 hop counts, generalized to n devices.
-            RingShape { participants: n, hops: n },
-            RingShape { participants: n, hops: n + n / 2 },
-            RingShape { participants: n, hops: n + 3 * (n / 2) },
+            RingShape {
+                participants: n,
+                hops: n,
+            },
+            RingShape {
+                participants: n,
+                hops: n + n / 2,
+            },
+            RingShape {
+                participants: n,
+                hops: n + 3 * (n / 2),
+            },
         ],
         SystemDesign::McDlaLocal | SystemDesign::McDlaBwAware => {
             vec![
@@ -379,8 +388,13 @@ fn ring_shapes(cfg: &SystemConfig) -> Vec<RingShape> {
 /// Earliest `t >= ready` at which the in-flight offload bytes drop to the
 /// budget.
 fn earliest_under_budget(pending: &[(SimTime, u64)], ready: SimTime, budget: u64) -> SimTime {
-    let outstanding =
-        |t: SimTime| -> u64 { pending.iter().filter(|(e, _)| *e > t).map(|(_, b)| *b).sum() };
+    let outstanding = |t: SimTime| -> u64 {
+        pending
+            .iter()
+            .filter(|(e, _)| *e > t)
+            .map(|(_, b)| *b)
+            .sum()
+    };
     if outstanding(ready) <= budget {
         return ready;
     }
@@ -396,10 +410,7 @@ fn earliest_under_budget(pending: &[(SimTime, u64)], ready: SimTime, budget: u64
         }
     }
     // All offloads must complete (budget smaller than any single stash).
-    pending
-        .iter()
-        .map(|(e, _)| *e)
-        .fold(ready, SimTime::max)
+    pending.iter().map(|(e, _)| *e).fold(ready, SimTime::max)
 }
 
 #[cfg(test)]
@@ -438,15 +449,17 @@ mod tests {
         // (HC-DLA vs MC-DLA(S) has no fixed per-workload order — HC's
         // 75 GB/s virtualization can beat the star's 50 GB/s on virt-bound
         // data-parallel runs; the paper's ordering is on harmonic means.)
-        let perf =
-            |d| run(d, Benchmark::VggE, ParallelStrategy::DataParallel).performance();
+        let perf = |d| run(d, Benchmark::VggE, ParallelStrategy::DataParallel).performance();
         let dc = perf(SystemDesign::DcDla);
         let hc = perf(SystemDesign::HcDla);
         let s = perf(SystemDesign::McDlaStar);
         let l = perf(SystemDesign::McDlaLocal);
         let b = perf(SystemDesign::McDlaBwAware);
         let o = perf(SystemDesign::DcDlaOracle);
-        assert!(dc < hc && dc < s && dc < l && dc < b, "DC-DLA must be slowest");
+        assert!(
+            dc < hc && dc < s && dc < l && dc < b,
+            "DC-DLA must be slowest"
+        );
         assert!(o >= b && o >= hc, "oracle must be fastest");
         assert!(b >= l * 0.999 && l >= s * 0.999, "MC(B) >= MC(L) >= MC(S)");
         assert!(b > hc, "MC-DLA(B) must beat HC-DLA");
@@ -454,7 +467,11 @@ mod tests {
 
     #[test]
     fn oracle_moves_no_virt_bytes() {
-        let r = run(SystemDesign::DcDlaOracle, Benchmark::VggE, ParallelStrategy::DataParallel);
+        let r = run(
+            SystemDesign::DcDlaOracle,
+            Benchmark::VggE,
+            ParallelStrategy::DataParallel,
+        );
         assert_eq!(r.virt_bytes, Bytes::ZERO);
         assert_eq!(r.virt_busy, SimDuration::ZERO);
         assert_eq!(r.cpu_socket_avg_gbs, 0.0);
@@ -462,7 +479,11 @@ mod tests {
 
     #[test]
     fn mc_designs_use_no_cpu_bandwidth() {
-        for d in [SystemDesign::McDlaStar, SystemDesign::McDlaLocal, SystemDesign::McDlaBwAware] {
+        for d in [
+            SystemDesign::McDlaStar,
+            SystemDesign::McDlaLocal,
+            SystemDesign::McDlaBwAware,
+        ] {
             let r = run(d, Benchmark::GoogLeNet, ParallelStrategy::DataParallel);
             assert_eq!(r.cpu_socket_avg_gbs, 0.0, "{d}");
             assert_eq!(r.cpu_socket_max_gbs, 0.0, "{d}");
@@ -473,10 +494,18 @@ mod tests {
     #[test]
     fn hc_dla_draws_heavily_on_cpu_memory() {
         // §V-A: HC-DLA can consume up to its provisioned 300 GB/s/socket.
-        let r = run(SystemDesign::HcDla, Benchmark::VggE, ParallelStrategy::DataParallel);
+        let r = run(
+            SystemDesign::HcDla,
+            Benchmark::VggE,
+            ParallelStrategy::DataParallel,
+        );
         assert_eq!(r.cpu_socket_max_gbs, 300.0);
         assert!(r.cpu_socket_avg_gbs > 50.0, "avg {}", r.cpu_socket_avg_gbs);
-        let dc = run(SystemDesign::DcDla, Benchmark::VggE, ParallelStrategy::DataParallel);
+        let dc = run(
+            SystemDesign::DcDla,
+            Benchmark::VggE,
+            ParallelStrategy::DataParallel,
+        );
         assert!(dc.cpu_socket_max_gbs <= 32.0);
     }
 
@@ -484,15 +513,27 @@ mod tests {
     fn dc_dla_is_virtualization_bound_on_cnns() {
         // Fig. 11(a): memory virtualization dominates DC-DLA's bars on
         // 14 of 16 training runs.
-        let r = run(SystemDesign::DcDla, Benchmark::VggE, ParallelStrategy::DataParallel);
+        let r = run(
+            SystemDesign::DcDla,
+            Benchmark::VggE,
+            ParallelStrategy::DataParallel,
+        );
         assert!(r.virt_busy > r.compute_busy);
         assert!(r.virt_busy > r.sync_busy);
     }
 
     #[test]
     fn mc_b_spends_less_time_virtualizing_than_dc() {
-        let dc = run(SystemDesign::DcDla, Benchmark::ResNet, ParallelStrategy::DataParallel);
-        let mc = run(SystemDesign::McDlaBwAware, Benchmark::ResNet, ParallelStrategy::DataParallel);
+        let dc = run(
+            SystemDesign::DcDla,
+            Benchmark::ResNet,
+            ParallelStrategy::DataParallel,
+        );
+        let mc = run(
+            SystemDesign::McDlaBwAware,
+            Benchmark::ResNet,
+            ParallelStrategy::DataParallel,
+        );
         // Same bytes, ~19x the bandwidth.
         assert_eq!(dc.virt_bytes, mc.virt_bytes);
         assert!(mc.virt_busy.as_secs_f64() < dc.virt_busy.as_secs_f64() / 10.0);
@@ -500,8 +541,16 @@ mod tests {
 
     #[test]
     fn model_parallel_synchronizes_more_than_data_parallel() {
-        let dp = run(SystemDesign::DcDla, Benchmark::AlexNet, ParallelStrategy::DataParallel);
-        let mp = run(SystemDesign::DcDla, Benchmark::AlexNet, ParallelStrategy::ModelParallel);
+        let dp = run(
+            SystemDesign::DcDla,
+            Benchmark::AlexNet,
+            ParallelStrategy::DataParallel,
+        );
+        let mp = run(
+            SystemDesign::DcDla,
+            Benchmark::AlexNet,
+            ParallelStrategy::ModelParallel,
+        );
         assert!(mp.sync_busy > dp.sync_busy);
         assert!(mp.sync_bytes > dp.sync_bytes);
     }

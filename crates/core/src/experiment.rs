@@ -2,8 +2,15 @@
 //!
 //! Each function reproduces the data behind one table or figure; the
 //! `mcdla-bench` harness formats them into the paper's rows/series.
+//!
+//! Every runner is phrased as a [`Scenario`] grid handed to the shared
+//! [`global_runner`](crate::scenario::global_runner): cells execute across
+//! worker threads (`MCDLA_THREADS` controls the count) and land in a
+//! process-wide memo cache, so figures that share cells — Fig. 11 and
+//! Fig. 13 span the same 96-cell matrix, every §V-B study reuses the
+//! DC-DLA baselines — simulate each cell exactly once per process.
 
-use mcdla_accel::{DeviceConfig, DeviceGeneration};
+use mcdla_accel::DeviceGeneration;
 use mcdla_dnn::Benchmark;
 use mcdla_parallel::ParallelStrategy;
 use mcdla_sim::stats::harmonic_mean;
@@ -12,18 +19,20 @@ use serde::{Deserialize, Serialize};
 use crate::design::{SystemConfig, SystemDesign};
 use crate::engine::IterationSim;
 use crate::report::IterationReport;
+use crate::scenario::{global_runner, DeviceModel, Scenario, ScenarioGrid};
 
 /// Runs one (design, benchmark, strategy) cell with paper-default
-/// configuration.
+/// configuration, memoized through the shared scenario runner.
 pub fn simulate(
     design: SystemDesign,
     benchmark: Benchmark,
     strategy: ParallelStrategy,
 ) -> IterationReport {
-    simulate_with(SystemConfig::new(design), benchmark, strategy)
+    global_runner().run(Scenario::new(design, benchmark, strategy))
 }
 
-/// Runs one cell with an explicit configuration.
+/// Runs one cell with an explicit configuration (uncached: arbitrary
+/// configurations have no scenario key).
 pub fn simulate_with(
     cfg: SystemConfig,
     benchmark: Benchmark,
@@ -45,13 +54,13 @@ pub struct Fig13Row {
 
 /// Figure 13 data for one parallelization strategy.
 pub fn fig13(strategy: ParallelStrategy) -> Vec<Fig13Row> {
-    Benchmark::ALL
-        .iter()
-        .map(|bm| {
-            let reports: Vec<IterationReport> = SystemDesign::ALL
-                .iter()
-                .map(|d| simulate(*d, *bm, strategy))
-                .collect();
+    let grid = ScenarioGrid::paper_default().strategies(&[strategy]);
+    let reports = global_runner().run_grid(&grid.scenarios());
+    // Benchmark-major expansion: one chunk of SystemDesign::ALL per row.
+    reports
+        .chunks(SystemDesign::ALL.len())
+        .zip(Benchmark::ALL)
+        .map(|(reports, bm)| {
             let best = reports
                 .iter()
                 .map(IterationReport::performance)
@@ -83,11 +92,43 @@ pub struct SpeedupSummary {
 
 /// Speedup of a design over DC-DLA for one strategy, over the full suite.
 pub fn speedup_vs_dc(design: SystemDesign, strategy: ParallelStrategy) -> SpeedupSummary {
-    speedup_vs_dc_with(design, strategy, &Benchmark::ALL, SystemConfig::new)
+    speedup_vs_dc_scenarios(design, strategy, &Benchmark::ALL, |s| s)
 }
 
-/// Like [`speedup_vs_dc`] with a benchmark subset and config customization
-/// (applied to **both** the design and the DC-DLA baseline).
+/// Like [`speedup_vs_dc`] with a benchmark subset and a scenario
+/// transformation applied to **both** the design and the DC-DLA baseline
+/// — the memoized, parallel path for every standard study.
+pub fn speedup_vs_dc_scenarios(
+    design: SystemDesign,
+    strategy: ParallelStrategy,
+    benchmarks: &[Benchmark],
+    modify: impl Fn(Scenario) -> Scenario,
+) -> SpeedupSummary {
+    let mut cells = Vec::with_capacity(benchmarks.len() * 2);
+    for bm in benchmarks {
+        cells.push(modify(Scenario::new(SystemDesign::DcDla, *bm, strategy)));
+        cells.push(modify(Scenario::new(design, *bm, strategy)));
+    }
+    let reports = global_runner().run_grid(&cells);
+    let per_benchmark: Vec<(String, f64)> = benchmarks
+        .iter()
+        .zip(reports.chunks(2))
+        .map(|(bm, pair)| (bm.name().to_owned(), pair[1].speedup_over(&pair[0])))
+        .collect();
+    let values: Vec<f64> = per_benchmark.iter().map(|(_, s)| *s).collect();
+    SpeedupSummary {
+        design,
+        strategy,
+        harmonic_mean: harmonic_mean(&values).unwrap_or(0.0),
+        per_benchmark,
+    }
+}
+
+/// Like [`speedup_vs_dc`] with a benchmark subset and arbitrary config
+/// customization (applied to **both** the design and the DC-DLA
+/// baseline). Arbitrary configurations cannot be keyed by a scenario, so
+/// this path is uncached; prefer [`speedup_vs_dc_scenarios`] when the
+/// change is expressible as scenario overrides.
 pub fn speedup_vs_dc_with(
     design: SystemDesign,
     strategy: ParallelStrategy,
@@ -135,17 +176,15 @@ pub struct Fig11Bar {
 /// Figure 11 data for one strategy: per benchmark, one stacked bar per
 /// design, normalized to the tallest stack within the benchmark.
 pub fn fig11(strategy: ParallelStrategy) -> Vec<Fig11Bar> {
+    let grid = ScenarioGrid::paper_default().strategies(&[strategy]);
+    let reports = global_runner().run_grid(&grid.scenarios());
     let mut bars = Vec::new();
-    for bm in Benchmark::ALL {
-        let reports: Vec<IterationReport> = SystemDesign::ALL
-            .iter()
-            .map(|d| simulate(*d, bm, strategy))
-            .collect();
+    for (reports, bm) in reports.chunks(SystemDesign::ALL.len()).zip(Benchmark::ALL) {
         let tallest = reports
             .iter()
             .map(|r| r.breakdown_secs().iter().sum::<f64>())
             .fold(f64::MIN, f64::max);
-        for r in &reports {
+        for r in reports {
             let b = r.breakdown_secs();
             bars.push(Fig11Bar {
                 benchmark: bm.name().to_owned(),
@@ -180,21 +219,28 @@ pub fn fig12() -> Vec<Fig12Row> {
         SystemDesign::HcDla,
         SystemDesign::McDlaBwAware,
     ];
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
     for design in designs {
         for bm in Benchmark::ALL {
-            let dp = simulate(design, bm, ParallelStrategy::DataParallel);
-            let mp = simulate(design, bm, ParallelStrategy::ModelParallel);
-            rows.push(Fig12Row {
-                design,
-                benchmark: bm.name().to_owned(),
+            for strategy in ParallelStrategy::ALL {
+                cells.push(Scenario::new(design, bm, strategy));
+            }
+        }
+    }
+    let reports = global_runner().run_grid(&cells);
+    reports
+        .chunks(2)
+        .map(|pair| {
+            let (dp, mp) = (&pair[0], &pair[1]);
+            Fig12Row {
+                design: dp.design,
+                benchmark: dp.benchmark.clone(),
                 avg_data_parallel_gbs: dp.cpu_socket_avg_gbs,
                 avg_model_parallel_gbs: mp.cpu_socket_avg_gbs,
                 max_gbs: dp.cpu_socket_max_gbs.max(mp.cpu_socket_max_gbs),
-            });
-        }
-    }
-    rows
+            }
+        })
+        .collect()
 }
 
 /// One Fig. 14 cell: MC-DLA(B) speedup over DC-DLA at a batch size.
@@ -215,11 +261,11 @@ pub fn fig14(batches: &[u64]) -> Vec<Fig14Cell> {
     let mut cells = Vec::new();
     for &batch in batches {
         for strategy in ParallelStrategy::ALL {
-            let summary = speedup_vs_dc_with(
+            let summary = speedup_vs_dc_scenarios(
                 SystemDesign::McDlaBwAware,
                 strategy,
                 &Benchmark::ALL,
-                |d| SystemConfig::new(d).with_batch(batch),
+                |s| s.with_batch(batch),
             );
             for (bm, s) in &summary.per_benchmark {
                 cells.push(Fig14Cell {
@@ -256,22 +302,20 @@ pub struct Fig2Cell {
 /// Figure 2 data: single-device execution time across five accelerator
 /// generations (PCIe gen3 fixed) plus the virtualization overhead.
 pub fn fig2() -> Vec<Fig2Cell> {
+    let grid = ScenarioGrid::paper_default()
+        .designs(&[SystemDesign::DcDla, SystemDesign::DcDlaOracle])
+        .benchmarks(&Benchmark::CNNS)
+        .strategies(&[ParallelStrategy::DataParallel])
+        .device_counts(&[1])
+        .generations(&DeviceGeneration::ALL);
+    let runs = global_runner().run_grid(&grid.scenarios());
+    // Benchmark-major, then design (DC virt, then oracle), then generation.
+    let per_design = DeviceGeneration::ALL.len();
     let mut cells = Vec::new();
-    for bm in Benchmark::CNNS {
+    for (chunk, bm) in runs.chunks(2 * per_design).zip(Benchmark::CNNS) {
+        let (virts, oracles) = chunk.split_at(per_design);
         let mut kepler_time = None;
-        for generation in DeviceGeneration::ALL {
-            let mk = |design: SystemDesign| {
-                let mut cfg = SystemConfig::new(design).with_devices(1);
-                // Generations already encode sustained throughput.
-                cfg.device = generation.device_config();
-                cfg
-            };
-            let virt = simulate_with(mk(SystemDesign::DcDla), bm, ParallelStrategy::DataParallel);
-            let oracle = simulate_with(
-                mk(SystemDesign::DcDlaOracle),
-                bm,
-                ParallelStrategy::DataParallel,
-            );
+        for ((virt, oracle), generation) in virts.iter().zip(oracles).zip(DeviceGeneration::ALL) {
             // Left axis: plain execution time (no virtualization) — the
             // 20x-34x device-compute trend. Right axis: the overhead once
             // memory is virtualized over the fixed PCIe gen3 interface.
@@ -281,7 +325,7 @@ pub fn fig2() -> Vec<Fig2Cell> {
                 benchmark: bm.name().to_owned(),
                 generation,
                 normalized_time: t / base,
-                overhead: virt.virtualization_overhead_vs(&oracle),
+                overhead: virt.virtualization_overhead_vs(oracle),
             });
         }
     }
@@ -305,27 +349,32 @@ pub struct ScalabilityRow {
 
 /// §V-D: strong-scaling of data-parallel CNN training to 1/2/4/8 devices.
 pub fn scalability(benchmarks: &[Benchmark]) -> Vec<ScalabilityRow> {
+    const DESIGNS: [SystemDesign; 3] = [
+        SystemDesign::DcDla,
+        SystemDesign::DcDlaOracle,
+        SystemDesign::McDlaBwAware,
+    ];
+    const COUNTS: [usize; 4] = [1, 2, 4, 8];
+    let grid = ScenarioGrid::paper_default()
+        .designs(&DESIGNS)
+        .benchmarks(benchmarks)
+        .strategies(&[ParallelStrategy::DataParallel])
+        .device_counts(&COUNTS);
+    let runs = global_runner().run_grid(&grid.scenarios());
     let mut rows = Vec::new();
-    for bm in benchmarks {
-        let run = |design: SystemDesign, devices: usize| {
-            simulate_with(
-                SystemConfig::new(design).with_devices(devices),
-                *bm,
-                ParallelStrategy::DataParallel,
-            )
-            .iteration_time
-            .as_secs_f64()
+    for (chunk, bm) in runs.chunks(DESIGNS.len() * COUNTS.len()).zip(benchmarks) {
+        let secs = |design_idx: usize, count_idx: usize| {
+            chunk[design_idx * COUNTS.len() + count_idx]
+                .iteration_time
+                .as_secs_f64()
         };
-        let dc1 = run(SystemDesign::DcDla, 1);
-        let oracle1 = run(SystemDesign::DcDlaOracle, 1);
-        let mc1 = run(SystemDesign::McDlaBwAware, 1);
-        for devices in [2usize, 4, 8] {
+        for (count_idx, devices) in COUNTS.iter().enumerate().skip(1) {
             rows.push(ScalabilityRow {
                 benchmark: bm.name().to_owned(),
-                devices,
-                dc_virt_on: dc1 / run(SystemDesign::DcDla, devices),
-                dc_virt_off: oracle1 / run(SystemDesign::DcDlaOracle, devices),
-                mc: mc1 / run(SystemDesign::McDlaBwAware, devices),
+                devices: *devices,
+                dc_virt_on: secs(0, 0) / secs(0, count_idx),
+                dc_virt_off: secs(1, 0) / secs(1, count_idx),
+                mc: secs(2, 0) / secs(2, count_idx),
             });
         }
     }
@@ -353,41 +402,39 @@ pub struct SensitivitySummary {
 
 /// Runs all §V-B sensitivity studies.
 pub fn sensitivity() -> SensitivitySummary {
-    let gap = |config: &dyn Fn(SystemDesign) -> SystemConfig, benchmarks: &[Benchmark]| {
+    let gap = |modify: &dyn Fn(Scenario) -> Scenario, benchmarks: &[Benchmark]| {
         let mut all = Vec::new();
         for strategy in ParallelStrategy::ALL {
-            let s = speedup_vs_dc_with(SystemDesign::McDlaBwAware, strategy, benchmarks, config);
+            let s =
+                speedup_vs_dc_scenarios(SystemDesign::McDlaBwAware, strategy, benchmarks, modify);
             all.extend(s.per_benchmark.iter().map(|(_, v)| *v));
         }
         harmonic_mean(&all).unwrap_or(0.0)
     };
-    let baseline = gap(&|d| SystemConfig::new(d), &Benchmark::ALL);
-    let gen4_gap = gap(&|d| SystemConfig::new(d).with_pcie_gen4(), &Benchmark::ALL);
+    let baseline = gap(&|s| s, &Benchmark::ALL);
+    let gen4_gap = gap(&Scenario::with_pcie_gen4, &Benchmark::ALL);
     let faster_device_gap = gap(
-        &|d| SystemConfig::new(d).with_device(DeviceConfig::tpu_v2_like()),
+        &|s| s.with_device_model(DeviceModel::TpuV2Like),
         &Benchmark::ALL,
     );
     let dgx2_gap = gap(
-        &|d| SystemConfig::new(d).with_device(DeviceConfig::dgx2_like()),
+        &|s| s.with_device_model(DeviceModel::Dgx2Like),
         &Benchmark::ALL,
     );
-    let cdma_cnn_gap = gap(
-        &|d| SystemConfig::new(d).with_compression(2.6),
-        &Benchmark::CNNS,
-    );
-    // DC-DLA gen4 vs gen3 improvement.
-    let mut ratios = Vec::new();
+    let cdma_cnn_gap = gap(&|s| s.with_compression(2.6), &Benchmark::CNNS);
+    // DC-DLA gen4 vs gen3 improvement, as one paired grid.
+    let mut cells = Vec::new();
     for strategy in ParallelStrategy::ALL {
         for bm in Benchmark::ALL {
-            let gen3 = simulate(SystemDesign::DcDla, bm, strategy);
-            let gen4 = simulate_with(
-                SystemConfig::new(SystemDesign::DcDla).with_pcie_gen4(),
-                bm,
-                strategy,
-            );
-            ratios.push(gen4.speedup_over(&gen3));
+            cells.push(Scenario::new(SystemDesign::DcDla, bm, strategy));
+            cells.push(Scenario::new(SystemDesign::DcDla, bm, strategy).with_pcie_gen4());
         }
     }
+    let runs = global_runner().run_grid(&cells);
+    let ratios: Vec<f64> = runs
+        .chunks(2)
+        .map(|pair| pair[1].speedup_over(&pair[0]))
+        .collect();
     SensitivitySummary {
         baseline,
         dc_gen4_improvement: harmonic_mean(&ratios).unwrap_or(0.0) - 1.0,
@@ -416,13 +463,22 @@ pub struct ScaleOutRow {
 /// NVSwitch-class plane, training data-parallel with 64 samples per device
 /// (weak scaling, the large-batch regime of §V-D's citations).
 pub fn scale_out(benchmark: Benchmark, device_counts: &[usize]) -> Vec<ScaleOutRow> {
+    let cells: Vec<Scenario> = device_counts
+        .iter()
+        .map(|&devices| {
+            Scenario::new(
+                SystemDesign::McDlaBwAware,
+                benchmark,
+                ParallelStrategy::DataParallel,
+            )
+            .with_devices(devices)
+            .with_batch(64 * devices as u64)
+        })
+        .collect();
+    let runs = global_runner().run_grid(&cells);
     let mut rows = Vec::new();
     let mut base: Option<f64> = None;
-    for &devices in device_counts {
-        let cfg = SystemConfig::new(SystemDesign::McDlaBwAware)
-            .with_devices(devices)
-            .with_batch(64 * devices as u64);
-        let r = simulate_with(cfg, benchmark, ParallelStrategy::DataParallel);
+    for (r, &devices) in runs.iter().zip(device_counts) {
         let t = r.iteration_time.as_secs_f64();
         let throughput = 64.0 * devices as f64 / t;
         let base_tp = *base.get_or_insert(throughput * 8.0 / devices as f64);

@@ -12,7 +12,10 @@
 //! * [`IterationSim`] — the training-iteration engine overlapping
 //!   computation, ring-collective synchronization and memory-overlaying
 //!   DMA per device (§IV);
-//! * [`experiment`] — runners for every table and figure of §V.
+//! * [`scenario`] — the data-driven experiment layer: [`Scenario`] /
+//!   [`ScenarioGrid`] specs plus the parallel, memoizing [`Runner`];
+//! * [`experiment`] — runners for every table and figure of §V, built on
+//!   the scenario grid.
 //!
 //! # Examples
 //!
@@ -40,10 +43,12 @@ mod energy;
 mod engine;
 pub mod experiment;
 mod report;
+pub mod scenario;
 mod virt_path;
 
 pub use design::{HostConfig, PcieGen, SystemConfig, SystemDesign};
 pub use energy::{EnergyReport, PowerModel};
 pub use engine::IterationSim;
 pub use report::IterationReport;
+pub use scenario::{DeviceModel, Overrides, Runner, Scenario, ScenarioGrid, TimedRun};
 pub use virt_path::VirtPath;

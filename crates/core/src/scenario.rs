@@ -1,0 +1,719 @@
+//! The scenario subsystem: data-driven experiment specification and a
+//! parallel, memoizing grid runner.
+//!
+//! Everything §V evaluates is a point in one configuration space:
+//! *(design, benchmark, strategy, device count, batch, device generation,
+//! overrides)*. A [`Scenario`] captures that point as a small,
+//! serde-serializable value; a [`ScenarioGrid`] spans a cartesian product
+//! of them; and a [`Runner`] executes any set of scenarios across scoped
+//! worker threads with a memoized result cache keyed by the scenario
+//! hash, so overlapping figure/table grids (Fig. 11 and Fig. 13 share
+//! all 96 default cells, the §V-B studies share their baselines, ...)
+//! never re-simulate a cell.
+//!
+//! Adding a new experiment is a data change — describe the cells, hand
+//! them to the runner — not a new binary.
+//!
+//! # Examples
+//!
+//! ```
+//! use mcdla_core::{Runner, Scenario, ScenarioGrid, SystemDesign};
+//! use mcdla_dnn::Benchmark;
+//! use mcdla_parallel::ParallelStrategy;
+//!
+//! let grid = ScenarioGrid::paper_default();
+//! assert_eq!(grid.len(), 6 * 8 * 2); // designs x benchmarks x strategies
+//!
+//! let runner = Runner::with_threads(2);
+//! let one = Scenario::new(
+//!     SystemDesign::McDlaBwAware,
+//!     Benchmark::AlexNet,
+//!     ParallelStrategy::DataParallel,
+//! );
+//! let first = runner.run(one);
+//! let again = runner.run(one); // memoized: no second simulation
+//! assert_eq!(first, again);
+//! assert_eq!(runner.cache_hits(), 1);
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use mcdla_accel::{DeviceConfig, DeviceGeneration};
+use mcdla_dnn::Benchmark;
+use mcdla_parallel::ParallelStrategy;
+use serde::{Deserialize, Serialize};
+
+use crate::design::{SystemConfig, SystemDesign};
+use crate::engine::IterationSim;
+use crate::report::IterationReport;
+
+/// Named device-node models for the §V-B sensitivity studies.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceModel {
+    /// The §V-B "faster device-node such as TPUv2" study.
+    TpuV2Like,
+    /// The §V-B "DGX-2-class node" study.
+    Dgx2Like,
+}
+
+impl DeviceModel {
+    /// The device configuration this model names.
+    pub fn device_config(self) -> DeviceConfig {
+        match self {
+            DeviceModel::TpuV2Like => DeviceConfig::tpu_v2_like(),
+            DeviceModel::Dgx2Like => DeviceConfig::dgx2_like(),
+        }
+    }
+}
+
+/// Optional departures from the paper-default configuration of a cell.
+#[derive(Debug, Copy, Clone, Default, Serialize, Deserialize)]
+pub struct Overrides {
+    /// Upgrade the host interface to PCIe gen4 (§V-B).
+    pub pcie_gen4: bool,
+    /// Swap the device-node for a named faster model (§V-B). The
+    /// calibration factor is preserved, as in the paper's study.
+    pub device_model: Option<DeviceModel>,
+    /// cDMA-style activation-compression ratio on overlay traffic
+    /// (§V-B uses 2.6). Must be finite and `>= 1`.
+    pub compression: Option<f64>,
+}
+
+// Equality and hashing go through `f64::to_bits` so they stay mutually
+// consistent for *any* value of the public `compression` field — even a
+// hand-constructed NaN (which `Scenario::with_compression` rejects, but
+// the struct literal cannot) keys the memo cache coherently instead of
+// failing `cache.get` after `cache.insert`.
+impl PartialEq for Overrides {
+    fn eq(&self, other: &Self) -> bool {
+        self.pcie_gen4 == other.pcie_gen4
+            && self.device_model == other.device_model
+            && self.compression.map(f64::to_bits) == other.compression.map(f64::to_bits)
+    }
+}
+
+impl Eq for Overrides {}
+
+impl Hash for Overrides {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.pcie_gen4.hash(state);
+        self.device_model.hash(state);
+        self.compression.map(f64::to_bits).hash(state);
+    }
+}
+
+/// One fully specified simulation cell: which design runs which workload
+/// under which knobs.
+///
+/// A scenario is plain data — `Copy`, hashable, serde-serializable — so
+/// grids can be generated, diffed, cached, and shipped as JSON.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Scenario {
+    /// System design point.
+    pub design: SystemDesign,
+    /// Workload.
+    pub benchmark: Benchmark,
+    /// Parallelization strategy.
+    pub strategy: ParallelStrategy,
+    /// Device-node count; `None` means the paper default (8).
+    pub devices: Option<usize>,
+    /// Global batch; `None` means the paper default (512).
+    pub batch: Option<u64>,
+    /// Historical accelerator generation standing in for the device
+    /// (Fig. 2); `None` means the calibrated Table II device.
+    pub generation: Option<DeviceGeneration>,
+    /// Sensitivity-study overrides.
+    pub overrides: Overrides,
+}
+
+impl Scenario {
+    /// A paper-default cell for the given design, workload and strategy.
+    pub fn new(design: SystemDesign, benchmark: Benchmark, strategy: ParallelStrategy) -> Self {
+        Scenario {
+            design,
+            benchmark,
+            strategy,
+            devices: None,
+            batch: None,
+            generation: None,
+            overrides: Overrides::default(),
+        }
+    }
+
+    /// Returns the scenario with a device count (§V-D scaling).
+    pub fn with_devices(mut self, devices: usize) -> Self {
+        self.devices = Some(devices);
+        self
+    }
+
+    /// Returns the scenario with a global batch size (Fig. 14).
+    pub fn with_batch(mut self, batch: u64) -> Self {
+        self.batch = Some(batch);
+        self
+    }
+
+    /// Returns the scenario on a historical device generation (Fig. 2).
+    pub fn with_generation(mut self, generation: DeviceGeneration) -> Self {
+        self.generation = Some(generation);
+        self
+    }
+
+    /// Returns the scenario with a PCIe gen4 host interface (§V-B).
+    pub fn with_pcie_gen4(mut self) -> Self {
+        self.overrides.pcie_gen4 = true;
+        self
+    }
+
+    /// Returns the scenario on a named faster device model (§V-B).
+    pub fn with_device_model(mut self, model: DeviceModel) -> Self {
+        self.overrides.device_model = Some(model);
+        self
+    }
+
+    /// Returns the scenario with activation compression at `ratio` (§V-B).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ratio` is finite and `>= 1`.
+    pub fn with_compression(mut self, ratio: f64) -> Self {
+        assert!(
+            ratio.is_finite() && ratio >= 1.0,
+            "compression ratio must be finite and >= 1, got {ratio}"
+        );
+        self.overrides.compression = Some(ratio);
+        self
+    }
+
+    /// Materializes the [`SystemConfig`] this scenario describes.
+    pub fn config(&self) -> SystemConfig {
+        let mut cfg = SystemConfig::new(self.design);
+        if let Some(devices) = self.devices {
+            cfg = cfg.with_devices(devices);
+        }
+        if let Some(batch) = self.batch {
+            cfg = cfg.with_batch(batch);
+        }
+        if let Some(generation) = self.generation {
+            // Generations already encode sustained throughput, so they
+            // replace the calibrated Table II device wholesale (Fig. 2).
+            cfg.device = generation.device_config();
+        }
+        if self.overrides.pcie_gen4 {
+            cfg = cfg.with_pcie_gen4();
+        }
+        if let Some(model) = self.overrides.device_model {
+            cfg = cfg.with_device(model.device_config());
+        }
+        if let Some(ratio) = self.overrides.compression {
+            cfg = cfg.with_compression(ratio);
+        }
+        cfg
+    }
+
+    /// Simulates this cell directly, bypassing any cache.
+    pub fn simulate(&self) -> IterationReport {
+        let net = self.benchmark.build();
+        IterationSim::new(self.config(), &net, self.strategy).run()
+    }
+
+    /// A stable 64-bit digest of the scenario (FNV-1a over its canonical
+    /// JSON encoding) — identical across processes and runs, unlike
+    /// `Hash`, so it can name cells in emitted artifacts.
+    pub fn digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        for b in serde::json::to_string(self).bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
+}
+
+/// A cartesian product of scenario axes, expanded in a deterministic
+/// order (benchmark-major, then design, strategy, devices, batch,
+/// generation, overrides).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioGrid {
+    designs: Vec<SystemDesign>,
+    benchmarks: Vec<Benchmark>,
+    strategies: Vec<ParallelStrategy>,
+    devices: Vec<Option<usize>>,
+    batches: Vec<Option<u64>>,
+    generations: Vec<Option<DeviceGeneration>>,
+    overrides: Vec<Overrides>,
+}
+
+impl Default for ScenarioGrid {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl ScenarioGrid {
+    /// The §V default grid: all six designs, all eight workloads, both
+    /// strategies, paper-default knobs — the Fig. 11/13 matrix.
+    pub fn paper_default() -> Self {
+        ScenarioGrid {
+            designs: SystemDesign::ALL.to_vec(),
+            benchmarks: Benchmark::ALL.to_vec(),
+            strategies: ParallelStrategy::ALL.to_vec(),
+            devices: vec![None],
+            batches: vec![None],
+            generations: vec![None],
+            overrides: vec![Overrides::default()],
+        }
+    }
+
+    /// Restricts the design axis.
+    pub fn designs(mut self, designs: &[SystemDesign]) -> Self {
+        self.designs = designs.to_vec();
+        self
+    }
+
+    /// Restricts the benchmark axis.
+    pub fn benchmarks(mut self, benchmarks: &[Benchmark]) -> Self {
+        self.benchmarks = benchmarks.to_vec();
+        self
+    }
+
+    /// Restricts the strategy axis.
+    pub fn strategies(mut self, strategies: &[ParallelStrategy]) -> Self {
+        self.strategies = strategies.to_vec();
+        self
+    }
+
+    /// Sweeps the device-count axis (§V-D).
+    pub fn device_counts(mut self, counts: &[usize]) -> Self {
+        self.devices = counts.iter().map(|d| Some(*d)).collect();
+        self
+    }
+
+    /// Sweeps the global-batch axis (Fig. 14).
+    pub fn batches(mut self, batches: &[u64]) -> Self {
+        self.batches = batches.iter().map(|b| Some(*b)).collect();
+        self
+    }
+
+    /// Appends device counts to the existing axis, keeping whatever is
+    /// already there (the paper default, unless [`ScenarioGrid::device_counts`]
+    /// replaced it).
+    pub fn extend_device_counts(mut self, counts: &[usize]) -> Self {
+        self.devices.extend(counts.iter().map(|d| Some(*d)));
+        self
+    }
+
+    /// Appends global batches to the existing axis, keeping whatever is
+    /// already there (the paper default, unless [`ScenarioGrid::batches`]
+    /// replaced it).
+    pub fn extend_batches(mut self, batches: &[u64]) -> Self {
+        self.batches.extend(batches.iter().map(|b| Some(*b)));
+        self
+    }
+
+    /// Sweeps the device-generation axis (Fig. 2).
+    pub fn generations(mut self, generations: &[DeviceGeneration]) -> Self {
+        self.generations = generations.iter().map(|g| Some(*g)).collect();
+        self
+    }
+
+    /// Sweeps the overrides axis (§V-B studies).
+    pub fn overrides(mut self, overrides: &[Overrides]) -> Self {
+        self.overrides = overrides.to_vec();
+        self
+    }
+
+    /// Number of cells the grid expands to.
+    pub fn len(&self) -> usize {
+        self.designs.len()
+            * self.benchmarks.len()
+            * self.strategies.len()
+            * self.devices.len()
+            * self.batches.len()
+            * self.generations.len()
+            * self.overrides.len()
+    }
+
+    /// True when any axis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expands the product into concrete scenarios.
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        let mut out = Vec::with_capacity(self.len());
+        for &benchmark in &self.benchmarks {
+            for &design in &self.designs {
+                for &strategy in &self.strategies {
+                    for &devices in &self.devices {
+                        for &batch in &self.batches {
+                            for &generation in &self.generations {
+                                for &overrides in &self.overrides {
+                                    out.push(Scenario {
+                                        design,
+                                        benchmark,
+                                        strategy,
+                                        devices,
+                                        batch,
+                                        generation,
+                                        overrides,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One grid cell's execution record, as produced by
+/// [`Runner::run_grid_timed`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedRun {
+    /// The cell that ran.
+    pub scenario: Scenario,
+    /// Its simulation result.
+    pub report: IterationReport,
+    /// Wall-clock time this cell cost *this* call (zero-ish for memoized
+    /// cells).
+    pub wall: Duration,
+    /// True when the result came from the memo cache.
+    pub cached: bool,
+}
+
+/// Executes scenarios across scoped worker threads with a memoized
+/// result cache.
+///
+/// The simulator is a pure function of the scenario, so the runner
+/// deduplicates cells (within a grid *and* across calls) and fans the
+/// remainder out to `threads` workers. Results are bit-identical to
+/// serial execution regardless of thread count — the engine carries no
+/// shared mutable state — which `tests/scenario_runner.rs` pins.
+///
+/// The thread count defaults to the `MCDLA_THREADS` environment variable
+/// when set, else the machine's available parallelism.
+#[derive(Debug)]
+pub struct Runner {
+    threads: usize,
+    cache: Mutex<HashMap<Scenario, IterationReport>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Runner {
+    /// A runner with the default thread count (`MCDLA_THREADS` or the
+    /// machine's available parallelism).
+    pub fn new() -> Self {
+        Self::with_threads(default_threads())
+    }
+
+    /// A runner with an explicit worker-thread count (clamped to >= 1).
+    pub fn with_threads(threads: usize) -> Self {
+        Runner {
+            threads: threads.max(1),
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Worker threads used by [`Runner::run_grid`].
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Cells served from the memo cache so far.
+    pub fn cache_hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cells actually simulated so far.
+    pub fn cache_misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct cells currently memoized.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().expect("cache lock").len()
+    }
+
+    /// Runs one cell, memoized.
+    pub fn run(&self, scenario: Scenario) -> IterationReport {
+        if let Some(hit) = self.cache.lock().expect("cache lock").get(&scenario) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let report = scenario.simulate();
+        self.cache
+            .lock()
+            .expect("cache lock")
+            .insert(scenario, report.clone());
+        report
+    }
+
+    /// Runs a batch of cells, deduplicated and fanned out across the
+    /// runner's worker threads; the result order matches the input order.
+    pub fn run_grid(&self, scenarios: &[Scenario]) -> Vec<IterationReport> {
+        self.run_grid_timed(scenarios)
+            .into_iter()
+            .map(|t| t.report)
+            .collect()
+    }
+
+    /// Like [`Runner::run_grid`], additionally reporting per-cell
+    /// wall-clock cost and cache provenance (the `mcdla sweep` payload).
+    pub fn run_grid_timed(&self, scenarios: &[Scenario]) -> Vec<TimedRun> {
+        // Deduplicate against both the cache and repeats within the batch.
+        let mut fresh: Vec<Scenario> = Vec::new();
+        {
+            let cache = self.cache.lock().expect("cache lock");
+            let mut seen: HashSet<Scenario> = HashSet::new();
+            for s in scenarios {
+                if !cache.contains_key(s) && seen.insert(*s) {
+                    fresh.push(*s);
+                }
+            }
+        }
+
+        // Fan the fresh cells out to scoped workers over a shared index.
+        let computed: Vec<(IterationReport, Duration)> = if fresh.len() <= 1 || self.threads == 1 {
+            fresh.iter().map(timed_simulate).collect()
+        } else {
+            let slots: Vec<OnceLock<(IterationReport, Duration)>> =
+                fresh.iter().map(|_| OnceLock::new()).collect();
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..self.threads.min(fresh.len()) {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(s) = fresh.get(i) else { break };
+                        slots[i]
+                            .set(timed_simulate(s))
+                            .expect("each slot is filled exactly once");
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| slot.into_inner().expect("worker filled every slot"))
+                .collect()
+        };
+
+        let mut walls: HashMap<Scenario, Duration> = HashMap::with_capacity(fresh.len());
+        {
+            let mut cache = self.cache.lock().expect("cache lock");
+            for (s, (report, wall)) in fresh.iter().zip(computed) {
+                cache.insert(*s, report);
+                walls.insert(*s, wall);
+            }
+        }
+        self.misses.fetch_add(fresh.len(), Ordering::Relaxed);
+
+        let cache = self.cache.lock().expect("cache lock");
+        scenarios
+            .iter()
+            .map(|s| {
+                let report = cache.get(s).expect("every cell is cached by now").clone();
+                match walls.remove(s) {
+                    Some(wall) => TimedRun {
+                        scenario: *s,
+                        report,
+                        wall,
+                        cached: false,
+                    },
+                    None => {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        TimedRun {
+                            scenario: *s,
+                            report,
+                            wall: Duration::ZERO,
+                            cached: true,
+                        }
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+fn timed_simulate(s: &Scenario) -> (IterationReport, Duration) {
+    let start = Instant::now();
+    let report = s.simulate();
+    (report, start.elapsed())
+}
+
+fn default_threads() -> usize {
+    threads_from(std::env::var("MCDLA_THREADS").ok().as_deref())
+}
+
+/// Resolves a thread count from an `MCDLA_THREADS`-style value, falling
+/// back to the machine's available parallelism (kept separate from the
+/// environment read so tests never have to mutate process-global state).
+fn threads_from(env_value: Option<&str>) -> usize {
+    if let Some(v) = env_value {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The process-wide runner the [`crate::experiment`] helpers share, so
+/// every figure/table reuses previously simulated cells.
+pub fn global_runner() -> &'static Runner {
+    static RUNNER: OnceLock<Runner> = OnceLock::new();
+    RUNNER.get_or_init(Runner::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell() -> Scenario {
+        Scenario::new(
+            SystemDesign::DcDla,
+            Benchmark::AlexNet,
+            ParallelStrategy::DataParallel,
+        )
+    }
+
+    #[test]
+    fn config_matches_hand_built() {
+        let s = cell().with_devices(4).with_batch(128).with_pcie_gen4();
+        let by_hand = SystemConfig::new(SystemDesign::DcDla)
+            .with_devices(4)
+            .with_batch(128)
+            .with_pcie_gen4();
+        assert_eq!(s.config(), by_hand);
+    }
+
+    #[test]
+    fn generation_replaces_the_calibrated_device() {
+        let s = cell()
+            .with_devices(1)
+            .with_generation(DeviceGeneration::Volta);
+        let cfg = s.config();
+        assert_eq!(cfg.device, DeviceGeneration::Volta.device_config());
+        assert_eq!(cfg.devices, 1);
+    }
+
+    #[test]
+    fn device_model_preserves_calibration() {
+        let cfg = cell().with_device_model(DeviceModel::TpuV2Like).config();
+        assert_eq!(cfg.device.name, "tpuv2-like");
+        // SystemConfig::new calibrates sustained_efficiency to 0.75 and
+        // with_device preserves it.
+        assert_eq!(cfg.device.sustained_efficiency, 0.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "compression ratio")]
+    fn rejects_sub_unity_compression() {
+        let _ = cell().with_compression(0.5);
+    }
+
+    #[test]
+    fn digest_is_stable_and_discriminating() {
+        let a = cell();
+        assert_eq!(a.digest(), a.digest());
+        assert_ne!(a.digest(), a.with_batch(128).digest());
+        assert_ne!(a.digest(), a.with_pcie_gen4().digest());
+    }
+
+    #[test]
+    fn grid_len_matches_expansion() {
+        let grid = ScenarioGrid::paper_default()
+            .designs(&[SystemDesign::DcDla, SystemDesign::McDlaBwAware])
+            .benchmarks(&[Benchmark::AlexNet])
+            .batches(&[128, 512])
+            .device_counts(&[2, 4, 8]);
+        assert_eq!(grid.len(), 2 * 2 * 2 * 3);
+        assert_eq!(grid.scenarios().len(), grid.len());
+    }
+
+    #[test]
+    fn threads_from_parses_env_values() {
+        assert_eq!(threads_from(Some("3")), 3);
+        assert_eq!(threads_from(Some(" 7 ")), 7);
+        // Garbage and zero fall back to machine parallelism (>= 1).
+        assert!(threads_from(Some("0")) >= 1);
+        assert!(threads_from(Some("abc")) >= 1);
+        assert!(threads_from(None) >= 1);
+    }
+
+    #[test]
+    fn hostile_compression_values_still_key_the_cache_coherently() {
+        // `with_compression` rejects NaN, but the public field cannot;
+        // equality/hashing must stay consistent so the memo cache never
+        // loses an inserted entry.
+        let mut a = cell();
+        a.overrides.compression = Some(f64::NAN);
+        assert_eq!(a, a);
+        let grid_cells = [a, a];
+        let mut seen = std::collections::HashSet::new();
+        assert!(seen.insert(grid_cells[0]));
+        assert!(!seen.insert(grid_cells[1]));
+    }
+
+    #[test]
+    fn extend_keeps_the_default_axis_values() {
+        let grid = ScenarioGrid::paper_default()
+            .extend_batches(&[128])
+            .extend_device_counts(&[4]);
+        // Default (None) + the extension on both axes.
+        assert_eq!(grid.len(), 6 * 8 * 2 * 2 * 2);
+        let cells = grid.scenarios();
+        assert!(cells.iter().any(|s| s.batch.is_none()));
+        assert!(cells.iter().any(|s| s.batch == Some(128)));
+        assert!(cells.iter().any(|s| s.devices.is_none()));
+        assert!(cells.iter().any(|s| s.devices == Some(4)));
+    }
+
+    #[test]
+    fn grid_expansion_is_deterministic() {
+        let grid = ScenarioGrid::paper_default();
+        assert_eq!(grid.scenarios(), grid.scenarios());
+    }
+
+    #[test]
+    fn runner_dedupes_within_a_batch() {
+        let runner = Runner::with_threads(2);
+        let s = cell();
+        let out = runner.run_grid(&[s, s, s]);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], out[1]);
+        assert_eq!(runner.cache_misses(), 1);
+        assert_eq!(runner.cache_hits(), 2);
+    }
+
+    #[test]
+    fn timed_runs_flag_cache_provenance() {
+        let runner = Runner::with_threads(1);
+        let s = cell();
+        let first = runner.run_grid_timed(&[s]);
+        assert!(!first[0].cached);
+        let second = runner.run_grid_timed(&[s]);
+        assert!(second[0].cached);
+        assert_eq!(second[0].wall, Duration::ZERO);
+        assert_eq!(first[0].report, second[0].report);
+    }
+}

@@ -114,10 +114,9 @@ impl VirtPath {
                 // BW_AWARE: all N links across both neighbors (Fig. 10:
                 // D/(N*B)); each neighbor node serves two clients, so the
                 // DIMM side offers memory_bandwidth/2 per client per side.
-                let side_links =
-                    (cfg.device.link_count / 2) as f64 * cfg.device.link_bandwidth_gbs;
-                let side_dimm = cfg.memory_node.memory_bandwidth_gbs
-                    / cfg.memory_node.link_groups as f64;
+                let side_links = (cfg.device.link_count / 2) as f64 * cfg.device.link_bandwidth_gbs;
+                let side_dimm =
+                    cfg.memory_node.memory_bandwidth_gbs / cfg.memory_node.link_groups as f64;
                 let per_side = side_links.min(side_dimm);
                 Some(VirtPath {
                     label: "BW_AWARE: 3+3 ring links to both neighbor memory-nodes".into(),
@@ -133,10 +132,7 @@ impl VirtPath {
     /// Materializes one direction of this path for **all** devices of `cfg`
     /// into a [`FlowNetwork`], returning per-device channel paths. Used to
     /// validate the static sharing model against the fluid solver.
-    pub fn build_flow_channels(
-        cfg: &SystemConfig,
-        net: &mut FlowNetwork,
-    ) -> Vec<Vec<ChannelId>> {
+    pub fn build_flow_channels(cfg: &SystemConfig, net: &mut FlowNetwork) -> Vec<Vec<ChannelId>> {
         let mut paths = vec![Vec::new(); cfg.devices];
         match cfg.design {
             SystemDesign::DcDlaOracle => {}
@@ -177,13 +173,10 @@ impl VirtPath {
                         )
                     })
                     .collect();
-                let link_gbs =
-                    (cfg.device.link_count / 2) as f64 * cfg.device.link_bandwidth_gbs;
+                let link_gbs = (cfg.device.link_count / 2) as f64 * cfg.device.link_bandwidth_gbs;
                 for (d, path) in paths.iter_mut().enumerate() {
-                    let links = net.add_channel(
-                        format!("dev{d}-hostlinks"),
-                        Bandwidth::gb_per_sec(link_gbs),
-                    );
+                    let links = net
+                        .add_channel(format!("dev{d}-hostlinks"), Bandwidth::gb_per_sec(link_gbs));
                     let socket = sockets[(d / cfg.devices_per_socket()) % cfg.host.sockets];
                     path.extend([links, socket]);
                 }
@@ -293,7 +286,11 @@ mod tests {
     fn static_model_matches_fluid_solver() {
         // Run 8 symmetric transfers through the full channel graph and
         // check each flow's steady rate equals the static prediction.
-        for design in [SystemDesign::DcDla, SystemDesign::HcDla, SystemDesign::McDlaBwAware] {
+        for design in [
+            SystemDesign::DcDla,
+            SystemDesign::HcDla,
+            SystemDesign::McDlaBwAware,
+        ] {
             let cfg = SystemConfig::new(design);
             let expect = VirtPath::from_config(&cfg).unwrap().per_device_gbs;
             let mut net = FlowNetwork::new();

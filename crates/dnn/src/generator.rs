@@ -86,7 +86,13 @@ pub fn video_understanding(cfg: &VideoConfig) -> Network {
     let mut first = None;
     for t in 0..cfg.frames {
         h = b
-            .rnn_cell(&format!("lstm_t{t}"), h, RnnCellKind::Lstm, cfg.hidden, cfg.hidden)
+            .rnn_cell(
+                &format!("lstm_t{t}"),
+                h,
+                RnnCellKind::Lstm,
+                cfg.hidden,
+                cfg.hidden,
+            )
             .expect("lstm");
         match first {
             None => first = Some(h),
@@ -96,7 +102,9 @@ pub fn video_understanding(cfg: &VideoConfig) -> Network {
     let logits = b
         .fully_connected("decoder", h, cfg.vocabulary)
         .expect("decoder");
-    let _ = b.unary("prob", logits, LayerKind::Softmax).expect("softmax");
+    let _ = b
+        .unary("prob", logits, LayerKind::Softmax)
+        .expect("softmax");
     b.build()
 }
 
@@ -126,21 +134,28 @@ pub fn random_network(seed: u64) -> Network {
 
 fn random_cnn(rng: &mut StdRng) -> Network {
     let mut b = NetworkBuilder::new("random-cnn", Application::ImageRecognition);
-    let size = *[32usize, 64, 128, 224].get(rng.gen_range(0..4)).unwrap();
+    let size = *[32usize, 64, 128, 224]
+        .get(rng.gen_range(0..4usize))
+        .unwrap();
     let mut x = b.input(TensorShape::chw(3, size, size));
     let stages = rng.gen_range(1..=4usize);
     let mut ch = 8usize << rng.gen_range(0..3);
     let mut spatial = size;
+    // Channels `x` actually has: a stage may skip all its convolutions
+    // (kernel larger than the remaining spatial size), leaving `x` at the
+    // previous width, so the residual pair below must not assume `ch`.
+    let mut x_ch = 3usize;
     for stage in 0..stages {
         let convs = rng.gen_range(1..=3usize);
         for i in 0..convs {
-            let kernel = [1usize, 3, 5][rng.gen_range(0..3)];
+            let kernel = [1usize, 3, 5][rng.gen_range(0..3usize)];
             if spatial < kernel {
                 break;
             }
             x = b
                 .conv(&format!("c{stage}_{i}"), x, ch, kernel, 1, kernel / 2)
                 .expect("conv geometry is valid by construction");
+            x_ch = ch;
             if rng.gen_bool(0.7) {
                 x = b.relu(&format!("r{stage}_{i}"), x).expect("relu");
             }
@@ -151,9 +166,9 @@ fn random_cnn(rng: &mut StdRng) -> Network {
             }
         }
         // Residual pair on equal shapes.
-        if rng.gen_bool(0.3) {
+        if rng.gen_bool(0.3) && spatial >= 3 {
             let y = b
-                .conv(&format!("res{stage}"), x, ch, 3, 1, 1)
+                .conv(&format!("res{stage}"), x, x_ch, 3, 1, 1)
                 .expect("res conv");
             x = b.add(&format!("add{stage}"), x, y).expect("same shape");
         }
@@ -173,11 +188,17 @@ fn random_cnn(rng: &mut StdRng) -> Network {
 }
 
 fn random_rnn(rng: &mut StdRng) -> Network {
-    let kind = [RnnCellKind::Vanilla, RnnCellKind::Lstm, RnnCellKind::Gru]
-        [rng.gen_range(0..3)];
+    let kind =
+        [RnnCellKind::Vanilla, RnnCellKind::Lstm, RnnCellKind::Gru][rng.gen_range(0..3usize)];
     let hidden = 64usize << rng.gen_range(0..6); // 64..2048
     let steps = rng.gen_range(2..=64usize);
-    crate::zoo::rnn(Application::SpeechRecognition, "random-rnn", kind, hidden, steps)
+    crate::zoo::rnn(
+        Application::SpeechRecognition,
+        "random-rnn",
+        kind,
+        hidden,
+        steps,
+    )
 }
 
 #[cfg(test)]

@@ -312,7 +312,9 @@ impl Layer {
                 kind,
                 hidden,
                 input,
-            } => kind.gate_count() * ((input as u64 + hidden as u64) * hidden as u64 + hidden as u64),
+            } => {
+                kind.gate_count() * ((input as u64 + hidden as u64) * hidden as u64 + hidden as u64)
+            }
             _ => 0,
         }
     }

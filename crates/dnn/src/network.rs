@@ -378,12 +378,11 @@ impl NetworkBuilder {
                 detail: format!("groups {groups} must divide channels {c} and {out_channels}"),
             });
         }
-        let (oh, ow) = conv_out(h, w, kernel, stride, padding).ok_or_else(|| {
-            BuildError::ShapeMismatch {
+        let (oh, ow) =
+            conv_out(h, w, kernel, stride, padding).ok_or_else(|| BuildError::ShapeMismatch {
                 layer: name.into(),
                 detail: format!("window {kernel}/{stride}/{padding} does not fit {h}x{w}"),
-            }
-        })?;
+            })?;
         Ok(self.push(
             name,
             LayerKind::Conv2d {
@@ -662,7 +661,14 @@ impl NetworkBuilder {
                 detail: format!("{sa} != {sb}"),
             });
         }
-        Ok(self.push(name, LayerKind::EltwiseAdd, vec![a, b], sa.clone(), sa, false))
+        Ok(self.push(
+            name,
+            LayerKind::EltwiseAdd,
+            vec![a, b],
+            sa.clone(),
+            sa,
+            false,
+        ))
     }
 
     /// Adds one unrolled recurrent timestep consuming the previous hidden
@@ -743,7 +749,14 @@ fn conv_out(h: usize, w: usize, k: usize, s: usize, p: usize) -> Option<(usize, 
     Some((oh, ow))
 }
 
-fn pool_out(h: usize, w: usize, k: usize, s: usize, p: usize, ceil: bool) -> Option<(usize, usize)> {
+fn pool_out(
+    h: usize,
+    w: usize,
+    k: usize,
+    s: usize,
+    p: usize,
+    ceil: bool,
+) -> Option<(usize, usize)> {
     // Ceil-mode matches Caffe-era conventions used by AlexNet/GoogLeNet
     // (3x3 stride-2 pooling of 55 -> 27); floor-mode matches ResNet
     // (3x3 stride-2 pad-1 pooling of 112 -> 56).
@@ -777,15 +790,12 @@ mod tests {
         let n = tiny();
         assert_eq!(n.layer_count(), 6);
         assert_eq!(n.weighted_depth(), 2);
+        assert_eq!(n.layers()[1].output_shape(), &TensorShape::chw(8, 32, 32));
+        assert_eq!(n.layers()[3].output_shape(), &TensorShape::chw(8, 16, 16));
         assert_eq!(
-            n.layers()[1].output_shape(),
-            &TensorShape::chw(8, 32, 32)
+            n.layers()[4].input_shape(),
+            &TensorShape::vector(8 * 16 * 16)
         );
-        assert_eq!(
-            n.layers()[3].output_shape(),
-            &TensorShape::chw(8, 16, 16)
-        );
-        assert_eq!(n.layers()[4].input_shape(), &TensorShape::vector(8 * 16 * 16));
     }
 
     #[test]

@@ -101,7 +101,7 @@ impl NetworkSummary {
     /// hot-spots a practitioner would attack first.
     pub fn largest_stashes(&self, n: usize) -> Vec<&LayerSummary> {
         let mut rows: Vec<&LayerSummary> = self.layers.iter().collect();
-        rows.sort_by(|a, b| b.stash_bytes.cmp(&a.stash_bytes));
+        rows.sort_by_key(|r| std::cmp::Reverse(r.stash_bytes));
         rows.truncate(n);
         rows
     }
@@ -127,10 +127,18 @@ mod tests {
     fn section_5a_ratios() {
         // CNN feature maps dominate weights; a narrow LSTM inverts.
         let vgg = NetworkSummary::of(&Benchmark::VggE.build(), 64, DataType::F32);
-        assert!(vgg.activation_to_weight_ratio() > 1.0, "{}", vgg.activation_to_weight_ratio());
+        assert!(
+            vgg.activation_to_weight_ratio() > 1.0,
+            "{}",
+            vgg.activation_to_weight_ratio()
+        );
         let lstm = NetworkSummary::of(&Benchmark::RnnLstm1.build(), 16, DataType::F32);
         // h=512 LSTM at batch 16: one 8.4 MB weight tensor vs small stashes.
-        assert!(lstm.activation_to_weight_ratio() < 1.0, "{}", lstm.activation_to_weight_ratio());
+        assert!(
+            lstm.activation_to_weight_ratio() < 1.0,
+            "{}",
+            lstm.activation_to_weight_ratio()
+        );
     }
 
     #[test]
@@ -152,7 +160,12 @@ mod tests {
     fn most_compute_bound_is_a_conv() {
         let s = NetworkSummary::of(&Benchmark::ResNet.build(), 64, DataType::F32);
         let hot = s.most_compute_bound().expect("non-empty");
-        assert!(hot.macs_per_byte > 50.0, "{}: {}", hot.name, hot.macs_per_byte);
+        assert!(
+            hot.macs_per_byte > 50.0,
+            "{}: {}",
+            hot.name,
+            hot.macs_per_byte
+        );
         assert!(hot.kind.contains("Conv2d"), "{}", hot.kind);
     }
 }

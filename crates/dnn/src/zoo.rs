@@ -96,10 +96,34 @@ impl Benchmark {
             Benchmark::GoogLeNet => googlenet(),
             Benchmark::VggE => vgg_e(),
             Benchmark::ResNet => resnet34(),
-            Benchmark::RnnGemv => rnn(Application::SpeechRecognition, "RNN-GEMV", RnnCellKind::Vanilla, 1760, 50),
-            Benchmark::RnnLstm1 => rnn(Application::MachineTranslation, "RNN-LSTM-1", RnnCellKind::Lstm, 512, 25),
-            Benchmark::RnnLstm2 => rnn(Application::LanguageModeling, "RNN-LSTM-2", RnnCellKind::Lstm, 2048, 25),
-            Benchmark::RnnGru => rnn(Application::SpeechRecognition, "RNN-GRU", RnnCellKind::Gru, 2816, 187),
+            Benchmark::RnnGemv => rnn(
+                Application::SpeechRecognition,
+                "RNN-GEMV",
+                RnnCellKind::Vanilla,
+                1760,
+                50,
+            ),
+            Benchmark::RnnLstm1 => rnn(
+                Application::MachineTranslation,
+                "RNN-LSTM-1",
+                RnnCellKind::Lstm,
+                512,
+                25,
+            ),
+            Benchmark::RnnLstm2 => rnn(
+                Application::LanguageModeling,
+                "RNN-LSTM-2",
+                RnnCellKind::Lstm,
+                2048,
+                25,
+            ),
+            Benchmark::RnnGru => rnn(
+                Application::SpeechRecognition,
+                "RNN-GRU",
+                RnnCellKind::Gru,
+                2816,
+                187,
+            ),
         }
     }
 }
@@ -149,7 +173,9 @@ pub fn vgg_e() -> Network {
         for li in 0..*n {
             let name = format!("conv{}_{}", bi + 1, li + 1);
             prev = b.conv(&name, prev, *ch, 3, 1, 1).expect("conv");
-            prev = b.relu(&format!("relu{}_{}", bi + 1, li + 1), prev).expect("relu");
+            prev = b
+                .relu(&format!("relu{}_{}", bi + 1, li + 1), prev)
+                .expect("relu");
         }
         prev = b
             .pool(&format!("pool{}", bi + 1), prev, PoolKind::Max, 2, 2, 0)
@@ -179,19 +205,25 @@ fn inception(
     c5: usize,
     pp: usize,
 ) -> crate::LayerId {
-    let b1 = b.conv(&format!("{name}/1x1"), input, c1, 1, 1, 0).expect("1x1");
+    let b1 = b
+        .conv(&format!("{name}/1x1"), input, c1, 1, 1, 0)
+        .expect("1x1");
     let b1 = b.relu(&format!("{name}/relu_1x1"), b1).expect("relu");
     let b3r = b
         .conv(&format!("{name}/3x3_reduce"), input, c3r, 1, 1, 0)
         .expect("3x3r");
     let b3r = b.relu(&format!("{name}/relu_3x3r"), b3r).expect("relu");
-    let b3 = b.conv(&format!("{name}/3x3"), b3r, c3, 3, 1, 1).expect("3x3");
+    let b3 = b
+        .conv(&format!("{name}/3x3"), b3r, c3, 3, 1, 1)
+        .expect("3x3");
     let b3 = b.relu(&format!("{name}/relu_3x3"), b3).expect("relu");
     let b5r = b
         .conv(&format!("{name}/5x5_reduce"), input, c5r, 1, 1, 0)
         .expect("5x5r");
     let b5r = b.relu(&format!("{name}/relu_5x5r"), b5r).expect("relu");
-    let b5 = b.conv(&format!("{name}/5x5"), b5r, c5, 5, 1, 2).expect("5x5");
+    let b5 = b
+        .conv(&format!("{name}/5x5"), b5r, c5, 5, 1, 2)
+        .expect("5x5");
     let b5 = b.relu(&format!("{name}/relu_5x5"), b5).expect("relu");
     let bp = b
         .pool(&format!("{name}/pool"), input, PoolKind::Max, 3, 1, 1)
@@ -211,24 +243,32 @@ pub fn googlenet() -> Network {
     let x = b.input(TensorShape::chw(3, 224, 224));
     let c1 = b.conv("conv1/7x7_s2", x, 64, 7, 2, 3).expect("conv1");
     let r1 = b.relu("conv1/relu", c1).expect("relu");
-    let p1 = b.pool("pool1/3x3_s2", r1, PoolKind::Max, 3, 2, 0).expect("pool1");
+    let p1 = b
+        .pool("pool1/3x3_s2", r1, PoolKind::Max, 3, 2, 0)
+        .expect("pool1");
     let n1 = b.unary("pool1/norm1", p1, LayerKind::Lrn).expect("norm1");
     let c2r = b.conv("conv2/3x3_reduce", n1, 64, 1, 1, 0).expect("conv2r");
     let r2r = b.relu("conv2/relu_r", c2r).expect("relu");
     let c2 = b.conv("conv2/3x3", r2r, 192, 3, 1, 1).expect("conv2");
     let r2 = b.relu("conv2/relu", c2).expect("relu");
     let n2 = b.unary("conv2/norm2", r2, LayerKind::Lrn).expect("norm2");
-    let p2 = b.pool("pool2/3x3_s2", n2, PoolKind::Max, 3, 2, 0).expect("pool2");
+    let p2 = b
+        .pool("pool2/3x3_s2", n2, PoolKind::Max, 3, 2, 0)
+        .expect("pool2");
 
     let i3a = inception(&mut b, "inception_3a", p2, 64, 96, 128, 16, 32, 32);
     let i3b = inception(&mut b, "inception_3b", i3a, 128, 128, 192, 32, 96, 64);
-    let p3 = b.pool("pool3/3x3_s2", i3b, PoolKind::Max, 3, 2, 0).expect("pool3");
+    let p3 = b
+        .pool("pool3/3x3_s2", i3b, PoolKind::Max, 3, 2, 0)
+        .expect("pool3");
     let i4a = inception(&mut b, "inception_4a", p3, 192, 96, 208, 16, 48, 64);
     let i4b = inception(&mut b, "inception_4b", i4a, 160, 112, 224, 24, 64, 64);
     let i4c = inception(&mut b, "inception_4c", i4b, 128, 128, 256, 24, 64, 64);
     let i4d = inception(&mut b, "inception_4d", i4c, 112, 144, 288, 32, 64, 64);
     let i4e = inception(&mut b, "inception_4e", i4d, 256, 160, 320, 32, 128, 128);
-    let p4 = b.pool("pool4/3x3_s2", i4e, PoolKind::Max, 3, 2, 0).expect("pool4");
+    let p4 = b
+        .pool("pool4/3x3_s2", i4e, PoolKind::Max, 3, 2, 0)
+        .expect("pool4");
     let i5a = inception(&mut b, "inception_5a", p4, 256, 160, 320, 32, 128, 128);
     let i5b = inception(&mut b, "inception_5b", i5a, 384, 192, 384, 48, 128, 128);
 
@@ -252,12 +292,16 @@ fn basic_block(
     let c1 = b
         .conv(&format!("{name}/conv1"), input, channels, 3, stride, 1)
         .expect("conv1");
-    let n1 = b.unary(&format!("{name}/bn1"), c1, LayerKind::BatchNorm).expect("bn1");
+    let n1 = b
+        .unary(&format!("{name}/bn1"), c1, LayerKind::BatchNorm)
+        .expect("bn1");
     let r1 = b.relu(&format!("{name}/relu1"), n1).expect("relu1");
     let c2 = b
         .conv(&format!("{name}/conv2"), r1, channels, 3, 1, 1)
         .expect("conv2");
-    let n2 = b.unary(&format!("{name}/bn2"), c2, LayerKind::BatchNorm).expect("bn2");
+    let n2 = b
+        .unary(&format!("{name}/bn2"), c2, LayerKind::BatchNorm)
+        .expect("bn2");
     let shortcut = if project {
         let p = b
             .conv_shortcut(&format!("{name}/proj"), input, channels, 1, stride, 0)
@@ -390,14 +434,35 @@ mod tests {
                 .find(|l| l.name() == s)
                 .unwrap_or_else(|| panic!("layer {s}"))
         };
-        assert_eq!(by_name("inception_3a/output").output_shape().channels(), 256);
-        assert_eq!(by_name("inception_3b/output").output_shape().channels(), 480);
-        assert_eq!(by_name("inception_4e/output").output_shape().channels(), 832);
-        assert_eq!(by_name("inception_5b/output").output_shape().channels(), 1024);
+        assert_eq!(
+            by_name("inception_3a/output").output_shape().channels(),
+            256
+        );
+        assert_eq!(
+            by_name("inception_3b/output").output_shape().channels(),
+            480
+        );
+        assert_eq!(
+            by_name("inception_4e/output").output_shape().channels(),
+            832
+        );
+        assert_eq!(
+            by_name("inception_5b/output").output_shape().channels(),
+            1024
+        );
         // Spatial sizes: 28 at stage 3, 14 at stage 4, 7 at stage 5.
-        assert_eq!(by_name("inception_3a/output").output_shape().spatial(), (28, 28));
-        assert_eq!(by_name("inception_4a/output").output_shape().spatial(), (14, 14));
-        assert_eq!(by_name("inception_5a/output").output_shape().spatial(), (7, 7));
+        assert_eq!(
+            by_name("inception_3a/output").output_shape().spatial(),
+            (28, 28)
+        );
+        assert_eq!(
+            by_name("inception_4a/output").output_shape().spatial(),
+            (14, 14)
+        );
+        assert_eq!(
+            by_name("inception_5a/output").output_shape().spatial(),
+            (7, 7)
+        );
     }
 
     #[test]
@@ -406,7 +471,11 @@ mod tests {
         let fc = n.layers().iter().find(|l| l.name() == "fc").expect("fc");
         assert_eq!(fc.input_shape().elements(), 512);
         // Stem pooling: 224 -> 112 -> 56.
-        let pool1 = n.layers().iter().find(|l| l.name() == "pool1").expect("pool1");
+        let pool1 = n
+            .layers()
+            .iter()
+            .find(|l| l.name() == "pool1")
+            .expect("pool1");
         assert_eq!(pool1.output_shape(), &TensorShape::chw(64, 56, 56));
     }
 
@@ -435,17 +504,13 @@ mod tests {
     #[test]
     fn rnn_timesteps_share_one_weight_tensor() {
         let net = Benchmark::RnnLstm1.build(); // h = 512, t = 25
-        // Parameters count one cell, not 25.
+                                               // Parameters count one cell, not 25.
         let one_cell = 4 * ((512 + 512) * 512 + 512) as u64;
         assert_eq!(net.total_params(), one_cell);
         assert_eq!(net.unique_weight_layers().count(), 1);
         // All cells are in timestep 0's sharing group.
         let g0 = net.layers()[1].weight_group();
-        assert!(net
-            .layers()
-            .iter()
-            .skip(1)
-            .all(|l| l.weight_group() == g0));
+        assert!(net.layers().iter().skip(1).all(|l| l.weight_group() == g0));
     }
 
     #[test]
@@ -466,14 +531,23 @@ mod tests {
     #[test]
     fn memory_scales_linearly_with_depth() {
         // §II-B: O(N) memory cost in network depth.
-        let short = rnn(Application::SpeechRecognition, "short", RnnCellKind::Lstm, 1024, 10);
-        let long = rnn(Application::SpeechRecognition, "long", RnnCellKind::Lstm, 1024, 40);
+        let short = rnn(
+            Application::SpeechRecognition,
+            "short",
+            RnnCellKind::Lstm,
+            1024,
+            10,
+        );
+        let long = rnn(
+            Application::SpeechRecognition,
+            "long",
+            RnnCellKind::Lstm,
+            1024,
+            40,
+        );
         let fs = short.footprint(64, DataType::F32);
         let fl = long.footprint(64, DataType::F32);
-        assert_eq!(
-            fl.stashed_activation_bytes,
-            4 * fs.stashed_activation_bytes
-        );
+        assert_eq!(fl.stashed_activation_bytes, 4 * fs.stashed_activation_bytes);
         // Virtualized footprint is O(1) in depth.
         assert_eq!(fl.peak_live_bytes, fs.peak_live_bytes);
     }

@@ -133,7 +133,9 @@ impl CollectiveModel {
         let t_step = self.step_time(shape);
         let secs = match kind {
             CollectiveKind::AllGather => (pf - 1.0) * t_step + s * (pf - 1.0) / (pf * b),
-            CollectiveKind::AllReduce => 2.0 * (pf - 1.0) * t_step + 2.0 * s * (pf - 1.0) / (pf * b),
+            CollectiveKind::AllReduce => {
+                2.0 * (pf - 1.0) * t_step + 2.0 * s * (pf - 1.0) / (pf * b)
+            }
             CollectiveKind::Broadcast => (pf - 2.0).max(0.0) * t_step + s / b,
         };
         SimDuration::from_secs_f64(secs)
@@ -236,15 +238,25 @@ mod tests {
         // plot's ~2.5 ceiling, with broadcast flattest (pipeline-fill only).
         let s = Bytes::from_mib(8);
         let norm = |kind| {
-            let t2 = m().latency(kind, s, RingShape::device_ring(2)).as_secs_f64();
-            let t36 = m().latency(kind, s, RingShape::device_ring(36)).as_secs_f64();
+            let t2 = m()
+                .latency(kind, s, RingShape::device_ring(2))
+                .as_secs_f64();
+            let t36 = m()
+                .latency(kind, s, RingShape::device_ring(36))
+                .as_secs_f64();
             t36 / t2
         };
         let bc = norm(CollectiveKind::Broadcast);
         let ag = norm(CollectiveKind::AllGather);
         let ar = norm(CollectiveKind::AllReduce);
-        assert!(bc < ag && bc < ar, "broadcast should be flattest: {bc} {ag} {ar}");
-        assert!(ar < 2.5 && ag < 2.5, "curves exceed Fig. 9's ceiling: {ag} {ar}");
+        assert!(
+            bc < ag && bc < ar,
+            "broadcast should be flattest: {bc} {ag} {ar}"
+        );
+        assert!(
+            ar < 2.5 && ag < 2.5,
+            "curves exceed Fig. 9's ceiling: {ag} {ar}"
+        );
         assert!(ar > 1.8, "all-reduce should approach 2x at 36 nodes: {ar}");
     }
 
@@ -254,17 +266,19 @@ mod tests {
         // noticeably more than the 8-node ring.
         let s = Bytes::from_kib(16);
         let t8 = m().latency(CollectiveKind::AllReduce, s, RingShape::device_ring(8));
-        let t16 = m()
-            .latency(
-                CollectiveKind::AllReduce,
-                s,
-                RingShape {
-                    participants: 8,
-                    hops: 16,
-                },
-            );
+        let t16 = m().latency(
+            CollectiveKind::AllReduce,
+            s,
+            RingShape {
+                participants: 8,
+                hops: 16,
+            },
+        );
         let ratio = t16.as_secs_f64() / t8.as_secs_f64();
-        assert!(ratio > 1.5, "small-message overhead should be large: {ratio}");
+        assert!(
+            ratio > 1.5,
+            "small-message overhead should be large: {ratio}"
+        );
     }
 
     #[test]
@@ -289,11 +303,7 @@ mod tests {
     #[test]
     fn striping_over_more_rings_is_faster() {
         let s = Bytes::from_mib(64);
-        let one = m().striped_latency(
-            CollectiveKind::AllReduce,
-            s,
-            &[RingShape::device_ring(8)],
-        );
+        let one = m().striped_latency(CollectiveKind::AllReduce, s, &[RingShape::device_ring(8)]);
         let three = m().striped_latency(
             CollectiveKind::AllReduce,
             s,
@@ -307,11 +317,23 @@ mod tests {
         // Fig. 7(b)'s 8/12/20-hop rings vs Fig. 7(c)'s balanced 16/16/16.
         let s = Bytes::from_mib(8);
         let star = [
-            RingShape { participants: 8, hops: 8 },
-            RingShape { participants: 8, hops: 12 },
-            RingShape { participants: 8, hops: 20 },
+            RingShape {
+                participants: 8,
+                hops: 8,
+            },
+            RingShape {
+                participants: 8,
+                hops: 12,
+            },
+            RingShape {
+                participants: 8,
+                hops: 20,
+            },
         ];
-        let ring = [RingShape { participants: 8, hops: 16 }; 3];
+        let ring = [RingShape {
+            participants: 8,
+            hops: 16,
+        }; 3];
         let t_star = m().striped_latency(CollectiveKind::AllReduce, s, &star);
         let t_ring = m().striped_latency(CollectiveKind::AllReduce, s, &ring);
         assert!(t_star >= t_ring, "{t_star} < {t_ring}");
@@ -337,10 +359,17 @@ mod tests {
             SimDuration::ZERO
         );
         assert_eq!(
-            m().latency(CollectiveKind::AllReduce, Bytes::ZERO, RingShape::device_ring(8)),
+            m().latency(
+                CollectiveKind::AllReduce,
+                Bytes::ZERO,
+                RingShape::device_ring(8)
+            ),
             SimDuration::ZERO
         );
-        assert_eq!(m().striped_latency(CollectiveKind::AllReduce, s, &[]), SimDuration::MAX);
+        assert_eq!(
+            m().striped_latency(CollectiveKind::AllReduce, s, &[]),
+            SimDuration::MAX
+        );
     }
 
     #[test]

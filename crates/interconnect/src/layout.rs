@@ -220,22 +220,14 @@ impl SystemInterconnect {
     /// memory-nodes (each visited twice, 24 hops) plus two 8-device rings;
     /// each device reaches its designated memory-node over 2 links.
     pub fn mc_dla_star_a(link_bandwidth_gbs: f64) -> Self {
-        Self::mc_dla_star(
-            "mc-dla-star-a",
-            link_bandwidth_gbs,
-            StarRingPlan::FigureA,
-        )
+        Self::mc_dla_star("mc-dla-star-a", link_bandwidth_gbs, StarRingPlan::FigureA)
     }
 
     /// Fig. 7(b), the evaluated MC-DLA(S): memory-nodes folded inward,
     /// rings of 8/12/20 hops; each device reaches its designated
     /// memory-node over 2 links (50 GB/s).
     pub fn mc_dla_star_b(link_bandwidth_gbs: f64) -> Self {
-        Self::mc_dla_star(
-            "mc-dla-star",
-            link_bandwidth_gbs,
-            StarRingPlan::FigureB,
-        )
+        Self::mc_dla_star("mc-dla-star", link_bandwidth_gbs, StarRingPlan::FigureB)
     }
 
     fn mc_dla_star(name: &str, link_bandwidth_gbs: f64, plan: StarRingPlan) -> Self {
@@ -254,9 +246,7 @@ impl SystemInterconnect {
                 d.to_vec(),
                 // ... M0 -> D0 -> M0 -> M7 -> D7 -> M7 ... (footnote 1):
                 // 8 devices + 16 memory visits = 24 hops.
-                (0..8)
-                    .flat_map(|i| [m[i], d[i], m[i]])
-                    .collect(),
+                (0..8).flat_map(|i| [m[i], d[i], m[i]]).collect(),
             ],
             StarRingPlan::FigureB => vec![
                 d.to_vec(),
@@ -266,8 +256,8 @@ impl SystemInterconnect {
                 ],
                 // 20 hops: all eight memory-nodes, four visited twice.
                 vec![
-                    d[0], m[0], d[1], m[1], d[2], m[2], d[3], m[3], d[4], m[4], d[5], m[5],
-                    d[6], m[6], d[7], m[7], m[1], m[3], m[5], m[7],
+                    d[0], m[0], d[1], m[1], d[2], m[2], d[3], m[3], d[4], m[4], d[5], m[5], d[6],
+                    m[6], d[7], m[7], m[1], m[3], m[5], m[7],
                 ],
             ],
         };
@@ -283,7 +273,8 @@ impl SystemInterconnect {
             let mut out_links = Vec::new();
             let mut in_links = Vec::new();
             for _ in 0..2 {
-                let (o, inn) = topo.add_duplex_link(devices[i], memory_nodes[i], link_bandwidth_gbs);
+                let (o, inn) =
+                    topo.add_duplex_link(devices[i], memory_nodes[i], link_bandwidth_gbs);
                 out_links.push(o);
                 in_links.push(inn);
             }
@@ -322,9 +313,7 @@ impl SystemInterconnect {
             .map(|i| topo.add_node(NodeKind::Memory, format!("M{i}")))
             .collect();
         // D0, M0, D1, M1, ..., D7, M7 and back to D0.
-        let seq: Vec<NodeId> = (0..8)
-            .flat_map(|i| [devices[i], memory_nodes[i]])
-            .collect();
+        let seq: Vec<NodeId> = (0..8).flat_map(|i| [devices[i], memory_nodes[i]]).collect();
         let rings: Vec<RingPath> = (0..3)
             .map(|_| build_ring_links(&mut topo, seq.clone(), link_bandwidth_gbs))
             .collect();

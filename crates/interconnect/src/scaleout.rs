@@ -106,9 +106,9 @@ impl ScaleOutPlane {
             return 0.0;
         }
         let device_side = self.links_per_node as f64 * self.link_bandwidth_gbs;
-        let pool_side = self.memory_nodes.len() as f64 * self.links_per_node as f64
-            * self.link_bandwidth_gbs
-            / self.devices.len() as f64;
+        let pool_side =
+            self.memory_nodes.len() as f64 * self.links_per_node as f64 * self.link_bandwidth_gbs
+                / self.devices.len() as f64;
         device_side.min(pool_side)
     }
 

@@ -174,7 +174,11 @@ mod tests {
         ];
         for (dimm, tdp, gbw) in expect {
             let c = MemoryNodeConfig::with_dimm(dimm);
-            assert!((c.tdp_watts() - tdp).abs() < 1e-9, "{dimm}: {}", c.tdp_watts());
+            assert!(
+                (c.tdp_watts() - tdp).abs() < 1e-9,
+                "{dimm}: {}",
+                c.tdp_watts()
+            );
             assert!(
                 (c.gb_per_watt() - gbw).abs() < 0.05,
                 "{dimm}: {:.2} GB/W vs {gbw}",

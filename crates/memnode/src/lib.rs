@@ -38,7 +38,5 @@ mod protocol;
 pub use alloc::{AllocError, PagePolicy, RemoteAllocation, RemoteAllocator, Side};
 pub use config::MemoryNodeConfig;
 pub use dimm::DimmKind;
-pub use power::{
-    paper_perf_per_watt_range, SystemPower, DGX_GPU_TDP_WATTS, DGX_SYSTEM_TDP_WATTS,
-};
+pub use power::{paper_perf_per_watt_range, SystemPower, DGX_GPU_TDP_WATTS, DGX_SYSTEM_TDP_WATTS};
 pub use protocol::{CompressionUnit, EncryptionUnit, ProtocolEngine};

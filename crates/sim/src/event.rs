@@ -172,12 +172,9 @@ mod tests {
 
     #[test]
     fn collects_from_iterator() {
-        let q: EventQueue<u32> = vec![
-            (SimTime::from_ns(2), 2u32),
-            (SimTime::from_ns(1), 1u32),
-        ]
-        .into_iter()
-        .collect();
+        let q: EventQueue<u32> = vec![(SimTime::from_ns(2), 2u32), (SimTime::from_ns(1), 1u32)]
+            .into_iter()
+            .collect();
         assert_eq!(q.len(), 2);
         assert_eq!(q.peek_time(), Some(SimTime::from_ns(1)));
     }

@@ -416,7 +416,8 @@ impl FlowNetwork {
             // Freeze every unfrozen flow crossing a bottleneck channel.
             let mut bottlenecks: Vec<usize> = Vec::new();
             for c in 0..n_ch {
-                if load[c] > 0 && (residual[c].max(0.0) / load[c] as f64) <= share * (1.0 + RATE_EPSILON)
+                if load[c] > 0
+                    && (residual[c].max(0.0) / load[c] as f64) <= share * (1.0 + RATE_EPSILON)
                 {
                     bottlenecks.push(c);
                 }
@@ -487,7 +488,9 @@ mod tests {
     fn single_flow_gets_full_capacity() {
         let mut net = FlowNetwork::new();
         let c = net.add_channel("link", gb(25.0));
-        let f = net.open_flow(SimTime::ZERO, &[c], Bytes::from_gb(50)).unwrap();
+        let f = net
+            .open_flow(SimTime::ZERO, &[c], Bytes::from_gb(50))
+            .unwrap();
         assert!((net.flow_rate(f).unwrap().as_gb_per_sec() - 25.0).abs() < 1e-9);
         let (t, id) = net.next_completion().unwrap();
         assert_eq!(id, f);
@@ -499,7 +502,10 @@ mod tests {
         let mut net = FlowNetwork::new();
         let c = net.add_channel("link", gb(16.0));
         let flows: Vec<_> = (0..4)
-            .map(|_| net.open_flow(SimTime::ZERO, &[c], Bytes::from_gb(4)).unwrap())
+            .map(|_| {
+                net.open_flow(SimTime::ZERO, &[c], Bytes::from_gb(4))
+                    .unwrap()
+            })
             .collect();
         for f in &flows {
             assert!((net.flow_rate(*f).unwrap().as_gb_per_sec() - 4.0).abs() < 1e-9);
@@ -525,8 +531,12 @@ mod tests {
         let a = net
             .open_flow(SimTime::ZERO, &[ch1, ch2], Bytes::from_gb(100))
             .unwrap();
-        let b = net.open_flow(SimTime::ZERO, &[ch1], Bytes::from_gb(100)).unwrap();
-        let c = net.open_flow(SimTime::ZERO, &[ch2], Bytes::from_gb(100)).unwrap();
+        let b = net
+            .open_flow(SimTime::ZERO, &[ch1], Bytes::from_gb(100))
+            .unwrap();
+        let c = net
+            .open_flow(SimTime::ZERO, &[ch2], Bytes::from_gb(100))
+            .unwrap();
         assert!((net.flow_rate(a).unwrap().as_gb_per_sec() - 2.0).abs() < 1e-9);
         assert!((net.flow_rate(b).unwrap().as_gb_per_sec() - 8.0).abs() < 1e-9);
         assert!((net.flow_rate(c).unwrap().as_gb_per_sec() - 2.0).abs() < 1e-9);
@@ -536,8 +546,12 @@ mod tests {
     fn departure_frees_bandwidth_for_survivors() {
         let mut net = FlowNetwork::new();
         let c = net.add_channel("link", gb(10.0));
-        let a = net.open_flow(SimTime::ZERO, &[c], Bytes::from_gb(5)).unwrap();
-        let b = net.open_flow(SimTime::ZERO, &[c], Bytes::from_gb(10)).unwrap();
+        let a = net
+            .open_flow(SimTime::ZERO, &[c], Bytes::from_gb(5))
+            .unwrap();
+        let b = net
+            .open_flow(SimTime::ZERO, &[c], Bytes::from_gb(10))
+            .unwrap();
         // Both run at 5 GB/s. A finishes at t=1; B then runs at 10 GB/s and
         // finishes its remaining 5 GB at t=1.5.
         let done = net.drain_all().unwrap();
@@ -551,7 +565,9 @@ mod tests {
     fn late_arrival_slows_existing_flow() {
         let mut net = FlowNetwork::new();
         let c = net.add_channel("link", gb(10.0));
-        let a = net.open_flow(SimTime::ZERO, &[c], Bytes::from_gb(10)).unwrap();
+        let a = net
+            .open_flow(SimTime::ZERO, &[c], Bytes::from_gb(10))
+            .unwrap();
         // At t=0.5, A has 5 GB left; B arrives, both drop to 5 GB/s.
         let b = net
             .open_flow(SimTime::from_us(500_000), &[c], Bytes::from_gb(5))
@@ -571,7 +587,9 @@ mod tests {
         let a = net
             .open_flow_capped(SimTime::ZERO, &[c], Bytes::from_gb(10), gb(10.0))
             .unwrap();
-        let b = net.open_flow(SimTime::ZERO, &[c], Bytes::from_gb(10)).unwrap();
+        let b = net
+            .open_flow(SimTime::ZERO, &[c], Bytes::from_gb(10))
+            .unwrap();
         assert!((net.flow_rate(a).unwrap().as_gb_per_sec() - 10.0).abs() < 1e-9);
         // B soaks up the remainder.
         assert!((net.flow_rate(b).unwrap().as_gb_per_sec() - 90.0).abs() < 1e-9);
@@ -581,7 +599,9 @@ mod tests {
     fn zero_capacity_channel_starves_flow() {
         let mut net = FlowNetwork::new();
         let c = net.add_channel("dead", Bandwidth::ZERO);
-        let _f = net.open_flow(SimTime::ZERO, &[c], Bytes::from_gb(1)).unwrap();
+        let _f = net
+            .open_flow(SimTime::ZERO, &[c], Bytes::from_gb(1))
+            .unwrap();
         assert_eq!(net.next_completion(), None);
         assert_eq!(net.drain_all(), None);
     }
@@ -590,7 +610,9 @@ mod tests {
     fn zero_byte_flow_completes_immediately() {
         let mut net = FlowNetwork::new();
         let c = net.add_channel("link", gb(1.0));
-        let f = net.open_flow(SimTime::from_ns(5), &[c], Bytes::ZERO).unwrap();
+        let f = net
+            .open_flow(SimTime::from_ns(5), &[c], Bytes::ZERO)
+            .unwrap();
         let (t, id) = net.next_completion().unwrap();
         assert_eq!((t, id), (SimTime::from_ns(5), f));
     }
@@ -607,7 +629,8 @@ mod tests {
             net.open_flow(SimTime::ZERO, &[ChannelId(99)], Bytes::new(1)),
             Err(FlowError::UnknownChannel(ChannelId(99)))
         );
-        net.open_flow(SimTime::from_us(10), &[c], Bytes::new(1)).unwrap();
+        net.open_flow(SimTime::from_us(10), &[c], Bytes::new(1))
+            .unwrap();
         assert_eq!(
             net.advance_to(SimTime::from_us(5)),
             Err(FlowError::TimeRegression)
@@ -619,7 +642,8 @@ mod tests {
         let mut net = FlowNetwork::new();
         let c = net.add_channel("socket-dram", gb(80.0));
         for _ in 0..4 {
-            net.open_flow(SimTime::ZERO, &[c], Bytes::from_gb(20)).unwrap();
+            net.open_flow(SimTime::ZERO, &[c], Bytes::from_gb(20))
+                .unwrap();
         }
         assert!((net.peak_rate(c).as_gb_per_sec() - 80.0).abs() < 1e-9);
         net.drain_all().unwrap();
@@ -631,8 +655,12 @@ mod tests {
     fn advance_collects_completions_in_order() {
         let mut net = FlowNetwork::new();
         let c = net.add_channel("link", gb(1.0));
-        let a = net.open_flow(SimTime::ZERO, &[c], Bytes::from_mb(500)).unwrap();
-        let b = net.open_flow(SimTime::ZERO, &[c], Bytes::from_mb(1500)).unwrap();
+        let a = net
+            .open_flow(SimTime::ZERO, &[c], Bytes::from_mb(500))
+            .unwrap();
+        let b = net
+            .open_flow(SimTime::ZERO, &[c], Bytes::from_mb(1500))
+            .unwrap();
         // Shares 0.5 GB/s each: A done at t=1s; then B alone at 1 GB/s, 1 GB
         // left, done at t=2s.
         let done = net.advance_to(SimTime::from_secs(3)).unwrap();

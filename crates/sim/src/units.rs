@@ -341,8 +341,14 @@ mod tests {
         let t = bw.transfer_time(Bytes::from_gb(25));
         assert!((t.as_secs_f64() - 1.0).abs() < 1e-9);
         assert_eq!(bw.transfer_time(Bytes::ZERO), SimDuration::ZERO);
-        assert_eq!(Bandwidth::ZERO.transfer_time(Bytes::new(1)), SimDuration::MAX);
-        assert_eq!(Bandwidth::ZERO.transfer_time(Bytes::ZERO), SimDuration::ZERO);
+        assert_eq!(
+            Bandwidth::ZERO.transfer_time(Bytes::new(1)),
+            SimDuration::MAX
+        );
+        assert_eq!(
+            Bandwidth::ZERO.transfer_time(Bytes::ZERO),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

@@ -1,34 +1,35 @@
-//! Property-based tests for the fluid-flow network invariants.
+//! Property-based tests for the fluid-flow network invariants, driven by
+//! seeded random topologies (the vendored `rand` replaces `proptest`,
+//! which the offline build environment cannot fetch; every case is
+//! deterministic per seed, so failures reproduce exactly).
 
 use mcdla_sim::{Bandwidth, Bytes, FlowNetwork, SimTime};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: a small random network topology plus a batch of flows over it.
-fn network_and_flows() -> impl Strategy<
-    Value = (
-        Vec<f64>,             // channel capacities in GB/s
-        Vec<(Vec<usize>, u64)>, // (path as channel indexes, bytes)
-    ),
-> {
-    (1usize..6).prop_flat_map(|n_ch| {
-        let caps = proptest::collection::vec(0.5f64..100.0, n_ch);
-        let flows = proptest::collection::vec(
-            (
-                proptest::collection::vec(0..n_ch, 1..=n_ch.min(3)),
-                1u64..50_000_000_000,
-            ),
-            1..12,
-        );
-        (caps, flows)
-    })
+const SEEDS: u64 = 128;
+
+/// A small random network topology plus a batch of flows over it:
+/// channel capacities in GB/s and `(path as channel indexes, bytes)`.
+fn network_and_flows(seed: u64) -> (Vec<f64>, Vec<(Vec<usize>, u64)>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_ch = rng.gen_range(1..6usize);
+    let caps: Vec<f64> = (0..n_ch).map(|_| rng.gen_range(0.5f64..100.0)).collect();
+    let n_flows = rng.gen_range(1..12usize);
+    let flows: Vec<(Vec<usize>, u64)> = (0..n_flows)
+        .map(|_| {
+            let path_len = rng.gen_range(1..=n_ch.min(3));
+            let path: Vec<usize> = (0..path_len).map(|_| rng.gen_range(0..n_ch)).collect();
+            (path, rng.gen_range(1u64..50_000_000_000))
+        })
+        .collect();
+    (caps, flows)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// No channel may ever be allocated more than its capacity.
-    #[test]
-    fn channel_capacity_never_exceeded((caps, flows) in network_and_flows()) {
+#[test]
+fn channel_capacity_never_exceeded() {
+    for seed in 0..SEEDS {
+        let (caps, flows) = network_and_flows(seed);
         let mut net = FlowNetwork::new();
         let chs: Vec<_> = caps
             .iter()
@@ -37,29 +38,33 @@ proptest! {
         let mut ids = Vec::new();
         for (path, bytes) in &flows {
             let p: Vec<_> = path.iter().map(|i| chs[*i]).collect();
-            ids.push(net.open_flow(SimTime::ZERO, &p, Bytes::new(*bytes)).unwrap());
+            ids.push(
+                net.open_flow(SimTime::ZERO, &p, Bytes::new(*bytes))
+                    .unwrap(),
+            );
         }
         // Sum of allocated rates through each channel <= capacity (+eps).
         let mut through = vec![0.0f64; caps.len()];
         for (id, (path, _)) in ids.iter().zip(&flows) {
             let rate = net.flow_rate(*id).unwrap().as_gb_per_sec();
-            prop_assert!(rate >= 0.0);
+            assert!(rate >= 0.0, "seed {seed}: negative rate");
             for i in path {
                 through[*i] += rate;
             }
         }
         for (used, cap) in through.iter().zip(&caps) {
-            prop_assert!(
+            assert!(
                 *used <= cap * (1.0 + 1e-6),
-                "channel over-allocated: {used} > {cap}"
+                "seed {seed}: channel over-allocated: {used} > {cap}"
             );
         }
     }
+}
 
-    /// Every flow with positive capacity on its whole path eventually
-    /// completes, and total completion count equals the number of flows.
-    #[test]
-    fn all_flows_drain((caps, flows) in network_and_flows()) {
+#[test]
+fn all_flows_drain() {
+    for seed in 0..SEEDS {
+        let (caps, flows) = network_and_flows(seed);
         let mut net = FlowNetwork::new();
         let chs: Vec<_> = caps
             .iter()
@@ -67,24 +72,30 @@ proptest! {
             .collect();
         for (path, bytes) in &flows {
             let p: Vec<_> = path.iter().map(|i| chs[*i]).collect();
-            net.open_flow(SimTime::ZERO, &p, Bytes::new(*bytes)).unwrap();
+            net.open_flow(SimTime::ZERO, &p, Bytes::new(*bytes))
+                .unwrap();
         }
         let done = net.drain_all().expect("positive capacities must drain");
-        prop_assert_eq!(done.len(), flows.len());
+        assert_eq!(done.len(), flows.len(), "seed {seed}");
         // Completion times are non-decreasing.
         for w in done.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0);
+            assert!(w[0].0 <= w[1].0, "seed {seed}: completions out of order");
         }
-        prop_assert_eq!(net.active_flows(), 0);
+        assert_eq!(net.active_flows(), 0, "seed {seed}");
     }
+}
 
-    /// Work conservation on a single channel: n equal flows on one channel
-    /// finish exactly when the serial transfer of all bytes would.
-    #[test]
-    fn single_channel_work_conserving(
-        cap_gb in 1.0f64..100.0,
-        sizes in proptest::collection::vec(1u64..10_000_000_000, 1..8),
-    ) {
+#[test]
+fn single_channel_work_conserving() {
+    // n equal-priority flows on one channel finish exactly when the
+    // serial transfer of all bytes would.
+    for seed in 0..SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cap_gb = rng.gen_range(1.0f64..100.0);
+        let n = rng.gen_range(1..8usize);
+        let sizes: Vec<u64> = (0..n)
+            .map(|_| rng.gen_range(1u64..10_000_000_000))
+            .collect();
         let mut net = FlowNetwork::new();
         let ch = net.add_channel("ch", Bandwidth::gb_per_sec(cap_gb));
         for s in &sizes {
@@ -95,16 +106,21 @@ proptest! {
         let expect_secs = total as f64 / (cap_gb * 1e9);
         let last = done.last().unwrap().0.as_secs_f64();
         // The channel is always fully utilized until the last byte moves.
-        prop_assert!((last - expect_secs).abs() <= expect_secs * 1e-6 + 1e-9,
-            "last completion {last}, expected {expect_secs}");
+        assert!(
+            (last - expect_secs).abs() <= expect_secs * 1e-6 + 1e-9,
+            "seed {seed}: last completion {last}, expected {expect_secs}"
+        );
     }
+}
 
-    /// Conservation of bytes: what the channel carried equals the sum of all
-    /// flow sizes routed through it.
-    #[test]
-    fn bytes_carried_matches_flow_sizes(
-        sizes in proptest::collection::vec(1u64..1_000_000_000, 1..10),
-    ) {
+#[test]
+fn bytes_carried_matches_flow_sizes() {
+    // Conservation: what the channel carried equals the sum of all flow
+    // sizes routed through it.
+    for seed in 0..SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(1..10usize);
+        let sizes: Vec<u64> = (0..n).map(|_| rng.gen_range(1u64..1_000_000_000)).collect();
         let mut net = FlowNetwork::new();
         let ch = net.add_channel("ch", Bandwidth::gb_per_sec(10.0));
         for s in &sizes {
@@ -114,30 +130,34 @@ proptest! {
         let total: u64 = sizes.iter().sum();
         let carried = net.bytes_carried(ch).as_u64();
         let tolerance = total / 1000 + 8;
-        prop_assert!(
+        assert!(
             carried.abs_diff(total) <= tolerance,
-            "carried {carried}, expected {total}"
+            "seed {seed}: carried {carried}, expected {total}"
         );
     }
+}
 
-    /// Staggered arrivals: an identical workload released later never
-    /// completes earlier (monotonicity of the fluid model).
-    #[test]
-    fn later_release_never_finishes_earlier(
-        bytes in 1_000_000u64..5_000_000_000,
-        delay_us in 0u64..2_000_000,
-    ) {
+#[test]
+fn later_release_never_finishes_earlier() {
+    // Monotonicity of the fluid model under staggered arrivals.
+    for seed in 0..SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bytes = rng.gen_range(1_000_000u64..5_000_000_000);
+        let delay_us = rng.gen_range(0u64..2_000_000);
         let run = |delay: u64| -> f64 {
             let mut net = FlowNetwork::new();
             let ch = net.add_channel("ch", Bandwidth::gb_per_sec(5.0));
-            net.open_flow(SimTime::ZERO, &[ch], Bytes::new(bytes)).unwrap();
+            net.open_flow(SimTime::ZERO, &[ch], Bytes::new(bytes))
+                .unwrap();
             net.open_flow(SimTime::from_us(delay), &[ch], Bytes::new(bytes))
                 .unwrap();
             net.drain_all().unwrap().last().unwrap().0.as_secs_f64()
         };
         let t0 = run(0);
         let t1 = run(delay_us);
-        prop_assert!(t1 + 1e-9 >= t0 * (1.0 - 1e-9) - 1e-9 || t1 >= t0 - 1e-6,
-            "later release finished earlier: {t1} < {t0}");
+        assert!(
+            t1 >= t0 - 1e-6,
+            "seed {seed}: later release finished earlier: {t1} < {t0}"
+        );
     }
 }

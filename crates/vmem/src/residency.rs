@@ -111,8 +111,7 @@ mod tests {
     fn virtualization_reduces_peak() {
         for bm in Benchmark::ALL {
             let net = bm.build();
-            let (virt, resident) =
-                peak_with_and_without_virtualization(&net, 64, DataType::F32);
+            let (virt, resident) = peak_with_and_without_virtualization(&net, 64, DataType::F32);
             assert!(
                 virt < resident,
                 "{bm}: virtualized {virt} should be below resident {resident}"
@@ -170,7 +169,10 @@ mod tests {
         let net = Benchmark::VggE.build();
         let (virt, resident) = peak_with_and_without_virtualization(&net, 512, DataType::F32);
         let volta = 16u64 << 30;
-        assert!(resident > volta, "unvirtualized {resident} should exceed 16 GiB");
+        assert!(
+            resident > volta,
+            "unvirtualized {resident} should exceed 16 GiB"
+        );
         assert!(virt < resident);
     }
 }

@@ -146,7 +146,7 @@ impl VirtSchedule {
                         .map(|p| last_consumer[p.index()])
                         .max()
                         .unwrap_or(l.id()),
-                    }
+                }
             })
             .collect();
         VirtSchedule {
@@ -307,7 +307,10 @@ mod tests {
         let s = VirtSchedule::analyze(&net, 1, DataType::F32, policy);
         // At batch 1 every AlexNet stash is < 100 MiB.
         assert_eq!(s.offload_count(), 0);
-        assert!(s.entries().iter().any(|e| e.disposition == Disposition::Resident));
+        assert!(s
+            .entries()
+            .iter()
+            .any(|e| e.disposition == Disposition::Resident));
     }
 
     #[test]

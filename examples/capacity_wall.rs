@@ -31,7 +31,9 @@ fn main() {
             .expect("pool");
     }
     let feat = b.fully_connected("embed", x, 2048).expect("embed");
-    let mut h = b.unary("embed/drop", feat, LayerKind::Dropout).expect("drop");
+    let mut h = b
+        .unary("embed/drop", feat, LayerKind::Dropout)
+        .expect("drop");
     let mut first = None;
     for t in 0..64 {
         h = b

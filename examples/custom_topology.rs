@@ -54,7 +54,10 @@ fn main() {
     }
     let ring = Ring::new(seq);
     let shape = ring.shape(&topo);
-    println!("\ncustom 16+16 scale-out ring: {} participants, {} hops", shape.participants, shape.hops);
+    println!(
+        "\ncustom 16+16 scale-out ring: {} participants, {} hops",
+        shape.participants, shape.hops
+    );
     for mib in [1u64, 8, 64, 256] {
         let t = model.striped_latency(CollectiveKind::AllReduce, Bytes::from_mib(mib), &[shape; 3]);
         println!("  all-reduce {mib:>4} MiB over 3 rings: {t}");

@@ -1,0 +1,239 @@
+//! The `mcdla` CLI: one binary regenerating every table and figure of
+//! Kwon & Rhu's *Beyond the Memory Wall* (MICRO-51 2018).
+//!
+//! ```text
+//! mcdla <subcommand> [--json] [--threads N] [--out FILE]
+//! ```
+//!
+//! Run `mcdla help` for the subcommand list. All simulation subcommands
+//! execute through the shared scenario runner: cells fan out across
+//! worker threads and overlapping grids are memoized, so `mcdla all`
+//! simulates each (design, benchmark, strategy, knobs) cell exactly once.
+
+use std::process::ExitCode;
+
+use mcdla_bench::reports;
+use serde::Value;
+
+/// Everything `main` needs from the argument list.
+struct Args {
+    command: String,
+    json: bool,
+    out: Option<String>,
+    batches: Vec<u64>,
+    devices: Vec<usize>,
+}
+
+const USAGE: &str = "\
+mcdla — regenerate the tables and figures of Kwon & Rhu, MICRO-51 2018
+
+usage: mcdla <subcommand> [options]
+
+subcommands
+  table2        Table II device/memory-node configuration
+  table3        Table III benchmark suite
+  table4        Table IV memory-node power + §V-C perf/W
+  fig2          Fig. 2 execution time across device generations [--json]
+  fig7          Figs. 5/7 ring structures and link budgets
+  fig9          Fig. 9 collective latency vs ring size
+  fig10         Fig. 10 LOCAL vs BW_AWARE page placement
+  fig11         Fig. 11 latency breakdown stacks [--json]
+  fig12         Fig. 12 CPU memory-bandwidth usage [--json]
+  fig13         Fig. 13 normalized performance [--json]
+  fig14         Fig. 14 batch-size sensitivity [--json]
+  scalability   §V-D multi-device scaling [--json]
+  sensitivity   §V-B sensitivity studies [--json]
+  scale-out     §VI NVSwitch-class weak scaling [--json]
+  ablations     mechanism ablation studies
+  energy        dynamic energy-per-iteration comparison
+  paper-report  the full paper-vs-measured summary
+  sweep         time every grid cell, write BENCH_scenarios.json
+  all           every report above, in order
+  help          this message
+
+options
+  --json           emit the experiment data as JSON instead of tables
+  --threads N      simulation worker threads (same as MCDLA_THREADS=N)
+  --out FILE       sweep output path (default BENCH_scenarios.json)
+  --batches LIST   sweep: comma-separated batch sizes to add as an axis
+  --devices LIST   sweep: comma-separated device counts to add as an axis
+";
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().unwrap_or_else(|| "help".to_owned());
+    let mut args = Args {
+        command,
+        json: false,
+        out: None,
+        batches: Vec::new(),
+        devices: Vec::new(),
+    };
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--json" => args.json = true,
+            "--threads" => {
+                let v = argv.next().ok_or("--threads needs a value")?;
+                let n: usize = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("invalid thread count `{v}`"))?;
+                // The shared runner reads MCDLA_THREADS at first use, which
+                // is strictly after argument parsing.
+                std::env::set_var("MCDLA_THREADS", n.to_string());
+            }
+            "--out" => args.out = Some(argv.next().ok_or("--out needs a path")?),
+            "--batches" => {
+                args.batches = parse_list(&argv.next().ok_or("--batches needs a list")?)?;
+                if args.batches.contains(&0) {
+                    return Err("batch sizes must be >= 1".into());
+                }
+            }
+            "--devices" => {
+                args.devices = parse_list(&argv.next().ok_or("--devices needs a list")?)?;
+                if args.devices.contains(&0) {
+                    return Err("device counts must be >= 1".into());
+                }
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_list<T: std::str::FromStr>(csv: &str) -> Result<Vec<T>, String> {
+    csv.split(',')
+        .map(|p| {
+            p.trim()
+                .parse()
+                .map_err(|_| format!("invalid list element `{p}`"))
+        })
+        .collect()
+}
+
+const SUBCOMMANDS: &[&str] = &[
+    "table2",
+    "table3",
+    "table4",
+    "fig2",
+    "fig7",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "scalability",
+    "sensitivity",
+    "scale-out",
+    "ablations",
+    "energy",
+    "paper-report",
+    "sweep",
+    "all",
+    "help",
+    "--help",
+    "-h",
+];
+
+fn run(args: &Args) -> Result<(), String> {
+    // Reject unknown subcommands before any flag-specific dispatch so
+    // `mcdla bogus --json` names the real problem.
+    if !SUBCOMMANDS.contains(&args.command.as_str()) {
+        return Err(format!("unknown subcommand `{}`", args.command));
+    }
+    let json_data: Option<fn() -> Value> = match args.command.as_str() {
+        "fig2" => Some(reports::fig2_json),
+        "fig11" => Some(reports::fig11_json),
+        "fig12" => Some(reports::fig12_json),
+        "fig13" => Some(reports::fig13_json),
+        "fig14" => Some(reports::fig14_json),
+        "scalability" => Some(reports::scalability_json),
+        "sensitivity" => Some(reports::sensitivity_json),
+        "scale-out" => Some(reports::scale_out_json),
+        _ => None,
+    };
+    if args.json {
+        match json_data {
+            Some(data) => {
+                println!("{}", serde::json::to_string_pretty(&data()));
+                return Ok(());
+            }
+            None if args.command != "sweep" => {
+                return Err(format!("`{}` has no JSON form (tables only)", args.command));
+            }
+            None => {}
+        }
+    }
+
+    match args.command.as_str() {
+        "table2" => print!("{}", reports::table2_text()),
+        "table3" => print!("{}", reports::table3_text()),
+        "table4" => print!("{}", reports::table4_text()),
+        "fig2" => print!("{}", reports::fig2_text()),
+        "fig7" => print!("{}", reports::fig7_text()),
+        "fig9" => print!("{}", reports::fig9_text()),
+        "fig10" => print!("{}", reports::fig10_text()),
+        "fig11" => print!("{}", reports::fig11_text()),
+        "fig12" => print!("{}", reports::fig12_text()),
+        "fig13" => print!("{}", reports::fig13_text()),
+        "fig14" => print!("{}", reports::fig14_text()),
+        "scalability" => print!("{}", reports::scalability_text()),
+        "sensitivity" => print!("{}", reports::sensitivity_text()),
+        "scale-out" => print!("{}", reports::scale_out_text()),
+        "ablations" => print!("{}", reports::ablations_text()),
+        "energy" => print!("{}", reports::energy_text()),
+        "paper-report" => print!("{}", reports::paper_report_text()),
+        "sweep" => {
+            let result = reports::sweep(&args.batches, &args.devices);
+            let path = args.out.as_deref().unwrap_or("BENCH_scenarios.json");
+            std::fs::write(path, &result.json).map_err(|e| format!("writing {path}: {e}"))?;
+            print!("{}", result.summary);
+            println!("wrote {path}");
+        }
+        "all" => {
+            for text in [
+                reports::table2_text(),
+                reports::table3_text(),
+                reports::table4_text(),
+                reports::fig2_text(),
+                reports::fig7_text(),
+                reports::fig9_text(),
+                reports::fig10_text(),
+                reports::fig11_text(),
+                reports::fig12_text(),
+                reports::fig13_text(),
+                reports::fig14_text(),
+                reports::scalability_text(),
+                reports::sensitivity_text(),
+                reports::scale_out_text(),
+                reports::ablations_text(),
+                reports::energy_text(),
+                reports::paper_report_text(),
+            ] {
+                println!("{text}");
+            }
+        }
+        "help" | "--help" | "-h" => print!("{USAGE}"),
+        other => unreachable!("subcommand `{other}` passed the SUBCOMMANDS gate"),
+    }
+    Ok(())
+}

@@ -102,8 +102,8 @@ fn breakdown_components_bound_iteration_time() {
                     "{design}/{bm}: component {part} exceeds iteration {total}"
                 );
             }
-            let serialized: f64 = r.breakdown_secs().iter().sum::<f64>()
-                + r.memory_stall.as_secs_f64();
+            let serialized: f64 =
+                r.breakdown_secs().iter().sum::<f64>() + r.memory_stall.as_secs_f64();
             assert!(
                 total <= serialized * (1.0 + 1e-9) + 1e-12,
                 "{design}/{bm}: iteration {total} exceeds serialized bound {serialized}"

@@ -1,94 +1,65 @@
 //! Property-based tests over the iteration engine: monotonicity and
 //! sanity invariants that must hold for *any* configuration, not just the
 //! paper's operating point.
+//!
+//! The offline build environment cannot fetch `proptest`, so these sweep
+//! the design/benchmark/batch product exhaustively (it is small) instead
+//! of sampling it — strictly stronger coverage than the original 24
+//! sampled cases.
 
 use mcdla::core::{IterationSim, SystemConfig, SystemDesign};
 use mcdla::dnn::Benchmark;
 use mcdla::parallel::ParallelStrategy;
-use proptest::prelude::*;
 
-fn designs() -> impl Strategy<Value = SystemDesign> {
-    prop_oneof![
-        Just(SystemDesign::DcDla),
-        Just(SystemDesign::HcDla),
-        Just(SystemDesign::McDlaStar),
-        Just(SystemDesign::McDlaLocal),
-        Just(SystemDesign::McDlaBwAware),
-        Just(SystemDesign::DcDlaOracle),
-    ]
+fn run(design: SystemDesign, bm: Benchmark, batch: u64) -> mcdla::core::IterationReport {
+    let net = bm.build();
+    IterationSim::new(
+        SystemConfig::new(design).with_batch(batch),
+        &net,
+        ParallelStrategy::DataParallel,
+    )
+    .run()
 }
 
-fn benchmarks() -> impl Strategy<Value = Benchmark> {
-    prop_oneof![
-        Just(Benchmark::AlexNet),
-        Just(Benchmark::GoogLeNet),
-        Just(Benchmark::VggE),
-        Just(Benchmark::ResNet),
-        Just(Benchmark::RnnGemv),
-        Just(Benchmark::RnnLstm1),
-        Just(Benchmark::RnnLstm2),
-        Just(Benchmark::RnnGru),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Larger batches never make an iteration faster.
-    #[test]
-    fn iteration_time_monotone_in_batch(
-        design in designs(),
-        bm in benchmarks(),
-    ) {
-        let net = bm.build();
-        let mut prev = 0.0f64;
-        for batch in [64u64, 128, 256, 512] {
-            let r = IterationSim::new(
-                SystemConfig::new(design).with_batch(batch),
-                &net,
-                ParallelStrategy::DataParallel,
-            )
-            .run();
-            let t = r.iteration_time.as_secs_f64();
-            prop_assert!(t >= prev * 0.999, "{design}/{bm}: batch {batch} got faster: {t} < {prev}");
-            prev = t;
+/// Larger batches never make an iteration faster.
+#[test]
+fn iteration_time_monotone_in_batch() {
+    for design in SystemDesign::ALL {
+        for bm in Benchmark::ALL {
+            let mut prev = 0.0f64;
+            for batch in [64u64, 128, 256, 512] {
+                let t = run(design, bm, batch).iteration_time.as_secs_f64();
+                assert!(
+                    t >= prev * 0.999,
+                    "{design}/{bm}: batch {batch} got faster: {t} < {prev}"
+                );
+                prev = t;
+            }
         }
     }
+}
 
-    /// The oracle lower-bounds every virtualizing design.
-    #[test]
-    fn oracle_is_a_lower_bound(
-        design in designs(),
-        bm in benchmarks(),
-        batch in prop_oneof![Just(128u64), Just(256), Just(512)],
-    ) {
-        let net = bm.build();
-        let r = IterationSim::new(
-            SystemConfig::new(design).with_batch(batch),
-            &net,
-            ParallelStrategy::DataParallel,
-        )
-        .run();
-        let o = IterationSim::new(
-            SystemConfig::new(SystemDesign::DcDlaOracle).with_batch(batch),
-            &net,
-            ParallelStrategy::DataParallel,
-        )
-        .run();
-        prop_assert!(
-            o.iteration_time <= r.iteration_time,
-            "{design}/{bm}@{batch}: oracle {} slower than {}",
-            o.iteration_time,
-            r.iteration_time
-        );
+/// The oracle lower-bounds every virtualizing design.
+#[test]
+fn oracle_is_a_lower_bound() {
+    for bm in Benchmark::ALL {
+        for batch in [128u64, 256, 512] {
+            let oracle = run(SystemDesign::DcDlaOracle, bm, batch).iteration_time;
+            for design in SystemDesign::ALL {
+                let t = run(design, bm, batch).iteration_time;
+                assert!(
+                    oracle <= t,
+                    "{design}/{bm}@{batch}: oracle {oracle} slower than {t}"
+                );
+            }
+        }
     }
+}
 
-    /// Compression never hurts, and never changes compute time.
-    #[test]
-    fn compression_is_monotone(
-        bm in benchmarks(),
-        ratio in 1.0f64..4.0,
-    ) {
+/// Compression never hurts, and never changes compute time.
+#[test]
+fn compression_is_monotone() {
+    for bm in Benchmark::ALL {
         let net = bm.build();
         let base = IterationSim::new(
             SystemConfig::new(SystemDesign::DcDla),
@@ -96,38 +67,37 @@ proptest! {
             ParallelStrategy::DataParallel,
         )
         .run();
-        let compressed = IterationSim::new(
-            SystemConfig::new(SystemDesign::DcDla).with_compression(ratio),
-            &net,
-            ParallelStrategy::DataParallel,
-        )
-        .run();
-        prop_assert!(compressed.iteration_time <= base.iteration_time);
-        prop_assert_eq!(compressed.compute_busy, base.compute_busy);
-    }
-
-    /// Faster virtualization paths never lose: MC-DLA(B) >= MC-DLA(L) >=
-    /// MC-DLA(S) on every workload/batch (150 vs 75 vs 50 GB/s with the
-    /// same balanced-or-better rings).
-    #[test]
-    fn more_virt_bandwidth_never_hurts(
-        bm in benchmarks(),
-        batch in prop_oneof![Just(128u64), Just(512), Just(1024)],
-    ) {
-        let net = bm.build();
-        let run = |design| {
-            IterationSim::new(
-                SystemConfig::new(design).with_batch(batch),
+        for ratio in [1.0f64, 1.3, 1.7, 2.2, 2.6, 3.1, 3.9] {
+            let compressed = IterationSim::new(
+                SystemConfig::new(SystemDesign::DcDla).with_compression(ratio),
                 &net,
                 ParallelStrategy::DataParallel,
             )
-            .run()
-            .iteration_time
-        };
-        let s = run(SystemDesign::McDlaStar);
-        let l = run(SystemDesign::McDlaLocal);
-        let b = run(SystemDesign::McDlaBwAware);
-        prop_assert!(b <= l, "{bm}@{batch}: BW_AWARE slower than LOCAL");
-        prop_assert!(l <= s, "{bm}@{batch}: LOCAL slower than star");
+            .run();
+            assert!(
+                compressed.iteration_time <= base.iteration_time,
+                "{bm}@x{ratio}: compression slowed the iteration"
+            );
+            assert_eq!(
+                compressed.compute_busy, base.compute_busy,
+                "{bm}@x{ratio}: compression changed compute time"
+            );
+        }
+    }
+}
+
+/// Faster virtualization paths never lose: MC-DLA(B) >= MC-DLA(L) >=
+/// MC-DLA(S) on every workload/batch (150 vs 75 vs 50 GB/s with the
+/// same balanced-or-better rings).
+#[test]
+fn more_virt_bandwidth_never_hurts() {
+    for bm in Benchmark::ALL {
+        for batch in [128u64, 512, 1024] {
+            let s = run(SystemDesign::McDlaStar, bm, batch).iteration_time;
+            let l = run(SystemDesign::McDlaLocal, bm, batch).iteration_time;
+            let b = run(SystemDesign::McDlaBwAware, bm, batch).iteration_time;
+            assert!(b <= l, "{bm}@{batch}: BW_AWARE slower than LOCAL");
+            assert!(l <= s, "{bm}@{batch}: LOCAL slower than star");
+        }
     }
 }

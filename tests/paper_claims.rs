@@ -64,7 +64,10 @@ fn mc_dla_b_reaches_most_of_the_oracle() {
     }
     let mean = harmonic_mean(&fr).expect("positive fractions");
     assert!(mean > 0.85, "oracle fraction {mean:.2} too low");
-    assert!(fr.iter().all(|f| *f > 0.6), "some workload far from oracle: {fr:?}");
+    assert!(
+        fr.iter().all(|f| *f > 0.6),
+        "some workload far from oracle: {fr:?}"
+    );
 }
 
 #[test]
@@ -78,7 +81,10 @@ fn mc_dla_s_loses_about_14_percent_to_b() {
         }
     }
     let avg = losses.iter().sum::<f64>() / losses.len() as f64;
-    assert!((0.05..=0.25).contains(&avg), "MC(S) avg loss {avg:.2} outside band");
+    assert!(
+        (0.05..=0.25).contains(&avg),
+        "MC(S) avg loss {avg:.2} outside band"
+    );
 }
 
 #[test]
@@ -100,10 +106,7 @@ fn mc_dla_l_achieves_most_of_b() {
 fn fig2_time_reduction_is_20_to_34x() {
     let cells = experiment::fig2();
     for bm in Benchmark::CNNS {
-        let series: Vec<_> = cells
-            .iter()
-            .filter(|c| c.benchmark == bm.name())
-            .collect();
+        let series: Vec<_> = cells.iter().filter(|c| c.benchmark == bm.name()).collect();
         let reduction = 1.0 / series.last().unwrap().normalized_time;
         assert!(
             (15.0..=40.0).contains(&reduction),
@@ -115,7 +118,10 @@ fn fig2_time_reduction_is_20_to_34x() {
             overheads.windows(2).all(|w| w[1] >= w[0] - 1e-9),
             "{bm}: overhead not monotone: {overheads:?}"
         );
-        assert!(overheads.last().unwrap() > &0.5, "{bm}: modern overhead too small");
+        assert!(
+            overheads.last().unwrap() > &0.5,
+            "{bm}: modern overhead too small"
+        );
     }
 }
 
@@ -129,7 +135,10 @@ fn fig12_hc_dla_saturates_host_memory() {
         .filter(|r| r.design == SystemDesign::HcDla)
         .map(|r| r.avg_data_parallel_gbs.max(r.avg_model_parallel_gbs) / 300.0)
         .fold(0.0f64, f64::max);
-    assert!(hc_worst > 0.6, "HC-DLA worst-case draw {hc_worst:.2} too low");
+    assert!(
+        hc_worst > 0.6,
+        "HC-DLA worst-case draw {hc_worst:.2} too low"
+    );
     assert!(rows
         .iter()
         .filter(|r| r.design == SystemDesign::McDlaBwAware)
@@ -149,7 +158,12 @@ fn scalability_is_regained_by_mc_dla() {
             r.dc_virt_on,
             r.dc_virt_off
         );
-        assert!(r.mc > 6.0, "{}: MC scaling {:.1}x below near-linear", r.benchmark, r.mc);
+        assert!(
+            r.mc > 6.0,
+            "{}: MC scaling {:.1}x below near-linear",
+            r.benchmark,
+            r.mc
+        );
         assert!(r.dc_virt_off > 6.0);
     }
 }
@@ -186,5 +200,8 @@ fn sensitivity_directions_match_paper() {
 fn perf_per_watt_is_2_1_to_2_6x() {
     let speedup = experiment::headline_speedup();
     let (lo, hi) = mcdla::memnode::paper_perf_per_watt_range(speedup);
-    assert!(lo > 1.8 && lo < hi && hi < 3.2, "perf/W range ({lo:.2}, {hi:.2})");
+    assert!(
+        lo > 1.8 && lo < hi && hi < 3.2,
+        "perf/W range ({lo:.2}, {hi:.2})"
+    );
 }

@@ -23,13 +23,13 @@ fn random_networks_survive_the_whole_pipeline() {
         for strategy in ParallelStrategy::ALL {
             let plan = WorkerPlan::plan(&net, strategy, 8, 64, DataType::F32);
             assert!(plan.macs_scale > 0.0 && plan.macs_scale <= 1.0);
-            for design in [SystemDesign::DcDla, SystemDesign::McDlaBwAware, SystemDesign::DcDlaOracle] {
-                let r = IterationSim::new(
-                    SystemConfig::new(design).with_batch(64),
-                    &net,
-                    strategy,
-                )
-                .run();
+            for design in [
+                SystemDesign::DcDla,
+                SystemDesign::McDlaBwAware,
+                SystemDesign::DcDlaOracle,
+            ] {
+                let r = IterationSim::new(SystemConfig::new(design).with_batch(64), &net, strategy)
+                    .run();
                 assert!(
                     r.iteration_time.as_ps() > 0,
                     "seed {seed} {design}/{strategy}: zero-time iteration"
@@ -93,14 +93,22 @@ fn engine_accounting_holds_on_random_networks() {
             cfg.global_batch,
             cfg.dtype,
         );
-        let sched =
-            VirtSchedule::analyze(&net, plan.virt_batch(), cfg.dtype, VirtPolicy::paper_default());
+        let sched = VirtSchedule::analyze(
+            &net,
+            plan.virt_batch(),
+            cfg.dtype,
+            VirtPolicy::paper_default(),
+        );
         let r = IterationSim::new(cfg, &net, ParallelStrategy::DataParallel).run();
         assert_eq!(
             r.virt_bytes.as_u64(),
             sched.offload_bytes() + sched.prefetch_bytes(),
             "seed {seed}"
         );
-        assert_eq!(r.sync_bytes.as_u64(), plan.total_sync_bytes(), "seed {seed}");
+        assert_eq!(
+            r.sync_bytes.as_u64(),
+            plan.total_sync_bytes(),
+            "seed {seed}"
+        );
     }
 }
