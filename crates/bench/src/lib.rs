@@ -39,6 +39,7 @@
 use std::fmt::Write as _;
 
 pub mod reports;
+pub mod service;
 pub mod timing;
 
 /// Renders an aligned ASCII table.

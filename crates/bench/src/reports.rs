@@ -931,8 +931,10 @@ pub struct SweepResult {
 /// Runs a scenario grid, timing every cell, and packages the result.
 ///
 /// `batches`/`device_counts` extend the default §V matrix along those
-/// axes when non-empty.
-pub fn sweep(batches: &[u64], device_counts: &[usize]) -> SweepResult {
+/// axes when non-empty; `filter` keeps only the cells whose
+/// [`label`](mcdla_core::Scenario::label) contains the given substring
+/// (case-insensitive).
+pub fn sweep(batches: &[u64], device_counts: &[usize], filter: Option<&str>) -> SweepResult {
     // The flags *extend* the default §V matrix: the paper-default cells
     // stay in the sweep so perf-tracking consumers keep their baselines.
     let mut grid = ScenarioGrid::paper_default();
@@ -942,9 +944,21 @@ pub fn sweep(batches: &[u64], device_counts: &[usize]) -> SweepResult {
     if !device_counts.is_empty() {
         grid = grid.extend_device_counts(device_counts);
     }
+    let expanded = grid.scenarios();
+    let grid_cells = expanded.len();
+    let scenarios: Vec<mcdla_core::Scenario> = match filter {
+        Some(needle) => {
+            let needle = needle.to_lowercase();
+            expanded
+                .into_iter()
+                .filter(|s| s.label().to_lowercase().contains(&needle))
+                .collect()
+        }
+        None => expanded,
+    };
     let runner = global_runner();
     let start = std::time::Instant::now();
-    let runs = runner.run_grid_timed(&grid.scenarios());
+    let runs = runner.run_grid_timed(&scenarios);
     let total = start.elapsed();
 
     let cells: Vec<Value> = runs
@@ -952,6 +966,7 @@ pub fn sweep(batches: &[u64], device_counts: &[usize]) -> SweepResult {
         .map(|t| {
             Value::Map(vec![
                 ("scenario".into(), t.scenario.to_value()),
+                ("label".into(), Value::Str(t.scenario.label())),
                 (
                     "digest".into(),
                     Value::Str(format!("{:016x}", t.scenario.digest())),
@@ -966,9 +981,18 @@ pub fn sweep(batches: &[u64], device_counts: &[usize]) -> SweepResult {
             ])
         })
         .collect();
+    let cache = runner.store().stats();
     let payload = Value::Map(vec![
         ("generated_by".into(), Value::Str("mcdla sweep".into())),
         ("threads".into(), Value::U64(runner.threads() as u64)),
+        (
+            "filter".into(),
+            match filter {
+                Some(f) => Value::Str(f.into()),
+                None => Value::Null,
+            },
+        ),
+        ("grid_cells".into(), Value::U64(grid_cells as u64)),
         ("cells_total".into(), Value::U64(runs.len() as u64)),
         (
             "cells_simulated".into(),
@@ -978,6 +1002,7 @@ pub fn sweep(batches: &[u64], device_counts: &[usize]) -> SweepResult {
             "total_wall_ms".into(),
             Value::F64(total.as_secs_f64() * 1e3),
         ),
+        ("cache".into(), cache.to_value()),
         ("cells".into(), Value::Seq(cells)),
     ]);
 
@@ -999,11 +1024,20 @@ pub fn sweep(batches: &[u64], device_counts: &[usize]) -> SweepResult {
         "sweep (simulator wall-clock per grid cell)",
         &["metric", "value"],
         &[
-            vec!["grid cells".into(), runs.len().to_string()],
+            vec!["grid cells".into(), grid_cells.to_string()],
+            vec![
+                "matched cells".into(),
+                match filter {
+                    Some(f) => format!("{} (filter `{f}`)", runs.len()),
+                    None => runs.len().to_string(),
+                },
+            ],
             vec![
                 "simulated (cache misses)".into(),
                 simulated.len().to_string(),
             ],
+            vec!["cache evictions".into(), cache.evictions.to_string()],
+            vec!["single-flight waits".into(), cache.dedup_waits.to_string()],
             vec!["worker threads".into(), runner.threads().to_string()],
             vec![
                 "total wall".into(),

@@ -14,6 +14,9 @@
 //!   DMA per device (§IV);
 //! * [`scenario`] — the data-driven experiment layer: [`Scenario`] /
 //!   [`ScenarioGrid`] specs plus the parallel, memoizing [`Runner`];
+//! * [`store`] — the sharded, capacity-bounded, single-flight
+//!   [`ResultStore`] behind the runner (and the `mcdla-serve` service),
+//!   with JSON snapshot/restore for warm restarts;
 //! * [`experiment`] — runners for every table and figure of §V, built on
 //!   the scenario grid.
 //!
@@ -44,6 +47,7 @@ mod engine;
 pub mod experiment;
 mod report;
 pub mod scenario;
+pub mod store;
 mod virt_path;
 
 pub use design::{HostConfig, PcieGen, SystemConfig, SystemDesign};
@@ -51,4 +55,5 @@ pub use energy::{EnergyReport, PowerModel};
 pub use engine::IterationSim;
 pub use report::IterationReport;
 pub use scenario::{DeviceModel, Overrides, Runner, Scenario, ScenarioGrid, TimedRun};
+pub use store::{Fetched, Provenance, ResultStore, StoreStats};
 pub use virt_path::VirtPath;

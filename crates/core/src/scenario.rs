@@ -36,10 +36,9 @@
 //! assert_eq!(runner.cache_hits(), 1);
 //! ```
 
-use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use mcdla_accel::{DeviceConfig, DeviceGeneration};
@@ -50,6 +49,7 @@ use serde::{Deserialize, Serialize};
 use crate::design::{SystemConfig, SystemDesign};
 use crate::engine::IterationSim;
 use crate::report::IterationReport;
+use crate::store::{Provenance, ResultStore};
 
 /// Named device-node models for the §V-B sensitivity studies.
 #[derive(Debug, Copy, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -71,7 +71,7 @@ impl DeviceModel {
 }
 
 /// Optional departures from the paper-default configuration of a cell.
-#[derive(Debug, Copy, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Copy, Clone, Default, Serialize)]
 pub struct Overrides {
     /// Upgrade the host interface to PCIe gen4 (§V-B).
     pub pcie_gen4: bool,
@@ -81,6 +81,26 @@ pub struct Overrides {
     /// cDMA-style activation-compression ratio on overlay traffic
     /// (§V-B uses 2.6). Must be finite and `>= 1`.
     pub compression: Option<f64>,
+}
+
+// Hand-written (not derived) so wire payloads may omit any field — or
+// the whole object: a sparse `{"design","benchmark","strategy"}`
+// scenario is a valid `POST /simulate` body.
+impl serde::Deserialize for Overrides {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| serde::Error::expected("object", "Overrides"))?;
+        Ok(Overrides {
+            pcie_gen4: serde::__field::<Option<bool>>(map, "pcie_gen4")?.unwrap_or(false),
+            device_model: serde::__field(map, "device_model")?,
+            compression: serde::__field(map, "compression")?,
+        })
+    }
+
+    fn from_missing_field(_field: &str) -> Result<Self, serde::Error> {
+        Ok(Overrides::default())
+    }
 }
 
 // Equality and hashing go through `f64::to_bits` so they stay mutually
@@ -188,6 +208,38 @@ impl Scenario {
         self
     }
 
+    /// Checks the knobs a *deserialized* scenario may carry (builder
+    /// methods and the CLI already reject these, but wire payloads can
+    /// say anything). `Err` names the first offending field; the limits
+    /// keep one hostile request from panicking — or monopolizing — a
+    /// serving thread.
+    pub fn validate(&self) -> Result<(), String> {
+        const MAX_DEVICES: usize = 65_536;
+        const MAX_BATCH: u64 = 1 << 24;
+        match self.devices {
+            Some(0) => return Err("devices must be >= 1".into()),
+            Some(d) if d > MAX_DEVICES => {
+                return Err(format!("devices must be <= {MAX_DEVICES} (got {d})"));
+            }
+            _ => {}
+        }
+        match self.batch {
+            Some(0) => return Err("batch must be >= 1".into()),
+            Some(b) if b > MAX_BATCH => {
+                return Err(format!("batch must be <= {MAX_BATCH} (got {b})"));
+            }
+            _ => {}
+        }
+        if let Some(ratio) = self.overrides.compression {
+            if !(ratio.is_finite() && ratio >= 1.0) {
+                return Err(format!(
+                    "compression ratio must be finite and >= 1 (got {ratio})"
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Materializes the [`SystemConfig`] this scenario describes.
     pub fn config(&self) -> SystemConfig {
         let mut cfg = SystemConfig::new(self.design);
@@ -218,6 +270,53 @@ impl Scenario {
     pub fn simulate(&self) -> IterationReport {
         let net = self.benchmark.build();
         IterationSim::new(self.config(), &net, self.strategy).run()
+    }
+
+    /// A human-readable cell label — `design/benchmark/strategy`, plus
+    /// any non-default knobs — the string `mcdla sweep --filter`
+    /// matches against.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mcdla_core::{Scenario, SystemDesign};
+    /// use mcdla_dnn::Benchmark;
+    /// use mcdla_parallel::ParallelStrategy;
+    ///
+    /// let s = Scenario::new(
+    ///     SystemDesign::McDlaBwAware,
+    ///     Benchmark::AlexNet,
+    ///     ParallelStrategy::DataParallel,
+    /// )
+    /// .with_batch(128);
+    /// assert_eq!(s.label(), "MC-DLA(B)/AlexNet/data-parallel/batch128");
+    /// ```
+    pub fn label(&self) -> String {
+        let mut label = format!(
+            "{}/{}/{}",
+            self.design.name(),
+            self.benchmark.name(),
+            self.strategy
+        );
+        if let Some(devices) = self.devices {
+            label.push_str(&format!("/dev{devices}"));
+        }
+        if let Some(batch) = self.batch {
+            label.push_str(&format!("/batch{batch}"));
+        }
+        if let Some(generation) = self.generation {
+            label.push_str(&format!("/{generation:?}"));
+        }
+        if self.overrides.pcie_gen4 {
+            label.push_str("/pcie4");
+        }
+        if let Some(model) = self.overrides.device_model {
+            label.push_str(&format!("/{model:?}"));
+        }
+        if let Some(ratio) = self.overrides.compression {
+            label.push_str(&format!("/comp{ratio}"));
+        }
+        label
     }
 
     /// A stable 64-bit digest of the scenario (FNV-1a over its canonical
@@ -389,23 +488,27 @@ pub struct TimedRun {
     pub cached: bool,
 }
 
-/// Executes scenarios across scoped worker threads with a memoized
-/// result cache.
+/// Executes scenarios across scoped worker threads, memoizing through a
+/// shared [`ResultStore`].
 ///
 /// The simulator is a pure function of the scenario, so the runner
-/// deduplicates cells (within a grid *and* across calls) and fans the
-/// remainder out to `threads` workers. Results are bit-identical to
-/// serial execution regardless of thread count — the engine carries no
-/// shared mutable state — which `tests/scenario_runner.rs` pins.
+/// deduplicates cells (within a grid *and* across calls, via the store's
+/// cache and single-flight layers) and fans fresh cells out to `threads`
+/// workers. Results are bit-identical to serial execution regardless of
+/// thread count — the engine carries no shared mutable state — which
+/// `tests/scenario_runner.rs` pins.
+///
+/// A runner built with [`Runner::new`]/[`Runner::with_threads`] owns an
+/// unbounded private store (the original batch behaviour);
+/// [`Runner::with_store`] shares a caller-provided store, which is how
+/// `mcdla-serve` makes its HTTP handlers and batch grids hit one cache.
 ///
 /// The thread count defaults to the `MCDLA_THREADS` environment variable
 /// when set, else the machine's available parallelism.
 #[derive(Debug)]
 pub struct Runner {
     threads: usize,
-    cache: Mutex<HashMap<Scenario, IterationReport>>,
-    hits: AtomicUsize,
-    misses: AtomicUsize,
+    store: Arc<ResultStore>,
 }
 
 impl Default for Runner {
@@ -421,13 +524,18 @@ impl Runner {
         Self::with_threads(default_threads())
     }
 
-    /// A runner with an explicit worker-thread count (clamped to >= 1).
+    /// A runner with an explicit worker-thread count (clamped to >= 1)
+    /// and a private unbounded store.
     pub fn with_threads(threads: usize) -> Self {
+        Self::with_store(threads, Arc::new(ResultStore::unbounded()))
+    }
+
+    /// A runner memoizing through a shared, caller-owned store (which
+    /// may be capacity-bounded and/or snapshot-warmed).
+    pub fn with_store(threads: usize, store: Arc<ResultStore>) -> Self {
         Runner {
             threads: threads.max(1),
-            cache: Mutex::new(HashMap::new()),
-            hits: AtomicUsize::new(0),
-            misses: AtomicUsize::new(0),
+            store,
         }
     }
 
@@ -436,34 +544,43 @@ impl Runner {
         self.threads
     }
 
-    /// Cells served from the memo cache so far.
+    /// The result store this runner memoizes through.
+    pub fn store(&self) -> &Arc<ResultStore> {
+        &self.store
+    }
+
+    /// Cells served from the memo cache so far (including requests
+    /// coalesced onto another caller's in-flight simulation).
     pub fn cache_hits(&self) -> usize {
-        self.hits.load(Ordering::Relaxed)
+        self.store.hits() as usize
     }
 
     /// Cells actually simulated so far.
     pub fn cache_misses(&self) -> usize {
-        self.misses.load(Ordering::Relaxed)
+        self.store.misses() as usize
+    }
+
+    /// Cells evicted from a capacity-bounded store so far.
+    pub fn cache_evictions(&self) -> usize {
+        self.store.evictions() as usize
+    }
+
+    /// Requests that blocked on another caller's in-flight simulation of
+    /// the same cell (the single-flight dedup counter).
+    pub fn dedup_waits(&self) -> usize {
+        self.store.dedup_waits() as usize
     }
 
     /// Distinct cells currently memoized.
     pub fn cache_len(&self) -> usize {
-        self.cache.lock().expect("cache lock").len()
+        self.store.len()
     }
 
-    /// Runs one cell, memoized.
+    /// Runs one cell, memoized and single-flighted through the store.
     pub fn run(&self, scenario: Scenario) -> IterationReport {
-        if let Some(hit) = self.cache.lock().expect("cache lock").get(&scenario) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return hit.clone();
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let report = scenario.simulate();
-        self.cache
-            .lock()
-            .expect("cache lock")
-            .insert(scenario, report.clone());
-        report
+        self.store
+            .get_or_compute(scenario, || scenario.simulate())
+            .report
     }
 
     /// Runs a batch of cells, deduplicated and fanned out across the
@@ -477,84 +594,53 @@ impl Runner {
 
     /// Like [`Runner::run_grid`], additionally reporting per-cell
     /// wall-clock cost and cache provenance (the `mcdla sweep` payload).
+    ///
+    /// Every cell goes through [`ResultStore::get_or_compute`], so
+    /// repeats within the batch, cells cached by earlier calls, and
+    /// cells another thread (or another process sharing the store) is
+    /// already simulating are all served without re-simulating.
     pub fn run_grid_timed(&self, scenarios: &[Scenario]) -> Vec<TimedRun> {
-        // Deduplicate against both the cache and repeats within the batch.
-        let mut fresh: Vec<Scenario> = Vec::new();
-        {
-            let cache = self.cache.lock().expect("cache lock");
-            let mut seen: HashSet<Scenario> = HashSet::new();
-            for s in scenarios {
-                if !cache.contains_key(s) && seen.insert(*s) {
-                    fresh.push(*s);
-                }
+        let run_one = |s: &Scenario| {
+            let start = Instant::now();
+            let fetched = self.store.get_or_compute(*s, || s.simulate());
+            let computed = fetched.provenance == Provenance::Computed;
+            TimedRun {
+                scenario: *s,
+                report: fetched.report,
+                wall: if computed {
+                    start.elapsed()
+                } else {
+                    Duration::ZERO
+                },
+                cached: !computed,
             }
-        }
-
-        // Fan the fresh cells out to scoped workers over a shared index.
-        let computed: Vec<(IterationReport, Duration)> = if fresh.len() <= 1 || self.threads == 1 {
-            fresh.iter().map(timed_simulate).collect()
-        } else {
-            let slots: Vec<OnceLock<(IterationReport, Duration)>> =
-                fresh.iter().map(|_| OnceLock::new()).collect();
-            let next = AtomicUsize::new(0);
-            std::thread::scope(|scope| {
-                for _ in 0..self.threads.min(fresh.len()) {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(s) = fresh.get(i) else { break };
-                        slots[i]
-                            .set(timed_simulate(s))
-                            .expect("each slot is filled exactly once");
-                    });
-                }
-            });
-            slots
-                .into_iter()
-                .map(|slot| slot.into_inner().expect("worker filled every slot"))
-                .collect()
         };
 
-        let mut walls: HashMap<Scenario, Duration> = HashMap::with_capacity(fresh.len());
-        {
-            let mut cache = self.cache.lock().expect("cache lock");
-            for (s, (report, wall)) in fresh.iter().zip(computed) {
-                cache.insert(*s, report);
-                walls.insert(*s, wall);
-            }
+        if scenarios.len() <= 1 || self.threads == 1 {
+            return scenarios.iter().map(run_one).collect();
         }
-        self.misses.fetch_add(fresh.len(), Ordering::Relaxed);
 
-        let cache = self.cache.lock().expect("cache lock");
-        scenarios
-            .iter()
-            .map(|s| {
-                let report = cache.get(s).expect("every cell is cached by now").clone();
-                match walls.remove(s) {
-                    Some(wall) => TimedRun {
-                        scenario: *s,
-                        report,
-                        wall,
-                        cached: false,
-                    },
-                    None => {
-                        self.hits.fetch_add(1, Ordering::Relaxed);
-                        TimedRun {
-                            scenario: *s,
-                            report,
-                            wall: Duration::ZERO,
-                            cached: true,
-                        }
-                    }
-                }
-            })
+        // Fan the cells out to scoped workers over a shared index; the
+        // store's single-flight layer keeps duplicate cells to one
+        // simulation even when two workers pick them up concurrently.
+        let slots: Vec<OnceLock<TimedRun>> = scenarios.iter().map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(scenarios.len()) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(s) = scenarios.get(i) else { break };
+                    slots[i]
+                        .set(run_one(s))
+                        .expect("each slot is filled exactly once");
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("worker filled every slot"))
             .collect()
     }
-}
-
-fn timed_simulate(s: &Scenario) -> (IterationReport, Duration) {
-    let start = Instant::now();
-    let report = s.simulate();
-    (report, start.elapsed())
 }
 
 fn default_threads() -> usize {

@@ -1,0 +1,768 @@
+//! The shared scenario-result store: a sharded, capacity-bounded,
+//! LRU-evicting map from [`Scenario`] to [`IterationReport`] with
+//! single-flight deduplication and JSON snapshot/restore.
+//!
+//! [`Runner`](crate::Runner) memoizes through a [`ResultStore`], and the
+//! `mcdla-serve` service shares the *same* store between its HTTP
+//! handlers and any embedded batch work, so a cell simulated anywhere is
+//! a cache hit everywhere. The store is built for long-lived,
+//! many-caller processes:
+//!
+//! * **Sharded** — keys spread over independently locked shards, so
+//!   concurrent lookups of different cells never contend on one mutex.
+//! * **Bounded** — an optional capacity triggers least-recently-used
+//!   eviction (apportioned per shard), keeping a service's footprint
+//!   flat no matter how many distinct cells it has ever served.
+//! * **Single-flight** — concurrent requests for the same *uncomputed*
+//!   cell trigger exactly one simulation; the extra callers block on the
+//!   leader's flight and share its result.
+//! * **Warmable** — the full contents serialize to a deterministic JSON
+//!   snapshot and restore into a fresh store, so a restarted service
+//!   answers its first requests from cache.
+//!
+//! # Examples
+//!
+//! ```
+//! use mcdla_core::{Provenance, ResultStore, Scenario, SystemDesign};
+//! use mcdla_dnn::Benchmark;
+//! use mcdla_parallel::ParallelStrategy;
+//!
+//! let store = ResultStore::unbounded();
+//! let cell = Scenario::new(
+//!     SystemDesign::DcDla,
+//!     Benchmark::AlexNet,
+//!     ParallelStrategy::DataParallel,
+//! );
+//! let first = store.get_or_compute(cell, || cell.simulate());
+//! assert_eq!(first.provenance, Provenance::Computed);
+//! let again = store.get_or_compute(cell, || cell.simulate());
+//! assert_eq!(again.provenance, Provenance::Cached);
+//! assert_eq!(first.report, again.report);
+//!
+//! // Snapshot and warm a second store.
+//! let snapshot = store.snapshot_json();
+//! let warmed = ResultStore::unbounded();
+//! assert_eq!(warmed.restore_json(&snapshot), Ok(1));
+//! assert_eq!(warmed.get(&cell).as_ref(), Some(&first.report));
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use serde::{Deserialize, Serialize};
+
+use crate::report::IterationReport;
+use crate::scenario::Scenario;
+
+/// Default shard count — plenty of lock spread for a few dozen worker
+/// threads while keeping an eviction scan short.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// Where a [`Fetched`] report came from.
+#[derive(Debug, Copy, Clone, PartialEq, Eq)]
+pub enum Provenance {
+    /// This call ran the simulation (a cache miss; it led the flight).
+    Computed,
+    /// Another in-flight call was already simulating the cell; this call
+    /// waited and shares its result.
+    Coalesced,
+    /// Served straight from the cache.
+    Cached,
+}
+
+/// A report plus how the store obtained it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fetched {
+    /// The simulation result.
+    pub report: IterationReport,
+    /// Cache/flight provenance of this particular call.
+    pub provenance: Provenance,
+}
+
+/// A point-in-time snapshot of the store's counters, serializable into
+/// `mcdla sweep` payloads and the service's `GET /stats` response.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Requests answered from the cache (including coalesced waiters).
+    pub hits: u64,
+    /// Cells actually simulated.
+    pub misses: u64,
+    /// Entries evicted to stay within capacity.
+    pub evictions: u64,
+    /// Requests that blocked on another caller's in-flight simulation.
+    pub dedup_waits: u64,
+    /// Simulations currently executing.
+    pub in_flight: u64,
+    /// Distinct cells currently resident.
+    pub entries: u64,
+    /// Capacity bound, if any.
+    pub capacity: Option<u64>,
+    /// Entries loaded from a snapshot rather than simulated here.
+    pub warm_loaded: u64,
+}
+
+struct Entry {
+    report: IterationReport,
+    last_used: u64,
+}
+
+enum FlightState {
+    Pending,
+    Done(IterationReport),
+    /// The leader panicked; waiters retry (one becomes the new leader).
+    Failed,
+}
+
+struct Flight {
+    state: Mutex<FlightState>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            state: Mutex::new(FlightState::Pending),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Blocks until the flight lands; `None` means the leader failed.
+    fn wait(&self) -> Option<IterationReport> {
+        let mut state = self.state.lock().expect("flight lock");
+        while matches!(*state, FlightState::Pending) {
+            state = self.done.wait(state).expect("flight wait");
+        }
+        match &*state {
+            FlightState::Done(report) => Some(report.clone()),
+            FlightState::Failed => None,
+            FlightState::Pending => unreachable!("wait loop exits only on a terminal state"),
+        }
+    }
+
+    fn land(&self, state: FlightState) {
+        *self.state.lock().expect("flight lock") = state;
+        self.done.notify_all();
+    }
+}
+
+struct Shard {
+    cells: HashMap<Scenario, Entry>,
+    flights: HashMap<Scenario, Arc<Flight>>,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            cells: HashMap::new(),
+            flights: HashMap::new(),
+        }
+    }
+}
+
+/// The sharded, bounded, warmable scenario→report store. See the
+/// [module docs](self) for the design.
+pub struct ResultStore {
+    shards: Box<[Mutex<Shard>]>,
+    /// Total capacity across shards (`None` = unbounded).
+    capacity: Option<usize>,
+    /// Per-shard slice of `capacity` (the enforced bound).
+    per_shard_cap: Option<usize>,
+    /// Monotonic LRU clock.
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    dedup_waits: AtomicU64,
+    in_flight: AtomicU64,
+    warm_loaded: AtomicU64,
+}
+
+impl fmt::Debug for ResultStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ResultStore")
+            .field("shards", &self.shards.len())
+            .field("capacity", &self.capacity)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Default for ResultStore {
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
+impl ResultStore {
+    /// A store with no capacity bound (the batch-`Runner` default).
+    pub fn unbounded() -> Self {
+        Self::with_shards(None, DEFAULT_SHARDS)
+    }
+
+    /// A store bounded to at most ~`capacity` entries (LRU-evicting).
+    ///
+    /// The bound is apportioned across shards, so the effective limit is
+    /// `capacity` rounded up to a multiple of the shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero — a store that can hold nothing
+    /// cannot satisfy `get_or_compute`.
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity > 0, "result-store capacity must be >= 1");
+        Self::with_shards(Some(capacity), DEFAULT_SHARDS)
+    }
+
+    /// A store with an explicit shard count (tests use small counts to
+    /// exercise eviction deterministically).
+    pub fn with_shards(capacity: Option<usize>, shards: usize) -> Self {
+        let shards = shards.max(1);
+        ResultStore {
+            shards: (0..shards).map(|_| Mutex::new(Shard::new())).collect(),
+            capacity,
+            per_shard_cap: capacity.map(|c| c.div_ceil(shards).max(1)),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            dedup_waits: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            warm_loaded: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_index(&self, scenario: &Scenario) -> usize {
+        // DefaultHasher with `new()` uses fixed keys, so placement is
+        // stable across processes (snapshots restore into the same
+        // shards they came from, though nothing relies on that).
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        scenario.hash(&mut hasher);
+        (hasher.finish() as usize) % self.shards.len()
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Requests answered from the cache (including coalesced waiters).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cells actually simulated through this store.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted to stay within capacity.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Requests that blocked on another caller's in-flight simulation.
+    pub fn dedup_waits(&self) -> u64 {
+        self.dedup_waits.load(Ordering::Relaxed)
+    }
+
+    /// Entries loaded from snapshots.
+    pub fn warm_loaded(&self) -> u64 {
+        self.warm_loaded.load(Ordering::Relaxed)
+    }
+
+    /// Capacity bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Distinct cells currently resident.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("store shard lock").cells.len())
+            .sum()
+    }
+
+    /// True when no cells are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All counters at once.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits(),
+            misses: self.misses(),
+            evictions: self.evictions(),
+            dedup_waits: self.dedup_waits(),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            entries: self.len() as u64,
+            capacity: self.capacity.map(|c| c as u64),
+            warm_loaded: self.warm_loaded(),
+        }
+    }
+
+    /// Looks up a cell, counting a hit (and refreshing its recency) on
+    /// success. Absence is *not* counted as a miss — misses count actual
+    /// simulations, matching the original `Runner` semantics.
+    pub fn get(&self, scenario: &Scenario) -> Option<IterationReport> {
+        let tick = self.next_tick();
+        let mut shard = self.shards[self.shard_index(scenario)]
+            .lock()
+            .expect("store shard lock");
+        let entry = shard.cells.get_mut(scenario)?;
+        entry.last_used = tick;
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(entry.report.clone())
+    }
+
+    /// True when the cell is resident (no counter or recency effects).
+    pub fn contains(&self, scenario: &Scenario) -> bool {
+        self.shards[self.shard_index(scenario)]
+            .lock()
+            .expect("store shard lock")
+            .cells
+            .contains_key(scenario)
+    }
+
+    /// Inserts a result directly (evicting if over capacity). Used by
+    /// snapshot restore; normal traffic goes through
+    /// [`ResultStore::get_or_compute`].
+    pub fn insert(&self, scenario: Scenario, report: IterationReport) {
+        let tick = self.next_tick();
+        let idx = self.shard_index(&scenario);
+        let mut shard = self.shards[idx].lock().expect("store shard lock");
+        shard.cells.insert(
+            scenario,
+            Entry {
+                report,
+                last_used: tick,
+            },
+        );
+        self.evict_over_cap(&mut shard);
+    }
+
+    /// Evicts least-recently-used entries until the shard respects its
+    /// capacity slice. Caller holds the shard lock.
+    fn evict_over_cap(&self, shard: &mut Shard) {
+        let Some(cap) = self.per_shard_cap else {
+            return;
+        };
+        let mut evicted = 0u64;
+        while shard.cells.len() > cap {
+            let oldest = shard
+                .cells
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(s, _)| *s)
+                .expect("non-empty shard over capacity");
+            shard.cells.remove(&oldest);
+            evicted += 1;
+        }
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// The store's workhorse: returns the cell's report, simulating it
+    /// via `simulate` only if no cached copy exists and no other caller
+    /// is already computing it (single-flight).
+    ///
+    /// `simulate` runs with **no locks held**, so slow simulations never
+    /// block unrelated cells. If the leading caller panics, its waiters
+    /// wake and retry (one becomes the new leader); the panic propagates
+    /// to the leader's thread as usual.
+    pub fn get_or_compute(
+        &self,
+        scenario: Scenario,
+        simulate: impl Fn() -> IterationReport,
+    ) -> Fetched {
+        loop {
+            let idx = self.shard_index(&scenario);
+            let lead_or_wait = {
+                let mut shard = self.shards[idx].lock().expect("store shard lock");
+                if let Some(entry) = shard.cells.get_mut(&scenario) {
+                    entry.last_used = self.next_tick();
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Fetched {
+                        report: entry.report.clone(),
+                        provenance: Provenance::Cached,
+                    };
+                }
+                match shard.flights.get(&scenario) {
+                    Some(flight) => Err(flight.clone()),
+                    None => {
+                        let flight = Arc::new(Flight::new());
+                        shard.flights.insert(scenario, flight.clone());
+                        self.in_flight.fetch_add(1, Ordering::Relaxed);
+                        Ok(flight)
+                    }
+                }
+            };
+            match lead_or_wait {
+                Err(flight) => {
+                    self.dedup_waits.fetch_add(1, Ordering::Relaxed);
+                    match flight.wait() {
+                        Some(report) => {
+                            self.hits.fetch_add(1, Ordering::Relaxed);
+                            return Fetched {
+                                report,
+                                provenance: Provenance::Coalesced,
+                            };
+                        }
+                        // Leader failed; loop around and try again.
+                        None => continue,
+                    }
+                }
+                Ok(flight) => {
+                    let guard = FlightGuard {
+                        store: self,
+                        scenario,
+                        shard_index: idx,
+                        flight,
+                        landed: false,
+                    };
+                    let report = simulate();
+                    guard.land(report.clone());
+                    return Fetched {
+                        report,
+                        provenance: Provenance::Computed,
+                    };
+                }
+            }
+        }
+    }
+
+    /// Serializes the resident cells to deterministic JSON (sorted by
+    /// scenario digest) for `--snapshot` warm restarts.
+    pub fn snapshot_json(&self) -> String {
+        let mut cells: Vec<SnapshotCell> = Vec::new();
+        for shard in self.shards.iter() {
+            let shard = shard.lock().expect("store shard lock");
+            cells.extend(shard.cells.iter().map(|(s, e)| SnapshotCell {
+                scenario: *s,
+                report: e.report.clone(),
+            }));
+        }
+        cells.sort_by_key(|c| c.scenario.digest());
+        serde::json::to_string_pretty(&Snapshot {
+            version: SNAPSHOT_VERSION,
+            cells,
+        })
+    }
+
+    /// Restores cells from [`ResultStore::snapshot_json`] text,
+    /// returning how many were loaded. Loaded cells count as
+    /// `warm_loaded`, not as hits or misses; capacity still applies.
+    pub fn restore_json(&self, text: &str) -> Result<usize, String> {
+        let snapshot: Snapshot =
+            serde::json::from_str(text).map_err(|e| format!("invalid snapshot: {e}"))?;
+        if snapshot.version != SNAPSHOT_VERSION {
+            return Err(format!(
+                "snapshot version {} unsupported (expected {SNAPSHOT_VERSION})",
+                snapshot.version
+            ));
+        }
+        let n = snapshot.cells.len();
+        for cell in snapshot.cells {
+            self.insert(cell.scenario, cell.report);
+        }
+        self.warm_loaded.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+
+    /// Writes a snapshot to `path` atomically (temp file + rename), so a
+    /// concurrent reader or a mid-write crash never sees a torn file.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let json = self.snapshot_json();
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Loads a snapshot file written by [`ResultStore::save`], returning
+    /// how many cells it restored.
+    pub fn load(&self, path: &Path) -> Result<usize, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading snapshot {}: {e}", path.display()))?;
+        self.restore_json(&text)
+    }
+}
+
+const SNAPSHOT_VERSION: u32 = 1;
+
+#[derive(Serialize, Deserialize)]
+struct SnapshotCell {
+    scenario: Scenario,
+    report: IterationReport,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Snapshot {
+    version: u32,
+    cells: Vec<SnapshotCell>,
+}
+
+/// Cleans up a leader's flight however `simulate` exits: on a normal
+/// landing the result is cached and waiters get `Done`; if the closure
+/// panics, `Drop` marks the flight `Failed` so waiters retry instead of
+/// hanging.
+struct FlightGuard<'a> {
+    store: &'a ResultStore,
+    scenario: Scenario,
+    shard_index: usize,
+    flight: Arc<Flight>,
+    landed: bool,
+}
+
+impl FlightGuard<'_> {
+    fn land(mut self, report: IterationReport) {
+        self.landed = true;
+        let tick = self.store.next_tick();
+        {
+            let mut shard = self.store.shards[self.shard_index]
+                .lock()
+                .expect("store shard lock");
+            shard.cells.insert(
+                self.scenario,
+                Entry {
+                    report: report.clone(),
+                    last_used: tick,
+                },
+            );
+            shard.flights.remove(&self.scenario);
+            self.store.evict_over_cap(&mut shard);
+        }
+        self.store.misses.fetch_add(1, Ordering::Relaxed);
+        self.store.in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.flight.land(FlightState::Done(report));
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if self.landed {
+            return;
+        }
+        let mut shard = self.store.shards[self.shard_index]
+            .lock()
+            .expect("store shard lock");
+        shard.flights.remove(&self.scenario);
+        drop(shard);
+        self.store.in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.flight.land(FlightState::Failed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::SystemDesign;
+    use mcdla_dnn::Benchmark;
+    use mcdla_parallel::ParallelStrategy;
+    use mcdla_sim::{Bytes, SimDuration};
+
+    fn cell(batch: u64) -> Scenario {
+        Scenario::new(
+            SystemDesign::DcDla,
+            Benchmark::AlexNet,
+            ParallelStrategy::DataParallel,
+        )
+        .with_batch(batch)
+    }
+
+    /// A distinguishable dummy report (no need to run the simulator for
+    /// store-mechanics tests).
+    fn report(tag: u64) -> IterationReport {
+        IterationReport {
+            design: SystemDesign::DcDla,
+            benchmark: format!("dummy-{tag}"),
+            strategy: ParallelStrategy::DataParallel,
+            devices: 8,
+            global_batch: tag,
+            iteration_time: SimDuration::from_us(tag.max(1)),
+            compute_busy: SimDuration::ZERO,
+            sync_busy: SimDuration::ZERO,
+            virt_busy: SimDuration::ZERO,
+            memory_stall: SimDuration::ZERO,
+            virt_bytes: Bytes::ZERO,
+            sync_bytes: Bytes::ZERO,
+            cpu_socket_avg_gbs: 0.0,
+            cpu_socket_max_gbs: 0.0,
+        }
+    }
+
+    #[test]
+    fn hit_miss_and_provenance() {
+        let store = ResultStore::unbounded();
+        let first = store.get_or_compute(cell(1), || report(1));
+        assert_eq!(first.provenance, Provenance::Computed);
+        let second = store.get_or_compute(cell(1), || panic!("must not recompute"));
+        assert_eq!(second.provenance, Provenance::Cached);
+        assert_eq!(first.report, second.report);
+        assert_eq!(store.hits(), 1);
+        assert_eq!(store.misses(), 1);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_respects_recency() {
+        // One shard so capacity is exact and recency fully ordered.
+        let store = ResultStore::with_shards(Some(2), 1);
+        store.insert(cell(1), report(1));
+        store.insert(cell(2), report(2));
+        // Touch cell 1 so cell 2 is now the least recently used.
+        assert!(store.get(&cell(1)).is_some());
+        store.insert(cell(3), report(3));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.evictions(), 1);
+        assert!(store.contains(&cell(1)), "recently used survives");
+        assert!(!store.contains(&cell(2)), "LRU entry evicted");
+        assert!(store.contains(&cell(3)));
+    }
+
+    #[test]
+    fn capacity_bounds_hold_under_churn() {
+        let store = ResultStore::with_shards(Some(4), 2);
+        for i in 0..100 {
+            store.insert(cell(i), report(i));
+        }
+        // Per-shard cap is 2, two shards: never more than 4 resident.
+        assert!(store.len() <= 4, "resident {} > capacity", store.len());
+        assert_eq!(store.evictions() + store.len() as u64, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be >= 1")]
+    fn zero_capacity_is_rejected() {
+        let _ = ResultStore::bounded(0);
+    }
+
+    #[test]
+    fn single_flight_coalesces_concurrent_computes() {
+        use std::sync::atomic::AtomicUsize;
+        let store = ResultStore::unbounded();
+        let computes = AtomicUsize::new(0);
+        let n = 8;
+        std::thread::scope(|scope| {
+            for _ in 0..n {
+                scope.spawn(|| {
+                    store.get_or_compute(cell(7), || {
+                        computes.fetch_add(1, Ordering::SeqCst);
+                        // Hold the flight open long enough for every
+                        // sibling to pile onto it.
+                        std::thread::sleep(std::time::Duration::from_millis(100));
+                        report(7)
+                    })
+                });
+            }
+        });
+        assert_eq!(
+            computes.load(Ordering::SeqCst),
+            1,
+            "exactly one simulation for {n} concurrent requests"
+        );
+        assert_eq!(store.misses(), 1);
+        assert_eq!(store.hits(), (n - 1) as u64);
+    }
+
+    #[test]
+    fn failed_leader_wakes_waiters_and_retries() {
+        use std::sync::atomic::AtomicUsize;
+        let store = ResultStore::unbounded();
+        let attempts = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            // Leader panics mid-flight.
+            let leader = scope.spawn(|| {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    store.get_or_compute(cell(9), || {
+                        attempts.fetch_add(1, Ordering::SeqCst);
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        panic!("simulated failure");
+                    })
+                }));
+                assert!(result.is_err(), "leader's panic propagates");
+            });
+            // Waiter arrives while the doomed flight is open, then takes
+            // over after it fails.
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            let waiter = scope.spawn(|| {
+                store.get_or_compute(cell(9), || {
+                    attempts.fetch_add(1, Ordering::SeqCst);
+                    report(9)
+                })
+            });
+            leader.join().unwrap();
+            let fetched = waiter.join().unwrap();
+            assert_eq!(fetched.report, report(9));
+        });
+        assert_eq!(attempts.load(Ordering::SeqCst), 2, "panicked + retried");
+        assert!(store.contains(&cell(9)));
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_identical() {
+        let store = ResultStore::unbounded();
+        for i in 0..10 {
+            store.insert(cell(i), report(i));
+        }
+        let json = store.snapshot_json();
+        // Deterministic: same contents, same bytes.
+        assert_eq!(json, store.snapshot_json());
+
+        let warmed = ResultStore::unbounded();
+        assert_eq!(warmed.restore_json(&json), Ok(10));
+        assert_eq!(warmed.warm_loaded(), 10);
+        assert_eq!(warmed.hits(), 0, "warm loads are not hits");
+        assert_eq!(warmed.misses(), 0, "warm loads are not misses");
+        for i in 0..10 {
+            assert_eq!(warmed.get(&cell(i)), Some(report(i)));
+        }
+        // And the warmed store snapshots to the same bytes.
+        assert_eq!(warmed.snapshot_json(), json);
+    }
+
+    #[test]
+    fn restore_rejects_garbage_and_wrong_versions() {
+        let store = ResultStore::unbounded();
+        assert!(store.restore_json("not json").is_err());
+        assert!(store.restore_json("{\"cells\": []}").is_err());
+        assert!(store
+            .restore_json("{\"version\": 99, \"cells\": []}")
+            .unwrap_err()
+            .contains("version"));
+    }
+
+    #[test]
+    fn restore_respects_capacity() {
+        let donor = ResultStore::unbounded();
+        for i in 0..20 {
+            donor.insert(cell(i), report(i));
+        }
+        let small = ResultStore::with_shards(Some(4), 1);
+        assert_eq!(small.restore_json(&donor.snapshot_json()), Ok(20));
+        assert!(small.len() <= 4);
+        assert_eq!(small.evictions(), 16);
+    }
+
+    #[test]
+    fn save_and_load_round_trip_through_disk() {
+        let dir = std::env::temp_dir().join(format!(
+            "mcdla-store-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.json");
+        let store = ResultStore::unbounded();
+        store.insert(cell(1), report(1));
+        store.save(&path).unwrap();
+        let warmed = ResultStore::unbounded();
+        assert_eq!(warmed.load(&path), Ok(1));
+        assert_eq!(warmed.get(&cell(1)), Some(report(1)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,123 @@
+//! A tiny blocking HTTP/1.1 client over `std::net::TcpStream` — just
+//! enough to drive `mcdla-serve`: the `mcdla query` subcommand, the
+//! service bench, and the wire tests all speak through it.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One response: status code and body text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (the service always answers JSON).
+    pub body: String,
+}
+
+impl Response {
+    /// True for 2xx statuses.
+    pub fn is_ok(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+/// A persistent keep-alive connection. Reusing one connection is what
+/// makes cached-cell throughput tens of thousands of requests per
+/// second instead of paying a TCP handshake per request.
+#[derive(Debug)]
+pub struct Connection {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Connection {
+    /// Connects to `host:port`.
+    pub fn open(addr: &str) -> Result<Self, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(120)));
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| format!("cloning stream: {e}"))?,
+        );
+        Ok(Connection { stream, reader })
+    }
+
+    /// Issues one request and reads the full response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<Response, String> {
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: mcdla-serve\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        let mut out = Vec::with_capacity(head.len() + body.len());
+        out.extend_from_slice(head.as_bytes());
+        out.extend_from_slice(body.as_bytes());
+        self.stream
+            .write_all(&out)
+            .map_err(|e| format!("sending request: {e}"))?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> Result<Response, String> {
+        let mut status_line = String::new();
+        self.reader
+            .read_line(&mut status_line)
+            .map_err(|e| format!("reading status line: {e}"))?;
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("malformed status line `{}`", status_line.trim_end()))?;
+
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            let n = self
+                .reader
+                .read_line(&mut line)
+                .map_err(|e| format!("reading headers: {e}"))?;
+            if n == 0 {
+                return Err("connection closed mid-headers".into());
+            }
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad content-length `{}`", value.trim()))?;
+                }
+            }
+        }
+
+        let mut body = vec![0u8; content_length];
+        self.reader
+            .read_exact(&mut body)
+            .map_err(|e| format!("reading body: {e}"))?;
+        Ok(Response {
+            status,
+            body: String::from_utf8(body).map_err(|_| "body is not valid utf-8".to_owned())?,
+        })
+    }
+}
+
+/// One-shot convenience: open, request, close.
+pub fn request_once(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<Response, String> {
+    Connection::open(addr)?.request(method, path, body)
+}

@@ -1,0 +1,325 @@
+//! A minimal, dependency-free HTTP/1.1 wire layer: request parsing with
+//! hard size limits and JSON response writing.
+//!
+//! This is deliberately a small subset of HTTP — exactly what
+//! `mcdla-serve` speaks (see `docs/protocol.md`): `GET`/`POST`,
+//! `Content-Length` bodies, keep-alive by default. Everything malformed,
+//! truncated, oversized, or unsupported maps to a 4xx/5xx [`WireError`]
+//! rather than a panic; the wire tests in `tests/wire.rs` pin that.
+
+use std::io::{BufRead, Write};
+
+/// Maximum accepted request-head size (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Maximum accepted request-body size.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, upper-case as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target path (query strings are kept verbatim).
+    pub path: String,
+    /// Decoded body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response
+    /// (HTTP/1.1 default unless `Connection: close`).
+    pub keep_alive: bool,
+}
+
+/// A wire-level failure, carrying the HTTP status the server should
+/// answer with before closing the connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Response status code (4xx/5xx; 408 for idle-timeout reads).
+    pub status: u16,
+    /// Human-readable cause, sent back as `{"error": ...}`.
+    pub message: String,
+}
+
+impl WireError {
+    fn new(status: u16, message: impl Into<String>) -> Self {
+        WireError {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+/// Reads one request from the stream.
+///
+/// Returns `Ok(None)` on a clean close (EOF before the first byte of a
+/// request) — the keep-alive loop's normal exit. Every malformed input
+/// is an `Err` naming the 4xx to answer with.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, WireError> {
+    let Some(head) = read_head(reader)? else {
+        return Ok(None);
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(path), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(WireError::new(
+            400,
+            format!("malformed request line `{request_line}`"),
+        ));
+    };
+    if method.is_empty() || path.is_empty() {
+        return Err(WireError::new(
+            400,
+            format!("malformed request line `{request_line}`"),
+        ));
+    }
+    if !version.starts_with("HTTP/1.") {
+        return Err(WireError::new(
+            400,
+            format!("unsupported protocol version `{version}`"),
+        ));
+    }
+
+    let mut content_length = 0usize;
+    // HTTP/1.0 closes by default; 1.1 keeps alive by default.
+    let mut keep_alive = version != "HTTP/1.0";
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(WireError::new(400, format!("malformed header `{line}`")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                content_length = value
+                    .parse()
+                    .map_err(|_| WireError::new(400, format!("bad content-length `{value}`")))?;
+                if content_length > MAX_BODY_BYTES {
+                    return Err(WireError::new(
+                        413,
+                        format!("body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"),
+                    ));
+                }
+            }
+            "transfer-encoding" => {
+                return Err(WireError::new(
+                    501,
+                    "transfer-encoding is unsupported; send a content-length body",
+                ));
+            }
+            "connection" if value.eq_ignore_ascii_case("close") => keep_alive = false,
+            _ => {}
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|e| {
+        if matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ) {
+            WireError::new(408, "timed out reading the request body")
+        } else {
+            WireError::new(400, "truncated request body")
+        }
+    })?;
+
+    Ok(Some(Request {
+        method: method.to_owned(),
+        path: path.to_owned(),
+        body,
+        keep_alive,
+    }))
+}
+
+/// Reads up to the blank line ending the request head, byte by byte
+/// (the reader is buffered, so this costs nanoseconds per byte).
+fn read_head<R: BufRead>(reader: &mut R) -> Result<Option<String>, WireError> {
+    let mut head: Vec<u8> = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    loop {
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                return if head.is_empty() {
+                    Ok(None) // clean close between requests
+                } else {
+                    Err(WireError::new(400, "truncated request head"))
+                };
+            }
+            Ok(_) => {
+                head.push(byte[0]);
+                if head.len() > MAX_HEAD_BYTES {
+                    return Err(WireError::new(
+                        431,
+                        format!("request head exceeds the {MAX_HEAD_BYTES}-byte limit"),
+                    ));
+                }
+                if head.ends_with(b"\r\n\r\n") {
+                    head.truncate(head.len() - 4);
+                    let text = String::from_utf8(head)
+                        .map_err(|_| WireError::new(400, "request head is not valid utf-8"))?;
+                    return Ok(Some(text));
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return if head.is_empty() {
+                    Ok(None) // idle keep-alive connection: close quietly
+                } else {
+                    Err(WireError::new(408, "timed out reading the request head"))
+                };
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return Ok(None), // reset mid-idle: nothing to answer
+        }
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one JSON response (the only content type the service speaks).
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    // One buffered write per response keeps cached-cell latency low.
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
+        reason(status),
+        body.len(),
+    );
+    let mut out = Vec::with_capacity(head.len() + body.len());
+    out.extend_from_slice(head.as_bytes());
+    out.extend_from_slice(body.as_bytes());
+    w.write_all(&out)?;
+    w.flush()
+}
+
+/// The `{"error": message}` JSON body every failure answers with.
+pub fn error_body(message: &str) -> String {
+    serde::json::to_string(&serde::Value::Map(vec![(
+        "error".into(),
+        serde::Value::Str(message.into()),
+    )]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(bytes: &[u8]) -> Result<Option<Request>, WireError> {
+        read_request(&mut BufReader::new(bytes))
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse(b"POST /simulate HTTP/1.1\r\ncontent-length: 4\r\n\r\nbody")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/simulate");
+        assert_eq!(req.body, b"body");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn connection_close_and_http10_disable_keep_alive() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.keep_alive);
+        let req = parse(b"GET /healthz HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert_eq!(parse(b"").unwrap(), None);
+    }
+
+    #[test]
+    fn truncation_is_a_400() {
+        assert_eq!(parse(b"GET /healthz HTT").unwrap_err().status, 400);
+        let err =
+            parse(b"POST /simulate HTTP/1.1\r\ncontent-length: 100\r\n\r\nshort").unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("truncated"));
+    }
+
+    #[test]
+    fn malformed_inputs_name_their_4xx() {
+        assert_eq!(parse(b"NOT-HTTP\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(parse(b"GET /x HTTP/2.0\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(
+            parse(b"GET /x HTTP/1.1\r\nbad header line\r\n\r\n")
+                .unwrap_err()
+                .status,
+            400
+        );
+        assert_eq!(
+            parse(b"POST /x HTTP/1.1\r\ncontent-length: lots\r\n\r\n")
+                .unwrap_err()
+                .status,
+            400
+        );
+        assert_eq!(
+            parse(b"POST /x HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n")
+                .unwrap_err()
+                .status,
+            501
+        );
+    }
+
+    #[test]
+    fn oversized_inputs_are_bounded() {
+        let huge = format!(
+            "POST /x HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert_eq!(parse(huge.as_bytes()).unwrap_err().status, 413);
+        let mut head = b"GET /x HTTP/1.1\r\n".to_vec();
+        head.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 8));
+        assert_eq!(parse(&head).unwrap_err().status, 431);
+    }
+
+    #[test]
+    fn responses_carry_length_and_connection() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{\"ok\":true}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 11\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn error_bodies_are_json() {
+        assert_eq!(error_body("boom"), "{\"error\":\"boom\"}");
+    }
+}

@@ -1,0 +1,51 @@
+//! # `mcdla-serve` — the persistent scenario-simulation service
+//!
+//! PR 1 made the KwonR18 reproduction a batch tool: every `mcdla`
+//! invocation cold-starts, simulates, and exits. This crate is the
+//! long-running layer on top of the same engine: a hand-rolled HTTP/1.1
+//! server over `std::net::TcpListener` (the build environment has no
+//! crates.io access) whose handlers and batch grids share one
+//! [`ResultStore`](mcdla_core::ResultStore) — sharded, capacity-bounded,
+//! LRU-evicting, single-flight-deduplicating, and snapshot-warmable, so
+//! a restarted service answers its first requests from cache.
+//!
+//! ## Endpoints
+//!
+//! | endpoint | body | answer |
+//! |---|---|---|
+//! | `POST /simulate` | one serde [`Scenario`](mcdla_core::Scenario) | `{scenario, digest, cached, report}` |
+//! | `POST /grid` | cartesian axes ([`GridRequest`]) | `{count, cells: [...]}` |
+//! | `GET /healthz` | — | `{"status":"ok"}` |
+//! | `GET /stats` | — | store + request counters |
+//!
+//! `docs/protocol.md` in the repository root specifies the JSON; served
+//! reports are bit-identical to the batch `Runner`'s (the wire tests
+//! pin this).
+//!
+//! ## Example
+//!
+//! ```
+//! use mcdla_serve::{client, ServeConfig, Server};
+//!
+//! let server = Server::bind(&ServeConfig {
+//!     addr: "127.0.0.1:0".into(), // ephemeral port
+//!     ..ServeConfig::default()
+//! })
+//! .unwrap();
+//! let handle = server.spawn().unwrap();
+//! let addr = handle.addr().to_string();
+//!
+//! let health = client::request_once(&addr, "GET", "/healthz", None).unwrap();
+//! assert_eq!(health.status, 200);
+//! assert!(health.body.contains("\"ok\""));
+//! handle.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod client;
+pub mod http;
+mod server;
+
+pub use server::{cell_value, GridRequest, ServeConfig, Server, ServerHandle, MAX_GRID_CELLS};

@@ -1,0 +1,651 @@
+//! The `mcdla-serve` server: a worker-thread accept pool over
+//! `std::net::TcpListener`, routing to the shared scenario store.
+
+use std::io::{BufReader, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use mcdla_accel::DeviceGeneration;
+use mcdla_core::{
+    Overrides, Provenance, ResultStore, Runner, Scenario, ScenarioGrid, SystemDesign,
+};
+use mcdla_dnn::Benchmark;
+use mcdla_parallel::ParallelStrategy;
+use serde::{Deserialize, Serialize, Value};
+
+use crate::http::{error_body, read_request, write_response, Request, WireError};
+
+/// Largest grid one `POST /grid` request may expand to.
+pub const MAX_GRID_CELLS: usize = 10_000;
+
+/// Idle keep-alive connections are dropped after this long.
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Everything `mcdla serve` configures.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Accept-pool size: how many connections are served concurrently.
+    pub threads: usize,
+    /// Result-store capacity (`None` = unbounded).
+    pub cache_cap: Option<usize>,
+    /// Snapshot path: loaded (if present) at startup, rewritten after
+    /// every request that simulated at least one new cell.
+    pub snapshot: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7878".to_owned(),
+            threads: 4,
+            cache_cap: None,
+            snapshot: None,
+        }
+    }
+}
+
+/// Per-endpoint request counters, reported by `GET /stats`.
+#[derive(Debug, Default)]
+struct EndpointCounters {
+    healthz: AtomicU64,
+    stats: AtomicU64,
+    simulate: AtomicU64,
+    grid: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl EndpointCounters {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            (
+                "healthz".into(),
+                Value::U64(self.healthz.load(Ordering::Relaxed)),
+            ),
+            (
+                "stats".into(),
+                Value::U64(self.stats.load(Ordering::Relaxed)),
+            ),
+            (
+                "simulate".into(),
+                Value::U64(self.simulate.load(Ordering::Relaxed)),
+            ),
+            ("grid".into(), Value::U64(self.grid.load(Ordering::Relaxed))),
+            (
+                "errors".into(),
+                Value::U64(self.errors.load(Ordering::Relaxed)),
+            ),
+        ])
+    }
+}
+
+/// Clones of every live connection's socket, so shutdown can unblock
+/// handlers parked in a 30-second idle read instead of waiting them out.
+#[derive(Debug, Default)]
+struct ConnRegistry {
+    slots: Mutex<Vec<Option<TcpStream>>>,
+}
+
+impl ConnRegistry {
+    /// Registers a connection, returning its slot id.
+    fn register(&self, stream: &TcpStream) -> Option<usize> {
+        let clone = stream.try_clone().ok()?;
+        let mut slots = self.slots.lock().expect("conn registry lock");
+        if let Some(i) = slots.iter().position(Option::is_none) {
+            slots[i] = Some(clone);
+            Some(i)
+        } else {
+            slots.push(Some(clone));
+            Some(slots.len() - 1)
+        }
+    }
+
+    fn deregister(&self, id: usize) {
+        self.slots.lock().expect("conn registry lock")[id] = None;
+    }
+
+    /// Read-closes every live connection: blocked reads return EOF at
+    /// once and the handlers exit, while the write half stays open so
+    /// an in-flight response still reaches its client.
+    fn close_all(&self) {
+        for stream in self
+            .slots
+            .lock()
+            .expect("conn registry lock")
+            .iter()
+            .flatten()
+        {
+            let _ = stream.shutdown(std::net::Shutdown::Read);
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ServerState {
+    store: Arc<ResultStore>,
+    runner: Runner,
+    snapshot: Option<PathBuf>,
+    /// Serializes snapshot writes from concurrent handlers.
+    snapshot_write: Mutex<()>,
+    shutdown: AtomicBool,
+    conns: ConnRegistry,
+    started: Instant,
+    requests: EndpointCounters,
+}
+
+impl ServerState {
+    /// Rewrites the snapshot file (atomic temp+rename in the store), so
+    /// a `kill -9` at any moment leaves a loadable file behind.
+    fn persist_snapshot(&self) {
+        let Some(path) = &self.snapshot else { return };
+        let _guard = self.snapshot_write.lock().expect("snapshot write lock");
+        if let Err(e) = self.store.save(path) {
+            eprintln!("mcdla-serve: writing snapshot {}: {e}", path.display());
+        }
+    }
+}
+
+/// A bound-but-not-yet-serving server. [`Server::bind`] resolves the
+/// address, builds (and optionally warm-loads) the store; [`Server::run`]
+/// or [`Server::spawn`] starts the accept pool.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    threads: usize,
+    state: Arc<ServerState>,
+}
+
+/// Handle to a running server: its resolved address, a shared view of
+/// the store, and a clean shutdown.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    acceptors: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener and prepares the store (loading the snapshot
+    /// when the configured file exists).
+    pub fn bind(config: &ServeConfig) -> Result<Server, String> {
+        if config.threads == 0 {
+            return Err("thread count must be >= 1 (got `0`)".into());
+        }
+        let store = Arc::new(match config.cache_cap {
+            Some(0) => return Err("cache capacity must be >= 1 (got `0`)".into()),
+            Some(cap) => ResultStore::bounded(cap),
+            None => ResultStore::unbounded(),
+        });
+        if let Some(path) = &config.snapshot {
+            if path.exists() {
+                let loaded = store.load(path)?;
+                eprintln!("mcdla-serve: warmed {loaded} cells from {}", path.display());
+            }
+        }
+        let listener =
+            TcpListener::bind(&config.addr).map_err(|e| format!("binding {}: {e}", config.addr))?;
+        // Simulation threads follow the batch runner's default
+        // (MCDLA_THREADS or machine parallelism) — the accept pool is a
+        // separate resource.
+        let sim_threads = Runner::new().threads();
+        Ok(Server {
+            listener,
+            threads: config.threads,
+            state: Arc::new(ServerState {
+                runner: Runner::with_store(sim_threads, store.clone()),
+                store,
+                snapshot: config.snapshot.clone(),
+                snapshot_write: Mutex::new(()),
+                shutdown: AtomicBool::new(false),
+                conns: ConnRegistry::default(),
+                started: Instant::now(),
+                requests: EndpointCounters::default(),
+            }),
+        })
+    }
+
+    /// The resolved listen address (useful with port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The store this server serves from (shared with any batch work).
+    pub fn store(&self) -> &Arc<ResultStore> {
+        &self.state.store
+    }
+
+    /// Starts the accept pool in background threads and returns a
+    /// handle; the caller keeps running (tests, `mcdla query` probes,
+    /// embedded servers).
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.listener.local_addr()?;
+        let mut acceptors = Vec::with_capacity(self.threads);
+        for i in 0..self.threads {
+            let listener = self.listener.try_clone()?;
+            let state = self.state.clone();
+            acceptors.push(
+                std::thread::Builder::new()
+                    .name(format!("mcdla-serve-{i}"))
+                    .spawn(move || accept_loop(&listener, &state))?,
+            );
+        }
+        Ok(ServerHandle {
+            addr,
+            state: self.state,
+            acceptors,
+        })
+    }
+
+    /// Runs the accept pool on the calling thread (plus `threads - 1`
+    /// workers), blocking until the process exits — the `mcdla serve`
+    /// entry point.
+    pub fn run(self) -> std::io::Result<()> {
+        let state = self.state.clone();
+        let listener = self.listener.try_clone()?;
+        let mut workers = Vec::new();
+        for i in 1..self.threads {
+            let listener = self.listener.try_clone()?;
+            let state = self.state.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("mcdla-serve-{i}"))
+                    .spawn(move || accept_loop(&listener, &state))?,
+            );
+        }
+        accept_loop(&listener, &state);
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+impl ServerHandle {
+    /// The resolved listen address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The running server's store.
+    pub fn store(&self) -> &Arc<ResultStore> {
+        &self.state.store
+    }
+
+    /// Stops accepting, unblocks idle connections, wakes every
+    /// acceptor, flushes a final snapshot, and joins the pool.
+    /// In-flight responses finish first.
+    pub fn shutdown(self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        // Handlers parked in a keep-alive read would otherwise hold
+        // their acceptor threads until the 30 s idle timeout; closing
+        // the registered sockets returns those reads immediately. (A
+        // handler registering concurrently has already re-checked the
+        // flag — set above — before blocking.)
+        self.state.conns.close_all();
+        // Each remaining acceptor is parked in `accept`; poke one
+        // connection per thread so they all observe the flag.
+        for _ in 0..self.acceptors.len() {
+            if let Ok(stream) = TcpStream::connect(self.addr) {
+                drop(stream);
+            }
+        }
+        for a in self.acceptors {
+            let _ = a.join();
+        }
+        self.state.persist_snapshot();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                handle_connection(stream, state);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                // Transient accept errors (EMFILE, aborted handshake):
+                // back off briefly instead of spinning.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// Deregisters a connection slot however the handler exits.
+struct ConnGuard<'a> {
+    state: &'a ServerState,
+    id: Option<usize>,
+}
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(id) = self.id {
+            self.state.conns.deregister(id);
+        }
+    }
+}
+
+/// Serves one connection's keep-alive request loop.
+fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _guard = ConnGuard {
+        state,
+        id: state.conns.register(&stream),
+    };
+    // `shutdown()` closes registered sockets *after* setting the flag;
+    // re-checking here means a connection that registered too late to
+    // be closed still exits instead of blocking the pool.
+    if state.shutdown.load(Ordering::SeqCst) {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        match read_request(&mut reader) {
+            Ok(None) => return, // clean close / idle timeout
+            Err(WireError { status, message }) => {
+                state.requests.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = write_response(&mut writer, status, &error_body(&message), false);
+                return;
+            }
+            Ok(Some(request)) => {
+                let keep_alive = request.keep_alive && !state.shutdown.load(Ordering::SeqCst);
+                // A panicking handler must not take its acceptor thread
+                // (and the pool slot) with it: answer 500 and carry on.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    route(&request, state)
+                }))
+                .unwrap_or_else(|_| Outcome::error(500, "internal error handling the request"));
+                if outcome.status >= 400 {
+                    state.requests.errors.fetch_add(1, Ordering::Relaxed);
+                }
+                if write_response(&mut writer, outcome.status, &outcome.body, keep_alive).is_err() {
+                    return;
+                }
+                if outcome.computed_cells > 0 {
+                    state.persist_snapshot();
+                }
+                if !keep_alive {
+                    let _ = writer.flush();
+                    return;
+                }
+            }
+        }
+    }
+}
+
+struct Outcome {
+    status: u16,
+    body: String,
+    /// Cells this request actually simulated (drives snapshot rewrites).
+    computed_cells: usize,
+}
+
+impl Outcome {
+    fn ok(body: String) -> Self {
+        Outcome {
+            status: 200,
+            body,
+            computed_cells: 0,
+        }
+    }
+
+    fn error(status: u16, message: &str) -> Self {
+        Outcome {
+            status,
+            body: error_body(message),
+            computed_cells: 0,
+        }
+    }
+}
+
+fn route(request: &Request, state: &Arc<ServerState>) -> Outcome {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            state.requests.healthz.fetch_add(1, Ordering::Relaxed);
+            Outcome::ok(serde::json::to_string(&Value::Map(vec![
+                ("status".into(), Value::Str("ok".into())),
+                ("service".into(), Value::Str("mcdla-serve".into())),
+            ])))
+        }
+        ("GET", "/stats") => {
+            state.requests.stats.fetch_add(1, Ordering::Relaxed);
+            Outcome::ok(serde::json::to_string_pretty(&stats_value(state)))
+        }
+        ("POST", "/simulate") => {
+            state.requests.simulate.fetch_add(1, Ordering::Relaxed);
+            simulate_endpoint(&request.body, state)
+        }
+        ("POST", "/grid") => {
+            state.requests.grid.fetch_add(1, Ordering::Relaxed);
+            grid_endpoint(&request.body, state)
+        }
+        (_, "/healthz" | "/stats") => Outcome::error(405, "use GET on this endpoint"),
+        (_, "/simulate" | "/grid") => {
+            Outcome::error(405, "use POST with a JSON body on this endpoint")
+        }
+        (_, path) => Outcome::error(404, &format!("no such endpoint `{path}`")),
+    }
+}
+
+fn stats_value(state: &ServerState) -> Value {
+    Value::Map(vec![
+        ("service".into(), Value::Str("mcdla-serve".into())),
+        (
+            "uptime_secs".into(),
+            Value::F64(state.started.elapsed().as_secs_f64()),
+        ),
+        (
+            "simulation_threads".into(),
+            Value::U64(state.runner.threads() as u64),
+        ),
+        ("store".into(), state.store.stats().to_value()),
+        ("requests".into(), state.requests.to_value()),
+    ])
+}
+
+fn parse_body<T: Deserialize>(body: &[u8], what: &str) -> Result<T, Outcome> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| Outcome::error(400, &format!("{what} body is not valid utf-8")))?;
+    serde::json::from_str(text).map_err(|e| Outcome::error(400, &format!("bad {what} JSON: {e}")))
+}
+
+/// One result cell as the wire represents it (shared by `/simulate`,
+/// `/grid`, and the batch `mcdla simulate` subcommand, which is what
+/// makes served and batch output diffable).
+pub fn cell_value(
+    scenario: &Scenario,
+    report: &mcdla_core::IterationReport,
+    cached: bool,
+) -> Value {
+    Value::Map(vec![
+        ("scenario".into(), scenario.to_value()),
+        (
+            "digest".into(),
+            Value::Str(format!("{:016x}", scenario.digest())),
+        ),
+        ("cached".into(), Value::Bool(cached)),
+        ("report".into(), report.to_value()),
+    ])
+}
+
+fn simulate_endpoint(body: &[u8], state: &Arc<ServerState>) -> Outcome {
+    let scenario: Scenario = match parse_body(body, "scenario") {
+        Ok(s) => s,
+        Err(outcome) => return outcome,
+    };
+    if let Err(msg) = scenario.validate() {
+        return Outcome::error(400, &msg);
+    }
+    let fetched = state.store.get_or_compute(scenario, || scenario.simulate());
+    let computed = fetched.provenance == Provenance::Computed;
+    Outcome {
+        status: 200,
+        body: serde::json::to_string_pretty(&cell_value(&scenario, &fetched.report, !computed)),
+        computed_cells: usize::from(computed),
+    }
+}
+
+/// The `POST /grid` request: cartesian axes, each optional, defaulting
+/// to the paper's §V matrix axis (all designs, all benchmarks, both
+/// strategies, paper-default knobs).
+#[derive(Debug, Default, Deserialize, Serialize)]
+pub struct GridRequest {
+    /// System-design axis.
+    pub designs: Option<Vec<SystemDesign>>,
+    /// Benchmark axis.
+    pub benchmarks: Option<Vec<Benchmark>>,
+    /// Parallelization-strategy axis.
+    pub strategies: Option<Vec<ParallelStrategy>>,
+    /// Device-count axis.
+    pub devices: Option<Vec<usize>>,
+    /// Global-batch axis.
+    pub batches: Option<Vec<u64>>,
+    /// Device-generation axis.
+    pub generations: Option<Vec<DeviceGeneration>>,
+    /// Overrides axis.
+    pub overrides: Option<Vec<Overrides>>,
+}
+
+impl GridRequest {
+    /// Expands the request into concrete scenarios.
+    pub fn scenarios(&self) -> Result<Vec<Scenario>, String> {
+        let mut grid = ScenarioGrid::paper_default();
+        if let Some(designs) = &self.designs {
+            grid = grid.designs(designs);
+        }
+        if let Some(benchmarks) = &self.benchmarks {
+            grid = grid.benchmarks(benchmarks);
+        }
+        if let Some(strategies) = &self.strategies {
+            grid = grid.strategies(strategies);
+        }
+        if let Some(devices) = &self.devices {
+            if devices.contains(&0) {
+                return Err("device counts must be >= 1".into());
+            }
+            grid = grid.device_counts(devices);
+        }
+        if let Some(batches) = &self.batches {
+            if batches.contains(&0) {
+                return Err("batch sizes must be >= 1".into());
+            }
+            grid = grid.batches(batches);
+        }
+        if let Some(generations) = &self.generations {
+            grid = grid.generations(generations);
+        }
+        if let Some(overrides) = &self.overrides {
+            grid = grid.overrides(overrides);
+        }
+        if grid.is_empty() {
+            return Err("grid expands to zero cells (an axis is empty)".into());
+        }
+        if grid.len() > MAX_GRID_CELLS {
+            return Err(format!(
+                "grid expands to {} cells; the limit is {MAX_GRID_CELLS}",
+                grid.len()
+            ));
+        }
+        Ok(grid.scenarios())
+    }
+}
+
+fn grid_endpoint(body: &[u8], state: &Arc<ServerState>) -> Outcome {
+    let request: GridRequest = match parse_body(body, "grid") {
+        Ok(g) => g,
+        Err(outcome) => return outcome,
+    };
+    let scenarios = match request.scenarios() {
+        Ok(s) => s,
+        Err(msg) => return Outcome::error(400, &msg),
+    };
+    if let Some(msg) = scenarios.iter().find_map(|s| s.validate().err()) {
+        return Outcome::error(400, &msg);
+    }
+    let runs = state.runner.run_grid_timed(&scenarios);
+    let computed_cells = runs.iter().filter(|t| !t.cached).count();
+    let cells: Vec<Value> = runs
+        .iter()
+        .map(|t| cell_value(&t.scenario, &t.report, t.cached))
+        .collect();
+    Outcome {
+        status: 200,
+        body: serde::json::to_string_pretty(&Value::Map(vec![
+            ("count".into(), Value::U64(runs.len() as u64)),
+            ("cells".into(), Value::Seq(cells)),
+        ])),
+        computed_cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_request_defaults_to_the_paper_matrix() {
+        let req: GridRequest = serde::json::from_str("{}").unwrap();
+        assert_eq!(req.scenarios().unwrap().len(), 6 * 8 * 2);
+    }
+
+    #[test]
+    fn grid_request_restricts_axes() {
+        let req: GridRequest = serde::json::from_str(
+            r#"{"designs": ["DcDla", "McDlaBwAware"],
+                "benchmarks": ["AlexNet"],
+                "strategies": ["DataParallel"],
+                "batches": [128, 512]}"#,
+        )
+        .unwrap();
+        assert_eq!(req.scenarios().unwrap().len(), 2 * 2);
+    }
+
+    #[test]
+    fn grid_request_rejects_hostile_axes() {
+        let zero: GridRequest = serde::json::from_str(r#"{"batches": [0]}"#).unwrap();
+        assert!(zero.scenarios().is_err());
+        let empty: GridRequest = serde::json::from_str(r#"{"designs": []}"#).unwrap();
+        assert!(empty.scenarios().unwrap_err().contains("zero cells"));
+        let huge: GridRequest = serde::json::from_str(
+            r#"{"batches": [1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,
+                17,18,19,20,21,22,23,24,25,26,27,28,29,30,31,32,33,34,35,36,37,38,39,40,
+                41,42,43,44,45,46,47,48,49,50,51,52,53,54,55,56,57,58,59,60,61,62,63,64,
+                65,66,67,68,69,70,71,72,73,74,75,76,77,78,79,80,81,82,83,84,85,86,87,88,
+                89,90,91,92,93,94,95,96,97,98,99,100,101,102,103,104,105]}"#,
+        )
+        .unwrap();
+        assert!(huge.scenarios().unwrap_err().contains("limit"));
+    }
+
+    #[test]
+    fn zero_threads_and_zero_capacity_are_clear_errors() {
+        let err = Server::bind(&ServeConfig {
+            threads: 0,
+            ..ServeConfig::default()
+        })
+        .unwrap_err();
+        assert!(err.contains("thread count must be >= 1"), "{err}");
+        let err = Server::bind(&ServeConfig {
+            cache_cap: Some(0),
+            ..ServeConfig::default()
+        })
+        .unwrap_err();
+        assert!(err.contains("capacity must be >= 1"), "{err}");
+    }
+}

@@ -1,0 +1,295 @@
+//! Wire-layer integration tests: a real server on an ephemeral loopback
+//! port, driven over real sockets. Pins the ISSUE-2 service guarantees:
+//! malformed input answers 4xx (never a panic or a hang), N concurrent
+//! identical requests trigger exactly one simulation, and a
+//! snapshot/restore cycle serves bit-identical reports from cache.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mcdla_serve::client::{request_once, Connection};
+use mcdla_serve::{ServeConfig, Server, ServerHandle};
+
+/// Starts a server on an ephemeral port, returning its handle and
+/// `host:port` string.
+fn start(config: ServeConfig) -> (ServerHandle, String) {
+    let server = Server::bind(&ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        ..config
+    })
+    .expect("bind ephemeral server");
+    let handle = server.spawn().expect("spawn accept pool");
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+/// A unique scratch directory per test (no wall-clock available: use
+/// pid + a process-global counter).
+fn scratch_dir() -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "mcdla-wire-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+const CELL: &str = r#"{"design":"DcDla","benchmark":"AlexNet","strategy":"DataParallel"}"#;
+
+/// Sends raw bytes and returns the full response text (read to EOF).
+fn raw_roundtrip(addr: &str, bytes: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(bytes).expect("send");
+    // Half-close so a server waiting for more body sees truncation.
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("shutdown");
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("read response");
+    out
+}
+
+#[test]
+fn healthz_stats_and_keep_alive() {
+    let (handle, addr) = start(ServeConfig::default());
+    // One persistent connection serves many requests.
+    let mut conn = Connection::open(&addr).expect("open");
+    let health = conn.request("GET", "/healthz", None).unwrap();
+    assert_eq!(health.status, 200);
+    assert!(health.body.contains("\"ok\""));
+    let stats = conn.request("GET", "/stats", None).unwrap();
+    assert_eq!(stats.status, 200);
+    for key in ["hits", "misses", "evictions", "dedup_waits", "in_flight"] {
+        assert!(
+            stats.body.contains(key),
+            "stats missing `{key}`: {}",
+            stats.body
+        );
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn served_reports_are_bit_identical_to_the_batch_runner() {
+    let (handle, addr) = start(ServeConfig::default());
+    let scenario: mcdla_core::Scenario = serde::json::from_str(CELL).unwrap();
+    let batch = serde::json::to_string(&scenario.simulate());
+
+    let served = request_once(&addr, "POST", "/simulate", Some(CELL)).unwrap();
+    assert_eq!(served.status, 200);
+    let parsed = serde::json::parse(&served.body).unwrap();
+    assert_eq!(
+        serde::json::to_string(parsed.get("report").expect("report field")),
+        batch,
+        "served report differs from the batch runner's"
+    );
+    assert_eq!(parsed.get("cached"), Some(&serde::Value::Bool(false)));
+
+    // Second request: cached, same report.
+    let again = request_once(&addr, "POST", "/simulate", Some(CELL)).unwrap();
+    let parsed = serde::json::parse(&again.body).unwrap();
+    assert_eq!(parsed.get("cached"), Some(&serde::Value::Bool(true)));
+    assert_eq!(serde::json::to_string(parsed.get("report").unwrap()), batch);
+    handle.shutdown();
+}
+
+#[test]
+fn grid_answers_match_simulate_cell_by_cell() {
+    let (handle, addr) = start(ServeConfig::default());
+    let body = r#"{"designs":["DcDla","McDlaBwAware"],"benchmarks":["AlexNet"]}"#;
+    let grid = request_once(&addr, "POST", "/grid", Some(body)).unwrap();
+    assert_eq!(grid.status, 200);
+    let parsed = serde::json::parse(&grid.body).unwrap();
+    assert_eq!(parsed.get("count").and_then(|v| v.as_u64()), Some(4));
+    let cells = parsed.get("cells").and_then(|v| v.as_seq()).unwrap();
+    assert_eq!(cells.len(), 4);
+    // Every grid cell answers /simulate with the identical report (from
+    // cache now — the store is shared between endpoints).
+    for cell in cells {
+        let scenario = serde::json::to_string(cell.get("scenario").unwrap());
+        let single = request_once(&addr, "POST", "/simulate", Some(&scenario)).unwrap();
+        let single = serde::json::parse(&single.body).unwrap();
+        assert_eq!(single.get("cached"), Some(&serde::Value::Bool(true)));
+        assert_eq!(
+            serde::json::to_string(single.get("report").unwrap()),
+            serde::json::to_string(cell.get("report").unwrap()),
+        );
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_requests_answer_4xx_not_panic() {
+    let (handle, addr) = start(ServeConfig::default());
+
+    // Garbage instead of HTTP.
+    let resp = raw_roundtrip(&addr, b"THIS IS NOT HTTP\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.1 400 "), "{resp}");
+
+    // Truncated head.
+    let resp = raw_roundtrip(&addr, b"POST /simulate HTT");
+    assert!(resp.starts_with("HTTP/1.1 400 "), "{resp}");
+
+    // Truncated body (content-length promises more than arrives).
+    let resp = raw_roundtrip(
+        &addr,
+        b"POST /simulate HTTP/1.1\r\ncontent-length: 500\r\n\r\n{\"partial\":",
+    );
+    assert!(resp.starts_with("HTTP/1.1 400 "), "{resp}");
+    assert!(resp.contains("truncated"), "{resp}");
+
+    // Chunked bodies are politely unsupported.
+    let resp = raw_roundtrip(
+        &addr,
+        b"POST /simulate HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n",
+    );
+    assert!(resp.starts_with("HTTP/1.1 501 "), "{resp}");
+
+    // The server survived all of it.
+    assert_eq!(
+        request_once(&addr, "GET", "/healthz", None).unwrap().status,
+        200
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn bad_bodies_and_bad_routes_answer_4xx() {
+    let (handle, addr) = start(ServeConfig::default());
+
+    // Invalid JSON.
+    let resp = request_once(&addr, "POST", "/simulate", Some("{not json")).unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(resp.body.contains("error"), "{}", resp.body);
+
+    // Valid JSON, not a scenario.
+    let resp = request_once(&addr, "POST", "/simulate", Some("{\"x\": 1}")).unwrap();
+    assert_eq!(resp.status, 400);
+
+    // Valid scenario shape, hostile knobs: must be a 400, not a panic.
+    for hostile in [
+        r#"{"design":"DcDla","benchmark":"AlexNet","strategy":"DataParallel","devices":0}"#,
+        r#"{"design":"DcDla","benchmark":"AlexNet","strategy":"DataParallel","batch":0}"#,
+        r#"{"design":"DcDla","benchmark":"AlexNet","strategy":"DataParallel",
+            "overrides":{"compression":0.5}}"#,
+    ] {
+        let resp = request_once(&addr, "POST", "/simulate", Some(hostile)).unwrap();
+        assert_eq!(resp.status, 400, "hostile body accepted: {hostile}");
+    }
+
+    // Unknown endpoint and wrong methods.
+    assert_eq!(
+        request_once(&addr, "GET", "/nope", None).unwrap().status,
+        404
+    );
+    assert_eq!(
+        request_once(&addr, "GET", "/simulate", None)
+            .unwrap()
+            .status,
+        405
+    );
+    assert_eq!(
+        request_once(&addr, "POST", "/healthz", None)
+            .unwrap()
+            .status,
+        405
+    );
+
+    // A bad grid: zero batch in the axis.
+    let resp = request_once(&addr, "POST", "/grid", Some(r#"{"batches":[0]}"#)).unwrap();
+    assert_eq!(resp.status, 400);
+
+    // Still healthy.
+    assert_eq!(
+        request_once(&addr, "GET", "/healthz", None).unwrap().status,
+        200
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn n_concurrent_identical_requests_simulate_once() {
+    let (handle, addr) = start(ServeConfig {
+        threads: 8,
+        ..ServeConfig::default()
+    });
+    // A heavier cell so the flight stays open long enough to coalesce.
+    let body = r#"{"design":"McDlaBwAware","benchmark":"VggE","strategy":"DataParallel"}"#;
+    let n = 8;
+    std::thread::scope(|scope| {
+        for _ in 0..n {
+            scope.spawn(|| {
+                let resp = request_once(&addr, "POST", "/simulate", Some(body)).unwrap();
+                assert_eq!(resp.status, 200);
+            });
+        }
+    });
+    let stats = handle.store().stats();
+    assert_eq!(
+        stats.misses, 1,
+        "{n} concurrent identical requests must simulate exactly once (stats: {stats:?})"
+    );
+    assert_eq!(stats.hits, (n - 1) as u64);
+    handle.shutdown();
+}
+
+#[test]
+fn snapshot_restart_serves_warm_bit_identical_reports() {
+    let dir = scratch_dir();
+    let snapshot = dir.join("store.json");
+
+    // Cold server: simulate one cell, which persists the snapshot.
+    let (handle, addr) = start(ServeConfig {
+        snapshot: Some(snapshot.clone()),
+        ..ServeConfig::default()
+    });
+    let cold = request_once(&addr, "POST", "/simulate", Some(CELL)).unwrap();
+    assert_eq!(cold.status, 200);
+    let cold = serde::json::parse(&cold.body).unwrap();
+    assert_eq!(cold.get("cached"), Some(&serde::Value::Bool(false)));
+    handle.shutdown();
+    assert!(snapshot.exists(), "shutdown must leave a snapshot behind");
+
+    // Restarted server: the very first request is a warm hit with a
+    // bit-identical report.
+    let (handle, addr) = start(ServeConfig {
+        snapshot: Some(snapshot.clone()),
+        ..ServeConfig::default()
+    });
+    assert!(handle.store().warm_loaded() > 0, "store did not warm-load");
+    let warm = request_once(&addr, "POST", "/simulate", Some(CELL)).unwrap();
+    assert_eq!(warm.status, 200);
+    let warm = serde::json::parse(&warm.body).unwrap();
+    assert_eq!(warm.get("cached"), Some(&serde::Value::Bool(true)));
+    assert_eq!(
+        serde::json::to_string(warm.get("report").unwrap()),
+        serde::json::to_string(cold.get("report").unwrap()),
+        "cold and warm reports must be bit-identical"
+    );
+    let stats = handle.store().stats();
+    assert!(stats.hits > 0, "first post-restart request must be a hit");
+    assert_eq!(stats.misses, 0, "warm restart must not re-simulate");
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bounded_server_store_evicts_lru() {
+    let (handle, addr) = start(ServeConfig {
+        cache_cap: Some(16),
+        ..ServeConfig::default()
+    });
+    // More distinct cells than the cap: 2 designs x 8 benchmarks x 2
+    // strategies = 32 cells through a 16-cap store.
+    let body = r#"{"designs":["DcDla","McDlaBwAware"]}"#;
+    let grid = request_once(&addr, "POST", "/grid", Some(body)).unwrap();
+    assert_eq!(grid.status, 200);
+    let stats = handle.store().stats();
+    assert!(stats.evictions > 0, "no evictions at cap 16: {stats:?}");
+    assert!(stats.entries <= 16, "store grew past its bound: {stats:?}");
+    handle.shutdown();
+}

@@ -1,0 +1,95 @@
+//! Drive `mcdla-serve` end-to-end from a raw `std::net::TcpStream`:
+//! start an in-process server on an ephemeral port, then speak HTTP/1.1
+//! to it by hand — no client library, just bytes on a socket — the way
+//! any external caller in any language would.
+//!
+//! ```text
+//! cargo run --release --example service_client
+//! ```
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+use mcdla::serve::{ServeConfig, Server};
+
+/// Writes one request and reads the full response body off the socket.
+fn http(stream: &mut TcpStream, method: &str, path: &str, body: &str) -> String {
+    stream
+        .write_all(
+            format!(
+                "{method} {path} HTTP/1.1\r\nhost: example\r\ncontent-length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .expect("send request");
+
+    // Status line + headers, then a content-length body.
+    let mut reader = BufReader::new(stream.try_clone().expect("clone socket"));
+    let mut status = String::new();
+    reader.read_line(&mut status).expect("status line");
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().expect("content-length value");
+        }
+    }
+    let mut buf = vec![0u8; content_length];
+    reader.read_exact(&mut buf).expect("body");
+    println!("  -> {}", status.trim_end());
+    String::from_utf8(buf).expect("utf-8 body")
+}
+
+fn main() {
+    // An in-process server on an ephemeral loopback port; in production
+    // this is `mcdla serve --addr 0.0.0.0:7878 --snapshot store.json`.
+    let server = Server::bind(&ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServeConfig::default()
+    })
+    .expect("bind server");
+    let handle = server.spawn().expect("start accept pool");
+    let addr = handle.addr();
+    println!("mcdla-serve on {addr}\n");
+
+    // One keep-alive connection for the whole session.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+
+    println!("GET /healthz");
+    println!("{}\n", http(&mut stream, "GET", "/healthz", ""));
+
+    let cell = r#"{"design":"McDlaBwAware","benchmark":"AlexNet","strategy":"DataParallel"}"#;
+    println!("POST /simulate (cold: runs the simulation)");
+    let body = http(&mut stream, "POST", "/simulate", cell);
+    println!("{}\n", &body[..body.len().min(400)]);
+
+    println!("POST /simulate (same cell again: served from cache)");
+    let body = http(&mut stream, "POST", "/simulate", cell);
+    let cached = body.contains("\"cached\": true");
+    println!("  cached: {cached}\n");
+    assert!(cached, "second request must be a cache hit");
+
+    println!("POST /grid (2 designs x 1 benchmark x 2 strategies)");
+    let body = http(
+        &mut stream,
+        "POST",
+        "/grid",
+        r#"{"designs":["DcDla","McDlaBwAware"],"benchmarks":["AlexNet"]}"#,
+    );
+    println!(
+        "  {} bytes, count 4: {}\n",
+        body.len(),
+        body.contains("\"count\": 4")
+    );
+
+    println!("GET /stats");
+    println!("{}", http(&mut stream, "GET", "/stats", ""));
+
+    handle.shutdown();
+}

@@ -18,10 +18,18 @@ use serde::Value;
 /// Everything `main` needs from the argument list.
 struct Args {
     command: String,
+    /// Positional arguments after the subcommand (`mcdla query <endpoint>`).
+    rest: Vec<String>,
     json: bool,
     out: Option<String>,
     batches: Vec<u64>,
     devices: Vec<usize>,
+    threads: Option<usize>,
+    filter: Option<String>,
+    addr: Option<String>,
+    cache_cap: Option<usize>,
+    snapshot: Option<String>,
+    body: Option<String>,
 }
 
 const USAGE: &str = "\
@@ -48,15 +56,33 @@ subcommands
   energy        dynamic energy-per-iteration comparison
   paper-report  the full paper-vs-measured summary
   sweep         time every grid cell, write BENCH_scenarios.json
+  simulate      run one scenario cell from JSON, print its report
+  serve         run the persistent HTTP simulation service
+  query         query a running service (healthz | stats | simulate | grid)
+  serve-bench   time the service layer, write BENCH_service.json
   all           every report above, in order
   help          this message
 
 options
-  --json           emit the experiment data as JSON instead of tables
-  --threads N      simulation worker threads (same as MCDLA_THREADS=N)
-  --out FILE       sweep output path (default BENCH_scenarios.json)
-  --batches LIST   sweep: comma-separated batch sizes to add as an axis
-  --devices LIST   sweep: comma-separated device counts to add as an axis
+  --json            emit the experiment data as JSON instead of tables
+  --threads N       simulation worker threads (same as MCDLA_THREADS=N);
+                    for `serve`, also the connection-handling pool size
+  --out FILE        sweep/serve-bench output path
+  --batches LIST    sweep: comma-separated batch sizes to add as an axis
+  --devices LIST    sweep: comma-separated device counts to add as an axis
+  --filter SUBSTR   sweep: only run cells whose label contains SUBSTR
+                    (labels look like `MC-DLA(B)/AlexNet/data-parallel`)
+  --addr HOST:PORT  serve/query address (default 127.0.0.1:7878)
+  --cache-cap N     serve: bound the result store to N cells (LRU-evicted)
+  --snapshot FILE   serve: warm-load at startup, rewrite after new cells
+  --body JSON       simulate/query: the request body (`-` reads stdin;
+                    `query grid` defaults to {}, the full paper matrix)
+
+service endpoints (see docs/protocol.md)
+  POST /simulate   one serde Scenario in, {scenario,digest,cached,report} out
+  POST /grid       cartesian axes in, {count,cells:[...]} out
+  GET  /healthz    liveness probe
+  GET  /stats      store hit/miss/eviction/in-flight + request counters
 ";
 
 fn main() -> ExitCode {
@@ -81,10 +107,17 @@ fn parse_args() -> Result<Args, String> {
     let command = argv.next().unwrap_or_else(|| "help".to_owned());
     let mut args = Args {
         command,
+        rest: Vec::new(),
         json: false,
         out: None,
         batches: Vec::new(),
         devices: Vec::new(),
+        threads: None,
+        filter: None,
+        addr: None,
+        cache_cap: None,
+        snapshot: None,
+        body: None,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -95,10 +128,11 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .ok()
                     .filter(|&n| n >= 1)
-                    .ok_or_else(|| format!("invalid thread count `{v}`"))?;
+                    .ok_or_else(|| format!("thread count must be >= 1 (got `{v}`)"))?;
                 // The shared runner reads MCDLA_THREADS at first use, which
                 // is strictly after argument parsing.
                 std::env::set_var("MCDLA_THREADS", n.to_string());
+                args.threads = Some(n);
             }
             "--out" => args.out = Some(argv.next().ok_or("--out needs a path")?),
             "--batches" => {
@@ -113,10 +147,38 @@ fn parse_args() -> Result<Args, String> {
                     return Err("device counts must be >= 1".into());
                 }
             }
-            other => return Err(format!("unknown option `{other}`")),
+            "--filter" => args.filter = Some(argv.next().ok_or("--filter needs a substring")?),
+            "--addr" => args.addr = Some(argv.next().ok_or("--addr needs host:port")?),
+            "--cache-cap" => {
+                let v = argv.next().ok_or("--cache-cap needs a value")?;
+                let n: usize = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("cache capacity must be >= 1 (got `{v}`)"))?;
+                args.cache_cap = Some(n);
+            }
+            "--snapshot" => args.snapshot = Some(argv.next().ok_or("--snapshot needs a path")?),
+            "--body" => args.body = Some(argv.next().ok_or("--body needs JSON (or `-`)")?),
+            other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
+            positional => args.rest.push(positional.to_owned()),
         }
     }
     Ok(args)
+}
+
+/// Resolves `--body`, reading stdin when it is `-`.
+fn resolve_body(args: &Args) -> Result<Option<String>, String> {
+    match args.body.as_deref() {
+        Some("-") => {
+            let mut text = String::new();
+            std::io::Read::read_to_string(&mut std::io::stdin(), &mut text)
+                .map_err(|e| format!("reading stdin: {e}"))?;
+            Ok(Some(text))
+        }
+        Some(body) => Ok(Some(body.to_owned())),
+        None => Ok(None),
+    }
 }
 
 fn parse_list<T: std::str::FromStr>(csv: &str) -> Result<Vec<T>, String> {
@@ -148,6 +210,10 @@ const SUBCOMMANDS: &[&str] = &[
     "energy",
     "paper-report",
     "sweep",
+    "simulate",
+    "serve",
+    "query",
+    "serve-bench",
     "all",
     "help",
     "--help",
@@ -159,6 +225,13 @@ fn run(args: &Args) -> Result<(), String> {
     // `mcdla bogus --json` names the real problem.
     if !SUBCOMMANDS.contains(&args.command.as_str()) {
         return Err(format!("unknown subcommand `{}`", args.command));
+    }
+    // Only `query` takes a positional argument (its endpoint).
+    if !args.rest.is_empty() && args.command != "query" {
+        return Err(format!(
+            "`{}` takes no positional argument `{}`",
+            args.command, args.rest[0]
+        ));
     }
     let json_data: Option<fn() -> Value> = match args.command.as_str() {
         "fig2" => Some(reports::fig2_json),
@@ -203,10 +276,99 @@ fn run(args: &Args) -> Result<(), String> {
         "energy" => print!("{}", reports::energy_text()),
         "paper-report" => print!("{}", reports::paper_report_text()),
         "sweep" => {
-            let result = reports::sweep(&args.batches, &args.devices);
+            let result = reports::sweep(&args.batches, &args.devices, args.filter.as_deref());
             let path = args.out.as_deref().unwrap_or("BENCH_scenarios.json");
             std::fs::write(path, &result.json).map_err(|e| format!("writing {path}: {e}"))?;
             print!("{}", result.summary);
+            println!("wrote {path}");
+        }
+        "simulate" => {
+            let body = resolve_body(args)?
+                .ok_or("`simulate` needs --body JSON (a serde Scenario; see docs/protocol.md)")?;
+            let scenario: mcdla::core::Scenario =
+                serde::json::from_str(&body).map_err(|e| format!("bad scenario JSON: {e}"))?;
+            scenario.validate()?;
+            let report = scenario.simulate();
+            println!(
+                "{}",
+                serde::json::to_string_pretty(&mcdla::serve::cell_value(&scenario, &report, false))
+            );
+        }
+        "serve" => {
+            let config = mcdla::serve::ServeConfig {
+                addr: args
+                    .addr
+                    .clone()
+                    .unwrap_or_else(|| "127.0.0.1:7878".to_owned()),
+                threads: args.threads.unwrap_or(4),
+                cache_cap: args.cache_cap,
+                snapshot: args.snapshot.clone().map(std::path::PathBuf::from),
+            };
+            let server = mcdla::serve::Server::bind(&config)?;
+            let local = server
+                .local_addr()
+                .map_err(|e| format!("resolving listen address: {e}"))?;
+            println!(
+                "mcdla-serve listening on {local} ({} connection threads, cache {}, snapshot {})",
+                config.threads,
+                match config.cache_cap {
+                    Some(cap) => format!("{cap} cells"),
+                    None => "unbounded".to_owned(),
+                },
+                match &config.snapshot {
+                    Some(path) => path.display().to_string(),
+                    None => "off".to_owned(),
+                },
+            );
+            server.run().map_err(|e| format!("serving: {e}"))?;
+        }
+        "query" => {
+            let endpoint = args
+                .rest
+                .first()
+                .ok_or("`query` needs an endpoint: healthz | stats | simulate | grid")?;
+            let addr = args.addr.as_deref().unwrap_or("127.0.0.1:7878");
+            let body = resolve_body(args)?;
+            let (method, path, body) = match endpoint.as_str() {
+                "healthz" => ("GET", "/healthz", None),
+                "stats" => ("GET", "/stats", None),
+                "simulate" => (
+                    "POST",
+                    "/simulate",
+                    Some(body.ok_or("`query simulate` needs --body JSON (a serde Scenario)")?),
+                ),
+                // An omitted grid body means the full paper matrix.
+                "grid" => (
+                    "POST",
+                    "/grid",
+                    Some(body.unwrap_or_else(|| "{}".to_owned())),
+                ),
+                other => {
+                    return Err(format!(
+                    "unknown query endpoint `{other}` (expected healthz | stats | simulate | grid)"
+                ))
+                }
+            };
+            let response = mcdla::serve::client::request_once(addr, method, path, body.as_deref())?;
+            println!("{}", response.body);
+            if !response.is_ok() {
+                return Err(format!("{addr}{path} answered HTTP {}", response.status));
+            }
+        }
+        "serve-bench" => {
+            let result = mcdla_bench::service::service_bench(4, 5_000);
+            let path = args.out.as_deref().unwrap_or("BENCH_service.json");
+            std::fs::write(path, &result.json).map_err(|e| format!("writing {path}: {e}"))?;
+            print!("{}", result.summary);
+            println!(
+                "cached-cell throughput {:.0} req/s ({} the 10k req/s service bar)",
+                result.cached_rps,
+                if result.cached_rps >= 10_000.0 {
+                    "meets"
+                } else {
+                    "below"
+                }
+            );
             println!("wrote {path}");
         }
         "all" => {

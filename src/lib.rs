@@ -24,6 +24,7 @@
 //! | [`vmem`] | vDNN-style memory-overlaying runtime (Table I API) |
 //! | [`parallel`] | data-/model-parallel partitioners (Fig. 3) |
 //! | [`core`] | the six system designs + iteration simulator + §V experiments |
+//! | [`serve`] | the persistent simulation service over the shared result store |
 //!
 //! # Quickstart
 //!
@@ -50,5 +51,6 @@ pub use mcdla_dnn as dnn;
 pub use mcdla_interconnect as interconnect;
 pub use mcdla_memnode as memnode;
 pub use mcdla_parallel as parallel;
+pub use mcdla_serve as serve;
 pub use mcdla_sim as sim;
 pub use mcdla_vmem as vmem;

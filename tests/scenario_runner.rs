@@ -2,8 +2,12 @@
 //! memoization, parallel-vs-serial determinism, and the paper-headline
 //! regression pin.
 
+use std::sync::Arc;
+
 use mcdla::core::scenario::global_runner;
-use mcdla::core::{experiment, DeviceModel, Runner, Scenario, ScenarioGrid, SystemDesign};
+use mcdla::core::{
+    experiment, DeviceModel, ResultStore, Runner, Scenario, ScenarioGrid, SystemDesign,
+};
 use mcdla::dnn::Benchmark;
 use mcdla::parallel::ParallelStrategy;
 use serde::json;
@@ -53,18 +57,48 @@ fn scenario_grid_round_trips_through_json() {
 
 #[test]
 fn missing_optional_fields_deserialize_as_defaults() {
-    // A hand-written spec may omit the optional axes entirely.
+    // A hand-written spec may omit the optional axes entirely — even the
+    // overrides object itself (`POST /simulate` bodies usually do).
     let s: Scenario = json::from_str(
         r#"{"design": "McDlaBwAware", "benchmark": "VggE",
-            "strategy": "DataParallel",
-            "overrides": {"pcie_gen4": false}}"#,
+            "strategy": "DataParallel"}"#,
     )
     .expect("sparse scenario parses");
     assert_eq!(s.devices, None);
     assert_eq!(s.batch, None);
     assert_eq!(s.generation, None);
+    assert!(!s.overrides.pcie_gen4);
     assert_eq!(s.overrides.device_model, None);
     assert_eq!(s.overrides.compression, None);
+    assert_eq!(
+        s,
+        Scenario::new(
+            SystemDesign::McDlaBwAware,
+            Benchmark::VggE,
+            ParallelStrategy::DataParallel
+        )
+    );
+}
+
+#[test]
+fn wire_validation_rejects_hostile_knobs() {
+    // Builder methods can't construct these, but wire payloads can say
+    // anything; `validate` is the service's guard.
+    let base = Scenario::new(
+        SystemDesign::DcDla,
+        Benchmark::AlexNet,
+        ParallelStrategy::DataParallel,
+    );
+    assert!(base.validate().is_ok());
+    let mut s = base;
+    s.devices = Some(0);
+    assert!(s.validate().unwrap_err().contains("devices"));
+    let mut s = base;
+    s.batch = Some(0);
+    assert!(s.validate().unwrap_err().contains("batch"));
+    let mut s = base;
+    s.overrides.compression = Some(f64::NAN);
+    assert!(s.validate().unwrap_err().contains("compression"));
 }
 
 #[test]
@@ -143,6 +177,53 @@ fn headline_speedup_stays_near_2_8x() {
         (2.6..=3.1).contains(&headline),
         "headline speedup drifted to {headline:.3}x (expected ~2.8x)"
     );
+}
+
+#[test]
+fn runners_share_a_store_and_bounded_stores_evict() {
+    // Two runners over one bounded store: what one simulates, the other
+    // hits; past the capacity, LRU eviction keeps the footprint flat and
+    // the eviction counter visible (the `sweep`/`GET /stats` payloads).
+    let store = Arc::new(ResultStore::with_shards(Some(2), 1));
+    let a = Runner::with_store(1, store.clone());
+    let b = Runner::with_store(2, store);
+    let cells: Vec<Scenario> = [Benchmark::AlexNet, Benchmark::RnnGemv, Benchmark::RnnLstm1]
+        .iter()
+        .map(|&bm| Scenario::new(SystemDesign::DcDla, bm, ParallelStrategy::DataParallel))
+        .collect();
+
+    let first = a.run(cells[0]);
+    assert_eq!(b.run(cells[0]), first, "store is shared across runners");
+    assert_eq!(b.cache_hits(), 1);
+    assert_eq!(b.cache_misses(), 1);
+
+    // Two more distinct cells through a 2-cap store: something evicts.
+    let _ = a.run(cells[1]);
+    let _ = a.run(cells[2]);
+    assert!(a.cache_len() <= 2, "cap 2 exceeded: {}", a.cache_len());
+    assert!(a.cache_evictions() >= 1);
+    // The evicted cell re-simulates on the next request.
+    let again = a.run(cells[0]);
+    assert_eq!(again, first, "re-simulated cell must be bit-identical");
+}
+
+#[test]
+fn store_snapshot_warms_a_fresh_runner() {
+    let hot = Runner::with_threads(1);
+    let s = Scenario::new(
+        SystemDesign::McDlaStar,
+        Benchmark::RnnGemv,
+        ParallelStrategy::DataParallel,
+    );
+    let report = hot.run(s);
+    let snapshot = hot.store().snapshot_json();
+
+    let warmed = Arc::new(ResultStore::unbounded());
+    assert_eq!(warmed.restore_json(&snapshot), Ok(1));
+    let cold = Runner::with_store(1, warmed);
+    assert_eq!(cold.run(s), report, "warm-started cell must be identical");
+    assert_eq!(cold.cache_misses(), 0, "warm start must not re-simulate");
+    assert_eq!(cold.cache_hits(), 1);
 }
 
 #[test]
