@@ -928,13 +928,14 @@ pub struct SweepResult {
     pub summary: String,
 }
 
-/// Runs a scenario grid, timing every cell, and packages the result.
-///
-/// `batches`/`device_counts` extend the default §V matrix along those
-/// axes when non-empty; `filter` keeps only the cells whose
-/// [`label`](mcdla_core::Scenario::label) contains the given substring
-/// (case-insensitive).
-pub fn sweep(batches: &[u64], device_counts: &[usize], filter: Option<&str>) -> SweepResult {
+/// Expands the sweep grid — the default §V matrix, extended (not
+/// replaced) along the batch/device axes — validates every cell, and
+/// applies the label filter. Returns `(full_grid_cells, matched_cells)`.
+fn sweep_cells(
+    batches: &[u64],
+    device_counts: &[usize],
+    filter: Option<&str>,
+) -> Result<(usize, Vec<mcdla_core::Scenario>), String> {
     // The flags *extend* the default §V matrix: the paper-default cells
     // stay in the sweep so perf-tracking consumers keep their baselines.
     let mut grid = ScenarioGrid::paper_default();
@@ -946,7 +947,15 @@ pub fn sweep(batches: &[u64], device_counts: &[usize], filter: Option<&str>) -> 
     }
     let expanded = grid.scenarios();
     let grid_cells = expanded.len();
-    let scenarios: Vec<mcdla_core::Scenario> = match filter {
+    // Axis extensions multiply, so individually sane lists can produce
+    // nonsensical cells (e.g. --batches 64 --devices 256): reject the
+    // whole sweep with the first offending cell named.
+    for s in &expanded {
+        if let Err(msg) = s.validate() {
+            return Err(format!("invalid sweep cell `{}`: {msg}", s.label()));
+        }
+    }
+    let scenarios = match filter {
         Some(needle) => {
             let needle = needle.to_lowercase();
             expanded
@@ -956,6 +965,58 @@ pub fn sweep(batches: &[u64], device_counts: &[usize], filter: Option<&str>) -> 
         }
         None => expanded,
     };
+    Ok((grid_cells, scenarios))
+}
+
+/// One sweep cell as JSON. The deterministic payload fields come first
+/// and in a fixed order; `provenance` optionally appends the per-run
+/// `wall_ms`/`cached` metadata (batch `BENCH_scenarios.json` cells), so
+/// a streamed (`--ndjson`) cell is byte-identical to the batch
+/// payload's cell with those two metadata fields removed — and is
+/// itself byte-stable across cold and warm runs.
+fn sweep_cell_value(t: &mcdla_core::TimedRun, provenance: Option<(f64, bool)>) -> Value {
+    let mut map = vec![
+        ("scenario".into(), t.scenario.to_value()),
+        ("label".into(), Value::Str(t.scenario.label())),
+        (
+            "digest".into(),
+            Value::Str(format!("{:016x}", t.scenario.digest())),
+        ),
+    ];
+    if let Some((wall_ms, cached)) = provenance {
+        map.push(("wall_ms".into(), Value::F64(wall_ms)));
+        map.push(("cached".into(), Value::Bool(cached)));
+    }
+    map.push((
+        "iteration_secs".into(),
+        Value::F64(t.report.iteration_time.as_secs_f64()),
+    ));
+    map.push(("performance".into(), Value::F64(t.report.performance())));
+    Value::Map(map)
+}
+
+/// One `--ndjson` line for a streamed sweep cell (no trailing newline).
+pub fn sweep_cell_line(t: &mcdla_core::TimedRun) -> String {
+    serde::json::to_string(&sweep_cell_value(t, None))
+}
+
+/// Runs a scenario grid, timing every cell, and packages the result.
+///
+/// `batches`/`device_counts` extend the default §V matrix along those
+/// axes when non-empty; `filter` keeps only the cells whose
+/// [`label`](mcdla_core::Scenario::label) contains the given substring
+/// (case-insensitive).
+///
+/// # Errors
+///
+/// Rejects sweeps whose extended axes expand to an invalid cell (e.g. a
+/// data-parallel batch smaller than a device count).
+pub fn sweep(
+    batches: &[u64],
+    device_counts: &[usize],
+    filter: Option<&str>,
+) -> Result<SweepResult, String> {
+    let (grid_cells, scenarios) = sweep_cells(batches, device_counts, filter)?;
     let runner = global_runner();
     let start = std::time::Instant::now();
     let runs = runner.run_grid_timed(&scenarios);
@@ -963,23 +1024,7 @@ pub fn sweep(batches: &[u64], device_counts: &[usize], filter: Option<&str>) -> 
 
     let cells: Vec<Value> = runs
         .iter()
-        .map(|t| {
-            Value::Map(vec![
-                ("scenario".into(), t.scenario.to_value()),
-                ("label".into(), Value::Str(t.scenario.label())),
-                (
-                    "digest".into(),
-                    Value::Str(format!("{:016x}", t.scenario.digest())),
-                ),
-                ("wall_ms".into(), Value::F64(t.wall.as_secs_f64() * 1e3)),
-                ("cached".into(), Value::Bool(t.cached)),
-                (
-                    "iteration_secs".into(),
-                    Value::F64(t.report.iteration_time.as_secs_f64()),
-                ),
-                ("performance".into(), Value::F64(t.report.performance())),
-            ])
-        })
+        .map(|t| sweep_cell_value(t, Some((t.wall.as_secs_f64() * 1e3, t.cached))))
         .collect();
     let cache = runner.store().stats();
     let payload = Value::Map(vec![
@@ -1061,8 +1106,100 @@ pub fn sweep(batches: &[u64], device_counts: &[usize], filter: Option<&str>) -> 
             t.scenario.strategy,
         );
     }
-    SweepResult {
+    Ok(SweepResult {
         json: serde::json::to_string_pretty(&payload),
         summary,
+    })
+}
+
+/// Summary counters of a streamed (`--ndjson`) sweep.
+#[derive(Debug)]
+pub struct SweepStreamSummary {
+    /// Cells in the unfiltered grid.
+    pub grid_cells: usize,
+    /// Cells written (after the filter).
+    pub cells: usize,
+    /// Cells actually simulated (cache misses).
+    pub simulated: usize,
+    /// Human-readable summary table.
+    pub summary: String,
+}
+
+/// The `mcdla sweep --ndjson` body: streams one compact JSON object per
+/// cell to `out` **as workers finish** — constant memory, bounded by the
+/// executor's channel, with no whole-grid `Vec` on the path. Cells
+/// arrive in completion order; consumers pair streamed and batch cells
+/// by `digest`.
+///
+/// # Errors
+///
+/// Rejects invalid axis combinations (like [`sweep`]) and propagates
+/// write failures (a closed pipe ends the sweep early).
+pub fn sweep_ndjson(
+    batches: &[u64],
+    device_counts: &[usize],
+    filter: Option<&str>,
+    out: &mut dyn std::io::Write,
+) -> Result<SweepStreamSummary, String> {
+    let (grid_cells, scenarios) = sweep_cells(batches, device_counts, filter)?;
+    let total_cells = scenarios.len();
+    let runner = global_runner();
+    let start = std::time::Instant::now();
+    let mut written = 0usize;
+    let mut simulated = 0usize;
+    // Buffer a few cells per worker: enough to keep the writer fed,
+    // small enough that memory stays flat for arbitrarily large grids.
+    let stream = runner.run_grid_streaming(scenarios, 2 * runner.threads());
+    let mut pipe_closed = false;
+    for run in stream {
+        simulated += usize::from(!run.cached);
+        if let Err(e) = writeln!(out, "{}", sweep_cell_line(&run)) {
+            // A downstream consumer closing the pipe early (`| head`,
+            // `| jq -e`) is a normal end for a streaming producer —
+            // dropping the stream cancels the remaining cells.
+            if e.kind() == std::io::ErrorKind::BrokenPipe {
+                pipe_closed = true;
+                break;
+            }
+            return Err(format!("writing NDJSON cell: {e}"));
+        }
+        written += 1;
     }
+    if !pipe_closed {
+        match out.flush() {
+            Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => {}
+            other => other.map_err(|e| format!("flushing NDJSON: {e}"))?,
+        }
+    }
+    let total = start.elapsed();
+    let summary = render_table(
+        "sweep --ndjson (streamed grid)",
+        &["metric", "value"],
+        &[
+            vec!["grid cells".into(), grid_cells.to_string()],
+            vec![
+                "streamed cells".into(),
+                match filter {
+                    Some(f) => format!("{written} of {total_cells} (filter `{f}`)"),
+                    None => written.to_string(),
+                },
+            ],
+            vec!["simulated (cache misses)".into(), simulated.to_string()],
+            vec!["worker threads".into(), runner.threads().to_string()],
+            vec![
+                "total wall".into(),
+                format!("{:.1} ms", total.as_secs_f64() * 1e3),
+            ],
+            vec![
+                "cells/sec".into(),
+                format!("{:.0}", written as f64 / total.as_secs_f64().max(1e-9)),
+            ],
+        ],
+    );
+    Ok(SweepStreamSummary {
+        grid_cells,
+        cells: written,
+        simulated,
+        summary,
+    })
 }

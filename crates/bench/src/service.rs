@@ -118,6 +118,23 @@ pub fn service_bench(client_threads: usize, requests_per_thread: usize) -> Servi
     let grid_warm_ms = start.elapsed().as_secs_f64() * 1e3;
     assert!(grid_warm.is_ok());
 
+    // Streamed grid: the full paper matrix over `?stream=1` chunked
+    // NDJSON, measuring sustained cells/sec through the wire (cold the
+    // first pass for most cells, then a fully-cached pass).
+    let stream_body = "{}";
+    let stream_cells_per_sec = |probe: &mut Connection| {
+        let start = Instant::now();
+        let stream = probe
+            .request_stream("POST", "/grid?stream=1", Some(stream_body))
+            .expect("grid stream");
+        assert_eq!(stream.status, 200, "grid stream rejected");
+        let lines = stream.collect_lines().expect("clean stream");
+        let wall = start.elapsed().as_secs_f64();
+        (lines.len(), wall, lines.len() as f64 / wall.max(1e-9))
+    };
+    let (stream_cells, stream_cold_wall, stream_cold_cps) = stream_cells_per_sec(&mut probe);
+    let (_, stream_warm_wall, stream_warm_cps) = stream_cells_per_sec(&mut probe);
+
     let stats = handle.store().stats();
     handle.shutdown();
 
@@ -152,6 +169,16 @@ pub fn service_bench(client_threads: usize, requests_per_thread: usize) -> Servi
                 ("warm_ms".into(), Value::F64(grid_warm_ms)),
             ]),
         ),
+        (
+            "grid_stream".into(),
+            Value::Map(vec![
+                ("cells".into(), Value::U64(stream_cells as u64)),
+                ("cold_wall_ms".into(), Value::F64(stream_cold_wall * 1e3)),
+                ("cold_cells_per_sec".into(), Value::F64(stream_cold_cps)),
+                ("warm_wall_ms".into(), Value::F64(stream_warm_wall * 1e3)),
+                ("warm_cells_per_sec".into(), Value::F64(stream_warm_cps)),
+            ]),
+        ),
         ("store".into(), stats.to_value()),
     ]);
 
@@ -175,6 +202,10 @@ pub fn service_bench(client_threads: usize, requests_per_thread: usize) -> Servi
             vec![
                 "warm /grid (12 cells)".into(),
                 format!("{grid_warm_ms:.2} ms"),
+            ],
+            vec![
+                format!("streamed /grid?stream=1 ({stream_cells} cells)"),
+                format!("cold {stream_cold_cps:.0} cells/s, warm {stream_warm_cps:.0} cells/s"),
             ],
             vec![
                 "store hits/misses".into(),
@@ -208,5 +239,9 @@ mod tests {
         );
         assert!(result.json.contains("requests_per_sec"));
         assert!(result.summary.contains("cached throughput"));
+        // The streamed-grid mode reports cells/sec for both passes.
+        assert!(result.json.contains("grid_stream"));
+        assert!(result.json.contains("cold_cells_per_sec"));
+        assert!(result.json.contains("warm_cells_per_sec"));
     }
 }

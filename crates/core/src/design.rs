@@ -4,9 +4,22 @@ use std::fmt;
 
 use mcdla_accel::DeviceConfig;
 use mcdla_dnn::DataType;
+use mcdla_interconnect::ScaleOutPlane;
 use mcdla_memnode::{MemoryNodeConfig, PagePolicy};
 use mcdla_sim::SimDuration;
 use serde::{Deserialize, Serialize};
+
+/// Device-nodes per backplane / system node (the DGX-class building
+/// block the paper evaluates). Device counts beyond this scale out
+/// across system nodes: memory-centric designs over the Fig. 15 pooled
+/// switch plane, host-centric designs over the host interface.
+pub const BACKPLANE_DEVICES: usize = 8;
+
+/// The paper-default device count (§IV).
+pub const PAPER_DEFAULT_DEVICES: usize = BACKPLANE_DEVICES;
+
+/// The paper-default global mini-batch (§IV).
+pub const PAPER_DEFAULT_BATCH: u64 = 512;
 
 /// One of the §V system design points.
 #[derive(Debug, Copy, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -210,12 +223,12 @@ impl SystemConfig {
         };
         SystemConfig {
             design,
-            devices: 8,
+            devices: PAPER_DEFAULT_DEVICES,
             device,
             memory_node: MemoryNodeConfig::paper_baseline(),
             host,
             dtype: DataType::F32,
-            global_batch: 512,
+            global_batch: PAPER_DEFAULT_BATCH,
             sync_bucket_bytes: 8 << 20,
             dma_op_latency: SimDuration::from_us(10),
             compression_ratio: 1.0,
@@ -262,20 +275,53 @@ impl SystemConfig {
         self
     }
 
+    /// Devices resident in one backplane / system node. Counts beyond
+    /// [`BACKPLANE_DEVICES`] scale out across system nodes, each with its
+    /// own host, so host-side sharing never spreads thinner than one
+    /// node's worth of devices.
+    pub fn backplane_devices(&self) -> usize {
+        self.devices.min(BACKPLANE_DEVICES)
+    }
+
     /// Devices sharing one PCIe switch uplink when all are active. The DGX
     /// wires devices to switches in fixed pairs, so any multi-device run
-    /// halves the uplink (§V-D's scaling penalty).
+    /// halves the uplink (§V-D's scaling penalty). Scale-out runs replicate
+    /// the host per backplane, so sharing is computed per system node.
     pub fn devices_per_switch(&self) -> usize {
-        if self.devices < 2 {
+        let node_devices = self.backplane_devices();
+        if node_devices < 2 {
             1
         } else {
-            self.devices.div_ceil(self.host.pcie_switches).max(2)
+            node_devices.div_ceil(self.host.pcie_switches).max(2)
         }
     }
 
-    /// Devices drawing on one CPU socket when all are active.
+    /// Devices drawing on one CPU socket when all are active (per system
+    /// node; scale-out runs replicate the host per backplane).
     pub fn devices_per_socket(&self) -> usize {
-        self.devices.div_ceil(self.host.sockets).max(1)
+        self.backplane_devices().div_ceil(self.host.sockets).max(1)
+    }
+
+    /// The Fig. 15 pooled switch plane this configuration scales out on:
+    /// memory-centric designs beyond one backplane hang every device-node
+    /// and memory-node (one per device) off an NVSwitch-class plane with
+    /// half the device's links (`N/2 = 3`) per node. `None` for
+    /// single-backplane runs and for designs whose cross-node traffic
+    /// rides the host interface instead (DC-DLA, HC-DLA, the oracle).
+    ///
+    /// The plane is a function of the device count *and* the device
+    /// configuration — a scenario's `generation` knob changes the link
+    /// specs the plane is built from.
+    pub fn scale_out_plane(&self) -> Option<ScaleOutPlane> {
+        if self.devices <= BACKPLANE_DEVICES || !self.design.is_memory_centric() {
+            return None;
+        }
+        Some(ScaleOutPlane::new(
+            self.devices,
+            self.devices,
+            (self.device.link_count / 2).max(1),
+            self.device.link_bandwidth_gbs,
+        ))
     }
 }
 
@@ -330,6 +376,46 @@ mod tests {
         let one = cfg.with_devices(1);
         assert_eq!(one.devices_per_switch(), 1);
         assert_eq!(one.devices_per_socket(), 1);
+    }
+
+    #[test]
+    fn host_sharing_is_per_backplane_at_scale_out() {
+        // 64 devices = 8 backplanes of 8, each with its own host: PCIe
+        // and socket sharing must not spread thinner than one node's.
+        let cfg = SystemConfig::new(SystemDesign::DcDla).with_devices(64);
+        assert_eq!(cfg.backplane_devices(), 8);
+        assert_eq!(cfg.devices_per_switch(), 2);
+        assert_eq!(cfg.devices_per_socket(), 4);
+    }
+
+    #[test]
+    fn scale_out_plane_selection() {
+        // Single backplane: no plane, for any design.
+        for d in SystemDesign::ALL {
+            assert!(SystemConfig::new(d).scale_out_plane().is_none(), "{d}");
+        }
+        // Beyond one backplane: memory-centric designs get the pooled
+        // fabric; host-routed designs do not.
+        let plane = SystemConfig::new(SystemDesign::McDlaBwAware)
+            .with_devices(32)
+            .scale_out_plane()
+            .expect("pooled plane");
+        assert_eq!(plane.devices().len(), 32);
+        assert_eq!(plane.memory_nodes().len(), 32);
+        assert_eq!(plane.links_per_node(), 3);
+        for d in [
+            SystemDesign::DcDla,
+            SystemDesign::HcDla,
+            SystemDesign::DcDlaOracle,
+        ] {
+            assert!(
+                SystemConfig::new(d)
+                    .with_devices(32)
+                    .scale_out_plane()
+                    .is_none(),
+                "{d} scales out over the host, not the pooled fabric"
+            );
+        }
     }
 
     #[test]

@@ -28,7 +28,7 @@ use mcdla_parallel::{ParallelStrategy, SyncOp, SyncTrigger, WorkerPlan};
 use mcdla_sim::{Bytes, FifoEngine, SimDuration, SimTime};
 use mcdla_vmem::{Disposition, VirtPolicy, VirtSchedule};
 
-use crate::design::{SystemConfig, SystemDesign};
+use crate::design::{SystemConfig, SystemDesign, BACKPLANE_DEVICES};
 use crate::report::IterationReport;
 use crate::virt_path::VirtPath;
 
@@ -87,12 +87,8 @@ impl<'a> IterationSim<'a> {
         };
         let schedule = VirtSchedule::analyze(net, plan.virt_batch(), cfg.dtype, policy);
         let timing = AccelTimingModel::new(cfg.device.clone(), cfg.dtype);
-        // Ring collectives exploit both directions of each duplex link
-        // (NCCL splits every physical ring into two counter-rotating
-        // logical rings), matching the paper's (N/2) x (2B) = 150 GB/s
-        // aggregate communication bandwidth formula (§III-B).
-        let collectives = CollectiveModel::with_link_bandwidth(2.0 * cfg.device.link_bandwidth_gbs);
-        let rings = ring_shapes(&cfg);
+        let (rings, duplex_gbs) = comm_fabric(&cfg);
+        let collectives = CollectiveModel::with_link_bandwidth(duplex_gbs);
         let virt = VirtPath::from_config(&cfg);
         IterationSim {
             cfg,
@@ -347,8 +343,65 @@ impl<'a> IterationSim<'a> {
     }
 }
 
-/// Ring sets per design for `cfg.devices` participants.
-fn ring_shapes(cfg: &SystemConfig) -> Vec<RingShape> {
+/// The communication fabric a configuration synchronizes over: its ring
+/// set and the effective per-link **duplex** bandwidth in GB/s.
+///
+/// Ring collectives exploit both directions of each duplex link (NCCL
+/// splits every physical ring into two counter-rotating logical rings),
+/// matching the paper's (N/2) x (2B) = 150 GB/s aggregate communication
+/// bandwidth formula (§III-B). Within one backplane that is the whole
+/// story; beyond [`BACKPLANE_DEVICES`] the fabric depends on the design:
+///
+/// * **memory-centric** designs ride the Fig. 15 pooled switch plane
+///   ([`SystemConfig::scale_out_plane`]): every ring step crosses the
+///   switch (2 hops), and the per-ring rate is what the plane's bisection
+///   bandwidth sustains — the switched fabric erases the star/ring
+///   attachment asymmetry for collectives (the designs keep their
+///   distinct *virtualization* paths in [`VirtPath`](crate::VirtPath));
+/// * **DC-DLA** (and its oracle) crosses backplanes over the host PCIe
+///   interface: rings pay switch hops *and* are throttled to the shared
+///   PCIe uplink rate — the §VI motivation for NVSwitch-class planes;
+/// * **HC-DLA** keeps its single device ring at link rate, with switch
+///   hops between backplanes (its host links are spoken for by
+///   virtualization traffic).
+fn comm_fabric(cfg: &SystemConfig) -> (Vec<RingShape>, f64) {
+    let n = cfg.devices;
+    let duplex = 2.0 * cfg.device.link_bandwidth_gbs;
+    if n <= BACKPLANE_DEVICES {
+        return (backplane_ring_shapes(cfg), duplex);
+    }
+    if let Some(plane) = cfg.scale_out_plane() {
+        let rings = plane.ring_shapes();
+        let per_direction = plane.collective_ring_share_gbs(rings.len());
+        return (rings, 2.0 * per_direction);
+    }
+    let (ring_count, per_direction) = match cfg.design {
+        SystemDesign::DcDla | SystemDesign::DcDlaOracle => {
+            // One shared PCIe uplink per device carries *all* rings'
+            // cross-backplane traffic, so its share is divided across
+            // the ring set (unlike the backplane case, where each ring
+            // owns two dedicated device-side links).
+            let rings = 3;
+            let pcie_share = cfg.host.pcie.x16_gbs() / cfg.devices_per_switch() as f64;
+            let per_ring = pcie_share / rings as f64;
+            (rings, per_ring.min(cfg.device.link_bandwidth_gbs))
+        }
+        SystemDesign::HcDla => (1, cfg.device.link_bandwidth_gbs),
+        _ => unreachable!("memory-centric designs scale out on the pooled plane"),
+    };
+    let shapes = vec![
+        RingShape {
+            participants: n,
+            hops: 2 * n,
+        };
+        ring_count
+    ];
+    (shapes, 2.0 * per_direction)
+}
+
+/// Ring sets per design for `cfg.devices` participants within one
+/// backplane (the Fig. 5/7 layouts, generalized to n devices).
+fn backplane_ring_shapes(cfg: &SystemConfig) -> Vec<RingShape> {
     let n = cfg.devices;
     if n < 2 {
         return Vec::new();
@@ -582,6 +635,85 @@ mod tests {
         assert!(cdma.iteration_time < base.iteration_time);
         let ratio = base.virt_bytes.as_f64() / cdma.virt_bytes.as_f64();
         assert!((ratio - 2.6).abs() < 0.01, "traffic ratio {ratio}");
+    }
+
+    #[test]
+    fn backplane_fabric_is_unchanged_by_the_scale_out_path() {
+        // Paper-default cells (n <= 8) must see exactly the pre-scale-out
+        // fabric: per-design ring sets at full duplex link rate.
+        for design in SystemDesign::ALL {
+            let cfg = SystemConfig::new(design);
+            let (rings, duplex) = comm_fabric(&cfg);
+            assert_eq!(rings, backplane_ring_shapes(&cfg), "{design}");
+            assert_eq!(duplex, 2.0 * cfg.device.link_bandwidth_gbs, "{design}");
+        }
+    }
+
+    #[test]
+    fn scale_out_fabric_routes_per_design() {
+        // MC designs ride the pooled plane: 3 switch-crossing rings at
+        // full link rate, regardless of attachment flavor.
+        for d in [
+            SystemDesign::McDlaStar,
+            SystemDesign::McDlaLocal,
+            SystemDesign::McDlaBwAware,
+        ] {
+            let cfg = SystemConfig::new(d).with_devices(32);
+            let (rings, duplex) = comm_fabric(&cfg);
+            assert_eq!(rings.len(), 3, "{d}");
+            for r in &rings {
+                assert_eq!(r.participants, 32, "{d}");
+                assert_eq!(r.hops, 64, "{d}");
+            }
+            assert_eq!(duplex, 50.0, "{d}");
+        }
+        // DC-DLA crosses backplanes over shared PCIe: same ring count,
+        // switch hops, throttled to the 8 GB/s uplink share.
+        let dc = SystemConfig::new(SystemDesign::DcDla).with_devices(32);
+        let (rings, duplex) = comm_fabric(&dc);
+        assert_eq!(rings.len(), 3);
+        assert_eq!(rings[0].hops, 64);
+        // 2 x (16 GB/s x16 / 2 devices per switch) / 3 rings sharing
+        // the one uplink: aggregate injection equals the uplink share.
+        assert!((duplex - 16.0 / 3.0).abs() < 1e-12, "duplex {duplex}");
+        assert!((3.0 * duplex - 16.0).abs() < 1e-9);
+        // HC-DLA keeps its single link-rate ring.
+        let hc = SystemConfig::new(SystemDesign::HcDla).with_devices(32);
+        let (rings, duplex) = comm_fabric(&hc);
+        assert_eq!(rings.len(), 1);
+        assert_eq!(duplex, 50.0);
+    }
+
+    #[test]
+    fn scale_out_grows_sync_and_preserves_the_mc_advantage() {
+        // Fixed global batch, growing device count: synchronization cost
+        // must rise monotonically, and MC-DLA(B) must beat DC-DLA at
+        // every scale (the whole point of the pooled fabric).
+        let net = Benchmark::VggE.build();
+        let mut prev_sync = (SimDuration::ZERO, SimDuration::ZERO);
+        for devices in [8usize, 16, 64, 256] {
+            let dc = IterationSim::new(
+                SystemConfig::new(SystemDesign::DcDla).with_devices(devices),
+                &net,
+                ParallelStrategy::DataParallel,
+            )
+            .run();
+            let mc = IterationSim::new(
+                SystemConfig::new(SystemDesign::McDlaBwAware).with_devices(devices),
+                &net,
+                ParallelStrategy::DataParallel,
+            )
+            .run();
+            assert!(
+                mc.iteration_time < dc.iteration_time,
+                "{devices} devices: MC {:?} not faster than DC {:?}",
+                mc.iteration_time,
+                dc.iteration_time
+            );
+            assert!(dc.sync_busy >= prev_sync.0, "{devices}: DC sync shrank");
+            assert!(mc.sync_busy >= prev_sync.1, "{devices}: MC sync shrank");
+            prev_sync = (dc.sync_busy, mc.sync_busy);
+        }
     }
 
     #[test]

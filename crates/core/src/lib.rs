@@ -51,9 +51,10 @@ pub mod store;
 mod virt_path;
 
 pub use design::{HostConfig, PcieGen, SystemConfig, SystemDesign};
+pub use design::{BACKPLANE_DEVICES, PAPER_DEFAULT_BATCH, PAPER_DEFAULT_DEVICES};
 pub use energy::{EnergyReport, PowerModel};
 pub use engine::IterationSim;
 pub use report::IterationReport;
-pub use scenario::{DeviceModel, Overrides, Runner, Scenario, ScenarioGrid, TimedRun};
+pub use scenario::{DeviceModel, GridStream, Overrides, Runner, Scenario, ScenarioGrid, TimedRun};
 pub use store::{Fetched, Provenance, ResultStore, StoreStats};
 pub use virt_path::VirtPath;

@@ -46,7 +46,7 @@ use mcdla_dnn::Benchmark;
 use mcdla_parallel::ParallelStrategy;
 use serde::{Deserialize, Serialize};
 
-use crate::design::{SystemConfig, SystemDesign};
+use crate::design::{SystemConfig, SystemDesign, PAPER_DEFAULT_BATCH, PAPER_DEFAULT_DEVICES};
 use crate::engine::IterationSim;
 use crate::report::IterationReport;
 use crate::store::{Provenance, ResultStore};
@@ -236,6 +236,18 @@ impl Scenario {
                     "compression ratio must be finite and >= 1 (got {ratio})"
                 ));
             }
+        }
+        // Knob *combinations* can be nonsensical even when each knob is
+        // individually in range: a data-parallel batch smaller than the
+        // device count leaves workers with nothing to compute (and used
+        // to panic deep inside the worker planner on the wire path).
+        let devices = self.devices.unwrap_or(PAPER_DEFAULT_DEVICES);
+        let batch = self.batch.unwrap_or(PAPER_DEFAULT_BATCH);
+        if self.strategy == ParallelStrategy::DataParallel && batch < devices as u64 {
+            return Err(format!(
+                "data-parallel batch {batch} cannot cover {devices} devices \
+                 (batch must be >= the device count)"
+            ));
         }
         Ok(())
     }
@@ -474,7 +486,7 @@ impl ScenarioGrid {
 }
 
 /// One grid cell's execution record, as produced by
-/// [`Runner::run_grid_timed`].
+/// [`Runner::run_grid_timed`] and [`Runner::run_grid_streaming`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct TimedRun {
     /// The cell that ran.
@@ -600,21 +612,7 @@ impl Runner {
     /// cells another thread (or another process sharing the store) is
     /// already simulating are all served without re-simulating.
     pub fn run_grid_timed(&self, scenarios: &[Scenario]) -> Vec<TimedRun> {
-        let run_one = |s: &Scenario| {
-            let start = Instant::now();
-            let fetched = self.store.get_or_compute(*s, || s.simulate());
-            let computed = fetched.provenance == Provenance::Computed;
-            TimedRun {
-                scenario: *s,
-                report: fetched.report,
-                wall: if computed {
-                    start.elapsed()
-                } else {
-                    Duration::ZERO
-                },
-                cached: !computed,
-            }
-        };
+        let run_one = |s: &Scenario| timed_cell(&self.store, s);
 
         if scenarios.len() <= 1 || self.threads == 1 {
             return scenarios.iter().map(run_one).collect();
@@ -640,6 +638,141 @@ impl Runner {
             .into_iter()
             .map(|slot| slot.into_inner().expect("worker filled every slot"))
             .collect()
+    }
+
+    /// Streams a grid: cells flow out of a **bounded** channel as workers
+    /// finish, so a 5,000-cell sweep never materializes a whole-grid
+    /// `Vec<TimedRun>` — peak buffering is `buffer` cells plus one
+    /// in-flight cell per worker.
+    ///
+    /// Workers steal cells from a shared index (exactly like
+    /// [`Runner::run_grid_timed`]) and memoize through the same shared
+    /// [`ResultStore`], so a streamed grid and a batch grid produce
+    /// identical per-cell reports; only the *yield order* differs —
+    /// completion order, not input order. A full channel applies
+    /// backpressure to the workers; dropping the stream early cancels the
+    /// remaining work (workers exit on the closed channel).
+    ///
+    /// # Panics
+    ///
+    /// A worker that panics mid-simulation (after the store's
+    /// single-flight layer has handed its cell to a retrying waiter) has
+    /// its panic re-raised on the consuming thread once the stream
+    /// drains.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mcdla_core::{Runner, ScenarioGrid};
+    ///
+    /// let runner = Runner::with_threads(2);
+    /// let cells = ScenarioGrid::paper_default()
+    ///     .benchmarks(&[mcdla_dnn::Benchmark::AlexNet])
+    ///     .scenarios();
+    /// let n = cells.len();
+    /// assert_eq!(runner.run_grid_streaming(cells, 4).count(), n);
+    /// ```
+    pub fn run_grid_streaming(&self, scenarios: Vec<Scenario>, buffer: usize) -> GridStream {
+        let (tx, rx) = std::sync::mpsc::sync_channel(buffer.max(1));
+        let cells = Arc::new(scenarios);
+        let next = Arc::new(AtomicUsize::new(0));
+        let workers = (0..self.threads.min(cells.len()).max(1))
+            .map(|i| {
+                let tx = tx.clone();
+                let cells = Arc::clone(&cells);
+                let next = Arc::clone(&next);
+                let store = Arc::clone(&self.store);
+                std::thread::Builder::new()
+                    .name(format!("mcdla-grid-stream-{i}"))
+                    .spawn(move || loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(s) = cells.get(i) else { break };
+                        // A closed channel means the consumer dropped the
+                        // stream: stop stealing cells.
+                        if tx.send(timed_cell(&store, s)).is_err() {
+                            break;
+                        }
+                    })
+                    .expect("spawn grid-stream worker")
+            })
+            .collect();
+        GridStream {
+            rx: Some(rx),
+            workers,
+        }
+    }
+}
+
+/// Runs one cell through a store, timing it and tagging provenance.
+fn timed_cell(store: &ResultStore, s: &Scenario) -> TimedRun {
+    let start = Instant::now();
+    let fetched = store.get_or_compute(*s, || s.simulate());
+    let computed = fetched.provenance == Provenance::Computed;
+    TimedRun {
+        scenario: *s,
+        report: fetched.report,
+        wall: if computed {
+            start.elapsed()
+        } else {
+            Duration::ZERO
+        },
+        cached: !computed,
+    }
+}
+
+/// The live output of [`Runner::run_grid_streaming`]: an iterator of
+/// [`TimedRun`] cells in completion order, backed by worker threads and a
+/// bounded channel.
+///
+/// Dropping the stream before exhaustion cancels the remaining cells (in
+/// addition to closing the channel, the drop joins the workers, so no
+/// simulation outlives the stream).
+#[derive(Debug)]
+pub struct GridStream {
+    rx: Option<std::sync::mpsc::Receiver<TimedRun>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl GridStream {
+    /// Joins the worker pool, re-raising the first worker panic.
+    fn join_workers(&mut self) {
+        self.rx = None;
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for w in self.workers.drain(..) {
+            if let Err(p) = w.join() {
+                panic.get_or_insert(p);
+            }
+        }
+        if let Some(p) = panic {
+            std::panic::resume_unwind(p);
+        }
+    }
+}
+
+impl Iterator for GridStream {
+    type Item = TimedRun;
+
+    fn next(&mut self) -> Option<TimedRun> {
+        match self.rx.as_ref()?.recv() {
+            Ok(run) => Some(run),
+            Err(_) => {
+                // Every sender is gone: the grid is drained (or a worker
+                // died — surface its panic instead of silence).
+                self.join_workers();
+                None
+            }
+        }
+    }
+}
+
+impl Drop for GridStream {
+    fn drop(&mut self) {
+        // Close the channel first so workers blocked on a full buffer
+        // observe the disconnect and exit; never double-panic in drop.
+        self.rx = None;
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
     }
 }
 
@@ -789,6 +922,73 @@ mod tests {
         assert_eq!(out[0], out[1]);
         assert_eq!(runner.cache_misses(), 1);
         assert_eq!(runner.cache_hits(), 2);
+    }
+
+    #[test]
+    fn validate_rejects_nonsensical_batch_device_combinations() {
+        // Individually fine knobs, nonsensical together: DP batch < devices.
+        let s = cell().with_devices(256).with_batch(64);
+        assert!(s.validate().unwrap_err().contains("cannot cover"));
+        // The default batch (512) cannot cover 1024 devices either.
+        assert!(cell().with_devices(1024).validate().is_err());
+        // Model-parallel replicates the batch, so the combination is fine.
+        let mut mp = s;
+        mp.strategy = ParallelStrategy::ModelParallel;
+        assert!(mp.validate().is_ok());
+        // Paper-default and scale-out-sane cells pass.
+        assert!(cell().validate().is_ok());
+        assert!(cell().with_devices(256).validate().is_ok());
+    }
+
+    #[test]
+    fn streaming_matches_batch_cell_for_cell() {
+        let grid = ScenarioGrid::paper_default()
+            .designs(&[SystemDesign::DcDla, SystemDesign::McDlaBwAware])
+            .benchmarks(&[Benchmark::AlexNet])
+            .device_counts(&[8, 16]);
+        let cells = grid.scenarios();
+        let batch = Runner::with_threads(2).run_grid_timed(&cells);
+        let streamed: Vec<TimedRun> = Runner::with_threads(2)
+            .run_grid_streaming(cells.clone(), 2)
+            .collect();
+        assert_eq!(streamed.len(), batch.len());
+        // Completion order may differ; reports must match per scenario.
+        for b in &batch {
+            let s = streamed
+                .iter()
+                .find(|t| t.scenario == b.scenario)
+                .expect("every batch cell streams");
+            assert_eq!(s.report, b.report);
+            assert_eq!(s.cached, b.cached);
+        }
+    }
+
+    #[test]
+    fn dropping_a_stream_cancels_cleanly() {
+        let runner = Runner::with_threads(2);
+        let cells = ScenarioGrid::paper_default().scenarios();
+        let mut stream = runner.run_grid_streaming(cells, 1);
+        // Take two cells, then drop with most of the grid unconsumed:
+        // workers must unblock from the full channel and exit.
+        assert!(stream.next().is_some());
+        assert!(stream.next().is_some());
+        drop(stream);
+        // The runner (and its store) remain usable.
+        let _ = runner.run(cell());
+        assert!(runner.cache_misses() >= 1);
+    }
+
+    #[test]
+    fn streaming_memoizes_through_the_shared_store() {
+        let store = Arc::new(ResultStore::unbounded());
+        let runner = Runner::with_store(2, store.clone());
+        let s = cell();
+        let first: Vec<TimedRun> = runner.run_grid_streaming(vec![s], 4).collect();
+        assert!(!first[0].cached);
+        let second: Vec<TimedRun> = runner.run_grid_streaming(vec![s], 4).collect();
+        assert!(second[0].cached);
+        assert_eq!(second[0].wall, Duration::ZERO);
+        assert_eq!(store.misses(), 1);
     }
 
     #[test]

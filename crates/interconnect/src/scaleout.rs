@@ -117,6 +117,35 @@ impl ScaleOutPlane {
     pub fn bisection_bandwidth_gbs(&self) -> f64 {
         self.devices.len() as f64 / 2.0 * self.links_per_node as f64 * self.link_bandwidth_gbs
     }
+
+    /// Links each node attaches to the switch with.
+    pub fn links_per_node(&self) -> usize {
+        self.links_per_node
+    }
+
+    /// Per-direction bandwidth of one attachment link in GB/s.
+    pub fn link_bandwidth_gbs(&self) -> f64 {
+        self.link_bandwidth_gbs
+    }
+
+    /// Per-device, per-ring injection bandwidth (GB/s, one direction) the
+    /// plane can sustain when collectives are striped over `rings` rings.
+    ///
+    /// Every ring step crosses the switch (node → switch → node), so each
+    /// injected byte consumes one up-crossing and one down-crossing of the
+    /// plane's bisection: aggregate injection across all devices and rings
+    /// is bounded by `2 x bisection`, and no single link can carry more
+    /// than its own bandwidth. With `rings == links_per_node` (the Fig. 15
+    /// configuration) this is exactly the link bandwidth — the switched
+    /// plane is non-blocking for its own ring set — but the bound is what
+    /// keeps over-striped configurations physically sane.
+    pub fn collective_ring_share_gbs(&self, rings: usize) -> f64 {
+        if rings == 0 || self.devices.is_empty() {
+            return 0.0;
+        }
+        let fair = 2.0 * self.bisection_bandwidth_gbs() / (self.devices.len() * rings) as f64;
+        fair.min(self.link_bandwidth_gbs)
+    }
 }
 
 #[cfg(test)]
@@ -158,6 +187,16 @@ mod tests {
         let large = ScaleOutPlane::new(64, 64, 3, 25.0);
         assert_eq!(small.bisection_bandwidth_gbs(), 300.0);
         assert_eq!(large.bisection_bandwidth_gbs(), 2400.0);
+    }
+
+    #[test]
+    fn collective_share_is_link_bound_at_matched_striping() {
+        let plane = ScaleOutPlane::new(16, 16, 3, 25.0);
+        // One ring per link: the plane is non-blocking, full link rate.
+        assert_eq!(plane.collective_ring_share_gbs(3), 25.0);
+        // Over-striping shares the bisection: 6 rings halve the rate.
+        assert_eq!(plane.collective_ring_share_gbs(6), 12.5);
+        assert_eq!(plane.collective_ring_share_gbs(0), 0.0);
     }
 
     #[test]

@@ -52,6 +52,47 @@ impl Connection {
         path: &str,
         body: Option<&str>,
     ) -> Result<Response, String> {
+        self.send_request(method, path, body)?;
+        self.read_response()
+    }
+
+    /// Issues a request expecting a **streamed** (chunked NDJSON)
+    /// response — `POST /grid?stream=1` — and returns a line reader over
+    /// it. Non-chunked answers (a `400` rejection, say) come back as a
+    /// single buffered "line" holding the whole body, so callers check
+    /// [`StreamingResponse::status`] first. The connection is reusable
+    /// for further requests once every line has been read.
+    pub fn request_stream(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<StreamingResponse<'_>, String> {
+        self.send_request(method, path, body)?;
+        let (status, content_length, chunked) = read_response_head(&mut self.reader)?;
+        if chunked {
+            Ok(StreamingResponse {
+                status,
+                kind: StreamKind::Chunked {
+                    reader: &mut self.reader,
+                    carry: Vec::new(),
+                    done: false,
+                },
+            })
+        } else {
+            let mut body = vec![0u8; content_length];
+            self.reader
+                .read_exact(&mut body)
+                .map_err(|e| format!("reading body: {e}"))?;
+            let body = String::from_utf8(body).map_err(|_| "body is not valid utf-8".to_owned())?;
+            Ok(StreamingResponse {
+                status,
+                kind: StreamKind::Buffered(Some(body)),
+            })
+        }
+    }
+
+    fn send_request(&mut self, method: &str, path: &str, body: Option<&str>) -> Result<(), String> {
         let body = body.unwrap_or("");
         let head = format!(
             "{method} {path} HTTP/1.1\r\nhost: mcdla-serve\r\ncontent-length: {}\r\n\r\n",
@@ -62,45 +103,14 @@ impl Connection {
         out.extend_from_slice(body.as_bytes());
         self.stream
             .write_all(&out)
-            .map_err(|e| format!("sending request: {e}"))?;
-        self.read_response()
+            .map_err(|e| format!("sending request: {e}"))
     }
 
     fn read_response(&mut self) -> Result<Response, String> {
-        let mut status_line = String::new();
-        self.reader
-            .read_line(&mut status_line)
-            .map_err(|e| format!("reading status line: {e}"))?;
-        let status: u16 = status_line
-            .split(' ')
-            .nth(1)
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| format!("malformed status line `{}`", status_line.trim_end()))?;
-
-        let mut content_length = 0usize;
-        loop {
-            let mut line = String::new();
-            let n = self
-                .reader
-                .read_line(&mut line)
-                .map_err(|e| format!("reading headers: {e}"))?;
-            if n == 0 {
-                return Err("connection closed mid-headers".into());
-            }
-            let line = line.trim_end();
-            if line.is_empty() {
-                break;
-            }
-            if let Some((name, value)) = line.split_once(':') {
-                if name.trim().eq_ignore_ascii_case("content-length") {
-                    content_length = value
-                        .trim()
-                        .parse()
-                        .map_err(|_| format!("bad content-length `{}`", value.trim()))?;
-                }
-            }
+        let (status, content_length, chunked) = read_response_head(&mut self.reader)?;
+        if chunked {
+            return Err("unexpected chunked response (use `request_stream`)".into());
         }
-
         let mut body = vec![0u8; content_length];
         self.reader
             .read_exact(&mut body)
@@ -110,6 +120,191 @@ impl Connection {
             body: String::from_utf8(body).map_err(|_| "body is not valid utf-8".to_owned())?,
         })
     }
+}
+
+/// Reads one response head: `(status, content_length, chunked)`.
+fn read_response_head(reader: &mut BufReader<TcpStream>) -> Result<(u16, usize, bool), String> {
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .map_err(|e| format!("reading status line: {e}"))?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line `{}`", status_line.trim_end()))?;
+
+    let mut content_length = 0usize;
+    let mut chunked = false;
+    loop {
+        let mut line = String::new();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("reading headers: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-headers".into());
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim();
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .parse()
+                    .map_err(|_| format!("bad content-length `{value}`"))?;
+            } else if name.eq_ignore_ascii_case("transfer-encoding")
+                && value.eq_ignore_ascii_case("chunked")
+            {
+                chunked = true;
+            }
+        }
+    }
+    Ok((status, content_length, chunked))
+}
+
+/// A streamed (`?stream=1`) response: the status plus a reader yielding
+/// one NDJSON line at a time, reassembled across chunk boundaries.
+///
+/// A stream whose connection closes before the terminal `0`-length chunk
+/// was **truncated** — the server died or cancelled mid-flight — and
+/// surfaces as an `Err` line, never as a silent clean end.
+///
+/// Dropping a partially-read stream drains the remaining chunks first,
+/// so the borrowed [`Connection`] stays framed and reusable for the
+/// next request (a reader abandoned mid-chunk would otherwise leave
+/// chunk bytes where the next response head is expected).
+#[derive(Debug)]
+pub struct StreamingResponse<'a> {
+    /// HTTP status code of the response head.
+    pub status: u16,
+    kind: StreamKind<'a>,
+}
+
+#[derive(Debug)]
+enum StreamKind<'a> {
+    /// A non-chunked answer (e.g. a 400 rejection): the whole body as
+    /// one pending "line".
+    Buffered(Option<String>),
+    Chunked {
+        reader: &'a mut BufReader<TcpStream>,
+        carry: Vec<u8>,
+        done: bool,
+    },
+}
+
+impl StreamingResponse<'_> {
+    /// True for 2xx statuses.
+    pub fn is_ok(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+
+    /// The next line of the stream: `None` after a clean terminal chunk,
+    /// `Some(Err(..))` on truncation or malformed framing.
+    #[allow(clippy::should_implement_trait)] // borrows self.reader; not an owned Iterator
+    pub fn next_line(&mut self) -> Option<Result<String, String>> {
+        match &mut self.kind {
+            StreamKind::Buffered(body) => body.take().filter(|b| !b.is_empty()).map(Ok),
+            StreamKind::Chunked {
+                reader,
+                carry,
+                done,
+            } => loop {
+                if let Some(pos) = carry.iter().position(|&b| b == b'\n') {
+                    let rest = carry.split_off(pos + 1);
+                    let mut line = std::mem::replace(carry, rest);
+                    line.pop();
+                    return Some(
+                        String::from_utf8(line)
+                            .map_err(|_| "stream line is not valid utf-8".to_owned()),
+                    );
+                }
+                if *done {
+                    if carry.is_empty() {
+                        return None;
+                    }
+                    let line = std::mem::take(carry);
+                    return Some(
+                        String::from_utf8(line)
+                            .map_err(|_| "stream line is not valid utf-8".to_owned()),
+                    );
+                }
+                match read_chunk(reader) {
+                    Ok(Some(data)) => carry.extend_from_slice(&data),
+                    Ok(None) => *done = true,
+                    Err(e) => {
+                        *done = true;
+                        carry.clear();
+                        return Some(Err(e));
+                    }
+                }
+            },
+        }
+    }
+
+    /// Drains the stream, collecting every remaining line.
+    pub fn collect_lines(mut self) -> Result<Vec<String>, String> {
+        let mut lines = Vec::new();
+        while let Some(line) = self.next_line() {
+            lines.push(line?);
+        }
+        Ok(lines)
+    }
+}
+
+impl Drop for StreamingResponse<'_> {
+    fn drop(&mut self) {
+        if let StreamKind::Chunked { reader, done, .. } = &mut self.kind {
+            // Consume the unread tail (terminal chunk included) so the
+            // connection's next response starts on a frame boundary. A
+            // read error here means the connection is already broken —
+            // the next request will surface that on its own.
+            while !*done {
+                match read_chunk(reader) {
+                    Ok(Some(_)) => {}
+                    Ok(None) | Err(_) => *done = true,
+                }
+            }
+        }
+    }
+}
+
+/// Reads one chunk body; `Ok(None)` is the clean terminal chunk.
+fn read_chunk(reader: &mut BufReader<TcpStream>) -> Result<Option<Vec<u8>>, String> {
+    let mut size_line = String::new();
+    let n = reader
+        .read_line(&mut size_line)
+        .map_err(|e| format!("reading chunk size: {e}"))?;
+    if n == 0 {
+        return Err("stream truncated: connection closed before the terminal chunk".into());
+    }
+    let size_str = size_line.trim_end().split(';').next().unwrap_or("").trim();
+    let size = usize::from_str_radix(size_str, 16)
+        .map_err(|_| format!("bad chunk size `{}`", size_line.trim_end()))?;
+    if size == 0 {
+        // Trailer section: lines until the blank terminator.
+        loop {
+            let mut line = String::new();
+            let n = reader
+                .read_line(&mut line)
+                .map_err(|e| format!("reading chunk trailer: {e}"))?;
+            if n == 0 || line.trim_end().is_empty() {
+                break;
+            }
+        }
+        return Ok(None);
+    }
+    let mut data = vec![0u8; size];
+    reader
+        .read_exact(&mut data)
+        .map_err(|e| format!("stream truncated mid-chunk: {e}"))?;
+    let mut crlf = [0u8; 2];
+    reader
+        .read_exact(&mut crlf)
+        .map_err(|e| format!("stream truncated after a chunk: {e}"))?;
+    Ok(Some(data))
 }
 
 /// One-shot convenience: open, request, close.

@@ -198,6 +198,57 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
+/// Splits a request target into its path and optional query string
+/// (`/grid?stream=1` → `("/grid", Some("stream=1"))`).
+pub fn split_target(target: &str) -> (&str, Option<&str>) {
+    match target.split_once('?') {
+        Some((path, query)) => (path, Some(query)),
+        None => (target, None),
+    }
+}
+
+/// True when a query string carries `key=1` or a bare `key` flag.
+pub fn query_flag(query: Option<&str>, key: &str) -> bool {
+    query.unwrap_or("").split('&').any(|pair| {
+        pair == key || pair.strip_prefix(key).and_then(|r| r.strip_prefix('=')) == Some("1")
+    })
+}
+
+/// Starts a chunked NDJSON response: status line and headers only; the
+/// body follows as [`write_chunk`] calls ended by [`finish_chunked`].
+pub fn write_chunked_head(
+    w: &mut impl Write,
+    status: u16,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    write!(
+        w,
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/x-ndjson\r\ntransfer-encoding: chunked\r\nconnection: {connection}\r\n\r\n",
+        reason(status),
+    )
+}
+
+/// Writes one HTTP/1.1 chunk (`{len:x}\r\n{data}\r\n`). Empty data is
+/// skipped — a zero-length chunk would terminate the stream.
+pub fn write_chunk(w: &mut impl Write, data: &[u8]) -> std::io::Result<()> {
+    if data.is_empty() {
+        return Ok(());
+    }
+    write!(w, "{:x}\r\n", data.len())?;
+    w.write_all(data)?;
+    w.write_all(b"\r\n")?;
+    w.flush()
+}
+
+/// Terminates a chunked response (the `0\r\n\r\n` final chunk). A stream
+/// that closes without this marker was truncated mid-flight — that is
+/// how clients detect a server-side failure after the 200 head.
+pub fn finish_chunked(w: &mut impl Write) -> std::io::Result<()> {
+    w.write_all(b"0\r\n\r\n")?;
+    w.flush()
+}
+
 /// Writes one JSON response (the only content type the service speaks).
 pub fn write_response(
     w: &mut impl Write,
@@ -321,5 +372,33 @@ mod tests {
     #[test]
     fn error_bodies_are_json() {
         assert_eq!(error_body("boom"), "{\"error\":\"boom\"}");
+    }
+
+    #[test]
+    fn target_splitting_and_flags() {
+        assert_eq!(split_target("/grid"), ("/grid", None));
+        assert_eq!(split_target("/grid?stream=1"), ("/grid", Some("stream=1")));
+        assert_eq!(split_target("/g?a=1&b=2"), ("/g", Some("a=1&b=2")));
+        assert!(query_flag(Some("stream=1"), "stream"));
+        assert!(query_flag(Some("x=2&stream"), "stream"));
+        assert!(!query_flag(Some("stream=0"), "stream"));
+        assert!(!query_flag(Some("streamer=1"), "stream"));
+        assert!(!query_flag(None, "stream"));
+    }
+
+    #[test]
+    fn chunked_framing_round_trips() {
+        let mut out = Vec::new();
+        write_chunked_head(&mut out, 200, true).unwrap();
+        write_chunk(&mut out, b"{\"a\":1}\n").unwrap();
+        write_chunk(&mut out, b"").unwrap(); // skipped, not a terminator
+        write_chunk(&mut out, b"{\"b\":2}\n").unwrap();
+        finish_chunked(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("transfer-encoding: chunked\r\n"));
+        assert!(text.contains("content-type: application/x-ndjson\r\n"));
+        let body = text.split_once("\r\n\r\n").unwrap().1;
+        assert_eq!(body, "8\r\n{\"a\":1}\n\r\n8\r\n{\"b\":2}\n\r\n0\r\n\r\n");
     }
 }

@@ -15,6 +15,7 @@
 //! |---|---|---|
 //! | `POST /simulate` | one serde [`Scenario`](mcdla_core::Scenario) | `{scenario, digest, cached, report}` |
 //! | `POST /grid` | cartesian axes ([`GridRequest`]) | `{count, cells: [...]}` |
+//! | `POST /grid?stream=1` | cartesian axes ([`GridRequest`]) | chunked NDJSON, one cell per line |
 //! | `GET /healthz` | — | `{"status":"ok"}` |
 //! | `GET /stats` | — | store + request counters |
 //!
@@ -48,4 +49,6 @@ pub mod client;
 pub mod http;
 mod server;
 
-pub use server::{cell_value, GridRequest, ServeConfig, Server, ServerHandle, MAX_GRID_CELLS};
+pub use server::{
+    cell_value, GridRequest, ServeConfig, Server, ServerHandle, MAX_GRID_CELLS, MAX_STREAM_CELLS,
+};

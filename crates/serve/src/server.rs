@@ -16,10 +16,20 @@ use mcdla_dnn::Benchmark;
 use mcdla_parallel::ParallelStrategy;
 use serde::{Deserialize, Serialize, Value};
 
-use crate::http::{error_body, read_request, write_response, Request, WireError};
+use crate::http::{
+    error_body, finish_chunked, query_flag, read_request, split_target, write_chunk,
+    write_chunked_head, write_response, Request, WireError,
+};
 
-/// Largest grid one `POST /grid` request may expand to.
+/// Largest grid one buffered `POST /grid` request may expand to.
 pub const MAX_GRID_CELLS: usize = 10_000;
+
+/// Largest grid one streamed `POST /grid?stream=1` request may expand
+/// to. Streamed responses never buffer the grid — each cell leaves the
+/// process as soon as a worker finishes it — so the bound is an order of
+/// magnitude looser than [`MAX_GRID_CELLS`] and exists only to stop one
+/// request monopolizing the simulation pool forever.
+pub const MAX_STREAM_CELLS: usize = 100_000;
 
 /// Idle keep-alive connections are dropped after this long.
 const READ_TIMEOUT: Duration = Duration::from_secs(30);
@@ -365,6 +375,53 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
             }
             Ok(Some(request)) => {
                 let keep_alive = request.keep_alive && !state.shutdown.load(Ordering::SeqCst);
+                let (path, query) = split_target(&request.path);
+                if request.method == "POST" && path == "/grid" && query_flag(query, "stream") {
+                    state.requests.grid.fetch_add(1, Ordering::Relaxed);
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        stream_grid(&request.body, state, &mut writer, keep_alive)
+                    }));
+                    match outcome {
+                        Ok(StreamOutcome::Rejected(outcome)) => {
+                            state.requests.errors.fetch_add(1, Ordering::Relaxed);
+                            if write_response(
+                                &mut writer,
+                                outcome.status,
+                                &outcome.body,
+                                keep_alive,
+                            )
+                            .is_err()
+                            {
+                                return;
+                            }
+                            if !keep_alive {
+                                let _ = writer.flush();
+                                return;
+                            }
+                        }
+                        Ok(StreamOutcome::Streamed {
+                            computed_cells,
+                            clean,
+                        }) => {
+                            if computed_cells > 0 {
+                                state.persist_snapshot();
+                            }
+                            if !clean || !keep_alive {
+                                let _ = writer.flush();
+                                return;
+                            }
+                        }
+                        // A panic after the 200 head cannot be answered;
+                        // closing without the terminal chunk is how the
+                        // client learns the stream died (the acceptor
+                        // thread itself survives).
+                        Err(_) => {
+                            state.requests.errors.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                    continue;
+                }
                 // A panicking handler must not take its acceptor thread
                 // (and the pool slot) with it: answer 500 and carry on.
                 let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -415,7 +472,8 @@ impl Outcome {
 }
 
 fn route(request: &Request, state: &Arc<ServerState>) -> Outcome {
-    match (request.method.as_str(), request.path.as_str()) {
+    let (path, _query) = split_target(&request.path);
+    match (request.method.as_str(), path) {
         ("GET", "/healthz") => {
             state.requests.healthz.fetch_add(1, Ordering::Relaxed);
             Outcome::ok(serde::json::to_string(&Value::Map(vec![
@@ -523,8 +581,15 @@ pub struct GridRequest {
 }
 
 impl GridRequest {
-    /// Expands the request into concrete scenarios.
+    /// Expands the request into concrete scenarios, bounded by
+    /// [`MAX_GRID_CELLS`] (the buffered `POST /grid` limit).
     pub fn scenarios(&self) -> Result<Vec<Scenario>, String> {
+        self.scenarios_bounded(MAX_GRID_CELLS)
+    }
+
+    /// Expands the request into concrete scenarios, rejecting grids over
+    /// `max_cells` (streamed requests use [`MAX_STREAM_CELLS`]).
+    pub fn scenarios_bounded(&self, max_cells: usize) -> Result<Vec<Scenario>, String> {
         let mut grid = ScenarioGrid::paper_default();
         if let Some(designs) = &self.designs {
             grid = grid.designs(designs);
@@ -556,9 +621,9 @@ impl GridRequest {
         if grid.is_empty() {
             return Err("grid expands to zero cells (an axis is empty)".into());
         }
-        if grid.len() > MAX_GRID_CELLS {
+        if grid.len() > max_cells {
             return Err(format!(
-                "grid expands to {} cells; the limit is {MAX_GRID_CELLS}",
+                "grid expands to {} cells; the limit is {max_cells}",
                 grid.len()
             ));
         }
@@ -566,18 +631,23 @@ impl GridRequest {
     }
 }
 
+/// Parses and validates a grid body into runnable scenarios.
+fn grid_scenarios(body: &[u8], max_cells: usize) -> Result<Vec<Scenario>, Outcome> {
+    let request: GridRequest = parse_body(body, "grid")?;
+    let scenarios = request
+        .scenarios_bounded(max_cells)
+        .map_err(|msg| Outcome::error(400, &msg))?;
+    if let Some(msg) = scenarios.iter().find_map(|s| s.validate().err()) {
+        return Err(Outcome::error(400, &msg));
+    }
+    Ok(scenarios)
+}
+
 fn grid_endpoint(body: &[u8], state: &Arc<ServerState>) -> Outcome {
-    let request: GridRequest = match parse_body(body, "grid") {
-        Ok(g) => g,
+    let scenarios = match grid_scenarios(body, MAX_GRID_CELLS) {
+        Ok(s) => s,
         Err(outcome) => return outcome,
     };
-    let scenarios = match request.scenarios() {
-        Ok(s) => s,
-        Err(msg) => return Outcome::error(400, &msg),
-    };
-    if let Some(msg) = scenarios.iter().find_map(|s| s.validate().err()) {
-        return Outcome::error(400, &msg);
-    }
     let runs = state.runner.run_grid_timed(&scenarios);
     let computed_cells = runs.iter().filter(|t| !t.cached).count();
     let cells: Vec<Value> = runs
@@ -591,6 +661,59 @@ fn grid_endpoint(body: &[u8], state: &Arc<ServerState>) -> Outcome {
             ("cells".into(), Value::Seq(cells)),
         ])),
         computed_cells,
+    }
+}
+
+/// How `POST /grid?stream=1` ended.
+enum StreamOutcome {
+    /// The request was rejected before any chunk was written; answer
+    /// with a normal buffered error response.
+    Rejected(Outcome),
+    /// The 200 head went out and cells streamed. `clean` is false when
+    /// the client disappeared (or a write failed) mid-stream — the
+    /// connection must close without the terminal chunk.
+    Streamed { computed_cells: usize, clean: bool },
+}
+
+/// Streams a grid as chunked NDJSON: one [`cell_value`] object per
+/// line, one line per chunk, written **as workers finish** (completion
+/// order). Cells are memoized through the same shared store as every
+/// other endpoint, so streamed payloads are byte-identical to the
+/// buffered `/grid` cells for the same scenarios.
+fn stream_grid(
+    body: &[u8],
+    state: &Arc<ServerState>,
+    writer: &mut TcpStream,
+    keep_alive: bool,
+) -> StreamOutcome {
+    let scenarios = match grid_scenarios(body, MAX_STREAM_CELLS) {
+        Ok(s) => s,
+        Err(outcome) => return StreamOutcome::Rejected(outcome),
+    };
+    if write_chunked_head(writer, 200, keep_alive).is_err() {
+        return StreamOutcome::Streamed {
+            computed_cells: 0,
+            clean: false,
+        };
+    }
+    let buffer = 2 * state.runner.threads();
+    let mut computed_cells = 0usize;
+    for run in state.runner.run_grid_streaming(scenarios, buffer) {
+        computed_cells += usize::from(!run.cached);
+        let mut line = serde::json::to_string(&cell_value(&run.scenario, &run.report, run.cached));
+        line.push('\n');
+        if write_chunk(writer, line.as_bytes()).is_err() {
+            // The client went away mid-stream: dropping the stream
+            // cancels the remaining cells; close without the terminator.
+            return StreamOutcome::Streamed {
+                computed_cells,
+                clean: false,
+            };
+        }
+    }
+    StreamOutcome::Streamed {
+        computed_cells,
+        clean: finish_chunked(writer).is_ok(),
     }
 }
 

@@ -212,6 +212,150 @@ fn bad_bodies_and_bad_routes_answer_4xx() {
 }
 
 #[test]
+fn streamed_grid_cells_are_byte_identical_to_batch_cells() {
+    // Two fresh servers (cold stores) answer the same grid request, one
+    // buffered, one streamed: every cell payload must match byte for
+    // byte (streams arrive in completion order, so pair by digest).
+    let body = r#"{"designs":["DcDla","McDlaBwAware"],"benchmarks":["AlexNet"],
+                   "devices":[8,16]}"#;
+
+    let (batch_handle, batch_addr) = start(ServeConfig::default());
+    let batch = request_once(&batch_addr, "POST", "/grid", Some(body)).unwrap();
+    assert_eq!(batch.status, 200);
+    let parsed = serde::json::parse(&batch.body).unwrap();
+    let cells = parsed.get("cells").and_then(|v| v.as_seq()).unwrap();
+    let batch_by_digest: std::collections::HashMap<String, String> = cells
+        .iter()
+        .map(|c| {
+            (
+                c.get("digest").unwrap().as_str().unwrap().to_owned(),
+                serde::json::to_string(c),
+            )
+        })
+        .collect();
+    batch_handle.shutdown();
+
+    let (handle, addr) = start(ServeConfig::default());
+    let mut conn = Connection::open(&addr).expect("open");
+    let stream = conn
+        .request_stream("POST", "/grid?stream=1", Some(body))
+        .expect("stream");
+    assert_eq!(stream.status, 200);
+    let lines = stream.collect_lines().expect("clean terminal chunk");
+    assert_eq!(lines.len(), batch_by_digest.len());
+    for line in &lines {
+        let cell = serde::json::parse(line).expect("valid JSON per line");
+        let digest = cell.get("digest").unwrap().as_str().unwrap();
+        assert_eq!(
+            Some(line),
+            batch_by_digest.get(digest),
+            "streamed cell differs from the batch cell for digest {digest}"
+        );
+    }
+    // The keep-alive connection survives the stream: next request works.
+    let health = conn.request("GET", "/healthz", None).unwrap();
+    assert_eq!(health.status, 200);
+    handle.shutdown();
+}
+
+#[test]
+fn abandoning_a_stream_mid_read_keeps_the_connection_framed() {
+    let (handle, addr) = start(ServeConfig::default());
+    let mut conn = Connection::open(&addr).expect("open");
+    {
+        let mut stream = conn
+            .request_stream(
+                "POST",
+                "/grid?stream=1",
+                Some(r#"{"benchmarks":["AlexNet"]}"#),
+            )
+            .expect("stream");
+        assert_eq!(stream.status, 200);
+        // Read one of the 12 cells, then drop the stream early: the
+        // drop must drain the remaining chunks so the connection stays
+        // on a frame boundary.
+        let first = stream.next_line().expect("first cell").expect("valid");
+        serde::json::parse(&first).expect("cell is JSON");
+    }
+    let health = conn.request("GET", "/healthz", None).unwrap();
+    assert_eq!(health.status, 200, "connection desynced after early drop");
+    let again = conn
+        .request_stream(
+            "POST",
+            "/grid?stream=1",
+            Some(r#"{"benchmarks":["AlexNet"]}"#),
+        )
+        .expect("second stream on the same connection");
+    assert_eq!(again.collect_lines().expect("clean").len(), 12);
+    handle.shutdown();
+}
+
+#[test]
+fn stream_rejections_are_buffered_400s() {
+    let (handle, addr) = start(ServeConfig::default());
+    let mut conn = Connection::open(&addr).expect("open");
+    for (bad, why) in [
+        ("{not json", "malformed JSON"),
+        (r#"{"batches":[0]}"#, "zero batch"),
+        (r#"{"designs":[]}"#, "empty axis"),
+        // Individually valid knobs, nonsensical together: DP batch 64
+        // cannot cover 256 devices. Must be a 400, not a 500/panic.
+        (
+            r#"{"strategies":["DataParallel"],"devices":[256],"batches":[64]}"#,
+            "batch smaller than device count",
+        ),
+    ] {
+        let mut resp = conn
+            .request_stream("POST", "/grid?stream=1", Some(bad))
+            .expect("request");
+        assert_eq!(resp.status, 400, "{why} must answer 400");
+        let line = resp.next_line().expect("error body").expect("readable");
+        assert!(line.contains("error"), "{why}: {line}");
+    }
+    // Same combination through /simulate: 400, not a worker-planner panic.
+    let combo = r#"{"design":"DcDla","benchmark":"AlexNet","strategy":"DataParallel",
+                    "devices":256,"batch":64}"#;
+    let resp = request_once(&addr, "POST", "/simulate", Some(combo)).unwrap();
+    assert_eq!(resp.status, 400);
+    // The server survived all of it.
+    assert_eq!(
+        request_once(&addr, "GET", "/healthz", None).unwrap().status,
+        200
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn truncated_stream_client_does_not_kill_the_server() {
+    let (handle, addr) = start(ServeConfig::default());
+    // A client that requests a stream, reads a little, and vanishes: the
+    // server must cancel the remaining cells and carry on, not panic or
+    // leak its acceptor thread.
+    let body = r#"{"benchmarks":["AlexNet"]}"#;
+    {
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        let head = format!(
+            "POST /grid?stream=1 HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(head.as_bytes()).expect("send");
+        let mut first = [0u8; 64];
+        let n = stream.read(&mut first).expect("read some of the stream");
+        assert!(n > 0, "server never started answering");
+        assert!(first.starts_with(b"HTTP/1.1 200"));
+        // Drop without reading the rest.
+    }
+    // The pool still answers (repeatedly, to hit the same acceptor).
+    for _ in 0..4 {
+        assert_eq!(
+            request_once(&addr, "GET", "/healthz", None).unwrap().status,
+            200
+        );
+    }
+    handle.shutdown();
+}
+
+#[test]
 fn n_concurrent_identical_requests_simulate_once() {
     let (handle, addr) = start(ServeConfig {
         threads: 8,

@@ -21,6 +21,7 @@ struct Args {
     /// Positional arguments after the subcommand (`mcdla query <endpoint>`).
     rest: Vec<String>,
     json: bool,
+    ndjson: bool,
     out: Option<String>,
     batches: Vec<u64>,
     devices: Vec<usize>,
@@ -56,6 +57,7 @@ subcommands
   energy        dynamic energy-per-iteration comparison
   paper-report  the full paper-vs-measured summary
   sweep         time every grid cell, write BENCH_scenarios.json
+                (--ndjson streams one JSON object per cell to stdout)
   simulate      run one scenario cell from JSON, print its report
   serve         run the persistent HTTP simulation service
   query         query a running service (healthz | stats | simulate | grid)
@@ -65,6 +67,8 @@ subcommands
 
 options
   --json            emit the experiment data as JSON instead of tables
+  --ndjson          sweep: stream cells as NDJSON (one object per line,
+                    completion order, constant memory) to stdout or --out
   --threads N       simulation worker threads (same as MCDLA_THREADS=N);
                     for `serve`, also the connection-handling pool size
   --out FILE        sweep/serve-bench output path
@@ -109,6 +113,7 @@ fn parse_args() -> Result<Args, String> {
         command,
         rest: Vec::new(),
         json: false,
+        ndjson: false,
         out: None,
         batches: Vec::new(),
         devices: Vec::new(),
@@ -122,6 +127,7 @@ fn parse_args() -> Result<Args, String> {
     while let Some(flag) = argv.next() {
         match flag.as_str() {
             "--json" => args.json = true,
+            "--ndjson" => args.ndjson = true,
             "--threads" => {
                 let v = argv.next().ok_or("--threads needs a value")?;
                 let n: usize = v
@@ -226,6 +232,12 @@ fn run(args: &Args) -> Result<(), String> {
     if !SUBCOMMANDS.contains(&args.command.as_str()) {
         return Err(format!("unknown subcommand `{}`", args.command));
     }
+    if args.ndjson && args.command != "sweep" {
+        return Err(format!(
+            "--ndjson is a `sweep` flag (got `{}`)",
+            args.command
+        ));
+    }
     // Only `query` takes a positional argument (its endpoint).
     if !args.rest.is_empty() && args.command != "query" {
         return Err(format!(
@@ -275,8 +287,40 @@ fn run(args: &Args) -> Result<(), String> {
         "ablations" => print!("{}", reports::ablations_text()),
         "energy" => print!("{}", reports::energy_text()),
         "paper-report" => print!("{}", reports::paper_report_text()),
+        "sweep" if args.ndjson => {
+            // Streamed sweep: one compact JSON object per cell, written
+            // as workers finish. Cells go to stdout (pipe into
+            // `jq -s length` & friends) unless --out names a file; the
+            // summary goes to stderr so stdout stays pure NDJSON.
+            let summary = match args.out.as_deref() {
+                Some(path) => {
+                    let file =
+                        std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+                    let mut out = std::io::BufWriter::new(file);
+                    let s = reports::sweep_ndjson(
+                        &args.batches,
+                        &args.devices,
+                        args.filter.as_deref(),
+                        &mut out,
+                    )?;
+                    eprintln!("wrote {} cells to {path}", s.cells);
+                    s
+                }
+                None => {
+                    let stdout = std::io::stdout();
+                    let mut out = std::io::BufWriter::new(stdout.lock());
+                    reports::sweep_ndjson(
+                        &args.batches,
+                        &args.devices,
+                        args.filter.as_deref(),
+                        &mut out,
+                    )?
+                }
+            };
+            eprint!("{}", summary.summary);
+        }
         "sweep" => {
-            let result = reports::sweep(&args.batches, &args.devices, args.filter.as_deref());
+            let result = reports::sweep(&args.batches, &args.devices, args.filter.as_deref())?;
             let path = args.out.as_deref().unwrap_or("BENCH_scenarios.json");
             std::fs::write(path, &result.json).map_err(|e| format!("writing {path}: {e}"))?;
             print!("{}", result.summary);

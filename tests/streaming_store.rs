@@ -1,0 +1,135 @@
+//! Concurrency tests for the shared [`ResultStore`] under the streaming
+//! grid executor: overlapping streams dedupe to one simulation per
+//! unique cell, capacity bounds hold under streaming churn, and a
+//! poisoned (panicking) single-flight leader still unblocks streaming
+//! waiters.
+
+use std::sync::Arc;
+
+use mcdla::core::{
+    Provenance, ResultStore, Runner, Scenario, ScenarioGrid, SystemDesign, TimedRun,
+};
+use mcdla::dnn::Benchmark;
+use mcdla::parallel::ParallelStrategy;
+
+fn overlap_grid() -> Vec<Scenario> {
+    ScenarioGrid::paper_default()
+        .designs(&[SystemDesign::DcDla, SystemDesign::McDlaBwAware])
+        .benchmarks(&[Benchmark::AlexNet])
+        .device_counts(&[8, 16])
+        .scenarios()
+}
+
+#[test]
+fn overlapping_streams_simulate_each_unique_cell_once() {
+    let store = Arc::new(ResultStore::unbounded());
+    let cells = overlap_grid();
+    let unique = cells.len();
+    let threads = 4;
+    std::thread::scope(|scope| {
+        for offset in 0..threads {
+            let store = store.clone();
+            let mut grid = cells.clone();
+            // Every thread streams the same cells in a different order,
+            // so leaders and waiters interleave across the whole grid.
+            grid.rotate_left(offset * 2);
+            scope.spawn(move || {
+                let runner = Runner::with_store(2, store);
+                let runs: Vec<TimedRun> = runner.run_grid_streaming(grid, 2).collect();
+                assert_eq!(runs.len(), unique);
+            });
+        }
+    });
+    let stats = store.stats();
+    assert_eq!(
+        stats.misses, unique as u64,
+        "{threads} overlapping streams must simulate each unique cell exactly once: {stats:?}"
+    );
+    assert_eq!(stats.hits, (threads * unique - unique) as u64);
+    assert_eq!(stats.entries, unique as u64);
+    assert_eq!(stats.in_flight, 0, "no flight survives the streams");
+}
+
+#[test]
+fn lru_bound_holds_under_streaming_churn() {
+    // 2 shards x 2 per-shard slots = at most 4 resident cells, churned
+    // by two concurrent streams over 16 distinct cells.
+    let store = Arc::new(ResultStore::with_shards(Some(4), 2));
+    let cells: Vec<Scenario> = ScenarioGrid::paper_default()
+        .designs(&[SystemDesign::DcDla, SystemDesign::McDlaBwAware])
+        .benchmarks(&[Benchmark::AlexNet, Benchmark::RnnGemv])
+        .device_counts(&[8, 16])
+        .scenarios();
+    assert_eq!(cells.len(), 16);
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let store = store.clone();
+            let grid = cells.clone();
+            scope.spawn(move || {
+                let runner = Runner::with_store(2, store.clone());
+                for _run in runner.run_grid_streaming(grid, 1) {
+                    assert!(
+                        store.len() <= 4,
+                        "LRU bound exceeded mid-stream: {} resident",
+                        store.len()
+                    );
+                }
+            });
+        }
+    });
+    let stats = store.stats();
+    assert!(
+        stats.entries <= 4,
+        "bound exceeded after the streams: {stats:?}"
+    );
+    assert!(
+        stats.evictions > 0,
+        "churn over capacity must evict: {stats:?}"
+    );
+}
+
+#[test]
+fn poisoned_leader_unblocks_streaming_waiters() {
+    let store = Arc::new(ResultStore::unbounded());
+    let cell = Scenario::new(
+        SystemDesign::DcDla,
+        Benchmark::AlexNet,
+        ParallelStrategy::DataParallel,
+    );
+    std::thread::scope(|scope| {
+        // A leader takes the cell's flight and dies mid-simulation.
+        let leader = scope.spawn(|| {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                store.get_or_compute(cell, || {
+                    std::thread::sleep(std::time::Duration::from_millis(100));
+                    panic!("poisoned leader");
+                })
+            }));
+            assert!(result.is_err(), "the leader's panic propagates to it");
+        });
+        // Wait until the doomed flight is actually open, then stream a
+        // grid containing the poisoned cell: the streaming worker must
+        // coalesce onto the flight, survive its failure, retake the
+        // lead, and finish the stream.
+        while store.stats().in_flight == 0 {
+            std::thread::yield_now();
+        }
+        let runner = Runner::with_store(2, store.clone());
+        let runs: Vec<TimedRun> = runner.run_grid_streaming(vec![cell], 2).collect();
+        assert_eq!(runs.len(), 1, "the stream must not hang or drop the cell");
+        assert!(!runs[0].cached, "the retrying waiter recomputed the cell");
+        leader.join().unwrap();
+    });
+    let stats = store.stats();
+    assert_eq!(stats.misses, 1, "exactly the retry simulated: {stats:?}");
+    assert!(
+        stats.dedup_waits >= 1,
+        "the stream coalesced first: {stats:?}"
+    );
+    assert_eq!(
+        store
+            .get_or_compute(cell, || panic!("must be cached"))
+            .provenance,
+        Provenance::Cached
+    );
+}

@@ -1,0 +1,114 @@
+//! Streamed (`--ndjson`) vs batch sweep equivalence: the two modes run
+//! the same grid through the same memoizing store, and every streamed
+//! line is byte-identical to the batch payload's cell once the batch's
+//! per-run provenance metadata (`wall_ms`, `cached`) is removed.
+
+use std::collections::HashMap;
+
+use mcdla_bench::reports;
+use serde::{json, Value};
+
+/// A batch sweep cell with the per-run provenance metadata removed —
+/// exactly the deterministic payload `--ndjson` streams.
+fn strip_provenance(cell: &Value) -> Value {
+    let map = cell.as_map().expect("sweep cells are objects");
+    Value::Map(
+        map.iter()
+            .filter(|(k, _)| k != "wall_ms" && k != "cached")
+            .cloned()
+            .collect(),
+    )
+}
+
+#[test]
+fn streamed_sweep_cells_are_byte_identical_to_batch_cells() {
+    let devices = [16usize, 32];
+    let filter = Some("AlexNet");
+
+    let batch = reports::sweep(&[], &devices, filter).expect("batch sweep");
+    let payload = json::parse(&batch.json).expect("batch payload parses");
+    let cells = payload
+        .get("cells")
+        .and_then(|c| c.as_seq())
+        .expect("cells array");
+    let batch_by_digest: HashMap<String, String> = cells
+        .iter()
+        .map(|c| {
+            (
+                c.get("digest").unwrap().as_str().unwrap().to_owned(),
+                json::to_string(&strip_provenance(c)),
+            )
+        })
+        .collect();
+    assert!(!batch_by_digest.is_empty());
+
+    let mut out = Vec::new();
+    let summary = reports::sweep_ndjson(&[], &devices, filter, &mut out).expect("streamed sweep");
+    let text = String::from_utf8(out).expect("NDJSON is utf-8");
+    let lines: Vec<&str> = text.lines().collect();
+
+    // Exactly one valid JSON object per cell, every payload matching
+    // its batch twin byte for byte (streams arrive in completion order,
+    // so pair by digest).
+    assert_eq!(lines.len(), batch_by_digest.len());
+    assert_eq!(summary.cells, lines.len());
+    for line in lines {
+        let cell = json::parse(line).expect("each NDJSON line is one valid JSON object");
+        let digest = cell.get("digest").unwrap().as_str().unwrap();
+        assert_eq!(
+            Some(&line.to_owned()),
+            batch_by_digest.get(digest),
+            "streamed payload differs from the batch cell for digest {digest}"
+        );
+    }
+}
+
+/// A writer that accepts `lines_before_close` newline-terminated writes
+/// and then behaves like a closed pipe (`head`/`jq -e` downstream).
+struct ClosingPipe {
+    accepted: Vec<u8>,
+    lines_before_close: usize,
+}
+
+impl std::io::Write for ClosingPipe {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let lines = self.accepted.iter().filter(|&&b| b == b'\n').count();
+        if lines >= self.lines_before_close {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "downstream closed",
+            ));
+        }
+        self.accepted.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn streamed_sweep_ends_cleanly_when_the_pipe_closes() {
+    // `mcdla sweep --ndjson | head -2` must exit cleanly, not error:
+    // a closed pipe is the consumer saying "enough".
+    let mut out = ClosingPipe {
+        accepted: Vec::new(),
+        lines_before_close: 2,
+    };
+    let summary = reports::sweep_ndjson(&[], &[], Some("AlexNet"), &mut out)
+        .expect("a closed pipe is a clean end");
+    assert_eq!(summary.cells, 2, "exactly the accepted lines count");
+    let text = String::from_utf8(out.accepted).unwrap();
+    for line in text.lines() {
+        json::parse(line).expect("accepted lines are whole JSON objects");
+    }
+}
+
+#[test]
+fn streamed_sweep_rejects_invalid_axis_combinations() {
+    let mut out = Vec::new();
+    let err = reports::sweep_ndjson(&[64], &[256], None, &mut out).unwrap_err();
+    assert!(err.contains("cannot cover"), "{err}");
+    assert!(out.is_empty(), "nothing may stream before validation");
+}
