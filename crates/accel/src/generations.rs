@@ -13,12 +13,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 use crate::config::DeviceConfig;
 
 /// One of Figure 2's five accelerator generations.
-#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash, Serialize)]
 pub enum DeviceGeneration {
     /// NVIDIA Kepler (K40-class), fp32.
     Kepler,
@@ -41,6 +41,18 @@ impl DeviceGeneration {
         DeviceGeneration::Volta,
         DeviceGeneration::TpuV2,
     ];
+
+    /// The wire (serde) name — the variant identifier the derived
+    /// `Serialize` emits.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            DeviceGeneration::Kepler => "Kepler",
+            DeviceGeneration::Maxwell => "Maxwell",
+            DeviceGeneration::Pascal => "Pascal",
+            DeviceGeneration::Volta => "Volta",
+            DeviceGeneration::TpuV2 => "TpuV2",
+        }
+    }
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -104,6 +116,31 @@ impl DeviceGeneration {
 impl fmt::Display for DeviceGeneration {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+// Hand-written (not derived) so wire payloads may use either the wire
+// name (`TpuV2`) or the display label (`TPUv2`), in any case, and an
+// unknown name answers with the full accepted list.
+impl serde::Deserialize for DeviceGeneration {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| serde::Error::expected("string", "DeviceGeneration"))?;
+        DeviceGeneration::ALL
+            .iter()
+            .copied()
+            .find(|g| s.eq_ignore_ascii_case(g.wire_name()) || s.eq_ignore_ascii_case(g.name()))
+            .ok_or_else(|| {
+                let accepted: Vec<&str> = DeviceGeneration::ALL
+                    .iter()
+                    .map(|g| g.wire_name())
+                    .collect();
+                serde::Error::custom(format!(
+                    "unknown DeviceGeneration `{s}` (accepted, case-insensitive: {})",
+                    accepted.join(", ")
+                ))
+            })
     }
 }
 

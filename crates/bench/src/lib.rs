@@ -40,6 +40,7 @@ use std::fmt::Write as _;
 
 pub mod reports;
 pub mod service;
+pub mod store_bench;
 pub mod timing;
 
 /// Renders an aligned ASCII table.

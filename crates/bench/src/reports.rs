@@ -8,8 +8,12 @@
 
 use std::fmt::Write as _;
 
+use std::sync::Arc;
+
 use mcdla_core::scenario::global_runner;
-use mcdla_core::{ablation, experiment, EnergyReport, PowerModel, ScenarioGrid, SystemDesign};
+use mcdla_core::{
+    ablation, experiment, EnergyReport, PowerModel, ResultStore, Runner, ScenarioGrid, SystemDesign,
+};
 use mcdla_dnn::{Benchmark, DataType};
 use mcdla_interconnect::{
     check_link_budget, CollectiveKind, CollectiveModel, Ring, RingShape, SystemInterconnect,
@@ -928,44 +932,45 @@ pub struct SweepResult {
     pub summary: String,
 }
 
-/// Expands the sweep grid — the default §V matrix, extended (not
-/// replaced) along the batch/device axes — validates every cell, and
-/// applies the label filter. Returns `(full_grid_cells, matched_cells)`.
-fn sweep_cells(
-    batches: &[u64],
-    device_counts: &[usize],
-    filter: Option<&str>,
-) -> Result<(usize, Vec<mcdla_core::Scenario>), String> {
-    // The flags *extend* the default §V matrix: the paper-default cells
-    // stay in the sweep so perf-tracking consumers keep their baselines.
-    let mut grid = ScenarioGrid::paper_default();
-    if !batches.is_empty() {
-        grid = grid.extend_batches(batches);
-    }
-    if !device_counts.is_empty() {
-        grid = grid.extend_device_counts(device_counts);
-    }
-    let expanded = grid.scenarios();
-    let grid_cells = expanded.len();
-    // Axis extensions multiply, so individually sane lists can produce
-    // nonsensical cells (e.g. --batches 64 --devices 256): reject the
-    // whole sweep with the first offending cell named.
-    for s in &expanded {
-        if let Err(msg) = s.validate() {
-            return Err(format!("invalid sweep cell `{}`: {msg}", s.label()));
+/// A validated, expanded, filtered sweep — built *before* any output
+/// file is touched, so invalid axes or a no-match filter can never
+/// clobber an existing `BENCH_scenarios.json`.
+#[derive(Debug)]
+pub struct SweepPlan {
+    /// Cells in the unfiltered grid.
+    pub grid_cells: usize,
+    /// The cells to run, post-filter.
+    pub scenarios: Vec<mcdla_core::Scenario>,
+    filter: Option<String>,
+    cache_cap: Option<usize>,
+}
+
+/// The runner a [`SweepPlan`] executes on: the process-global runner
+/// (unbounded shared memo cache) unless `--cache-cap` bounds the sweep,
+/// in which case a private LRU-bounded store of that capacity is used —
+/// the knob that keeps arbitrarily large sweeps in flat memory.
+enum SweepRunner {
+    Global(&'static Runner),
+    Bounded(Runner),
+}
+
+impl SweepRunner {
+    fn for_plan(plan: &SweepPlan) -> SweepRunner {
+        match plan.cache_cap {
+            None => SweepRunner::Global(global_runner()),
+            Some(cap) => SweepRunner::Bounded(Runner::with_store(
+                global_runner().threads(),
+                Arc::new(ResultStore::bounded(cap)),
+            )),
         }
     }
-    let scenarios = match filter {
-        Some(needle) => {
-            let needle = needle.to_lowercase();
-            expanded
-                .into_iter()
-                .filter(|s| s.label().to_lowercase().contains(&needle))
-                .collect()
+
+    fn get(&self) -> &Runner {
+        match self {
+            SweepRunner::Global(r) => r,
+            SweepRunner::Bounded(r) => r,
         }
-        None => expanded,
-    };
-    Ok((grid_cells, scenarios))
+    }
 }
 
 /// One sweep cell as JSON. The deterministic payload fields come first
@@ -1000,24 +1005,82 @@ pub fn sweep_cell_line(t: &mcdla_core::TimedRun) -> String {
     serde::json::to_string(&sweep_cell_value(t, None))
 }
 
-/// Runs a scenario grid, timing every cell, and packages the result.
+/// Expands, validates, and filters a sweep grid into a [`SweepPlan`].
 ///
-/// `batches`/`device_counts` extend the default §V matrix along those
-/// axes when non-empty; `filter` keeps only the cells whose
+/// `batches`/`device_counts` extend (not replace) the default §V matrix
+/// along those axes when non-empty; `filter` keeps only the cells whose
 /// [`label`](mcdla_core::Scenario::label) contains the given substring
-/// (case-insensitive).
+/// (case-insensitive); `cache_cap` bounds the sweep's memo cache.
 ///
 /// # Errors
 ///
 /// Rejects sweeps whose extended axes expand to an invalid cell (e.g. a
-/// data-parallel batch smaller than a device count).
-pub fn sweep(
+/// data-parallel batch smaller than a device count) and filters that
+/// match **zero** cells — a silent empty sweep would overwrite a real
+/// `BENCH_scenarios.json` with a degenerate report.
+pub fn plan_sweep(
     batches: &[u64],
     device_counts: &[usize],
     filter: Option<&str>,
-) -> Result<SweepResult, String> {
-    let (grid_cells, scenarios) = sweep_cells(batches, device_counts, filter)?;
-    let runner = global_runner();
+    cache_cap: Option<usize>,
+) -> Result<SweepPlan, String> {
+    // The flags *extend* the default §V matrix: the paper-default cells
+    // stay in the sweep so perf-tracking consumers keep their baselines.
+    let mut grid = ScenarioGrid::paper_default();
+    if !batches.is_empty() {
+        grid = grid.extend_batches(batches);
+    }
+    if !device_counts.is_empty() {
+        grid = grid.extend_device_counts(device_counts);
+    }
+    let expanded = grid.scenarios();
+    let grid_cells = expanded.len();
+    // Axis extensions multiply, so individually sane lists can produce
+    // nonsensical cells (e.g. --batches 64 --devices 256): reject the
+    // whole sweep with the first offending cell named.
+    for s in &expanded {
+        if let Err(msg) = s.validate() {
+            return Err(format!("invalid sweep cell `{}`: {msg}", s.label()));
+        }
+    }
+    let scenarios = match filter {
+        Some(needle) => {
+            let lowered = needle.to_lowercase();
+            let matched: Vec<mcdla_core::Scenario> = expanded
+                .into_iter()
+                .filter(|s| s.label().to_lowercase().contains(&lowered))
+                .collect();
+            if matched.is_empty() {
+                return Err(format!(
+                    "--filter `{needle}` matches none of the {grid_cells} grid cells \
+                     (labels look like `MC-DLA(B)/AlexNet/data-parallel`); \
+                     no output was written"
+                ));
+            }
+            matched
+        }
+        None => expanded,
+    };
+    Ok(SweepPlan {
+        grid_cells,
+        scenarios,
+        filter: filter.map(str::to_owned),
+        cache_cap,
+    })
+}
+
+/// Runs a planned scenario grid, timing every cell, and packages the
+/// result.
+pub fn sweep(plan: SweepPlan) -> SweepResult {
+    let sweep_runner = SweepRunner::for_plan(&plan);
+    let runner = sweep_runner.get();
+    let SweepPlan {
+        grid_cells,
+        scenarios,
+        filter,
+        ..
+    } = plan;
+    let filter = filter.as_deref();
     let start = std::time::Instant::now();
     let runs = runner.run_grid_timed(&scenarios);
     let total = start.elapsed();
@@ -1081,6 +1144,14 @@ pub fn sweep(
                 "simulated (cache misses)".into(),
                 simulated.len().to_string(),
             ],
+            vec![
+                "cache entries".into(),
+                match cache.capacity {
+                    Some(cap) => format!("{} (cap {cap})", cache.entries),
+                    None => format!("{} (unbounded)", cache.entries),
+                },
+            ],
+            vec!["cache hit rate".into(), crate::fmt_pct(cache.hit_rate)],
             vec!["cache evictions".into(), cache.evictions.to_string()],
             vec!["single-flight waits".into(), cache.dedup_waits.to_string()],
             vec!["worker threads".into(), runner.threads().to_string()],
@@ -1106,10 +1177,10 @@ pub fn sweep(
             t.scenario.strategy,
         );
     }
-    Ok(SweepResult {
+    SweepResult {
         json: serde::json::to_string_pretty(&payload),
         summary,
-    })
+    }
 }
 
 /// Summary counters of a streamed (`--ndjson`) sweep.
@@ -1126,24 +1197,30 @@ pub struct SweepStreamSummary {
 }
 
 /// The `mcdla sweep --ndjson` body: streams one compact JSON object per
-/// cell to `out` **as workers finish** — constant memory, bounded by the
-/// executor's channel, with no whole-grid `Vec` on the path. Cells
-/// arrive in completion order; consumers pair streamed and batch cells
-/// by `digest`.
+/// cell of a planned grid to `out` **as workers finish** — constant
+/// memory, bounded by the executor's channel, with no whole-grid `Vec`
+/// on the path. Cells arrive in completion order; consumers pair
+/// streamed and batch cells by `digest`.
 ///
 /// # Errors
 ///
-/// Rejects invalid axis combinations (like [`sweep`]) and propagates
-/// write failures (a closed pipe ends the sweep early).
+/// Propagates write failures (a closed pipe ends the sweep early and
+/// cleanly). Invalid axes and no-match filters are rejected earlier, by
+/// [`plan_sweep`].
 pub fn sweep_ndjson(
-    batches: &[u64],
-    device_counts: &[usize],
-    filter: Option<&str>,
+    plan: SweepPlan,
     out: &mut dyn std::io::Write,
 ) -> Result<SweepStreamSummary, String> {
-    let (grid_cells, scenarios) = sweep_cells(batches, device_counts, filter)?;
+    let sweep_runner = SweepRunner::for_plan(&plan);
+    let runner = sweep_runner.get();
+    let SweepPlan {
+        grid_cells,
+        scenarios,
+        filter,
+        ..
+    } = plan;
+    let filter = filter.as_deref();
     let total_cells = scenarios.len();
-    let runner = global_runner();
     let start = std::time::Instant::now();
     let mut written = 0usize;
     let mut simulated = 0usize;

@@ -1,0 +1,322 @@
+//! The store bench behind `mcdla store-bench`: hammers the
+//! [`ResultStore`] cache core directly — no sockets, no simulator — and
+//! packages the result as `BENCH_store.json`.
+//!
+//! The store is the hot layer under every serving path (`Runner` memo
+//! hits, `/simulate` cached cells, streamed grids), so this bench tracks
+//! the numbers that layer lives or dies by: cached-get throughput,
+//! insert throughput, and eviction churn under several **capacity
+//! pressures** (how much smaller the bound is than the key space),
+//! against the unbounded store as the baseline. The CI gate reads
+//! `min(.pressures[].get_per_sec)` — cached gets must stay in the
+//! hundreds of thousands per second even while eviction is churning.
+
+use std::time::Instant;
+
+use mcdla_core::{IterationReport, ResultStore, Scenario, SystemDesign};
+use mcdla_dnn::Benchmark;
+use mcdla_parallel::ParallelStrategy;
+use mcdla_sim::{Bytes, SimDuration};
+use serde::Value;
+
+use crate::render_table;
+
+/// The `mcdla store-bench` result.
+#[derive(Debug)]
+pub struct StoreBenchResult {
+    /// Pretty-printed JSON payload (the `BENCH_store.json` content).
+    pub json: String,
+    /// Human-readable summary table.
+    pub summary: String,
+    /// The slowest cached-get throughput across all pressures — the
+    /// number the CI floor gates.
+    pub min_get_per_sec: f64,
+}
+
+/// One capacity pressure's measurements.
+struct PressureRow {
+    label: String,
+    capacity: Option<usize>,
+    insert_per_sec: f64,
+    get_per_sec: f64,
+    mix_per_sec: f64,
+    evictions: u64,
+    entries: usize,
+    hit_rate: f64,
+}
+
+/// A distinguishable dummy report; store mechanics do not care what the
+/// simulator would have produced, and constructing one keeps the bench
+/// loopback-free *and* simulator-free.
+fn template_report(tag: u64) -> IterationReport {
+    IterationReport {
+        design: SystemDesign::DcDla,
+        benchmark: format!("store-bench-{tag}"),
+        strategy: ParallelStrategy::DataParallel,
+        devices: 8,
+        global_batch: tag.max(1),
+        iteration_time: SimDuration::from_us(tag.max(1)),
+        compute_busy: SimDuration::ZERO,
+        sync_busy: SimDuration::ZERO,
+        virt_busy: SimDuration::ZERO,
+        memory_stall: SimDuration::ZERO,
+        virt_bytes: Bytes::ZERO,
+        sync_bytes: Bytes::ZERO,
+        cpu_socket_avg_gbs: 0.0,
+        cpu_socket_max_gbs: 0.0,
+    }
+}
+
+/// `keys` distinct scenarios, keyed by batch size.
+fn key_space(keys: usize) -> Vec<Scenario> {
+    (0..keys)
+        .map(|i| {
+            Scenario::new(
+                SystemDesign::DcDla,
+                Benchmark::AlexNet,
+                ParallelStrategy::DataParallel,
+            )
+            .with_batch(i as u64 + 512)
+        })
+        .collect()
+}
+
+/// Measures one store at one capacity pressure.
+fn bench_pressure(
+    label: &str,
+    capacity: Option<usize>,
+    keys: &[Scenario],
+    threads: usize,
+    insert_ops: usize,
+    get_ops: usize,
+) -> PressureRow {
+    let store = match capacity {
+        Some(cap) => ResultStore::bounded(cap),
+        None => ResultStore::unbounded(),
+    };
+
+    // Insert churn: every thread walks the whole key space at a
+    // different stride, so inserts collide across shards and (for
+    // bounded stores) evict continuously.
+    let per_thread = insert_ops.div_ceil(threads);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let store = &store;
+            scope.spawn(move || {
+                for i in 0..per_thread {
+                    let k = (i * (2 * t + 1) + t) % keys.len();
+                    store.insert(keys[k], template_report(k as u64));
+                }
+            });
+        }
+    });
+    let insert_per_sec = (per_thread * threads) as f64 / start.elapsed().as_secs_f64().max(1e-9);
+
+    // Pin a hot set the size of the residency bound: re-inserting it
+    // sequentially makes it the `min(cap, keys)` most-recently-used
+    // entries, so the get phase below is 100% cached.
+    let hot = capacity.map_or(keys.len(), |cap| cap.min(keys.len()));
+    for (i, key) in keys[..hot].iter().enumerate() {
+        store.insert(*key, template_report(i as u64));
+    }
+    let hits_before = store.hits();
+    let per_thread = get_ops.div_ceil(threads);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let store = &store;
+            scope.spawn(move || {
+                for i in 0..per_thread {
+                    let k = (i * (2 * t + 1) + t) % hot;
+                    assert!(
+                        store.get(&keys[k]).is_some(),
+                        "hot key {k} evicted from a {capacity:?}-cap store"
+                    );
+                }
+            });
+        }
+    });
+    let get_per_sec = (per_thread * threads) as f64 / start.elapsed().as_secs_f64().max(1e-9);
+    assert_eq!(
+        store.hits() - hits_before,
+        (per_thread * threads) as u64,
+        "the get phase must be 100% cached"
+    );
+
+    // Mixed get_or_compute over the whole key space: resident keys hit,
+    // evicted keys recompute and re-evict — the realistic under-pressure
+    // serving mix.
+    let per_thread = get_ops.div_ceil(threads);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let store = &store;
+            scope.spawn(move || {
+                for i in 0..per_thread {
+                    let k = (i * (2 * t + 1) + t) % keys.len();
+                    let _ = store.get_or_compute(keys[k], || template_report(k as u64));
+                }
+            });
+        }
+    });
+    let mix_per_sec = (per_thread * threads) as f64 / start.elapsed().as_secs_f64().max(1e-9);
+
+    let stats = store.stats();
+    if let Some(cap) = capacity {
+        assert!(
+            stats.entries as usize <= cap,
+            "store over its bound after the bench: {stats:?}"
+        );
+    }
+    PressureRow {
+        label: label.to_owned(),
+        capacity,
+        insert_per_sec,
+        get_per_sec,
+        mix_per_sec,
+        evictions: stats.evictions,
+        entries: stats.entries as usize,
+        hit_rate: stats.hit_rate,
+    }
+}
+
+/// Runs the store bench: `keys` distinct cells through an unbounded
+/// store and three bounded ones (capacity = 100%, 25%, and ~6% of the
+/// key space), `threads` concurrent workers, `insert_ops` insert-churn
+/// operations and `get_ops` operations per read phase.
+pub fn store_bench(
+    keys: usize,
+    threads: usize,
+    insert_ops: usize,
+    get_ops: usize,
+) -> StoreBenchResult {
+    let keys = key_space(keys.max(64));
+    let threads = threads.max(1);
+    let pressures = [
+        ("unbounded".to_owned(), None),
+        ("cap 100%".to_owned(), Some(keys.len())),
+        ("cap 25%".to_owned(), Some((keys.len() / 4).max(1))),
+        ("cap 6%".to_owned(), Some((keys.len() / 16).max(1))),
+    ];
+    let rows: Vec<PressureRow> = pressures
+        .iter()
+        .map(|(label, cap)| bench_pressure(label, *cap, &keys, threads, insert_ops, get_ops))
+        .collect();
+    let min_get_per_sec = rows.iter().map(|r| r.get_per_sec).fold(f64::MAX, f64::min);
+
+    let payload = Value::Map(vec![
+        (
+            "generated_by".into(),
+            Value::Str("mcdla store-bench".into()),
+        ),
+        ("keys".into(), Value::U64(keys.len() as u64)),
+        ("threads".into(), Value::U64(threads as u64)),
+        ("insert_ops".into(), Value::U64(insert_ops as u64)),
+        ("get_ops".into(), Value::U64(get_ops as u64)),
+        (
+            "pressures".into(),
+            Value::Seq(
+                rows.iter()
+                    .map(|r| {
+                        Value::Map(vec![
+                            ("label".into(), Value::Str(r.label.clone())),
+                            (
+                                "capacity".into(),
+                                match r.capacity {
+                                    Some(c) => Value::U64(c as u64),
+                                    None => Value::Null,
+                                },
+                            ),
+                            ("insert_per_sec".into(), Value::F64(r.insert_per_sec)),
+                            ("get_per_sec".into(), Value::F64(r.get_per_sec)),
+                            ("mix_per_sec".into(), Value::F64(r.mix_per_sec)),
+                            ("evictions".into(), Value::U64(r.evictions)),
+                            (
+                                "evictions_per_insert".into(),
+                                Value::F64(r.evictions as f64 / insert_ops.max(1) as f64),
+                            ),
+                            ("entries".into(), Value::U64(r.entries as u64)),
+                            ("hit_rate".into(), Value::F64(r.hit_rate)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("min_get_per_sec".into(), Value::F64(min_get_per_sec)),
+    ]);
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                match r.capacity {
+                    Some(c) => c.to_string(),
+                    None => "-".into(),
+                },
+                format!("{:.0}", r.insert_per_sec),
+                format!("{:.0}", r.get_per_sec),
+                format!("{:.0}", r.mix_per_sec),
+                r.evictions.to_string(),
+                r.entries.to_string(),
+            ]
+        })
+        .collect();
+    let summary = render_table(
+        &format!(
+            "store-bench ({} keys, {threads} threads, in-process)",
+            keys.len()
+        ),
+        &[
+            "pressure",
+            "capacity",
+            "inserts/s",
+            "cached gets/s",
+            "mixed ops/s",
+            "evictions",
+            "resident",
+        ],
+        &table,
+    );
+
+    StoreBenchResult {
+        json: serde::json::to_string_pretty(&payload),
+        summary,
+        min_get_per_sec,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_bench_measures_all_pressures_and_holds_bounds() {
+        // Small enough for a debug-build test; the release-build floor
+        // (>= 100k cached gets/s) is gated in CI on the real run.
+        let result = store_bench(128, 2, 2_000, 4_000);
+        assert!(result.min_get_per_sec > 0.0);
+        let payload = serde::json::parse(&result.json).unwrap();
+        let pressures = payload
+            .get("pressures")
+            .and_then(|p| p.as_seq())
+            .expect("pressures array");
+        assert_eq!(pressures.len(), 4, "unbounded + 3 capacity pressures");
+        // Bounded pressures must show churn; the unbounded baseline none.
+        assert_eq!(
+            pressures[0].get("evictions").and_then(|v| v.as_u64()),
+            Some(0)
+        );
+        for p in &pressures[2..] {
+            assert!(
+                p.get("evictions").and_then(|v| v.as_u64()).unwrap() > 0,
+                "under-capacity pressure must evict: {p:?}"
+            );
+            let entries = p.get("entries").and_then(|v| v.as_u64()).unwrap();
+            let cap = p.get("capacity").and_then(|v| v.as_u64()).unwrap();
+            assert!(entries <= cap, "resident {entries} > capacity {cap}");
+        }
+        assert!(result.summary.contains("cached gets/s"));
+    }
+}

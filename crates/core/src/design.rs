@@ -22,7 +22,7 @@ pub const PAPER_DEFAULT_DEVICES: usize = BACKPLANE_DEVICES;
 pub const PAPER_DEFAULT_BATCH: u64 = 512;
 
 /// One of the §V system design points.
-#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash, Serialize)]
 pub enum SystemDesign {
     /// Device-centric baseline: DGX-style cube-mesh rings, memory
     /// virtualization over host PCIe.
@@ -54,6 +54,19 @@ impl SystemDesign {
         SystemDesign::McDlaBwAware,
         SystemDesign::DcDlaOracle,
     ];
+
+    /// The wire (serde) name of this design — the PascalCase variant
+    /// identifier the derived `Serialize` emits.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            SystemDesign::DcDla => "DcDla",
+            SystemDesign::HcDla => "HcDla",
+            SystemDesign::McDlaStar => "McDlaStar",
+            SystemDesign::McDlaLocal => "McDlaLocal",
+            SystemDesign::McDlaBwAware => "McDlaBwAware",
+            SystemDesign::DcDlaOracle => "DcDlaOracle",
+        }
+    }
 
     /// The paper's label for this design.
     pub fn name(self) -> &'static str {
@@ -99,6 +112,32 @@ impl SystemDesign {
 impl fmt::Display for SystemDesign {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+// Hand-written (not derived) so wire payloads may use either the serde
+// wire name (`McDlaBwAware`) or the paper label (`MC-DLA(B)`), in any
+// case, and an unknown name answers with the full accepted list instead
+// of an unguessable one-liner.
+impl serde::Deserialize for SystemDesign {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| serde::Error::expected("string", "SystemDesign"))?;
+        SystemDesign::ALL
+            .iter()
+            .copied()
+            .find(|d| s.eq_ignore_ascii_case(d.wire_name()) || s.eq_ignore_ascii_case(d.name()))
+            .ok_or_else(|| {
+                let accepted: Vec<String> = SystemDesign::ALL
+                    .iter()
+                    .map(|d| format!("{} / {}", d.wire_name(), d.name()))
+                    .collect();
+                serde::Error::custom(format!(
+                    "unknown SystemDesign `{s}` (accepted, case-insensitive: {})",
+                    accepted.join(", ")
+                ))
+            })
     }
 }
 

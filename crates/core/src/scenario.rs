@@ -85,12 +85,21 @@ pub struct Overrides {
 
 // Hand-written (not derived) so wire payloads may omit any field — or
 // the whole object: a sparse `{"design","benchmark","strategy"}`
-// scenario is a valid `POST /simulate` body.
+// scenario is a valid `POST /simulate` body. Unknown keys are rejected
+// by name: with every field optional, a typo'd knob would otherwise be
+// silently dropped and the cell simulated without it.
 impl serde::Deserialize for Overrides {
     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        const FIELDS: [&str; 3] = ["pcie_gen4", "device_model", "compression"];
         let map = v
             .as_map()
             .ok_or_else(|| serde::Error::expected("object", "Overrides"))?;
+        if let Some((unknown, _)) = map.iter().find(|(k, _)| !FIELDS.contains(&k.as_str())) {
+            return Err(serde::Error::custom(format!(
+                "unknown Overrides field `{unknown}` (known fields, all optional: {})",
+                FIELDS.join(", ")
+            )));
+        }
         Ok(Overrides {
             pcie_gen4: serde::__field::<Option<bool>>(map, "pcie_gen4")?.unwrap_or(false),
             device_model: serde::__field(map, "device_model")?,
@@ -130,8 +139,12 @@ impl Hash for Overrides {
 /// under which knobs.
 ///
 /// A scenario is plain data — `Copy`, hashable, serde-serializable — so
-/// grids can be generated, diffed, cached, and shipped as JSON.
-#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+/// grids can be generated, diffed, cached, and shipped as JSON. On the
+/// wire **every** field is optional: an omitted field takes the paper
+/// default (see [`Scenario::default`]), so `{}` is a valid
+/// `POST /simulate` body naming the headline MC-DLA(B)/AlexNet/
+/// data-parallel cell.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash, Serialize)]
 pub struct Scenario {
     /// System design point.
     pub design: SystemDesign,
@@ -148,6 +161,62 @@ pub struct Scenario {
     pub generation: Option<DeviceGeneration>,
     /// Sensitivity-study overrides.
     pub overrides: Overrides,
+}
+
+impl Default for Scenario {
+    /// The paper's headline cell: the proposed MC-DLA(B) design running
+    /// AlexNet data-parallel with every knob at its §IV default. These
+    /// are also the wire defaults for omitted `POST /simulate` fields.
+    fn default() -> Self {
+        Scenario::new(
+            SystemDesign::McDlaBwAware,
+            Benchmark::AlexNet,
+            ParallelStrategy::DataParallel,
+        )
+    }
+}
+
+// Hand-written (not derived) so sparse wire payloads work: every
+// top-level field may be omitted and takes its paper default —
+// `{"benchmark":"AlexNet","design":"McDlaBwAware"}` no longer fails
+// with "missing field `strategy`". Because every field is optional, a
+// misspelled key would otherwise silently produce the default headline
+// cell, so unknown keys are rejected by name. Validation stays in
+// `Scenario::validate`, which callers run on every deserialized cell.
+impl serde::Deserialize for Scenario {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        const FIELDS: [&str; 7] = [
+            "design",
+            "benchmark",
+            "strategy",
+            "devices",
+            "batch",
+            "generation",
+            "overrides",
+        ];
+        let map = v
+            .as_map()
+            .ok_or_else(|| serde::Error::expected("object", "Scenario"))?;
+        if let Some((unknown, _)) = map.iter().find(|(k, _)| !FIELDS.contains(&k.as_str())) {
+            return Err(serde::Error::custom(format!(
+                "unknown Scenario field `{unknown}` (known fields, all optional: {})",
+                FIELDS.join(", ")
+            )));
+        }
+        let default = Scenario::default();
+        Ok(Scenario {
+            design: serde::__field::<Option<SystemDesign>>(map, "design")?
+                .unwrap_or(default.design),
+            benchmark: serde::__field::<Option<Benchmark>>(map, "benchmark")?
+                .unwrap_or(default.benchmark),
+            strategy: serde::__field::<Option<ParallelStrategy>>(map, "strategy")?
+                .unwrap_or(default.strategy),
+            devices: serde::__field(map, "devices")?,
+            batch: serde::__field(map, "batch")?,
+            generation: serde::__field(map, "generation")?,
+            overrides: serde::__field(map, "overrides")?,
+        })
+    }
 }
 
 impl Scenario {
@@ -905,6 +974,76 @@ mod tests {
         assert!(cells.iter().any(|s| s.batch == Some(128)));
         assert!(cells.iter().any(|s| s.devices.is_none()));
         assert!(cells.iter().any(|s| s.devices == Some(4)));
+    }
+
+    #[test]
+    fn sparse_wire_scenarios_take_paper_defaults() {
+        // Every top-level field is optional on the wire.
+        let sparse: Scenario =
+            serde::json::from_str(r#"{"benchmark":"AlexNet","design":"McDlaBwAware"}"#).unwrap();
+        assert_eq!(sparse.strategy, ParallelStrategy::DataParallel);
+        assert_eq!(sparse.devices, None);
+        assert_eq!(sparse.batch, None);
+        assert!(sparse.validate().is_ok());
+        let empty: Scenario = serde::json::from_str("{}").unwrap();
+        assert_eq!(empty, Scenario::default());
+        assert_eq!(empty.design, SystemDesign::McDlaBwAware);
+        assert_eq!(empty.benchmark, Benchmark::AlexNet);
+        // Present-but-wrong fields still error.
+        assert!(serde::json::from_str::<Scenario>(r#"{"devices":"many"}"#).is_err());
+        // With every field optional, a typo'd key must be rejected, not
+        // silently resolved to the default cell.
+        let err = serde::json::from_str::<Scenario>(r#"{"benchmrk":"GoogLeNet"}"#)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("unknown Scenario field `benchmrk`"), "{err}");
+        assert!(err.contains("benchmark"), "{err}");
+        // Same inside the nested overrides object: a misspelled knob
+        // must not be silently dropped from the simulated cell.
+        let err = serde::json::from_str::<Scenario>(r#"{"overrides":{"compresssion":2.6}}"#)
+            .unwrap_err()
+            .to_string();
+        assert!(
+            err.contains("unknown Overrides field `compresssion`"),
+            "{err}"
+        );
+        assert!(err.contains("compression"), "{err}");
+    }
+
+    #[test]
+    fn wire_enums_accept_paper_labels_case_insensitively() {
+        let aliased: Scenario = serde::json::from_str(
+            r#"{"design":"mc-dla(b)","strategy":"Data-Parallel","generation":"tpuv2"}"#,
+        )
+        .unwrap();
+        assert_eq!(aliased.design, SystemDesign::McDlaBwAware);
+        assert_eq!(aliased.strategy, ParallelStrategy::DataParallel);
+        assert_eq!(aliased.generation, Some(DeviceGeneration::TpuV2));
+        // Aliases key the cache identically to wire names.
+        let canonical: Scenario =
+            serde::json::from_str(r#"{"design":"McDlaBwAware","generation":"TpuV2"}"#).unwrap();
+        assert_eq!(aliased, canonical);
+        assert_eq!(aliased.digest(), canonical.digest());
+    }
+
+    #[test]
+    fn unknown_enum_values_list_the_accepted_names() {
+        let err = serde::json::from_str::<Scenario>(r#"{"design":"mcdla"}"#)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("unknown SystemDesign `mcdla`"), "{err}");
+        assert!(err.contains("McDlaBwAware"), "{err}");
+        assert!(err.contains("MC-DLA(B)"), "{err}");
+        let err = serde::json::from_str::<Scenario>(r#"{"strategy":"dp"}"#)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("DataParallel"), "{err}");
+        assert!(err.contains("data-parallel"), "{err}");
+        let err = serde::json::from_str::<Scenario>(r#"{"generation":"Ampere"}"#)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("Kepler"), "{err}");
+        assert!(err.contains("TpuV2"), "{err}");
     }
 
     #[test]

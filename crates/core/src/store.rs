@@ -11,8 +11,13 @@
 //! * **Sharded** — keys spread over independently locked shards, so
 //!   concurrent lookups of different cells never contend on one mutex.
 //! * **Bounded** — an optional capacity triggers least-recently-used
-//!   eviction (apportioned per shard), keeping a service's footprint
-//!   flat no matter how many distinct cells it has ever served.
+//!   eviction, accounted **globally** across all shards: total residency
+//!   never exceeds the configured capacity — not transiently, not under
+//!   concurrent inserts, not when a snapshot larger than the bound is
+//!   restored — keeping a service's footprint flat no matter how many
+//!   distinct cells it has ever served. (Capacities smaller than the
+//!   shard count work; sharding spreads locks, it does not partition the
+//!   budget.)
 //! * **Single-flight** — concurrent requests for the same *uncomputed*
 //!   cell trigger exactly one simulation; the extra callers block on the
 //!   leader's flight and share its result.
@@ -50,7 +55,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use serde::{Deserialize, Serialize};
@@ -85,7 +90,7 @@ pub struct Fetched {
 
 /// A point-in-time snapshot of the store's counters, serializable into
 /// `mcdla sweep` payloads and the service's `GET /stats` response.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StoreStats {
     /// Requests answered from the cache (including coalesced waiters).
     pub hits: u64,
@@ -103,6 +108,15 @@ pub struct StoreStats {
     pub capacity: Option<u64>,
     /// Entries loaded from a snapshot rather than simulated here.
     pub warm_loaded: u64,
+    /// `hits / (hits + misses)`, or 0 before any traffic.
+    pub hit_rate: f64,
+    /// Shard count (lock spread, not a capacity partition).
+    pub shards: u64,
+    /// Resident entries per shard, in shard order.
+    pub shard_entries: Vec<u64>,
+    /// Occupancy balance: the fullest shard over the mean shard
+    /// (`1.0` = perfectly even, `0.0` = empty store).
+    pub shard_imbalance: f64,
 }
 
 struct Entry {
@@ -167,10 +181,14 @@ impl Shard {
 /// [module docs](self) for the design.
 pub struct ResultStore {
     shards: Box<[Mutex<Shard>]>,
-    /// Total capacity across shards (`None` = unbounded).
+    /// Total capacity across all shards (`None` = unbounded).
     capacity: Option<usize>,
-    /// Per-shard slice of `capacity` (the enforced bound).
-    per_shard_cap: Option<usize>,
+    /// Resident entries plus not-yet-materialized insert reservations.
+    /// The globally enforced budget: a slot is reserved here *before*
+    /// an entry becomes visible in any shard and released only *after*
+    /// it is removed, so actual residency never exceeds `occupancy`,
+    /// and `occupancy` never exceeds `capacity`.
+    occupancy: AtomicUsize,
     /// Monotonic LRU clock.
     tick: AtomicU64,
     hits: AtomicU64,
@@ -203,28 +221,37 @@ impl ResultStore {
         Self::with_shards(None, DEFAULT_SHARDS)
     }
 
-    /// A store bounded to at most ~`capacity` entries (LRU-evicting).
+    /// A store bounded to at most `capacity` entries (LRU-evicting).
     ///
-    /// The bound is apportioned across shards, so the effective limit is
-    /// `capacity` rounded up to a multiple of the shard count.
+    /// The bound is **global**: however the keys hash across shards, the
+    /// store never holds more than `capacity` entries — a `bounded(4)`
+    /// store with the default 16 shards still tops out at 4.
     ///
     /// # Panics
     ///
     /// Panics when `capacity` is zero — a store that can hold nothing
     /// cannot satisfy `get_or_compute`.
     pub fn bounded(capacity: usize) -> Self {
-        assert!(capacity > 0, "result-store capacity must be >= 1");
         Self::with_shards(Some(capacity), DEFAULT_SHARDS)
     }
 
     /// A store with an explicit shard count (tests use small counts to
-    /// exercise eviction deterministically).
+    /// exercise eviction deterministically). The capacity bound, if any,
+    /// is global regardless of the shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is `Some(0)`.
     pub fn with_shards(capacity: Option<usize>, shards: usize) -> Self {
+        assert!(
+            capacity != Some(0),
+            "result-store capacity must be >= 1 (use None for unbounded)"
+        );
         let shards = shards.max(1);
         ResultStore {
             shards: (0..shards).map(|_| Mutex::new(Shard::new())).collect(),
             capacity,
-            per_shard_cap: capacity.map(|c| c.div_ceil(shards).max(1)),
+            occupancy: AtomicUsize::new(0),
             tick: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -278,12 +305,22 @@ impl ResultStore {
         self.capacity
     }
 
-    /// Distinct cells currently resident.
-    pub fn len(&self) -> usize {
+    /// Takes every shard lock at once, so cross-shard reads see one
+    /// atomic snapshot. Summing one shard at a time would tear: an entry
+    /// evicted from an already-counted shard while its replacement lands
+    /// in a not-yet-counted one counts twice, and "never observed over
+    /// capacity" would be unverifiable. No deadlock risk: every other
+    /// path holds at most one shard lock at a time.
+    fn lock_all(&self) -> Vec<std::sync::MutexGuard<'_, Shard>> {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("store shard lock").cells.len())
-            .sum()
+            .map(|s| s.lock().expect("store shard lock"))
+            .collect()
+    }
+
+    /// Distinct cells currently resident (an atomic cross-shard count).
+    pub fn len(&self) -> usize {
+        self.lock_all().iter().map(|s| s.cells.len()).sum()
     }
 
     /// True when no cells are resident.
@@ -291,17 +328,43 @@ impl ResultStore {
         self.len() == 0
     }
 
+    /// Resident entries per shard, in shard order (the occupancy/balance
+    /// telemetry behind `GET /stats`), counted atomically.
+    pub fn shard_entries(&self) -> Vec<u64> {
+        self.lock_all()
+            .iter()
+            .map(|s| s.cells.len() as u64)
+            .collect()
+    }
+
     /// All counters at once.
     pub fn stats(&self) -> StoreStats {
+        let shard_entries = self.shard_entries();
+        let entries: u64 = shard_entries.iter().sum();
+        let max_shard = shard_entries.iter().copied().max().unwrap_or(0);
+        let hits = self.hits();
+        let misses = self.misses();
         StoreStats {
-            hits: self.hits(),
-            misses: self.misses(),
+            hits,
+            misses,
             evictions: self.evictions(),
             dedup_waits: self.dedup_waits(),
             in_flight: self.in_flight.load(Ordering::Relaxed),
-            entries: self.len() as u64,
+            entries,
             capacity: self.capacity.map(|c| c as u64),
             warm_loaded: self.warm_loaded(),
+            hit_rate: if hits + misses > 0 {
+                hits as f64 / (hits + misses) as f64
+            } else {
+                0.0
+            },
+            shards: shard_entries.len() as u64,
+            shard_imbalance: if entries > 0 {
+                max_shard as f64 * shard_entries.len() as f64 / entries as f64
+            } else {
+                0.0
+            },
+            shard_entries,
         }
     }
 
@@ -328,42 +391,106 @@ impl ResultStore {
             .contains_key(scenario)
     }
 
-    /// Inserts a result directly (evicting if over capacity). Used by
-    /// snapshot restore; normal traffic goes through
+    /// Inserts a result directly (evicting first when at capacity, so
+    /// the bound holds at every observable point). Used by snapshot
+    /// restore; normal traffic goes through
     /// [`ResultStore::get_or_compute`].
     pub fn insert(&self, scenario: Scenario, report: IterationReport) {
         let tick = self.next_tick();
         let idx = self.shard_index(&scenario);
+        {
+            let mut shard = self.shards[idx].lock().expect("store shard lock");
+            if let Some(entry) = shard.cells.get_mut(&scenario) {
+                entry.report = report;
+                entry.last_used = tick;
+                return;
+            }
+        }
+        self.reserve_slot();
         let mut shard = self.shards[idx].lock().expect("store shard lock");
-        shard.cells.insert(
-            scenario,
-            Entry {
-                report,
-                last_used: tick,
-            },
-        );
-        self.evict_over_cap(&mut shard);
+        let replaced = shard
+            .cells
+            .insert(
+                scenario,
+                Entry {
+                    report,
+                    last_used: tick,
+                },
+            )
+            .is_some();
+        drop(shard);
+        if replaced {
+            // Another caller inserted the same key between our presence
+            // check and our insert; we replaced it, so give back the
+            // extra reservation.
+            self.release_slot();
+        }
     }
 
-    /// Evicts least-recently-used entries until the shard respects its
-    /// capacity slice. Caller holds the shard lock.
-    fn evict_over_cap(&self, shard: &mut Shard) {
-        let Some(cap) = self.per_shard_cap else {
+    /// Reserves one slot in the global occupancy budget, evicting the
+    /// least-recently-used entry while the store is at capacity. Must be
+    /// called with no shard lock held (eviction takes shard locks).
+    fn reserve_slot(&self) {
+        let Some(cap) = self.capacity else {
+            self.occupancy.fetch_add(1, Ordering::Relaxed);
             return;
         };
-        let mut evicted = 0u64;
-        while shard.cells.len() > cap {
-            let oldest = shard
-                .cells
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(s, _)| *s)
-                .expect("non-empty shard over capacity");
-            shard.cells.remove(&oldest);
-            evicted += 1;
+        loop {
+            let cur = self.occupancy.load(Ordering::Acquire);
+            if cur < cap {
+                if self
+                    .occupancy
+                    .compare_exchange(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    return;
+                }
+                continue;
+            }
+            if !self.evict_lru_once() {
+                // Every slot is held by a reservation another thread has
+                // not yet materialized into a visible entry; the window
+                // between its reservation and its insert is a few
+                // instructions, so yield and retry.
+                std::thread::yield_now();
+            }
         }
-        if evicted > 0 {
-            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+    }
+
+    /// Releases one occupancy slot (an entry was removed, or a
+    /// reservation lost a same-key insert race).
+    fn release_slot(&self) {
+        self.occupancy.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Evicts the globally least-recently-used entry, scanning shard by
+    /// shard (locks are taken one at a time, never nested). Returns
+    /// false when nothing was evicted — the store is empty, or the
+    /// chosen victim was touched/removed between the scan and the
+    /// removal (the caller rescans).
+    fn evict_lru_once(&self) -> bool {
+        let mut oldest: Option<(usize, Scenario, u64)> = None;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let shard = shard.lock().expect("store shard lock");
+            if let Some((s, e)) = shard.cells.iter().min_by_key(|(_, e)| e.last_used) {
+                if oldest.is_none_or(|(_, _, t)| e.last_used < t) {
+                    oldest = Some((i, *s, e.last_used));
+                }
+            }
+        }
+        let Some((idx, scenario, tick)) = oldest else {
+            return false;
+        };
+        let mut shard = self.shards[idx].lock().expect("store shard lock");
+        match shard.cells.get(&scenario) {
+            Some(entry) if entry.last_used == tick => {
+                shard.cells.remove(&scenario);
+                drop(shard);
+                self.release_slot();
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            _ => false,
         }
     }
 
@@ -437,11 +564,14 @@ impl ResultStore {
     }
 
     /// Serializes the resident cells to deterministic JSON (sorted by
-    /// scenario digest) for `--snapshot` warm restarts.
+    /// scenario digest) for `--snapshot` warm restarts. Only resident
+    /// cells are written — evicted entries are never rewritten, so a
+    /// bounded store's snapshot never outgrows its capacity.
     pub fn snapshot_json(&self) -> String {
         let mut cells: Vec<SnapshotCell> = Vec::new();
-        for shard in self.shards.iter() {
-            let shard = shard.lock().expect("store shard lock");
+        // Atomic cross-shard view: a shard-at-a-time walk could capture
+        // more cells than the capacity under concurrent churn.
+        for shard in self.lock_all().iter() {
             cells.extend(shard.cells.iter().map(|(s, e)| SnapshotCell {
                 scenario: *s,
                 report: e.report.clone(),
@@ -450,19 +580,24 @@ impl ResultStore {
         cells.sort_by_key(|c| c.scenario.digest());
         serde::json::to_string_pretty(&Snapshot {
             version: SNAPSHOT_VERSION,
+            capacity: self.capacity.map(|c| c as u64),
             cells,
         })
     }
 
-    /// Restores cells from [`ResultStore::snapshot_json`] text,
-    /// returning how many were loaded. Loaded cells count as
-    /// `warm_loaded`, not as hits or misses; capacity still applies.
+    /// Restores cells from [`ResultStore::snapshot_json`] text (version
+    /// 1 or 2), returning how many cells the snapshot held. Loaded cells
+    /// count as `warm_loaded`, not as hits or misses. The *receiving*
+    /// store's capacity governs (the snapshot's recorded capacity is
+    /// informational): restoring a snapshot larger than the bound evicts
+    /// down oldest-first — the earliest cells in snapshot order go, the
+    /// bound is never exceeded, not even mid-restore.
     pub fn restore_json(&self, text: &str) -> Result<usize, String> {
         let snapshot: Snapshot =
             serde::json::from_str(text).map_err(|e| format!("invalid snapshot: {e}"))?;
-        if snapshot.version != SNAPSHOT_VERSION {
+        if !SUPPORTED_SNAPSHOT_VERSIONS.contains(&snapshot.version) {
             return Err(format!(
-                "snapshot version {} unsupported (expected {SNAPSHOT_VERSION})",
+                "snapshot version {} unsupported (expected one of {SUPPORTED_SNAPSHOT_VERSIONS:?})",
                 snapshot.version
             ));
         }
@@ -492,7 +627,12 @@ impl ResultStore {
     }
 }
 
-const SNAPSHOT_VERSION: u32 = 1;
+/// Written snapshot format. Version 2 records the writing store's
+/// capacity alongside the cells; version 1 (cells only) still restores.
+const SNAPSHOT_VERSION: u32 = 2;
+
+/// Versions [`ResultStore::restore_json`] accepts.
+const SUPPORTED_SNAPSHOT_VERSIONS: [u32; 2] = [1, 2];
 
 #[derive(Serialize, Deserialize)]
 struct SnapshotCell {
@@ -503,6 +643,9 @@ struct SnapshotCell {
 #[derive(Serialize, Deserialize)]
 struct Snapshot {
     version: u32,
+    /// Capacity of the store that wrote the snapshot (informational;
+    /// absent in version-1 files, `null` for unbounded writers).
+    capacity: Option<u64>,
     cells: Vec<SnapshotCell>,
 }
 
@@ -522,19 +665,32 @@ impl FlightGuard<'_> {
     fn land(mut self, report: IterationReport) {
         self.landed = true;
         let tick = self.store.next_tick();
-        {
+        // Make room *before* the entry becomes visible: the capacity
+        // bound must hold at every observable point. The flight is still
+        // pending here, so concurrent callers coalesce rather than
+        // starting a duplicate simulation.
+        self.store.reserve_slot();
+        let replaced = {
             let mut shard = self.store.shards[self.shard_index]
                 .lock()
                 .expect("store shard lock");
-            shard.cells.insert(
-                self.scenario,
-                Entry {
-                    report: report.clone(),
-                    last_used: tick,
-                },
-            );
+            let replaced = shard
+                .cells
+                .insert(
+                    self.scenario,
+                    Entry {
+                        report: report.clone(),
+                        last_used: tick,
+                    },
+                )
+                .is_some();
             shard.flights.remove(&self.scenario);
-            self.store.evict_over_cap(&mut shard);
+            replaced
+        };
+        if replaced {
+            // A direct `insert` (snapshot restore) raced us in; give the
+            // extra reservation back.
+            self.store.release_slot();
         }
         self.store.misses.fetch_add(1, Ordering::Relaxed);
         self.store.in_flight.fetch_sub(1, Ordering::Relaxed);
@@ -630,9 +786,64 @@ mod tests {
         for i in 0..100 {
             store.insert(cell(i), report(i));
         }
-        // Per-shard cap is 2, two shards: never more than 4 resident.
-        assert!(store.len() <= 4, "resident {} > capacity", store.len());
+        assert_eq!(store.len(), 4, "global bound fills to exactly capacity");
         assert_eq!(store.evictions() + store.len() as u64, 100);
+    }
+
+    #[test]
+    fn bound_is_global_even_when_capacity_is_below_the_shard_count() {
+        // 4 slots spread over 16 default shards: the per-shard-quota
+        // scheme this replaced retained up to 16 entries here.
+        let store = ResultStore::bounded(4);
+        for i in 0..100 {
+            store.insert(cell(i), report(i));
+        }
+        assert_eq!(store.len(), 4, "capacity is not multiplied by shards");
+        assert_eq!(store.evictions(), 96);
+        // The four newest inserts survive (inserts are the only recency
+        // signal here, so eviction goes strictly oldest-first).
+        for i in 96..100 {
+            assert!(store.contains(&cell(i)), "cell {i} should be resident");
+        }
+    }
+
+    #[test]
+    fn concurrent_inserts_never_overshoot_the_bound() {
+        let store = ResultStore::with_shards(Some(8), 4);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let store = &store;
+                scope.spawn(move || {
+                    for i in 0..200 {
+                        store.insert(cell(t * 1000 + i), report(i));
+                        let resident = store.len();
+                        assert!(resident <= 8, "observed {resident} resident > capacity 8");
+                    }
+                });
+            }
+        });
+        assert!(store.len() <= 8);
+        assert_eq!(store.evictions() + store.len() as u64, 800);
+    }
+
+    #[test]
+    fn stats_report_shard_occupancy_and_hit_rate() {
+        let store = ResultStore::with_shards(None, 4);
+        let zero = store.stats();
+        assert_eq!(zero.hit_rate, 0.0);
+        assert_eq!(zero.shard_imbalance, 0.0);
+        assert_eq!(zero.shards, 4);
+        for i in 0..8 {
+            store.insert(cell(i), report(i));
+        }
+        let _ = store.get_or_compute(cell(0), || panic!("cached"));
+        let _ = store.get_or_compute(cell(100), || report(100));
+        let stats = store.stats();
+        assert_eq!(stats.shard_entries.len(), 4);
+        assert_eq!(stats.shard_entries.iter().sum::<u64>(), stats.entries);
+        assert_eq!(stats.entries, 9);
+        assert!((stats.hit_rate - 0.5).abs() < 1e-12, "{stats:?}");
+        assert!(stats.shard_imbalance >= 1.0, "{stats:?}");
     }
 
     #[test]
@@ -744,8 +955,32 @@ mod tests {
         }
         let small = ResultStore::with_shards(Some(4), 1);
         assert_eq!(small.restore_json(&donor.snapshot_json()), Ok(20));
-        assert!(small.len() <= 4);
+        assert_eq!(small.len(), 4);
         assert_eq!(small.evictions(), 16);
+    }
+
+    #[test]
+    fn restore_accepts_version_1_snapshots() {
+        // A pre-versioning (v1) file has no capacity field; it must keep
+        // restoring after the format bump.
+        let donor = ResultStore::unbounded();
+        donor.insert(cell(1), report(1));
+        let v2 = donor.snapshot_json();
+        assert!(v2.contains("\"version\": 2"), "{v2}");
+        assert!(v2.contains("\"capacity\": null"), "{v2}");
+        let v1 = v2
+            .replace("\"version\": 2", "\"version\": 1")
+            .replace("  \"capacity\": null,\n", "");
+        let warmed = ResultStore::unbounded();
+        assert_eq!(warmed.restore_json(&v1), Ok(1));
+        assert_eq!(warmed.get(&cell(1)), Some(report(1)));
+    }
+
+    #[test]
+    fn bounded_snapshots_record_their_capacity() {
+        let store = ResultStore::bounded(7);
+        store.insert(cell(1), report(1));
+        assert!(store.snapshot_json().contains("\"capacity\": 7"));
     }
 
     #[test]

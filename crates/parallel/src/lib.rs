@@ -45,7 +45,7 @@ use mcdla_interconnect::CollectiveKind;
 use serde::{Deserialize, Serialize};
 
 /// The two parallelization schemes of Fig. 3.
-#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash, Serialize)]
 pub enum ParallelStrategy {
     /// Same model everywhere, batch split across workers.
     DataParallel,
@@ -60,12 +60,46 @@ impl ParallelStrategy {
         ParallelStrategy::ModelParallel,
     ];
 
+    /// The wire (serde) name — the PascalCase variant identifier the
+    /// derived `Serialize` emits.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            ParallelStrategy::DataParallel => "DataParallel",
+            ParallelStrategy::ModelParallel => "ModelParallel",
+        }
+    }
+
     /// Display name.
     pub fn name(self) -> &'static str {
         match self {
             ParallelStrategy::DataParallel => "data-parallel",
             ParallelStrategy::ModelParallel => "model-parallel",
         }
+    }
+}
+
+// Hand-written (not derived) so wire payloads may use either the wire
+// name (`DataParallel`) or the human label (`data-parallel`), in any
+// case, and an unknown name answers with the full accepted list.
+impl serde::Deserialize for ParallelStrategy {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| serde::Error::expected("string", "ParallelStrategy"))?;
+        ParallelStrategy::ALL
+            .iter()
+            .copied()
+            .find(|p| s.eq_ignore_ascii_case(p.wire_name()) || s.eq_ignore_ascii_case(p.name()))
+            .ok_or_else(|| {
+                let accepted: Vec<String> = ParallelStrategy::ALL
+                    .iter()
+                    .map(|p| format!("{} / {}", p.wire_name(), p.name()))
+                    .collect();
+                serde::Error::custom(format!(
+                    "unknown ParallelStrategy `{s}` (accepted, case-insensitive: {})",
+                    accepted.join(", ")
+                ))
+            })
     }
 }
 

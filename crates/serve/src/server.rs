@@ -193,7 +193,24 @@ impl Server {
         if let Some(path) = &config.snapshot {
             if path.exists() {
                 let loaded = store.load(path)?;
+                let resident = store.len();
                 eprintln!("mcdla-serve: warmed {loaded} cells from {}", path.display());
+                if resident < loaded {
+                    // The file outgrew this store's capacity (e.g. it was
+                    // written unbounded and we restarted with --cache-cap):
+                    // compact it now so evicted cells are dropped once
+                    // instead of being re-parsed on every restart.
+                    match store.save(path) {
+                        Ok(()) => eprintln!(
+                            "mcdla-serve: compacted snapshot to {resident} cells \
+                             (dropped {} evicted)",
+                            loaded - resident
+                        ),
+                        Err(e) => {
+                            eprintln!("mcdla-serve: compacting snapshot {}: {e}", path.display())
+                        }
+                    }
+                }
             }
         }
         let listener =

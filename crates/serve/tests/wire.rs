@@ -166,9 +166,19 @@ fn bad_bodies_and_bad_routes_answer_4xx() {
     assert_eq!(resp.status, 400);
     assert!(resp.body.contains("error"), "{}", resp.body);
 
-    // Valid JSON, not a scenario.
+    // Valid JSON, not a scenario object at all.
+    let resp = request_once(&addr, "POST", "/simulate", Some("[1, 2]")).unwrap();
+    assert_eq!(resp.status, 400);
+
+    // An object with an unknown key: with every field optional, this
+    // must be a 400 naming the key — not a 200 for the default cell.
     let resp = request_once(&addr, "POST", "/simulate", Some("{\"x\": 1}")).unwrap();
     assert_eq!(resp.status, 400);
+    assert!(
+        resp.body.contains("unknown Scenario field `x`"),
+        "{}",
+        resp.body
+    );
 
     // Valid scenario shape, hostile knobs: must be a 400, not a panic.
     for hostile in [
@@ -436,4 +446,164 @@ fn bounded_server_store_evicts_lru() {
     assert!(stats.evictions > 0, "no evictions at cap 16: {stats:?}");
     assert!(stats.entries <= 16, "store grew past its bound: {stats:?}");
     handle.shutdown();
+}
+
+#[test]
+fn bounded_server_store_holds_a_bound_below_the_shard_count() {
+    // Capacity 3 against the default 16 shards: the per-shard-quota
+    // scheme this PR replaced would have retained up to 16 entries.
+    let (handle, addr) = start(ServeConfig {
+        cache_cap: Some(3),
+        ..ServeConfig::default()
+    });
+    let body = r#"{"designs":["DcDla","McDlaBwAware"],"benchmarks":["AlexNet","GoogLeNet"]}"#;
+    let grid = request_once(&addr, "POST", "/grid", Some(body)).unwrap();
+    assert_eq!(grid.status, 200);
+    let stats = handle.store().stats();
+    assert_eq!(
+        stats.entries, 3,
+        "global bound must hold exactly: {stats:?}"
+    );
+    assert_eq!(stats.evictions, 5, "8 cells - 3 resident: {stats:?}");
+    handle.shutdown();
+}
+
+#[test]
+fn sparse_scenarios_and_paper_label_aliases_are_accepted() {
+    let (handle, addr) = start(ServeConfig::default());
+
+    // The exact body the old code rejected with "missing field `strategy`".
+    let sparse = r#"{"benchmark":"AlexNet","design":"McDlaBwAware"}"#;
+    let resp = request_once(&addr, "POST", "/simulate", Some(sparse)).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let parsed = serde::json::parse(&resp.body).unwrap();
+    let scenario = parsed.get("scenario").expect("scenario echoed");
+    assert_eq!(
+        scenario.get("strategy").and_then(|v| v.as_str()),
+        Some("DataParallel"),
+        "omitted strategy defaults to the paper's data-parallel"
+    );
+
+    // An empty body is the fully-defaulted headline cell.
+    let resp = request_once(&addr, "POST", "/simulate", Some("{}")).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let parsed = serde::json::parse(&resp.body).unwrap();
+    assert_eq!(
+        parsed
+            .get("scenario")
+            .and_then(|s| s.get("design"))
+            .and_then(|v| v.as_str()),
+        Some("McDlaBwAware")
+    );
+
+    // Paper labels, any case, key the same cache cell as wire names.
+    let aliased = r#"{"design":"mc-dla(b)","benchmark":"AlexNet","strategy":"data-parallel"}"#;
+    let resp = request_once(&addr, "POST", "/simulate", Some(aliased)).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let parsed = serde::json::parse(&resp.body).unwrap();
+    assert_eq!(
+        parsed.get("cached"),
+        Some(&serde::Value::Bool(true)),
+        "the alias must hit the cell the sparse request computed"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn unknown_enum_errors_enumerate_the_accepted_variants() {
+    let (handle, addr) = start(ServeConfig::default());
+    let resp = request_once(
+        &addr,
+        "POST",
+        "/simulate",
+        Some(r#"{"design":"mcdla","benchmark":"AlexNet","strategy":"DataParallel"}"#),
+    )
+    .unwrap();
+    assert_eq!(resp.status, 400);
+    for expected in ["unknown SystemDesign `mcdla`", "McDlaBwAware", "MC-DLA(B)"] {
+        assert!(resp.body.contains(expected), "{}", resp.body);
+    }
+    // Same guidance on grid axes.
+    let resp = request_once(&addr, "POST", "/grid", Some(r#"{"strategies":["dp"]}"#)).unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(resp.body.contains("DataParallel"), "{}", resp.body);
+    assert!(resp.body.contains("data-parallel"), "{}", resp.body);
+    handle.shutdown();
+}
+
+#[test]
+fn stats_surface_per_shard_occupancy_and_hit_rate() {
+    let (handle, addr) = start(ServeConfig::default());
+    let _ = request_once(&addr, "POST", "/simulate", Some(CELL)).unwrap();
+    let _ = request_once(&addr, "POST", "/simulate", Some(CELL)).unwrap();
+    let stats = request_once(&addr, "GET", "/stats", None).unwrap();
+    assert_eq!(stats.status, 200);
+    for key in ["hit_rate", "shards", "shard_entries", "shard_imbalance"] {
+        assert!(
+            stats.body.contains(key),
+            "stats missing `{key}`: {}",
+            stats.body
+        );
+    }
+    let parsed = serde::json::parse(&stats.body).unwrap();
+    let store = parsed.get("store").expect("store stats");
+    let shard_entries = store
+        .get("shard_entries")
+        .and_then(|v| v.as_seq())
+        .expect("per-shard occupancy list");
+    assert_eq!(
+        shard_entries
+            .iter()
+            .map(|v| v.as_u64().unwrap())
+            .sum::<u64>(),
+        store.get("entries").and_then(|v| v.as_u64()).unwrap(),
+        "per-shard occupancy must sum to the entry count"
+    );
+    assert_eq!(store.get("hit_rate").and_then(|v| v.as_f64()), Some(0.5));
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_snapshots_are_compacted_into_a_bounded_restart() {
+    let dir = scratch_dir();
+    let snapshot = dir.join("store.json");
+
+    // An unbounded server computes 4 cells and snapshots them all.
+    let (handle, addr) = start(ServeConfig {
+        snapshot: Some(snapshot.clone()),
+        ..ServeConfig::default()
+    });
+    let body = r#"{"designs":["DcDla","McDlaBwAware"],"benchmarks":["AlexNet"]}"#;
+    assert_eq!(
+        request_once(&addr, "POST", "/grid", Some(body))
+            .unwrap()
+            .status,
+        200
+    );
+    handle.shutdown();
+    let full = std::fs::read_to_string(&snapshot).unwrap();
+    assert!(full.matches("\"scenario\"").count() >= 4);
+
+    // Restarting with a smaller bound restores what fits (evicting
+    // oldest-first) and compacts the file down to the bound.
+    let (handle, _addr) = start(ServeConfig {
+        snapshot: Some(snapshot.clone()),
+        cache_cap: Some(2),
+        ..ServeConfig::default()
+    });
+    let stats = handle.store().stats();
+    assert_eq!(
+        stats.entries, 2,
+        "restore must land at the bound: {stats:?}"
+    );
+    assert!(stats.warm_loaded >= 4);
+    let compacted = std::fs::read_to_string(&snapshot).unwrap();
+    assert_eq!(
+        compacted.matches("\"scenario\"").count(),
+        2,
+        "the snapshot file must be compacted to the resident cells"
+    );
+    assert!(compacted.contains("\"capacity\": 2"), "{compacted}");
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -62,6 +62,7 @@ subcommands
   serve         run the persistent HTTP simulation service
   query         query a running service (healthz | stats | simulate | grid)
   serve-bench   time the service layer, write BENCH_service.json
+  store-bench   time the result-store cache core, write BENCH_store.json
   all           every report above, in order
   help          this message
 
@@ -71,14 +72,17 @@ options
                     completion order, constant memory) to stdout or --out
   --threads N       simulation worker threads (same as MCDLA_THREADS=N);
                     for `serve`, also the connection-handling pool size
-  --out FILE        sweep/serve-bench output path
+  --out FILE        sweep/serve-bench/store-bench output path
   --batches LIST    sweep: comma-separated batch sizes to add as an axis
   --devices LIST    sweep: comma-separated device counts to add as an axis
   --filter SUBSTR   sweep: only run cells whose label contains SUBSTR
-                    (labels look like `MC-DLA(B)/AlexNet/data-parallel`)
+                    (labels look like `MC-DLA(B)/AlexNet/data-parallel`);
+                    a filter matching zero cells is an error
   --addr HOST:PORT  serve/query address (default 127.0.0.1:7878)
-  --cache-cap N     serve: bound the result store to N cells (LRU-evicted)
+  --cache-cap N     serve/sweep: bound the result store to N cells
+                    (globally LRU-evicted; residency never exceeds N)
   --snapshot FILE   serve: warm-load at startup, rewrite after new cells
+                    (snapshots larger than --cache-cap are compacted)
   --body JSON       simulate/query: the request body (`-` reads stdin;
                     `query grid` defaults to {}, the full paper matrix)
 
@@ -220,6 +224,7 @@ const SUBCOMMANDS: &[&str] = &[
     "serve",
     "query",
     "serve-bench",
+    "store-bench",
     "all",
     "help",
     "--help",
@@ -291,36 +296,40 @@ fn run(args: &Args) -> Result<(), String> {
             // Streamed sweep: one compact JSON object per cell, written
             // as workers finish. Cells go to stdout (pipe into
             // `jq -s length` & friends) unless --out names a file; the
-            // summary goes to stderr so stdout stays pure NDJSON.
+            // summary goes to stderr so stdout stays pure NDJSON. The
+            // plan is validated *before* --out is created, so a bad
+            // filter or axis never truncates an existing file.
+            let plan = reports::plan_sweep(
+                &args.batches,
+                &args.devices,
+                args.filter.as_deref(),
+                args.cache_cap,
+            )?;
             let summary = match args.out.as_deref() {
                 Some(path) => {
                     let file =
                         std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
                     let mut out = std::io::BufWriter::new(file);
-                    let s = reports::sweep_ndjson(
-                        &args.batches,
-                        &args.devices,
-                        args.filter.as_deref(),
-                        &mut out,
-                    )?;
+                    let s = reports::sweep_ndjson(plan, &mut out)?;
                     eprintln!("wrote {} cells to {path}", s.cells);
                     s
                 }
                 None => {
                     let stdout = std::io::stdout();
                     let mut out = std::io::BufWriter::new(stdout.lock());
-                    reports::sweep_ndjson(
-                        &args.batches,
-                        &args.devices,
-                        args.filter.as_deref(),
-                        &mut out,
-                    )?
+                    reports::sweep_ndjson(plan, &mut out)?
                 }
             };
             eprint!("{}", summary.summary);
         }
         "sweep" => {
-            let result = reports::sweep(&args.batches, &args.devices, args.filter.as_deref())?;
+            let plan = reports::plan_sweep(
+                &args.batches,
+                &args.devices,
+                args.filter.as_deref(),
+                args.cache_cap,
+            )?;
+            let result = reports::sweep(plan);
             let path = args.out.as_deref().unwrap_or("BENCH_scenarios.json");
             std::fs::write(path, &result.json).map_err(|e| format!("writing {path}: {e}"))?;
             print!("{}", result.summary);
@@ -408,6 +417,23 @@ fn run(args: &Args) -> Result<(), String> {
                 "cached-cell throughput {:.0} req/s ({} the 10k req/s service bar)",
                 result.cached_rps,
                 if result.cached_rps >= 10_000.0 {
+                    "meets"
+                } else {
+                    "below"
+                }
+            );
+            println!("wrote {path}");
+        }
+        "store-bench" => {
+            let threads = args.threads.unwrap_or(4);
+            let result = mcdla_bench::store_bench::store_bench(2048, threads, 64_000, 256_000);
+            let path = args.out.as_deref().unwrap_or("BENCH_store.json");
+            std::fs::write(path, &result.json).map_err(|e| format!("writing {path}: {e}"))?;
+            print!("{}", result.summary);
+            println!(
+                "slowest cached-get throughput {:.0} gets/s ({} the 100k gets/s store bar)",
+                result.min_get_per_sec,
+                if result.min_get_per_sec >= 100_000.0 {
                     "meets"
                 } else {
                     "below"

@@ -1,16 +1,21 @@
-//! Concurrency tests for the shared [`ResultStore`] under the streaming
-//! grid executor: overlapping streams dedupe to one simulation per
-//! unique cell, capacity bounds hold under streaming churn, and a
-//! poisoned (panicking) single-flight leader still unblocks streaming
-//! waiters.
+//! Concurrency and property tests for the shared [`ResultStore`] under
+//! the streaming grid executor: overlapping streams dedupe to one
+//! simulation per unique cell, the **global** capacity bound holds at
+//! every observable point (including when capacity < shard count, and
+//! during snapshot restore), and a poisoned (panicking) single-flight
+//! leader still unblocks streaming waiters.
 
 use std::sync::Arc;
 
 use mcdla::core::{
-    Provenance, ResultStore, Runner, Scenario, ScenarioGrid, SystemDesign, TimedRun,
+    IterationReport, Provenance, ResultStore, Runner, Scenario, ScenarioGrid, SystemDesign,
+    TimedRun,
 };
 use mcdla::dnn::Benchmark;
 use mcdla::parallel::ParallelStrategy;
+use mcdla::sim::{Bytes, SimDuration};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 fn overlap_grid() -> Vec<Scenario> {
     ScenarioGrid::paper_default()
@@ -18,6 +23,36 @@ fn overlap_grid() -> Vec<Scenario> {
         .benchmarks(&[Benchmark::AlexNet])
         .device_counts(&[8, 16])
         .scenarios()
+}
+
+/// A distinct key per `tag` (store-mechanics tests never simulate).
+fn key(tag: u64) -> Scenario {
+    Scenario::new(
+        SystemDesign::DcDla,
+        Benchmark::AlexNet,
+        ParallelStrategy::DataParallel,
+    )
+    .with_batch(512 + tag)
+}
+
+/// A cheap dummy report for store-mechanics tests.
+fn dummy(tag: u64) -> IterationReport {
+    IterationReport {
+        design: SystemDesign::DcDla,
+        benchmark: format!("dummy-{tag}"),
+        strategy: ParallelStrategy::DataParallel,
+        devices: 8,
+        global_batch: tag.max(1),
+        iteration_time: SimDuration::from_us(tag.max(1)),
+        compute_busy: SimDuration::ZERO,
+        sync_busy: SimDuration::ZERO,
+        virt_busy: SimDuration::ZERO,
+        memory_stall: SimDuration::ZERO,
+        virt_bytes: Bytes::ZERO,
+        sync_bytes: Bytes::ZERO,
+        cpu_socket_avg_gbs: 0.0,
+        cpu_socket_max_gbs: 0.0,
+    }
 }
 
 #[test]
@@ -86,6 +121,147 @@ fn lru_bound_holds_under_streaming_churn() {
         stats.evictions > 0,
         "churn over capacity must evict: {stats:?}"
     );
+}
+
+/// The acceptance property for the global-LRU rework: a bounded store
+/// can never be observed over its configured capacity. Under the old
+/// per-shard quota (`per_shard_cap = capacity.div_ceil(shards).max(1)`)
+/// this fails immediately — `bounded(4)` with the default 16 shards
+/// retained up to 16 entries.
+#[test]
+fn bounded_store_is_never_observed_over_capacity() {
+    let store = ResultStore::bounded(4);
+    for i in 0..64 {
+        let fetched = store.get_or_compute(key(i), || dummy(i));
+        assert_eq!(fetched.provenance, Provenance::Computed);
+        let resident = store.len();
+        assert!(
+            resident <= 4,
+            "bounded(4) store observed holding {resident} entries after insert {i}"
+        );
+    }
+    assert_eq!(store.len(), 4, "the bound fills exactly, not approximately");
+    assert_eq!(store.evictions(), 60);
+}
+
+/// Seeded random op mix (inserts, hits, misses, restores) across
+/// threads: the bound holds at every check, for capacities both above
+/// and below the shard count.
+#[test]
+fn random_op_mix_never_violates_the_bound() {
+    for (cap, shards, seed) in [(3usize, 16usize, 7u64), (7, 4, 11), (20, 8, 13)] {
+        let store = Arc::new(ResultStore::with_shards(Some(cap), shards));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let store = store.clone();
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(seed * 100 + t);
+                    for _ in 0..500 {
+                        let k = rng.gen_range(0..64u64);
+                        match rng.gen_range(0..3u32) {
+                            0 => store.insert(key(k), dummy(k)),
+                            1 => {
+                                let _ = store.get(&key(k));
+                            }
+                            _ => {
+                                let _ = store.get_or_compute(key(k), || dummy(k));
+                            }
+                        }
+                        let resident = store.len();
+                        assert!(
+                            resident <= cap,
+                            "cap {cap} x {shards} shards: observed {resident} resident"
+                        );
+                    }
+                });
+            }
+        });
+        let stats = store.stats();
+        assert!(stats.entries <= cap as u64, "{stats:?}");
+        assert!(stats.evictions > 0, "64 keys through cap {cap}: {stats:?}");
+    }
+}
+
+/// Overlapping streaming grids through a store whose capacity is below
+/// the shard count, with a dedicated observer thread polling occupancy
+/// the whole time: no observable point may exceed the bound.
+#[test]
+fn capacity_below_shard_count_holds_under_overlapping_streams() {
+    let store = Arc::new(ResultStore::with_shards(Some(3), 8));
+    let cells = overlap_grid();
+    assert!(cells.len() > 3);
+    let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        // The observer asserts the bound continuously until the streams
+        // (joined by the inner scope) are done.
+        {
+            let store = store.clone();
+            let done = done.clone();
+            scope.spawn(move || {
+                while !done.load(std::sync::atomic::Ordering::Relaxed) {
+                    let resident = store.len();
+                    assert!(resident <= 3, "observed {resident} > capacity 3 mid-stream");
+                    std::thread::yield_now();
+                }
+            });
+        }
+        std::thread::scope(|streams| {
+            for offset in 0..2 {
+                let store = store.clone();
+                let mut grid = cells.clone();
+                grid.rotate_left(offset * 3);
+                let total = cells.len();
+                streams.spawn(move || {
+                    let runner = Runner::with_store(2, store);
+                    let runs: Vec<TimedRun> = runner.run_grid_streaming(grid, 1).collect();
+                    assert_eq!(runs.len(), total);
+                });
+            }
+        });
+        done.store(true, std::sync::atomic::Ordering::Relaxed);
+    });
+    let stats = store.stats();
+    assert!(stats.entries <= 3, "bound exceeded: {stats:?}");
+    assert!(stats.evictions > 0, "churn over capacity must evict");
+}
+
+/// Restoring a snapshot larger than the receiving store's bound must
+/// evict down — oldest-first in snapshot order — not blow past it.
+#[test]
+fn snapshot_restore_over_capacity_evicts_oldest_first() {
+    let donor = ResultStore::unbounded();
+    for i in 0..12 {
+        donor.insert(key(i), dummy(i));
+    }
+    let snapshot = donor.snapshot_json();
+
+    // Recover the snapshot's (digest-sorted) cell order, which is the
+    // restore's insertion order and therefore its recency order.
+    let parsed = serde::json::parse(&snapshot).expect("snapshot parses");
+    let order: Vec<Scenario> = parsed
+        .get("cells")
+        .and_then(|c| c.as_seq())
+        .expect("cells array")
+        .iter()
+        .map(|cell| {
+            serde::Deserialize::from_value(cell.get("scenario").expect("scenario field"))
+                .expect("scenario deserializes")
+        })
+        .collect();
+    assert_eq!(order.len(), 12);
+
+    let small = ResultStore::with_shards(Some(5), 16);
+    assert_eq!(small.restore_json(&snapshot), Ok(12));
+    assert_eq!(small.len(), 5, "restore must land exactly at capacity");
+    assert_eq!(small.evictions(), 7);
+    assert_eq!(small.warm_loaded(), 12);
+    for (i, s) in order.iter().enumerate() {
+        assert_eq!(
+            small.contains(s),
+            i >= 7,
+            "cell {i} of 12: the oldest 7 must go, the newest 5 must stay"
+        );
+    }
 }
 
 #[test]

@@ -25,7 +25,7 @@ fn streamed_sweep_cells_are_byte_identical_to_batch_cells() {
     let devices = [16usize, 32];
     let filter = Some("AlexNet");
 
-    let batch = reports::sweep(&[], &devices, filter).expect("batch sweep");
+    let batch = reports::sweep(reports::plan_sweep(&[], &devices, filter, None).expect("plan"));
     let payload = json::parse(&batch.json).expect("batch payload parses");
     let cells = payload
         .get("cells")
@@ -43,7 +43,8 @@ fn streamed_sweep_cells_are_byte_identical_to_batch_cells() {
     assert!(!batch_by_digest.is_empty());
 
     let mut out = Vec::new();
-    let summary = reports::sweep_ndjson(&[], &devices, filter, &mut out).expect("streamed sweep");
+    let plan = reports::plan_sweep(&[], &devices, filter, None).expect("plan");
+    let summary = reports::sweep_ndjson(plan, &mut out).expect("streamed sweep");
     let text = String::from_utf8(out).expect("NDJSON is utf-8");
     let lines: Vec<&str> = text.lines().collect();
 
@@ -96,8 +97,8 @@ fn streamed_sweep_ends_cleanly_when_the_pipe_closes() {
         accepted: Vec::new(),
         lines_before_close: 2,
     };
-    let summary = reports::sweep_ndjson(&[], &[], Some("AlexNet"), &mut out)
-        .expect("a closed pipe is a clean end");
+    let plan = reports::plan_sweep(&[], &[], Some("AlexNet"), None).expect("plan");
+    let summary = reports::sweep_ndjson(plan, &mut out).expect("a closed pipe is a clean end");
     assert_eq!(summary.cells, 2, "exactly the accepted lines count");
     let text = String::from_utf8(out.accepted).unwrap();
     for line in text.lines() {
@@ -106,9 +107,34 @@ fn streamed_sweep_ends_cleanly_when_the_pipe_closes() {
 }
 
 #[test]
-fn streamed_sweep_rejects_invalid_axis_combinations() {
-    let mut out = Vec::new();
-    let err = reports::sweep_ndjson(&[64], &[256], None, &mut out).unwrap_err();
+fn sweep_plans_reject_invalid_axis_combinations() {
+    let err = reports::plan_sweep(&[64], &[256], None, None).unwrap_err();
     assert!(err.contains("cannot cover"), "{err}");
-    assert!(out.is_empty(), "nothing may stream before validation");
+}
+
+#[test]
+fn sweep_plans_reject_filters_matching_zero_cells() {
+    // A typo'd filter used to exit 0 and overwrite BENCH_scenarios.json
+    // with a degenerate report (null percentiles, `cell max 0.00 ms`).
+    // Planning happens before any output file is touched, and a
+    // no-match filter is a hard error naming the filter.
+    let err = reports::plan_sweep(&[], &[], Some("NoSuchDesign"), None).unwrap_err();
+    assert!(err.contains("`NoSuchDesign`"), "{err}");
+    assert!(err.contains("matches none"), "{err}");
+}
+
+#[test]
+fn bounded_sweeps_stay_within_their_cache_cap() {
+    let mut out = Vec::new();
+    let plan = reports::plan_sweep(&[], &[], Some("AlexNet"), Some(3)).expect("plan");
+    let total = plan.scenarios.len();
+    let summary = reports::sweep_ndjson(plan, &mut out).expect("bounded streamed sweep");
+    assert_eq!(summary.cells, total);
+    // 12 distinct AlexNet cells through a 3-cell store: every line still
+    // streams, and the store evicted to stay at its bound.
+    let text = String::from_utf8(out).unwrap();
+    assert_eq!(text.lines().count(), total);
+    for line in text.lines() {
+        json::parse(line).expect("valid JSON per line");
+    }
 }
