@@ -38,6 +38,7 @@
 
 use std::fmt::Write as _;
 
+pub mod cluster_bench;
 pub mod reports;
 pub mod service;
 pub mod store_bench;

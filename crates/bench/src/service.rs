@@ -136,7 +136,53 @@ pub fn service_bench(client_threads: usize, requests_per_thread: usize) -> Servi
     let (_, stream_warm_wall, stream_warm_cps) = stream_cells_per_sec(&mut probe);
 
     let stats = handle.store().stats();
+    drop(probe);
     handle.shutdown();
+
+    // Capacity pressure: the committed single-node baseline the
+    // cluster-bench scaling gate compares against. Same workload as
+    // `mcdla cluster-bench`: a working set of PRESSURE_WORKING_SET
+    // distinct cells against a store bounded to PRESSURE_CACHE_CAP, so
+    // ~3/4 of uniform-random requests miss and re-simulate — the cost a
+    // fleet's aggregate cache capacity removes.
+    let server = Server::bind(&ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: client_threads + 1,
+        cache_cap: Some(crate::cluster_bench::PRESSURE_CACHE_CAP),
+        snapshot: None,
+    })
+    .expect("bind pressure server");
+    let handle = server.spawn().expect("spawn pressure accept pool");
+    let addr = handle.addr().to_string();
+    let pressure_cells = crate::cluster_bench::pressure_cells();
+    let pressure_bodies: Vec<String> = pressure_cells.iter().map(serde::json::to_string).collect();
+    // One warm pass fills the resident slots before measuring.
+    let warm_body = serde::json::to_string(&Value::Map(vec![(
+        "cells".into(),
+        Value::Seq(pressure_cells.iter().map(|s| s.to_value()).collect()),
+    )]));
+    let mut probe = Connection::open(&addr).expect("open pressure probe");
+    let warm = probe
+        .request("POST", "/grid", Some(&warm_body))
+        .expect("pressure warm grid");
+    assert!(warm.is_ok(), "pressure warm failed: {}", warm.body);
+    let pressure_hits_before = handle.store().stats();
+    let pressure = crate::cluster_bench::hammer(
+        &addr,
+        &pressure_bodies,
+        client_threads,
+        crate::cluster_bench::pressure_requests(requests_per_thread),
+    );
+    let pressure_stats = handle.store().stats();
+    drop(probe);
+    handle.shutdown();
+    let pressure_hits = pressure_stats.hits - pressure_hits_before.hits;
+    let pressure_misses = pressure_stats.misses - pressure_hits_before.misses;
+    let pressure_hit_rate = if pressure_hits + pressure_misses > 0 {
+        pressure_hits as f64 / (pressure_hits + pressure_misses) as f64
+    } else {
+        0.0
+    };
 
     let payload = Value::Map(vec![
         (
@@ -179,6 +225,26 @@ pub fn service_bench(client_threads: usize, requests_per_thread: usize) -> Servi
                 ("warm_cells_per_sec".into(), Value::F64(stream_warm_cps)),
             ]),
         ),
+        (
+            "capacity_pressure".into(),
+            Value::Map(vec![
+                (
+                    "working_set".into(),
+                    Value::U64(crate::cluster_bench::PRESSURE_WORKING_SET as u64),
+                ),
+                (
+                    "cache_cap".into(),
+                    Value::U64(crate::cluster_bench::PRESSURE_CACHE_CAP as u64),
+                ),
+                (
+                    "requests_per_sec".into(),
+                    Value::F64(pressure.requests_per_sec),
+                ),
+                ("latency_p50_us".into(), Value::F64(pressure.latency_p50_us)),
+                ("latency_p99_us".into(), Value::F64(pressure.latency_p99_us)),
+                ("hit_rate".into(), Value::F64(pressure_hit_rate)),
+            ]),
+        ),
         ("store".into(), stats.to_value()),
     ]);
 
@@ -210,6 +276,20 @@ pub fn service_bench(client_threads: usize, requests_per_thread: usize) -> Servi
             vec![
                 "store hits/misses".into(),
                 format!("{}/{}", stats.hits, stats.misses),
+            ],
+            vec![
+                format!(
+                    "capacity pressure ({} cells vs cap {})",
+                    crate::cluster_bench::PRESSURE_WORKING_SET,
+                    crate::cluster_bench::PRESSURE_CACHE_CAP
+                ),
+                format!(
+                    "{:.0} req/s (hit rate {:.0}%, p50 {:.1} us, p99 {:.1} us)",
+                    pressure.requests_per_sec,
+                    pressure_hit_rate * 100.0,
+                    pressure.latency_p50_us,
+                    pressure.latency_p99_us
+                ),
             ],
         ],
     );
@@ -243,5 +323,11 @@ mod tests {
         assert!(result.json.contains("grid_stream"));
         assert!(result.json.contains("cold_cells_per_sec"));
         assert!(result.json.contains("warm_cells_per_sec"));
+        // Latency percentiles and the capacity-pressure single-node
+        // baseline (what cluster-bench's scaling gate compares against).
+        assert!(result.json.contains("latency_p50_us"));
+        assert!(result.json.contains("latency_p99_us"));
+        assert!(result.json.contains("capacity_pressure"));
+        assert!(result.summary.contains("capacity pressure"));
     }
 }

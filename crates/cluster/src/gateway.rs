@@ -1,0 +1,943 @@
+//! The cluster gateway: an HTTP server (the same hand-rolled wire layer
+//! as `mcdla-serve`) that owns a [`Router`] over the worker fleet and
+//! exposes the single-node endpoints at fleet scale — `POST /simulate`
+//! with retry + failover, scatter-gather `POST /grid` (buffered and
+//! `?stream=1`), `GET /cluster/stats` aggregation, and Prometheus
+//! `GET /metrics`.
+
+use std::collections::BTreeSet;
+use std::io::{BufReader, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mcdla_core::Scenario;
+use mcdla_serve::accept::{accept_loop, ConnRegistry};
+use mcdla_serve::client::Timeouts;
+use mcdla_serve::http::{
+    error_body, finish_chunked, query_flag, read_request, split_target, write_chunk,
+    write_chunked_head, write_response, write_response_typed, Request, WireError,
+};
+use mcdla_serve::metrics::MetricsBuilder;
+use mcdla_serve::{
+    GridRequest, ServeConfig, Server, ServerHandle, MAX_GRID_CELLS, MAX_STREAM_CELLS,
+};
+use serde::{Deserialize, Value};
+
+use crate::merge::{partition_pending, scatter_buffered};
+use crate::router::{GatewayError, Router};
+
+/// Idle keep-alive client connections are dropped after this long
+/// (same bound as the worker).
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Everything `mcdla gateway` configures.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Listen address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Accept-pool size: concurrently served client connections.
+    pub threads: usize,
+    /// Worker addresses (`host:port`), in stable index order.
+    pub backends: Vec<String>,
+    /// Deadlines for gateway→worker requests.
+    pub timeouts: Timeouts,
+    /// Background health-probe period (`None` disables the prober;
+    /// health is then tracked passively from request outcomes only).
+    pub probe_interval: Option<Duration>,
+    /// Parked keep-alive connections kept per worker.
+    pub max_idle_per_worker: usize,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            addr: "127.0.0.1:7900".to_owned(),
+            threads: 8,
+            backends: Vec::new(),
+            timeouts: Timeouts::default(),
+            probe_interval: Some(Duration::from_secs(2)),
+            max_idle_per_worker: 16,
+        }
+    }
+}
+
+/// Per-endpoint request counters, reported by `GET /cluster/stats` and
+/// `GET /metrics`.
+#[derive(Debug, Default)]
+struct GatewayCounters {
+    healthz: AtomicU64,
+    cluster_stats: AtomicU64,
+    metrics: AtomicU64,
+    simulate: AtomicU64,
+    grid: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl GatewayCounters {
+    fn snapshot(&self) -> [(&'static str, u64); 6] {
+        [
+            ("healthz", self.healthz.load(Ordering::Relaxed)),
+            ("cluster_stats", self.cluster_stats.load(Ordering::Relaxed)),
+            ("metrics", self.metrics.load(Ordering::Relaxed)),
+            ("simulate", self.simulate.load(Ordering::Relaxed)),
+            ("grid", self.grid.load(Ordering::Relaxed)),
+            ("errors", self.errors.load(Ordering::Relaxed)),
+        ]
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.snapshot()
+                .into_iter()
+                .map(|(name, count)| (name.into(), Value::U64(count)))
+                .collect(),
+        )
+    }
+}
+
+#[derive(Debug)]
+struct GatewayState {
+    router: Router,
+    shutdown: AtomicBool,
+    conns: ConnRegistry,
+    started: Instant,
+    requests: GatewayCounters,
+}
+
+/// A bound-but-not-yet-serving gateway.
+#[derive(Debug)]
+pub struct Gateway {
+    listener: TcpListener,
+    threads: usize,
+    probe_interval: Option<Duration>,
+    state: Arc<GatewayState>,
+}
+
+/// Handle to a running gateway: resolved address, router view, clean
+/// shutdown.
+#[derive(Debug)]
+pub struct GatewayHandle {
+    addr: SocketAddr,
+    state: Arc<GatewayState>,
+    acceptors: Vec<std::thread::JoinHandle<()>>,
+    prober: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Gateway {
+    /// Binds the listener and builds the router over the backends.
+    pub fn bind(config: &GatewayConfig) -> Result<Gateway, String> {
+        if config.threads == 0 {
+            return Err("thread count must be >= 1 (got `0`)".into());
+        }
+        let router = Router::new(
+            config.backends.iter().cloned(),
+            config.timeouts,
+            config.max_idle_per_worker,
+        )?;
+        let listener =
+            TcpListener::bind(&config.addr).map_err(|e| format!("binding {}: {e}", config.addr))?;
+        Ok(Gateway {
+            listener,
+            threads: config.threads,
+            probe_interval: config.probe_interval,
+            state: Arc::new(GatewayState {
+                router,
+                shutdown: AtomicBool::new(false),
+                conns: ConnRegistry::default(),
+                started: Instant::now(),
+                requests: GatewayCounters::default(),
+            }),
+        })
+    }
+
+    /// The resolved listen address (useful with port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The routing core (topology + worker health).
+    pub fn router(&self) -> &Router {
+        &self.state.router
+    }
+
+    /// Starts the accept pool (and the health prober) in background
+    /// threads and returns a handle.
+    pub fn spawn(self) -> std::io::Result<GatewayHandle> {
+        let addr = self.listener.local_addr()?;
+        let mut acceptors = Vec::with_capacity(self.threads);
+        for i in 0..self.threads {
+            let listener = self.listener.try_clone()?;
+            let state = self.state.clone();
+            acceptors.push(
+                std::thread::Builder::new()
+                    .name(format!("mcdla-gateway-{i}"))
+                    .spawn(move || {
+                        accept_loop(&listener, &state.shutdown, |stream| {
+                            handle_connection(stream, &state)
+                        })
+                    })?,
+            );
+        }
+        let prober = match self.probe_interval {
+            Some(interval) => Some(
+                std::thread::Builder::new()
+                    .name("mcdla-gateway-probe".to_owned())
+                    .spawn({
+                        let state = self.state.clone();
+                        move || probe_loop(&state, interval)
+                    })?,
+            ),
+            None => None,
+        };
+        Ok(GatewayHandle {
+            addr,
+            state: self.state,
+            acceptors,
+            prober,
+        })
+    }
+
+    /// Runs the accept pool on the calling thread (plus `threads - 1`
+    /// workers), blocking until the process exits — the `mcdla gateway`
+    /// entry point.
+    pub fn run(self) -> std::io::Result<()> {
+        let state = self.state.clone();
+        let listener = self.listener.try_clone()?;
+        let mut workers = Vec::new();
+        for i in 1..self.threads {
+            let listener = self.listener.try_clone()?;
+            let state = self.state.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("mcdla-gateway-{i}"))
+                    .spawn(move || {
+                        accept_loop(&listener, &state.shutdown, |stream| {
+                            handle_connection(stream, &state)
+                        })
+                    })?,
+            );
+        }
+        if let Some(interval) = self.probe_interval {
+            let state = self.state.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name("mcdla-gateway-probe".to_owned())
+                    .spawn(move || probe_loop(&state, interval))?,
+            );
+        }
+        accept_loop(&listener, &state.shutdown, |stream| {
+            handle_connection(stream, &state)
+        });
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+impl GatewayHandle {
+    /// The resolved listen address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The routing core (topology + worker health).
+    pub fn router(&self) -> &Router {
+        &self.state.router
+    }
+
+    /// Stops accepting, unblocks idle connections, and joins the pool
+    /// and prober. In-flight responses finish first.
+    pub fn shutdown(self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        self.state.conns.close_all();
+        for _ in 0..self.acceptors.len() {
+            if let Ok(stream) = TcpStream::connect(self.addr) {
+                drop(stream);
+            }
+        }
+        for a in self.acceptors {
+            let _ = a.join();
+        }
+        if let Some(p) = self.prober {
+            let _ = p.join();
+        }
+    }
+}
+
+/// The background health prober: probes every worker each `interval`,
+/// waking often enough that shutdown never waits a full period.
+fn probe_loop(state: &GatewayState, interval: Duration) {
+    let tick = Duration::from_millis(50).min(interval);
+    let mut last = Instant::now();
+    // First probe immediately: a fleet spawned against a dead backend
+    // should learn so before the first request.
+    state.router.probe_all();
+    while !state.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(tick);
+        if last.elapsed() >= interval {
+            last = Instant::now();
+            state.router.probe_all();
+            // Probes may take a while against black-holed workers; check
+            // the flag right after rather than sleeping first.
+        }
+    }
+}
+
+/// Serves one client connection's keep-alive request loop.
+fn handle_connection(stream: TcpStream, state: &Arc<GatewayState>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _guard = state.conns.register(&stream);
+    if state.shutdown.load(Ordering::SeqCst) {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        match read_request(&mut reader) {
+            Ok(None) => return,
+            Err(WireError { status, message }) => {
+                state.requests.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = write_response(&mut writer, status, &error_body(&message), false);
+                return;
+            }
+            Ok(Some(request)) => {
+                let keep_alive = request.keep_alive && !state.shutdown.load(Ordering::SeqCst);
+                let (path, query) = split_target(&request.path);
+                if request.method == "POST" && path == "/grid" && query_flag(query, "stream") {
+                    state.requests.grid.fetch_add(1, Ordering::Relaxed);
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        stream_grid(&request.body, state, &mut writer, keep_alive)
+                    }));
+                    match outcome {
+                        Ok(StreamOutcome::Rejected(outcome)) => {
+                            state.requests.errors.fetch_add(1, Ordering::Relaxed);
+                            if write_response(
+                                &mut writer,
+                                outcome.status,
+                                &outcome.body,
+                                keep_alive,
+                            )
+                            .is_err()
+                                || !keep_alive
+                            {
+                                let _ = writer.flush();
+                                return;
+                            }
+                        }
+                        Ok(StreamOutcome::Streamed { clean }) => {
+                            if !clean || !keep_alive {
+                                let _ = writer.flush();
+                                return;
+                            }
+                        }
+                        // A panic after the 200 head: close without the
+                        // terminal chunk, exactly like the worker.
+                        Err(_) => {
+                            state.requests.errors.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                    continue;
+                }
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    route(&request, state)
+                }))
+                .unwrap_or_else(|_| Outcome::error(500, "internal error handling the request"));
+                if outcome.status >= 400 {
+                    state.requests.errors.fetch_add(1, Ordering::Relaxed);
+                }
+                if write_response_typed(
+                    &mut writer,
+                    outcome.status,
+                    outcome.content_type,
+                    &outcome.body,
+                    keep_alive,
+                )
+                .is_err()
+                    || !keep_alive
+                {
+                    let _ = writer.flush();
+                    return;
+                }
+            }
+        }
+    }
+}
+
+struct Outcome {
+    status: u16,
+    body: String,
+    content_type: &'static str,
+}
+
+impl Outcome {
+    fn ok(body: String) -> Self {
+        Outcome {
+            status: 200,
+            body,
+            content_type: "application/json",
+        }
+    }
+
+    fn passthrough(status: u16, body: String) -> Self {
+        Outcome {
+            status,
+            body,
+            content_type: "application/json",
+        }
+    }
+
+    fn error(status: u16, message: &str) -> Self {
+        Outcome {
+            status,
+            body: error_body(message),
+            content_type: "application/json",
+        }
+    }
+}
+
+impl From<GatewayError> for Outcome {
+    fn from(e: GatewayError) -> Self {
+        Outcome::error(e.status, &e.message)
+    }
+}
+
+fn route(request: &Request, state: &Arc<GatewayState>) -> Outcome {
+    let (path, _query) = split_target(&request.path);
+    match (request.method.as_str(), path) {
+        ("GET", "/healthz") => {
+            state.requests.healthz.fetch_add(1, Ordering::Relaxed);
+            let router = &state.router;
+            Outcome::ok(serde::json::to_string(&Value::Map(vec![
+                ("status".into(), Value::Str("ok".into())),
+                ("service".into(), Value::Str("mcdla-gateway".into())),
+                ("workers".into(), Value::U64(router.workers().len() as u64)),
+                ("workers_up".into(), Value::U64(router.up_count() as u64)),
+            ])))
+        }
+        ("GET", "/cluster/stats") => {
+            state.requests.cluster_stats.fetch_add(1, Ordering::Relaxed);
+            Outcome::ok(serde::json::to_string_pretty(&cluster_stats_value(state)))
+        }
+        ("GET", "/metrics") => {
+            state.requests.metrics.fetch_add(1, Ordering::Relaxed);
+            Outcome {
+                status: 200,
+                body: metrics_text(state),
+                content_type: mcdla_serve::metrics::CONTENT_TYPE,
+            }
+        }
+        ("POST", "/simulate") => {
+            state.requests.simulate.fetch_add(1, Ordering::Relaxed);
+            simulate_endpoint(&request.body, state)
+        }
+        ("POST", "/grid") => {
+            state.requests.grid.fetch_add(1, Ordering::Relaxed);
+            grid_endpoint(&request.body, state)
+        }
+        (_, "/healthz" | "/cluster/stats" | "/metrics") => {
+            Outcome::error(405, "use GET on this endpoint")
+        }
+        (_, "/simulate" | "/grid") => {
+            Outcome::error(405, "use POST with a JSON body on this endpoint")
+        }
+        (_, path) => Outcome::error(404, &format!("no such endpoint `{path}`")),
+    }
+}
+
+fn parse_body<T: Deserialize>(body: &[u8], what: &str) -> Result<T, Outcome> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| Outcome::error(400, &format!("{what} body is not valid utf-8")))?;
+    serde::json::from_str(text).map_err(|e| Outcome::error(400, &format!("bad {what} JSON: {e}")))
+}
+
+/// `POST /simulate`: validate locally (the same 400s a worker would
+/// answer), then forward the client's body verbatim along the scenario
+/// key's failover chain. A worker's 2xx/4xx answer passes through
+/// byte-for-byte; worker-unreachable becomes a 502 naming the workers.
+fn simulate_endpoint(body: &[u8], state: &Arc<GatewayState>) -> Outcome {
+    let scenario: Scenario = match parse_body(body, "scenario") {
+        Ok(s) => s,
+        Err(outcome) => return outcome,
+    };
+    if let Err(msg) = scenario.validate() {
+        return Outcome::error(400, &msg);
+    }
+    let key = mcdla_core::key_hash(&scenario);
+    let text = std::str::from_utf8(body).expect("validated utf-8 above");
+    match state.router.forward(key, "POST", "/simulate", Some(text)) {
+        Ok((_, response)) => Outcome::passthrough(response.status, response.body),
+        Err(e) => e.into(),
+    }
+}
+
+/// `POST /grid` (buffered): expand, partition by owner, scatter-gather,
+/// merge back into single-node cell order.
+fn grid_endpoint(body: &[u8], state: &Arc<GatewayState>) -> Outcome {
+    let scenarios = match gateway_grid_scenarios(body, MAX_GRID_CELLS) {
+        Ok(s) => s,
+        Err(outcome) => return outcome,
+    };
+    match scatter_buffered(&state.router, &scenarios) {
+        Ok(cells) => Outcome::ok(serde::json::to_string_pretty(&Value::Map(vec![
+            ("count".into(), Value::U64(cells.len() as u64)),
+            ("cells".into(), Value::Seq(cells)),
+        ]))),
+        Err(e) => e.into(),
+    }
+}
+
+/// Parses and validates a grid body into runnable scenarios (the same
+/// rules the worker applies, so rejections never reach the fleet).
+fn gateway_grid_scenarios(body: &[u8], max_cells: usize) -> Result<Vec<Scenario>, Outcome> {
+    let request: GridRequest = parse_body(body, "grid")?;
+    let scenarios = request
+        .scenarios_bounded(max_cells)
+        .map_err(|msg| Outcome::error(400, &msg))?;
+    if let Some(msg) = scenarios.iter().find_map(|s| s.validate().err()) {
+        return Err(Outcome::error(400, &msg));
+    }
+    Ok(scenarios)
+}
+
+/// How `POST /grid?stream=1` ended at the gateway.
+enum StreamOutcome {
+    /// Rejected before any chunk was written (400/502 buffered answer).
+    Rejected(Outcome),
+    /// The 200 head went out. `clean` is false when a worker stream or
+    /// the client write failed mid-flight — the gateway then closes
+    /// without the terminal chunk, exactly the worker's contract.
+    Streamed { clean: bool },
+}
+
+/// Scatter-gather streaming: open one `?stream=1` sub-stream per owning
+/// worker (every worker starts computing immediately), then forward
+/// each worker's NDJSON lines — verbatim bytes — in worker-index order.
+///
+/// * Worker unreachable **at open time** (before the gateway's 200
+///   head): its slice fails over to the next replicas; if no worker can
+///   take a slice, the whole request is a buffered 502.
+/// * Worker failure **mid-stream** (truncated sub-stream, short cell
+///   count, or a non-200 sub-stream head): the gateway closes its own
+///   response without the terminal chunk and drops the remaining worker
+///   connections, which cancels their outstanding cells.
+fn stream_grid(
+    body: &[u8],
+    state: &Arc<GatewayState>,
+    writer: &mut TcpStream,
+    keep_alive: bool,
+) -> StreamOutcome {
+    let scenarios = match gateway_grid_scenarios(body, MAX_STREAM_CELLS) {
+        Ok(s) => s,
+        Err(outcome) => return StreamOutcome::Rejected(outcome),
+    };
+    let router = &state.router;
+
+    // Open phase: partition and start every sub-stream, failing slices
+    // over while nothing has been written to the client yet.
+    let mut opened: Vec<(crate::pool::PooledConn<'_>, Vec<usize>, usize)> = Vec::new();
+    let mut pending: Vec<usize> = (0..scenarios.len()).collect();
+    let mut excluded: BTreeSet<usize> = BTreeSet::new();
+    let mut failures: Vec<String> = Vec::new();
+    while !pending.is_empty() {
+        let parts = match partition_pending(router, &scenarios, &pending, &excluded) {
+            Ok(parts) => parts,
+            Err(e) => {
+                let message = if failures.is_empty() {
+                    e.message
+                } else {
+                    format!("{}: {}", e.message, failures.join("; "))
+                };
+                return StreamOutcome::Rejected(Outcome::error(e.status, &message));
+            }
+        };
+        let mut next_pending = Vec::new();
+        for part in parts {
+            let worker = &router.workers()[part.worker];
+            // Streams always ride a fresh connection: a stale pooled
+            // keep-alive would fail only at first read — after the 200
+            // head is out and failover is no longer possible.
+            let attempt = worker.pool().connect_fresh().and_then(|mut conn| {
+                conn.get()
+                    .start_stream("POST", "/grid?stream=1", Some(&part.body))
+                    .map(|()| conn)
+            });
+            match attempt {
+                Ok(conn) => opened.push((conn, part.indices, part.worker)),
+                Err(e) => {
+                    worker.mark_down(&e);
+                    failures.push(format!("worker {} ({}): {e}", part.worker, worker.addr()));
+                    excluded.insert(part.worker);
+                    next_pending.extend(part.indices);
+                }
+            }
+        }
+        if !next_pending.is_empty() {
+            router.failovers.fetch_add(1, Ordering::Relaxed);
+        }
+        next_pending.sort_unstable();
+        pending = next_pending;
+    }
+
+    if write_chunked_head(writer, 200, keep_alive).is_err() {
+        return StreamOutcome::Streamed { clean: false };
+    }
+
+    // Drain phase: worker-index-ordered partitions, lines forwarded as
+    // raw bytes (cell payloads stay byte-identical to the worker's).
+    for (mut conn, indices, worker_idx) in opened {
+        let worker = &router.workers()[worker_idx];
+        let mut stream = match conn.get().read_stream() {
+            Ok(stream) => stream,
+            Err(e) => {
+                worker.mark_down(&e);
+                return StreamOutcome::Streamed { clean: false };
+            }
+        };
+        if stream.status != 200 {
+            worker.failures.fetch_add(1, Ordering::Relaxed);
+            stream.abandon();
+            return StreamOutcome::Streamed { clean: false };
+        }
+        let mut lines = 0usize;
+        loop {
+            match stream.next_line() {
+                Some(Ok(mut line)) => {
+                    line.push('\n');
+                    if write_chunk(writer, line.as_bytes()).is_err() {
+                        // Client went away: abandoning (not draining)
+                        // closes the worker connection, cancelling its
+                        // remaining cells.
+                        stream.abandon();
+                        return StreamOutcome::Streamed { clean: false };
+                    }
+                    lines += 1;
+                }
+                Some(Err(e)) => {
+                    worker.mark_down(&format!("sub-stream died: {e}"));
+                    stream.abandon();
+                    return StreamOutcome::Streamed { clean: false };
+                }
+                None => break,
+            }
+        }
+        drop(stream);
+        if lines != indices.len() {
+            // A clean terminal chunk with missing cells is a protocol
+            // violation; the client must not see it as a complete grid.
+            worker.mark_down(&format!(
+                "sub-stream ended cleanly after {lines} of {} cells",
+                indices.len()
+            ));
+            return StreamOutcome::Streamed { clean: false };
+        }
+        worker.answered.fetch_add(1, Ordering::Relaxed);
+        // `conn` drops here un-parked — fresh-per-stream policy.
+    }
+    StreamOutcome::Streamed {
+        clean: finish_chunked(writer).is_ok(),
+    }
+}
+
+/// Pulls a `u64` out of a nested JSON map (`path` of keys).
+fn value_u64(value: &Value, path: &[&str]) -> Option<u64> {
+    let mut current = value;
+    for key in path {
+        let Value::Map(entries) = current else {
+            return None;
+        };
+        current = &entries.iter().find(|(k, _)| k == key)?.1;
+    }
+    match current {
+        Value::U64(n) => Some(*n),
+        Value::I64(n) => u64::try_from(*n).ok(),
+        Value::F64(n) if *n >= 0.0 => Some(*n as u64),
+        _ => None,
+    }
+}
+
+/// `GET /cluster/stats`: gateway counters plus one `GET /stats` scrape
+/// of every worker, with fleet-wide store totals.
+fn cluster_stats_value(state: &GatewayState) -> Value {
+    let router = &state.router;
+    let mut workers = Vec::new();
+    let mut fleet_entries = 0u64;
+    let mut fleet_hits = 0u64;
+    let mut fleet_misses = 0u64;
+    let mut fleet_evictions = 0u64;
+    let mut reachable = 0u64;
+    for (i, worker) in router.workers().iter().enumerate() {
+        let mut entry = vec![
+            ("index".into(), Value::U64(i as u64)),
+            ("addr".into(), Value::Str(worker.addr().to_owned())),
+            (
+                "answered".into(),
+                Value::U64(worker.answered.load(Ordering::Relaxed)),
+            ),
+            (
+                "failures".into(),
+                Value::U64(worker.failures.load(Ordering::Relaxed)),
+            ),
+        ];
+        match worker.pool().request("GET", "/stats", None) {
+            Ok(response) if response.status == 200 => {
+                worker.mark_up();
+                reachable += 1;
+                if let Ok(stats) = serde::json::parse(&response.body) {
+                    fleet_entries += value_u64(&stats, &["store", "entries"]).unwrap_or(0);
+                    fleet_hits += value_u64(&stats, &["store", "hits"]).unwrap_or(0);
+                    fleet_misses += value_u64(&stats, &["store", "misses"]).unwrap_or(0);
+                    fleet_evictions += value_u64(&stats, &["store", "evictions"]).unwrap_or(0);
+                    entry.push(("up".into(), Value::Bool(true)));
+                    entry.push(("stats".into(), stats));
+                } else {
+                    entry.push(("up".into(), Value::Bool(true)));
+                    entry.push(("stats".into(), Value::Null));
+                }
+            }
+            Ok(response) => {
+                entry.push(("up".into(), Value::Bool(worker.is_up())));
+                entry.push((
+                    "error".into(),
+                    Value::Str(format!("stats answered HTTP {}", response.status)),
+                ));
+            }
+            Err(e) => {
+                worker.mark_down(&e);
+                entry.push(("up".into(), Value::Bool(false)));
+                entry.push(("error".into(), Value::Str(e)));
+            }
+        }
+        workers.push(Value::Map(entry));
+    }
+    Value::Map(vec![
+        ("service".into(), Value::Str("mcdla-gateway".into())),
+        (
+            "uptime_secs".into(),
+            Value::F64(state.started.elapsed().as_secs_f64()),
+        ),
+        (
+            "gateway".into(),
+            Value::Map(vec![
+                ("requests".into(), state.requests.to_value()),
+                (
+                    "failovers".into(),
+                    Value::U64(router.failovers.load(Ordering::Relaxed)),
+                ),
+                ("retries".into(), Value::U64(router.retries())),
+            ]),
+        ),
+        (
+            "fleet".into(),
+            Value::Map(vec![
+                ("workers".into(), Value::U64(router.workers().len() as u64)),
+                ("up".into(), Value::U64(reachable)),
+                ("entries".into(), Value::U64(fleet_entries)),
+                ("hits".into(), Value::U64(fleet_hits)),
+                ("misses".into(), Value::U64(fleet_misses)),
+                ("evictions".into(), Value::U64(fleet_evictions)),
+            ]),
+        ),
+        ("workers".into(), Value::Seq(workers)),
+    ])
+}
+
+/// The gateway's `GET /metrics` Prometheus exposition.
+fn metrics_text(state: &GatewayState) -> String {
+    let router = &state.router;
+    let mut b = MetricsBuilder::new();
+    b.scalar(
+        "mcdla_gateway_up",
+        "Whether this gateway is serving.",
+        "gauge",
+        1.0,
+    );
+    b.scalar(
+        "mcdla_gateway_uptime_seconds",
+        "Seconds since this gateway started.",
+        "gauge",
+        state.started.elapsed().as_secs_f64(),
+    );
+    b.family(
+        "mcdla_gateway_requests_total",
+        "Requests handled, by endpoint (`errors` counts 4xx/5xx answers).",
+        "counter",
+    );
+    for (endpoint, count) in state.requests.snapshot() {
+        b.sample(
+            "mcdla_gateway_requests_total",
+            &[("endpoint", endpoint)],
+            count as f64,
+        );
+    }
+    b.scalar(
+        "mcdla_gateway_failovers_total",
+        "Requests or grid slices answered by a non-owner worker.",
+        "counter",
+        router.failovers.load(Ordering::Relaxed) as f64,
+    );
+    b.scalar(
+        "mcdla_gateway_retries_total",
+        "Stale pooled-connection retries across all workers.",
+        "counter",
+        router.retries() as f64,
+    );
+    b.family(
+        "mcdla_gateway_worker_up",
+        "Health belief per worker (1 = up).",
+        "gauge",
+    );
+    for worker in router.workers() {
+        b.sample(
+            "mcdla_gateway_worker_up",
+            &[("worker", worker.addr())],
+            if worker.is_up() { 1.0 } else { 0.0 },
+        );
+    }
+    b.family(
+        "mcdla_gateway_worker_answered_total",
+        "Requests each worker answered for this gateway.",
+        "counter",
+    );
+    for worker in router.workers() {
+        b.sample(
+            "mcdla_gateway_worker_answered_total",
+            &[("worker", worker.addr())],
+            worker.answered.load(Ordering::Relaxed) as f64,
+        );
+    }
+    b.family(
+        "mcdla_gateway_worker_failures_total",
+        "Errors observed against each worker (connect/read failures and 5xx).",
+        "counter",
+    );
+    for worker in router.workers() {
+        b.sample(
+            "mcdla_gateway_worker_failures_total",
+            &[("worker", worker.addr())],
+            worker.failures.load(Ordering::Relaxed) as f64,
+        );
+    }
+    b.finish()
+}
+
+/// A whole local fleet: `n` in-process workers on ephemeral loopback
+/// ports plus a gateway routing across them. This is what
+/// `mcdla cluster --workers N`, `cluster-bench`, and the integration
+/// tests spawn.
+#[derive(Debug)]
+pub struct LocalFleet {
+    /// The worker handles, in topology index order.
+    pub workers: Vec<ServerHandle>,
+    /// The gateway handle.
+    pub gateway: GatewayHandle,
+}
+
+/// What [`spawn_local_fleet`] configures.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Worker count.
+    pub workers: usize,
+    /// Accept-pool threads per worker.
+    pub worker_threads: usize,
+    /// Result-store capacity per worker (`None` = unbounded).
+    pub cache_cap: Option<usize>,
+    /// Per-worker snapshot prefix: worker `i` persists to
+    /// `{prefix}.w{i}.json`.
+    pub snapshot_prefix: Option<std::path::PathBuf>,
+    /// Gateway listen address (`127.0.0.1:0` for ephemeral).
+    pub gateway_addr: String,
+    /// Gateway accept-pool threads.
+    pub gateway_threads: usize,
+    /// Gateway→worker deadlines.
+    pub timeouts: Timeouts,
+    /// Gateway health-probe period.
+    pub probe_interval: Option<Duration>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            workers: 2,
+            worker_threads: 4,
+            cache_cap: None,
+            snapshot_prefix: None,
+            gateway_addr: "127.0.0.1:0".to_owned(),
+            gateway_threads: 8,
+            timeouts: Timeouts::default(),
+            probe_interval: Some(Duration::from_secs(2)),
+        }
+    }
+}
+
+/// The per-worker snapshot path for a fleet prefix.
+pub fn worker_snapshot_path(prefix: &std::path::Path, index: usize) -> std::path::PathBuf {
+    let mut name = prefix.as_os_str().to_owned();
+    name.push(format!(".w{index}.json"));
+    std::path::PathBuf::from(name)
+}
+
+/// Spawns an in-process fleet: workers on ephemeral ports, then a
+/// gateway over them.
+pub fn spawn_local_fleet(config: &FleetConfig) -> Result<LocalFleet, String> {
+    if config.workers == 0 {
+        return Err("a fleet needs at least one worker (got `--workers 0`)".into());
+    }
+    let mut workers = Vec::with_capacity(config.workers);
+    let mut backends = Vec::with_capacity(config.workers);
+    for i in 0..config.workers {
+        let server = Server::bind(&ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            threads: config.worker_threads,
+            cache_cap: config.cache_cap,
+            snapshot: config
+                .snapshot_prefix
+                .as_deref()
+                .map(|prefix| worker_snapshot_path(prefix, i)),
+        })?;
+        let handle = server
+            .spawn()
+            .map_err(|e| format!("spawning worker {i}: {e}"))?;
+        backends.push(handle.addr().to_string());
+        workers.push(handle);
+    }
+    let gateway = Gateway::bind(&GatewayConfig {
+        addr: config.gateway_addr.clone(),
+        threads: config.gateway_threads,
+        backends,
+        timeouts: config.timeouts,
+        probe_interval: config.probe_interval,
+        max_idle_per_worker: 16,
+    })?;
+    let gateway = gateway
+        .spawn()
+        .map_err(|e| format!("spawning gateway: {e}"))?;
+    Ok(LocalFleet { workers, gateway })
+}
+
+impl LocalFleet {
+    /// The gateway's resolved address.
+    pub fn gateway_addr(&self) -> SocketAddr {
+        self.gateway.addr()
+    }
+
+    /// Worker addresses in topology order.
+    pub fn worker_addrs(&self) -> Vec<String> {
+        self.workers.iter().map(|w| w.addr().to_string()).collect()
+    }
+
+    /// Shuts down the gateway, then every worker.
+    pub fn shutdown(self) {
+        self.gateway.shutdown();
+        for worker in self.workers {
+            worker.shutdown();
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Scatter-gather for grid requests: partition the expanded cell list
+//! by rendezvous owner, fan sub-grids out to the owning workers, and
+//! merge the answers back into the single-node cell order.
+//!
+//! Workers receive their partition as an **explicit cell list**
+//! (`{"cells": [...]}` — see `GridRequest::cells` in `mcdla-serve`),
+//! because a consistent-hash slice of a cartesian grid is not itself a
+//! cartesian product. Each worker answers its cells in list order, so
+//! the gateway can splice results back by original index and the merged
+//! buffered response is cell-for-cell identical to what one big worker
+//! would have answered (modulo `cached` flags, which reflect each
+//! worker's own cache).
+
+use std::collections::BTreeSet;
+
+use mcdla_core::Scenario;
+use serde::{Serialize, Value};
+
+use crate::router::{GatewayError, Router};
+
+/// One worker's slice of a grid: the original cell indices it owns and
+/// the ready-to-send sub-grid body.
+#[derive(Debug)]
+pub(crate) struct Partition {
+    /// Worker index in the topology.
+    pub worker: usize,
+    /// Original grid indices, in grid order.
+    pub indices: Vec<usize>,
+    /// The `{"cells": [...]}` request body for this slice.
+    pub body: String,
+}
+
+/// Builds the sub-grid body for a set of cells.
+fn sub_grid_body(cells: &[&Scenario]) -> String {
+    serde::json::to_string(&Value::Map(vec![(
+        "cells".into(),
+        Value::Seq(cells.iter().map(|s| s.to_value()).collect()),
+    )]))
+}
+
+/// Partitions `pending` (indices into `scenarios`) across workers by
+/// rendezvous ownership, skipping `excluded` workers (already observed
+/// failing for this request). Partitions come back in worker-index
+/// order. Fails with 502 when every worker is excluded.
+pub(crate) fn partition_pending(
+    router: &Router,
+    scenarios: &[Scenario],
+    pending: &[usize],
+    excluded: &BTreeSet<usize>,
+) -> Result<Vec<Partition>, GatewayError> {
+    if excluded.len() >= router.workers().len() {
+        return Err(GatewayError::new(
+            502,
+            format!(
+                "no reachable worker left for the grid (all {} failed)",
+                router.workers().len()
+            ),
+        ));
+    }
+    let mut slices: Vec<Vec<usize>> = vec![Vec::new(); router.workers().len()];
+    for &idx in pending {
+        let key = mcdla_core::key_hash(&scenarios[idx]);
+        let choice = router
+            .route(key)
+            .into_iter()
+            .find(|w| !excluded.contains(w))
+            .expect("checked above that at least one worker remains");
+        slices[choice].push(idx);
+    }
+    Ok(slices
+        .into_iter()
+        .enumerate()
+        .filter(|(_, indices)| !indices.is_empty())
+        .map(|(worker, indices)| {
+            let cells: Vec<&Scenario> = indices.iter().map(|&i| &scenarios[i]).collect();
+            Partition {
+                worker,
+                indices,
+                body: sub_grid_body(&cells),
+            }
+        })
+        .collect())
+}
+
+/// Sends one partition's buffered sub-grid and parses the cells out of
+/// the worker's `{"count", "cells"}` answer.
+fn fetch_partition(router: &Router, part: &Partition) -> Result<Vec<Value>, String> {
+    let worker = &router.workers()[part.worker];
+    let response = worker
+        .pool()
+        .request("POST", "/grid", Some(&part.body))
+        .inspect_err(|e| worker.mark_down(e))?;
+    if response.status != 200 {
+        worker
+            .failures
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        return Err(format!(
+            "answered HTTP {} to a {}-cell sub-grid: {}",
+            response.status,
+            part.indices.len(),
+            response.body
+        ));
+    }
+    worker.mark_up();
+    worker
+        .answered
+        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let parsed = serde::json::parse(&response.body)
+        .map_err(|e| format!("answered unparseable grid JSON: {e}"))?;
+    let Value::Map(entries) = parsed else {
+        return Err("answered a non-object grid body".into());
+    };
+    let cells = entries
+        .into_iter()
+        .find(|(k, _)| k == "cells")
+        .map(|(_, v)| v);
+    let Some(Value::Seq(cells)) = cells else {
+        return Err("answered a grid body without a `cells` array".into());
+    };
+    if cells.len() != part.indices.len() {
+        return Err(format!(
+            "answered {} cells for a {}-cell sub-grid",
+            cells.len(),
+            part.indices.len()
+        ));
+    }
+    Ok(cells)
+}
+
+/// Scatter-gathers a buffered grid: partitions `scenarios` by owner,
+/// fetches every partition concurrently, and re-merges the cells into
+/// grid order. A worker that fails is excluded and its slice re-routed
+/// to the next replicas (one more round per surviving worker at most);
+/// when no worker can take a slice, the whole request is a 502 naming
+/// the failures.
+pub(crate) fn scatter_buffered(
+    router: &Router,
+    scenarios: &[Scenario],
+) -> Result<Vec<Value>, GatewayError> {
+    let mut out: Vec<Option<Value>> = Vec::with_capacity(scenarios.len());
+    out.resize_with(scenarios.len(), || None);
+    let mut pending: Vec<usize> = (0..scenarios.len()).collect();
+    let mut excluded: BTreeSet<usize> = BTreeSet::new();
+    let mut failures: Vec<String> = Vec::new();
+
+    while !pending.is_empty() {
+        let parts = partition_pending(router, scenarios, &pending, &excluded).map_err(|e| {
+            if failures.is_empty() {
+                e
+            } else {
+                GatewayError::new(502, format!("{}: {}", e.message, failures.join("; ")))
+            }
+        })?;
+        let results: Vec<(Partition, Result<Vec<Value>, String>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = parts
+                .into_iter()
+                .map(|part| {
+                    scope.spawn(move || {
+                        let result = fetch_partition(router, &part);
+                        (part, result)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scatter worker thread"))
+                .collect()
+        });
+        let mut next_pending = Vec::new();
+        // Only slices re-partitioned in an earlier round count as
+        // failovers; same-round sibling failures must not taint them.
+        let rerouted_round = !excluded.is_empty();
+        for (part, result) in results {
+            match result {
+                Ok(cells) => {
+                    if rerouted_round {
+                        // This slice landed somewhere after at least one
+                        // worker was excluded for it — count re-routes.
+                        router
+                            .failovers
+                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                    for (&idx, cell) in part.indices.iter().zip(cells) {
+                        out[idx] = Some(cell);
+                    }
+                }
+                Err(e) => {
+                    failures.push(format!(
+                        "worker {} ({}): {e}",
+                        part.worker,
+                        router.workers()[part.worker].addr()
+                    ));
+                    excluded.insert(part.worker);
+                    next_pending.extend(part.indices);
+                }
+            }
+        }
+        next_pending.sort_unstable();
+        pending = next_pending;
+    }
+
+    Ok(out
+        .into_iter()
+        .map(|cell| cell.expect("every grid index was filled"))
+        .collect())
+}

@@ -1,0 +1,418 @@
+//! End-to-end cluster behaviour over real loopback sockets: routing,
+//! scatter-gather identity with a single node, failover, error mapping,
+//! stats aggregation, and metrics — all with in-process fleets.
+//! (Kill -9 failure injection lives in the workspace-root
+//! `tests/cluster_failover.rs`, which spawns real worker processes.)
+
+use mcdla_cluster::{spawn_local_fleet, FleetConfig, Topology};
+use mcdla_core::{Scenario, SystemDesign};
+use mcdla_dnn::Benchmark;
+use mcdla_parallel::ParallelStrategy;
+use mcdla_serve::client::Connection;
+use mcdla_serve::{ServeConfig, Server};
+use serde::Value;
+
+fn fleet(workers: usize) -> mcdla_cluster::LocalFleet {
+    spawn_local_fleet(&FleetConfig {
+        workers,
+        worker_threads: 2,
+        gateway_threads: 4,
+        probe_interval: None,
+        ..FleetConfig::default()
+    })
+    .expect("spawn fleet")
+}
+
+fn scenario_json(scenario: &Scenario) -> String {
+    serde::json::to_string(scenario)
+}
+
+/// Drops `cached` (and optionally `wall_ms`, which cell payloads don't
+/// carry but sweep payloads do) from a cell object for identity checks.
+fn strip_cached(cell: &Value) -> Value {
+    match cell {
+        Value::Map(entries) => Value::Map(
+            entries
+                .iter()
+                .filter(|(k, _)| k != "cached" && k != "wall_ms")
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+fn grid_cells(body: &str) -> Vec<Value> {
+    let parsed = serde::json::parse(body).expect("grid JSON");
+    let Value::Map(entries) = parsed else {
+        panic!("grid answer is not an object")
+    };
+    let Some((_, Value::Seq(cells))) = entries.into_iter().find(|(k, _)| k == "cells") else {
+        panic!("grid answer has no cells array")
+    };
+    cells
+}
+
+#[test]
+fn simulate_routes_to_the_rendezvous_owner_and_passes_through() {
+    let fleet = fleet(3);
+    let addr = fleet.gateway_addr().to_string();
+    let topology = Topology::new(fleet.worker_addrs()).unwrap();
+    let cell = Scenario::new(
+        SystemDesign::McDlaBwAware,
+        Benchmark::AlexNet,
+        ParallelStrategy::DataParallel,
+    );
+    let owner = topology.owner_of(&cell);
+    let body = scenario_json(&cell);
+
+    let mut conn = Connection::open(&addr).expect("open gateway connection");
+    let first = conn.request("POST", "/simulate", Some(&body)).unwrap();
+    assert_eq!(first.status, 200, "{}", first.body);
+    assert!(first.body.contains("\"cached\": false"));
+    let second = conn.request("POST", "/simulate", Some(&body)).unwrap();
+    assert!(second.body.contains("\"cached\": true"));
+
+    // Exactly the rendezvous owner simulated (and holds) the cell.
+    for (i, worker) in fleet.workers.iter().enumerate() {
+        let expected = usize::from(i == owner);
+        assert_eq!(
+            worker.store().len(),
+            expected,
+            "worker {i} holds the wrong cell count"
+        );
+    }
+
+    // Passthrough: the gateway answer is byte-identical to asking the
+    // owning worker directly (both cached now).
+    let direct = mcdla_serve::client::request_once(
+        &fleet.worker_addrs()[owner],
+        "POST",
+        "/simulate",
+        Some(&body),
+    )
+    .unwrap();
+    assert_eq!(second.body, direct.body);
+    fleet.shutdown();
+}
+
+#[test]
+fn buffered_grid_matches_a_single_node_cell_for_cell() {
+    let single = Server::bind(&ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        cache_cap: None,
+        snapshot: None,
+    })
+    .unwrap()
+    .spawn()
+    .unwrap();
+    let fleet = fleet(3);
+    let body = r#"{"benchmarks": ["AlexNet", "GoogLeNet"]}"#;
+
+    let via_gateway = mcdla_serve::client::request_once(
+        &fleet.gateway_addr().to_string(),
+        "POST",
+        "/grid",
+        Some(body),
+    )
+    .unwrap();
+    assert_eq!(via_gateway.status, 200, "{}", via_gateway.body);
+    let via_single =
+        mcdla_serve::client::request_once(&single.addr().to_string(), "POST", "/grid", Some(body))
+            .unwrap();
+    assert_eq!(via_single.status, 200);
+
+    let gateway_cells = grid_cells(&via_gateway.body);
+    let single_cells = grid_cells(&via_single.body);
+    assert_eq!(gateway_cells.len(), 24);
+    assert_eq!(gateway_cells.len(), single_cells.len());
+    // Same cells, same order (the gateway merges back into grid order),
+    // same payloads modulo the per-store `cached` flag.
+    for (g, s) in gateway_cells.iter().zip(&single_cells) {
+        assert_eq!(strip_cached(g), strip_cached(s));
+    }
+    // The scatter really spread work: no single worker computed it all.
+    let per_worker: Vec<usize> = fleet.workers.iter().map(|w| w.store().len()).collect();
+    assert_eq!(per_worker.iter().sum::<usize>(), 24);
+    assert!(
+        per_worker.iter().all(|&n| n < 24),
+        "one worker owned the whole grid: {per_worker:?}"
+    );
+    fleet.shutdown();
+    single.shutdown();
+}
+
+#[test]
+fn streamed_grid_merges_every_partition_and_stays_reusable() {
+    let fleet = fleet(2);
+    let addr = fleet.gateway_addr().to_string();
+    let mut conn = Connection::open(&addr).expect("open gateway connection");
+    let stream = conn
+        .request_stream("POST", "/grid?stream=1", Some("{}"))
+        .unwrap();
+    assert_eq!(stream.status, 200);
+    let lines = stream.collect_lines().expect("clean merged stream");
+    assert_eq!(lines.len(), 96);
+
+    // Streamed lines match the buffered grid cells payload-for-payload.
+    let buffered = conn.request("POST", "/grid", Some("{}")).unwrap();
+    let mut buffered_cells: Vec<String> = grid_cells(&buffered.body)
+        .iter()
+        .map(|c| serde::json::to_string(&strip_cached(c)))
+        .collect();
+    let mut streamed_cells: Vec<String> = lines
+        .iter()
+        .map(|l| serde::json::to_string(&strip_cached(&serde::json::parse(l).unwrap())))
+        .collect();
+    buffered_cells.sort();
+    streamed_cells.sort();
+    assert_eq!(buffered_cells, streamed_cells);
+
+    // The keep-alive connection stays framed after a clean stream.
+    let health = conn.request("GET", "/healthz", None).unwrap();
+    assert_eq!(health.status, 200);
+    fleet.shutdown();
+}
+
+#[test]
+fn worker_grid_accepts_explicit_cells_and_rejects_mixtures() {
+    let single = Server::bind(&ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        cache_cap: None,
+        snapshot: None,
+    })
+    .unwrap()
+    .spawn()
+    .unwrap();
+    let addr = single.addr().to_string();
+    let a = Scenario::new(
+        SystemDesign::DcDla,
+        Benchmark::AlexNet,
+        ParallelStrategy::DataParallel,
+    );
+    let b = a.with_batch(1024);
+    let body = format!(
+        r#"{{"cells": [{}, {}]}}"#,
+        scenario_json(&a),
+        scenario_json(&b)
+    );
+    let resp = mcdla_serve::client::request_once(&addr, "POST", "/grid", Some(&body)).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let cells = grid_cells(&resp.body);
+    assert_eq!(cells.len(), 2);
+    // Cells answer in list order.
+    let digest_of = |v: &Value| match v {
+        Value::Map(entries) => entries
+            .iter()
+            .find(|(k, _)| k == "digest")
+            .map(|(_, v)| serde::json::to_string(v))
+            .unwrap(),
+        _ => panic!("cell is not an object"),
+    };
+    assert_eq!(digest_of(&cells[0]), format!("\"{:016x}\"", a.digest()));
+    assert_eq!(digest_of(&cells[1]), format!("\"{:016x}\"", b.digest()));
+
+    let mixed = format!(
+        r#"{{"cells": [{}], "benchmarks": ["AlexNet"]}}"#,
+        scenario_json(&a)
+    );
+    let resp = mcdla_serve::client::request_once(&addr, "POST", "/grid", Some(&mixed)).unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(resp.body.contains("cannot be combined"), "{}", resp.body);
+    let empty = r#"{"cells": []}"#;
+    let resp = mcdla_serve::client::request_once(&addr, "POST", "/grid", Some(empty)).unwrap();
+    assert_eq!(resp.status, 400);
+    single.shutdown();
+}
+
+#[test]
+fn point_queries_fail_over_when_the_owner_goes_down() {
+    let mut fleet = fleet(3);
+    let addr = fleet.gateway_addr().to_string();
+    let topology = Topology::new(fleet.worker_addrs()).unwrap();
+    let cell = Scenario::new(
+        SystemDesign::HcDla,
+        Benchmark::VggE,
+        ParallelStrategy::ModelParallel,
+    );
+    let owner = topology.owner_of(&cell);
+    let body = scenario_json(&cell);
+
+    // Warm through the gateway, then take the owner down.
+    let warm = mcdla_serve::client::request_once(&addr, "POST", "/simulate", Some(&body)).unwrap();
+    assert_eq!(warm.status, 200);
+    fleet.workers.remove(owner).shutdown();
+
+    // The gateway must answer via the next replica — which recomputes
+    // the cell (its store never saw it) to a bit-identical report.
+    let failed_over =
+        mcdla_serve::client::request_once(&addr, "POST", "/simulate", Some(&body)).unwrap();
+    assert_eq!(failed_over.status, 200, "{}", failed_over.body);
+    let report_of = |body: &str| {
+        let Value::Map(entries) = serde::json::parse(body).unwrap() else {
+            panic!("not an object")
+        };
+        let report = entries.into_iter().find(|(k, _)| k == "report").unwrap().1;
+        serde::json::to_string(&report)
+    };
+    assert_eq!(report_of(&warm.body), report_of(&failed_over.body));
+
+    // The fleet view reflects the outage.
+    let stats = mcdla_serve::client::request_once(&addr, "GET", "/cluster/stats", None).unwrap();
+    assert_eq!(stats.status, 200);
+    let parsed = serde::json::parse(&stats.body).unwrap();
+    let up = {
+        let Value::Map(entries) = &parsed else {
+            panic!("not an object")
+        };
+        let Some((_, Value::Map(fleet))) = entries.iter().find(|(k, _)| k == "fleet") else {
+            panic!("no fleet section")
+        };
+        match fleet.iter().find(|(k, _)| k == "up") {
+            Some((_, Value::U64(n))) => *n,
+            other => panic!("no fleet.up: {other:?}"),
+        }
+    };
+    assert_eq!(up, 2);
+    fleet.shutdown();
+}
+
+#[test]
+fn grids_fail_over_and_an_all_dead_fleet_is_a_502_naming_workers() {
+    let mut fleet = fleet(2);
+    let addr = fleet.gateway_addr().to_string();
+    let worker_addrs = fleet.worker_addrs();
+
+    // Kill one worker: the buffered grid reroutes its slice.
+    fleet.workers.remove(1).shutdown();
+    let resp = mcdla_serve::client::request_once(
+        &addr,
+        "POST",
+        "/grid",
+        Some(r#"{"benchmarks": ["AlexNet"]}"#),
+    )
+    .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert_eq!(grid_cells(&resp.body).len(), 12);
+
+    // Kill the last worker: point and grid queries answer 502 and name
+    // the unreachable workers.
+    fleet.workers.remove(0).shutdown();
+    let cell = Scenario::new(
+        SystemDesign::DcDla,
+        Benchmark::AlexNet,
+        ParallelStrategy::DataParallel,
+    );
+    let resp =
+        mcdla_serve::client::request_once(&addr, "POST", "/simulate", Some(&scenario_json(&cell)))
+            .unwrap();
+    assert_eq!(resp.status, 502, "{}", resp.body);
+    assert!(
+        worker_addrs.iter().any(|w| resp.body.contains(w)),
+        "502 does not name a worker: {}",
+        resp.body
+    );
+    let resp = mcdla_serve::client::request_once(&addr, "POST", "/grid", Some("{}")).unwrap();
+    assert_eq!(resp.status, 502);
+    let resp =
+        mcdla_serve::client::request_once(&addr, "POST", "/grid?stream=1", Some("{}")).unwrap();
+    assert_eq!(
+        resp.status, 502,
+        "stream open failure must be a buffered 502"
+    );
+    fleet.shutdown();
+}
+
+#[test]
+fn gateway_rejects_bad_requests_locally() {
+    let fleet = fleet(1);
+    let addr = fleet.gateway_addr().to_string();
+    for (path, body, needle) in [
+        ("/simulate", "not json", "bad scenario JSON"),
+        (
+            "/simulate",
+            r#"{"dessign": "DcDla"}"#,
+            "unknown Scenario field",
+        ),
+        ("/grid", r#"{"batches": [0]}"#, "batch sizes"),
+        ("/grid", r#"{"designs": []}"#, "zero cells"),
+    ] {
+        let resp = mcdla_serve::client::request_once(&addr, "POST", path, Some(body)).unwrap();
+        assert_eq!(resp.status, 400, "{path} with `{body}`");
+        assert!(resp.body.contains(needle), "{}", resp.body);
+    }
+    // Nothing reached the fleet.
+    assert_eq!(fleet.workers[0].store().len(), 0);
+    let resp = mcdla_serve::client::request_once(&addr, "GET", "/nope", None).unwrap();
+    assert_eq!(resp.status, 404);
+    let resp = mcdla_serve::client::request_once(&addr, "POST", "/healthz", None).unwrap();
+    assert_eq!(resp.status, 405);
+    fleet.shutdown();
+}
+
+#[test]
+fn metrics_expose_gateway_and_worker_counters() {
+    let fleet = fleet(2);
+    let addr = fleet.gateway_addr().to_string();
+    let cell = Scenario::new(
+        SystemDesign::DcDla,
+        Benchmark::AlexNet,
+        ParallelStrategy::DataParallel,
+    );
+    let _ =
+        mcdla_serve::client::request_once(&addr, "POST", "/simulate", Some(&scenario_json(&cell)))
+            .unwrap();
+
+    let metrics = mcdla_serve::client::request_once(&addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(metrics.status, 200);
+    assert!(metrics.body.contains("mcdla_gateway_up 1"));
+    assert!(metrics
+        .body
+        .contains("mcdla_gateway_requests_total{endpoint=\"simulate\"} 1"));
+    for worker in fleet.worker_addrs() {
+        assert!(
+            metrics
+                .body
+                .contains(&format!("mcdla_gateway_worker_up{{worker=\"{worker}\"}} 1")),
+            "missing worker_up for {worker}"
+        );
+    }
+
+    // The worker's own exposition (the satellite endpoint).
+    let worker_metrics =
+        mcdla_serve::client::request_once(&fleet.worker_addrs()[0], "GET", "/metrics", None)
+            .unwrap();
+    assert_eq!(worker_metrics.status, 200);
+    assert!(worker_metrics
+        .body
+        .contains("# TYPE mcdla_store_hits_total counter"));
+    assert!(worker_metrics.body.contains("mcdla_store_entries"));
+    assert!(worker_metrics
+        .body
+        .contains("mcdla_requests_total{endpoint=\"metrics\"} 1"));
+    fleet.shutdown();
+}
+
+#[test]
+fn background_prober_revives_a_worker_marked_down() {
+    let fleet = spawn_local_fleet(&FleetConfig {
+        workers: 1,
+        worker_threads: 2,
+        gateway_threads: 2,
+        probe_interval: Some(std::time::Duration::from_millis(100)),
+        ..FleetConfig::default()
+    })
+    .expect("spawn fleet");
+    fleet.gateway.router().workers()[0].mark_down("injected outage");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while !fleet.gateway.router().workers()[0].is_up() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "prober never revived the worker"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    fleet.shutdown();
+}

@@ -56,5 +56,5 @@ pub use energy::{EnergyReport, PowerModel};
 pub use engine::IterationSim;
 pub use report::IterationReport;
 pub use scenario::{DeviceModel, GridStream, Overrides, Runner, Scenario, ScenarioGrid, TimedRun};
-pub use store::{Fetched, Provenance, ResultStore, StoreStats};
+pub use store::{key_hash, Fetched, Provenance, ResultStore, StoreStats};
 pub use virt_path::VirtPath;

@@ -67,6 +67,18 @@ use crate::scenario::Scenario;
 /// threads while keeping an eviction scan short.
 pub const DEFAULT_SHARDS: usize = 16;
 
+/// The canonical store key hash of a scenario: the exact 64-bit value
+/// the [`ResultStore`] shards by. `DefaultHasher::new()` uses fixed
+/// keys, so the hash is stable across processes and runs — `mcdla-serve`
+/// snapshots restore into the same shards they came from, and the
+/// `mcdla-cluster` gateway routes a scenario to the same worker that any
+/// other gateway (or a restarted one) would pick.
+pub fn key_hash(scenario: &Scenario) -> u64 {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    scenario.hash(&mut hasher);
+    hasher.finish()
+}
+
 /// Where a [`Fetched`] report came from.
 #[derive(Debug, Copy, Clone, PartialEq, Eq)]
 pub enum Provenance {
@@ -263,12 +275,7 @@ impl ResultStore {
     }
 
     fn shard_index(&self, scenario: &Scenario) -> usize {
-        // DefaultHasher with `new()` uses fixed keys, so placement is
-        // stable across processes (snapshots restore into the same
-        // shards they came from, though nothing relies on that).
-        let mut hasher = std::collections::hash_map::DefaultHasher::new();
-        scenario.hash(&mut hasher);
-        (hasher.finish() as usize) % self.shards.len()
+        (key_hash(scenario) as usize) % self.shards.len()
     }
 
     fn next_tick(&self) -> u64 {

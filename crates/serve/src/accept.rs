@@ -1,0 +1,135 @@
+//! The shared accept-pool machinery both servers in this workspace run
+//! on: a blocking accept loop with shutdown checks, and a registry of
+//! live connections so shutdown can unblock handlers parked in idle
+//! keep-alive reads instead of waiting them out. `mcdla-serve`'s worker
+//! and `mcdla-cluster`'s gateway differ only in what they do *per
+//! request* — everything about accepting and tearing down connections
+//! lives here once.
+
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Runs one acceptor thread's loop: accept, re-check the shutdown flag,
+/// hand the connection to `handle`. Returns when `shutdown` is set (the
+/// owner pokes one connection per acceptor to wake them from `accept`).
+pub fn accept_loop(
+    listener: &TcpListener,
+    shutdown: &AtomicBool,
+    mut handle: impl FnMut(TcpStream),
+) {
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                handle(stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                // Transient accept errors (EMFILE, aborted handshake):
+                // back off briefly instead of spinning.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// Clones of every live connection's socket, so shutdown can unblock
+/// handlers parked in an idle read instead of waiting them out.
+#[derive(Debug, Default)]
+pub struct ConnRegistry {
+    slots: Mutex<Vec<Option<TcpStream>>>,
+}
+
+impl ConnRegistry {
+    /// Registers a connection for the duration of the returned guard
+    /// (deregistered on drop, however the handler exits). A connection
+    /// whose socket cannot be cloned is served unregistered.
+    pub fn register<'a>(&'a self, stream: &TcpStream) -> ConnGuard<'a> {
+        let id = stream.try_clone().ok().map(|clone| {
+            let mut slots = self.slots.lock().expect("conn registry lock");
+            if let Some(i) = slots.iter().position(Option::is_none) {
+                slots[i] = Some(clone);
+                i
+            } else {
+                slots.push(Some(clone));
+                slots.len() - 1
+            }
+        });
+        ConnGuard { registry: self, id }
+    }
+
+    fn deregister(&self, id: usize) {
+        self.slots.lock().expect("conn registry lock")[id] = None;
+    }
+
+    /// Read-closes every live connection: blocked reads return EOF at
+    /// once and the handlers exit, while the write half stays open so
+    /// an in-flight response still reaches its client.
+    pub fn close_all(&self) {
+        for stream in self
+            .slots
+            .lock()
+            .expect("conn registry lock")
+            .iter()
+            .flatten()
+        {
+            let _ = stream.shutdown(std::net::Shutdown::Read);
+        }
+    }
+}
+
+/// Deregisters a connection slot however the handler exits.
+#[derive(Debug)]
+pub struct ConnGuard<'a> {
+    registry: &'a ConnRegistry,
+    id: Option<usize>,
+}
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(id) = self.id {
+            self.registry.deregister(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_reuses_slots_and_closes_live_connections() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+
+        let registry = ConnRegistry::default();
+        let guard = registry.register(&server_side);
+        assert_eq!(registry.slots.lock().unwrap().len(), 1);
+        drop(guard);
+        // The freed slot is reused, not appended.
+        let _guard = registry.register(&server_side);
+        assert_eq!(registry.slots.lock().unwrap().len(), 1);
+
+        // close_all read-closes the registered half: the server side's
+        // blocked read returns EOF promptly.
+        let mut read_half = server_side.try_clone().unwrap();
+        let reader = std::thread::spawn(move || {
+            let mut buf = [0u8; 8];
+            std::io::Read::read(&mut read_half, &mut buf)
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        registry.close_all();
+        let n = reader.join().unwrap().unwrap();
+        assert_eq!(n, 0, "read must observe EOF after close_all");
+        drop(client);
+    }
+}

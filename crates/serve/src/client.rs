@@ -3,7 +3,7 @@
 //! service bench, and the wire tests all speak through it.
 
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 /// One response: status code and body text.
@@ -22,6 +22,43 @@ impl Response {
     }
 }
 
+/// Connect/read/write deadlines for a [`Connection`]. A dead or wedged
+/// server must never hang a caller forever: every phase of a request has
+/// a bound (`None` disables that bound, for callers that really do want
+/// to wait out an arbitrarily long simulation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timeouts {
+    /// TCP connect deadline.
+    pub connect: Option<Duration>,
+    /// Per-read deadline (response head, body, and each stream chunk).
+    pub read: Option<Duration>,
+    /// Per-write deadline (request head + body).
+    pub write: Option<Duration>,
+}
+
+impl Default for Timeouts {
+    /// 10 s to connect, 120 s per read (cold cells really simulate),
+    /// 30 s per write.
+    fn default() -> Self {
+        Timeouts {
+            connect: Some(Duration::from_secs(10)),
+            read: Some(Duration::from_secs(120)),
+            write: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+impl Timeouts {
+    /// One deadline for every phase — the CLI's `--timeout-ms N`.
+    pub fn all(limit: Duration) -> Self {
+        Timeouts {
+            connect: Some(limit),
+            read: Some(limit),
+            write: Some(limit),
+        }
+    }
+}
+
 /// A persistent keep-alive connection. Reusing one connection is what
 /// makes cached-cell throughput tens of thousands of requests per
 /// second instead of paying a TCP handshake per request.
@@ -32,11 +69,39 @@ pub struct Connection {
 }
 
 impl Connection {
-    /// Connects to `host:port`.
+    /// Connects to `host:port` with [`Timeouts::default`] deadlines.
     pub fn open(addr: &str) -> Result<Self, String> {
-        let stream = TcpStream::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+        Self::open_with(addr, Timeouts::default())
+    }
+
+    /// Connects to `host:port` with explicit deadlines.
+    pub fn open_with(addr: &str, timeouts: Timeouts) -> Result<Self, String> {
+        let stream = match timeouts.connect {
+            Some(limit) => {
+                // `connect_timeout` needs resolved addresses; try each in
+                // turn so a multi-homed name still connects.
+                let resolved: Vec<_> = addr
+                    .to_socket_addrs()
+                    .map_err(|e| format!("resolving {addr}: {e}"))?
+                    .collect();
+                let mut last_err = format!("resolving {addr}: no addresses");
+                let mut stream = None;
+                for candidate in resolved {
+                    match TcpStream::connect_timeout(&candidate, limit) {
+                        Ok(s) => {
+                            stream = Some(s);
+                            break;
+                        }
+                        Err(e) => last_err = format!("connecting {addr}: {e}"),
+                    }
+                }
+                stream.ok_or(last_err)?
+            }
+            None => TcpStream::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?,
+        };
         let _ = stream.set_nodelay(true);
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(120)));
+        let _ = stream.set_read_timeout(timeouts.read);
+        let _ = stream.set_write_timeout(timeouts.write);
         let reader = BufReader::new(
             stream
                 .try_clone()
@@ -69,6 +134,26 @@ impl Connection {
         body: Option<&str>,
     ) -> Result<StreamingResponse<'_>, String> {
         self.send_request(method, path, body)?;
+        self.read_stream()
+    }
+
+    /// Sends a request without reading anything back. Pair with
+    /// [`Connection::read_stream`]. This split is what lets a
+    /// scatter-gather caller start N servers computing concurrently and
+    /// only then drain their streams one at a time.
+    pub fn start_stream(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(), String> {
+        self.send_request(method, path, body)
+    }
+
+    /// Reads the response head for a request sent with
+    /// [`Connection::start_stream`] and returns the stream reader over
+    /// its body.
+    pub fn read_stream(&mut self) -> Result<StreamingResponse<'_>, String> {
         let (status, content_length, chunked) = read_response_head(&mut self.reader)?;
         if chunked {
             Ok(StreamingResponse {
@@ -252,6 +337,18 @@ impl StreamingResponse<'_> {
         }
         Ok(lines)
     }
+
+    /// Consumes the stream **without** draining the unread tail (unlike
+    /// a plain drop). The connection is left mid-response and must be
+    /// closed, not reused — closing is exactly what a caller wants when
+    /// aborting: the server observes the disconnect and cancels the
+    /// remaining cells instead of computing them for a drain.
+    pub fn abandon(mut self) {
+        if let StreamKind::Chunked { carry, done, .. } = &mut self.kind {
+            carry.clear();
+            *done = true;
+        }
+    }
 }
 
 impl Drop for StreamingResponse<'_> {
@@ -315,4 +412,15 @@ pub fn request_once(
     body: Option<&str>,
 ) -> Result<Response, String> {
     Connection::open(addr)?.request(method, path, body)
+}
+
+/// One-shot convenience with explicit deadlines.
+pub fn request_once_with(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeouts: Timeouts,
+) -> Result<Response, String> {
+    Connection::open_with(addr, timeouts)?.request(method, path, body)
 }

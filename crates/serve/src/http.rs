@@ -194,6 +194,8 @@ fn reason(status: u16) -> &'static str {
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         501 => "Not Implemented",
+        502 => "Bad Gateway",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
@@ -249,17 +251,29 @@ pub fn finish_chunked(w: &mut impl Write) -> std::io::Result<()> {
     w.flush()
 }
 
-/// Writes one JSON response (the only content type the service speaks).
+/// Writes one JSON response (the content type almost everything speaks).
 pub fn write_response(
     w: &mut impl Write,
     status: u16,
     body: &str,
     keep_alive: bool,
 ) -> std::io::Result<()> {
+    write_response_typed(w, status, "application/json", body, keep_alive)
+}
+
+/// Writes one response with an explicit content type (`GET /metrics`
+/// answers Prometheus text exposition, everything else JSON).
+pub fn write_response_typed(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
     // One buffered write per response keeps cached-cell latency low.
     let head = format!(
-        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
         reason(status),
         body.len(),
     );

@@ -45,8 +45,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod accept;
 pub mod client;
 pub mod http;
+pub mod metrics;
 mod server;
 
 pub use server::{

@@ -1,0 +1,97 @@
+//! Prometheus text-exposition rendering (format version 0.0.4) for the
+//! worker's and the gateway's `GET /metrics` endpoints — counters and
+//! gauges only, which is all a scrape of this service needs.
+
+/// The `content-type` a Prometheus scrape expects.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Accumulates one exposition document: `# HELP`/`# TYPE` headers
+/// followed by sample lines, family by family.
+#[derive(Debug, Default)]
+pub struct MetricsBuilder {
+    out: String,
+}
+
+impl MetricsBuilder {
+    /// An empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a metric family: emits its `# HELP` and `# TYPE` lines.
+    /// Follow with [`MetricsBuilder::sample`] calls for the same name.
+    pub fn family(&mut self, name: &str, help: &str, kind: &str) -> &mut Self {
+        self.out.push_str("# HELP ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(help);
+        self.out.push_str("\n# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind);
+        self.out.push('\n');
+        self
+    }
+
+    /// One sample line. `labels` are `(name, value)` pairs; label values
+    /// are escaped per the exposition format.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) -> &mut Self {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(k);
+                self.out.push_str("=\"");
+                for c in v.chars() {
+                    match c {
+                        '\\' => self.out.push_str("\\\\"),
+                        '"' => self.out.push_str("\\\""),
+                        '\n' => self.out.push_str("\\n"),
+                        c => self.out.push(c),
+                    }
+                }
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        // Counters and gauges here are integral or seconds; `{}` prints
+        // both without exponent noise.
+        self.out.push_str(&format!("{value}"));
+        self.out.push('\n');
+        self
+    }
+
+    /// A one-sample family (header + single unlabeled line).
+    pub fn scalar(&mut self, name: &str, help: &str, kind: &str, value: f64) -> &mut Self {
+        self.family(name, help, kind);
+        self.sample(name, &[], value)
+    }
+
+    /// The finished exposition document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_families_labels_and_escapes() {
+        let mut b = MetricsBuilder::new();
+        b.family("x_total", "things", "counter");
+        b.sample("x_total", &[("endpoint", "simulate")], 3.0);
+        b.sample("x_total", &[("endpoint", "a\"b\\c")], 1.5);
+        b.scalar("up", "liveness", "gauge", 1.0);
+        let text = b.finish();
+        assert!(text.contains("# HELP x_total things\n# TYPE x_total counter\n"));
+        assert!(text.contains("x_total{endpoint=\"simulate\"} 3\n"));
+        assert!(text.contains("x_total{endpoint=\"a\\\"b\\\\c\"} 1.5\n"));
+        assert!(text.ends_with("up 1\n"));
+    }
+}

@@ -16,10 +16,12 @@ use mcdla_dnn::Benchmark;
 use mcdla_parallel::ParallelStrategy;
 use serde::{Deserialize, Serialize, Value};
 
+use crate::accept::{accept_loop, ConnRegistry};
 use crate::http::{
     error_body, finish_chunked, query_flag, read_request, split_target, write_chunk,
-    write_chunked_head, write_response, Request, WireError,
+    write_chunked_head, write_response, write_response_typed, Request, WireError,
 };
+use crate::metrics::MetricsBuilder;
 
 /// Largest grid one buffered `POST /grid` request may expand to.
 pub const MAX_GRID_CELLS: usize = 10_000;
@@ -59,78 +61,38 @@ impl Default for ServeConfig {
     }
 }
 
-/// Per-endpoint request counters, reported by `GET /stats`.
+/// Per-endpoint request counters, reported by `GET /stats` and
+/// `GET /metrics`.
 #[derive(Debug, Default)]
 struct EndpointCounters {
     healthz: AtomicU64,
     stats: AtomicU64,
+    metrics: AtomicU64,
     simulate: AtomicU64,
     grid: AtomicU64,
     errors: AtomicU64,
 }
 
 impl EndpointCounters {
+    /// `(endpoint name, count)` snapshot, in stable order.
+    fn snapshot(&self) -> [(&'static str, u64); 6] {
+        [
+            ("healthz", self.healthz.load(Ordering::Relaxed)),
+            ("stats", self.stats.load(Ordering::Relaxed)),
+            ("metrics", self.metrics.load(Ordering::Relaxed)),
+            ("simulate", self.simulate.load(Ordering::Relaxed)),
+            ("grid", self.grid.load(Ordering::Relaxed)),
+            ("errors", self.errors.load(Ordering::Relaxed)),
+        ]
+    }
+
     fn to_value(&self) -> Value {
-        Value::Map(vec![
-            (
-                "healthz".into(),
-                Value::U64(self.healthz.load(Ordering::Relaxed)),
-            ),
-            (
-                "stats".into(),
-                Value::U64(self.stats.load(Ordering::Relaxed)),
-            ),
-            (
-                "simulate".into(),
-                Value::U64(self.simulate.load(Ordering::Relaxed)),
-            ),
-            ("grid".into(), Value::U64(self.grid.load(Ordering::Relaxed))),
-            (
-                "errors".into(),
-                Value::U64(self.errors.load(Ordering::Relaxed)),
-            ),
-        ])
-    }
-}
-
-/// Clones of every live connection's socket, so shutdown can unblock
-/// handlers parked in a 30-second idle read instead of waiting them out.
-#[derive(Debug, Default)]
-struct ConnRegistry {
-    slots: Mutex<Vec<Option<TcpStream>>>,
-}
-
-impl ConnRegistry {
-    /// Registers a connection, returning its slot id.
-    fn register(&self, stream: &TcpStream) -> Option<usize> {
-        let clone = stream.try_clone().ok()?;
-        let mut slots = self.slots.lock().expect("conn registry lock");
-        if let Some(i) = slots.iter().position(Option::is_none) {
-            slots[i] = Some(clone);
-            Some(i)
-        } else {
-            slots.push(Some(clone));
-            Some(slots.len() - 1)
-        }
-    }
-
-    fn deregister(&self, id: usize) {
-        self.slots.lock().expect("conn registry lock")[id] = None;
-    }
-
-    /// Read-closes every live connection: blocked reads return EOF at
-    /// once and the handlers exit, while the write half stays open so
-    /// an in-flight response still reaches its client.
-    fn close_all(&self) {
-        for stream in self
-            .slots
-            .lock()
-            .expect("conn registry lock")
-            .iter()
-            .flatten()
-        {
-            let _ = stream.shutdown(std::net::Shutdown::Read);
-        }
+        Value::Map(
+            self.snapshot()
+                .into_iter()
+                .map(|(name, count)| (name.into(), Value::U64(count)))
+                .collect(),
+        )
     }
 }
 
@@ -257,7 +219,11 @@ impl Server {
             acceptors.push(
                 std::thread::Builder::new()
                     .name(format!("mcdla-serve-{i}"))
-                    .spawn(move || accept_loop(&listener, &state))?,
+                    .spawn(move || {
+                        accept_loop(&listener, &state.shutdown, |stream| {
+                            handle_connection(stream, &state)
+                        })
+                    })?,
             );
         }
         Ok(ServerHandle {
@@ -280,10 +246,16 @@ impl Server {
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("mcdla-serve-{i}"))
-                    .spawn(move || accept_loop(&listener, &state))?,
+                    .spawn(move || {
+                        accept_loop(&listener, &state.shutdown, |stream| {
+                            handle_connection(stream, &state)
+                        })
+                    })?,
             );
         }
-        accept_loop(&listener, &state);
+        accept_loop(&listener, &state.shutdown, |stream| {
+            handle_connection(stream, &state)
+        });
         for w in workers {
             let _ = w.join();
         }
@@ -327,50 +299,11 @@ impl ServerHandle {
     }
 }
 
-fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
-    loop {
-        if state.shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                if state.shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-                handle_connection(stream, state);
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(_) => {
-                // Transient accept errors (EMFILE, aborted handshake):
-                // back off briefly instead of spinning.
-                std::thread::sleep(Duration::from_millis(10));
-            }
-        }
-    }
-}
-
-/// Deregisters a connection slot however the handler exits.
-struct ConnGuard<'a> {
-    state: &'a ServerState,
-    id: Option<usize>,
-}
-
-impl Drop for ConnGuard<'_> {
-    fn drop(&mut self) {
-        if let Some(id) = self.id {
-            self.state.conns.deregister(id);
-        }
-    }
-}
-
 /// Serves one connection's keep-alive request loop.
 fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
-    let _guard = ConnGuard {
-        state,
-        id: state.conns.register(&stream),
-    };
+    let _guard = state.conns.register(&stream);
     // `shutdown()` closes registered sockets *after* setting the flag;
     // re-checking here means a connection that registered too late to
     // be closed still exits instead of blocking the pool.
@@ -448,7 +381,15 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
                 if outcome.status >= 400 {
                     state.requests.errors.fetch_add(1, Ordering::Relaxed);
                 }
-                if write_response(&mut writer, outcome.status, &outcome.body, keep_alive).is_err() {
+                if write_response_typed(
+                    &mut writer,
+                    outcome.status,
+                    outcome.content_type,
+                    &outcome.body,
+                    keep_alive,
+                )
+                .is_err()
+                {
                     return;
                 }
                 if outcome.computed_cells > 0 {
@@ -466,6 +407,8 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
 struct Outcome {
     status: u16,
     body: String,
+    /// Response content type (JSON everywhere except `/metrics`).
+    content_type: &'static str,
     /// Cells this request actually simulated (drives snapshot rewrites).
     computed_cells: usize,
 }
@@ -475,6 +418,16 @@ impl Outcome {
         Outcome {
             status: 200,
             body,
+            content_type: "application/json",
+            computed_cells: 0,
+        }
+    }
+
+    fn text(body: String, content_type: &'static str) -> Self {
+        Outcome {
+            status: 200,
+            body,
+            content_type,
             computed_cells: 0,
         }
     }
@@ -483,6 +436,7 @@ impl Outcome {
         Outcome {
             status,
             body: error_body(message),
+            content_type: "application/json",
             computed_cells: 0,
         }
     }
@@ -502,6 +456,10 @@ fn route(request: &Request, state: &Arc<ServerState>) -> Outcome {
             state.requests.stats.fetch_add(1, Ordering::Relaxed);
             Outcome::ok(serde::json::to_string_pretty(&stats_value(state)))
         }
+        ("GET", "/metrics") => {
+            state.requests.metrics.fetch_add(1, Ordering::Relaxed);
+            Outcome::text(metrics_text(state), crate::metrics::CONTENT_TYPE)
+        }
         ("POST", "/simulate") => {
             state.requests.simulate.fetch_add(1, Ordering::Relaxed);
             simulate_endpoint(&request.body, state)
@@ -510,7 +468,7 @@ fn route(request: &Request, state: &Arc<ServerState>) -> Outcome {
             state.requests.grid.fetch_add(1, Ordering::Relaxed);
             grid_endpoint(&request.body, state)
         }
-        (_, "/healthz" | "/stats") => Outcome::error(405, "use GET on this endpoint"),
+        (_, "/healthz" | "/stats" | "/metrics") => Outcome::error(405, "use GET on this endpoint"),
         (_, "/simulate" | "/grid") => {
             Outcome::error(405, "use POST with a JSON body on this endpoint")
         }
@@ -532,6 +490,84 @@ fn stats_value(state: &ServerState) -> Value {
         ("store".into(), state.store.stats().to_value()),
         ("requests".into(), state.requests.to_value()),
     ])
+}
+
+/// Renders the worker's `GET /metrics` Prometheus exposition: request
+/// counters per endpoint plus the result-store counters and gauges —
+/// the same numbers `GET /stats` reports as JSON, in the format
+/// standard scrapers speak.
+fn metrics_text(state: &ServerState) -> String {
+    let stats = state.store.stats();
+    let mut b = MetricsBuilder::new();
+    b.scalar(
+        "mcdla_up",
+        "Whether this mcdla-serve worker is serving.",
+        "gauge",
+        1.0,
+    );
+    b.scalar(
+        "mcdla_uptime_seconds",
+        "Seconds since this worker started.",
+        "gauge",
+        state.started.elapsed().as_secs_f64(),
+    );
+    b.family(
+        "mcdla_requests_total",
+        "Requests handled, by endpoint (`errors` counts 4xx/5xx answers).",
+        "counter",
+    );
+    for (endpoint, count) in state.requests.snapshot() {
+        b.sample(
+            "mcdla_requests_total",
+            &[("endpoint", endpoint)],
+            count as f64,
+        );
+    }
+    b.scalar(
+        "mcdla_store_hits_total",
+        "Requests answered from the result cache (including coalesced waiters).",
+        "counter",
+        stats.hits as f64,
+    );
+    b.scalar(
+        "mcdla_store_misses_total",
+        "Cells actually simulated.",
+        "counter",
+        stats.misses as f64,
+    );
+    b.scalar(
+        "mcdla_store_evictions_total",
+        "Entries evicted to stay within the capacity bound.",
+        "counter",
+        stats.evictions as f64,
+    );
+    b.scalar(
+        "mcdla_store_dedup_waits_total",
+        "Requests that coalesced onto another caller's in-flight simulation.",
+        "counter",
+        stats.dedup_waits as f64,
+    );
+    b.scalar(
+        "mcdla_store_in_flight",
+        "Simulations executing right now.",
+        "gauge",
+        stats.in_flight as f64,
+    );
+    b.scalar(
+        "mcdla_store_entries",
+        "Distinct cells currently resident.",
+        "gauge",
+        stats.entries as f64,
+    );
+    if let Some(capacity) = stats.capacity {
+        b.scalar(
+            "mcdla_store_capacity",
+            "Configured result-store capacity bound.",
+            "gauge",
+            capacity as f64,
+        );
+    }
+    b.finish()
 }
 
 fn parse_body<T: Deserialize>(body: &[u8], what: &str) -> Result<T, Outcome> {
@@ -570,9 +606,12 @@ fn simulate_endpoint(body: &[u8], state: &Arc<ServerState>) -> Outcome {
     let fetched = state.store.get_or_compute(scenario, || scenario.simulate());
     let computed = fetched.provenance == Provenance::Computed;
     Outcome {
-        status: 200,
-        body: serde::json::to_string_pretty(&cell_value(&scenario, &fetched.report, !computed)),
         computed_cells: usize::from(computed),
+        ..Outcome::ok(serde::json::to_string_pretty(&cell_value(
+            &scenario,
+            &fetched.report,
+            !computed,
+        )))
     }
 }
 
@@ -595,6 +634,11 @@ pub struct GridRequest {
     pub generations: Option<Vec<DeviceGeneration>>,
     /// Overrides axis.
     pub overrides: Option<Vec<Overrides>>,
+    /// An **explicit** cell list instead of cartesian axes — the form the
+    /// `mcdla-cluster` gateway scatters with, since a consistent-hash
+    /// partition of a grid is not itself a cartesian product. Mutually
+    /// exclusive with every axis field; cells run in list order.
+    pub cells: Option<Vec<Scenario>>,
 }
 
 impl GridRequest {
@@ -607,6 +651,28 @@ impl GridRequest {
     /// Expands the request into concrete scenarios, rejecting grids over
     /// `max_cells` (streamed requests use [`MAX_STREAM_CELLS`]).
     pub fn scenarios_bounded(&self, max_cells: usize) -> Result<Vec<Scenario>, String> {
+        if let Some(cells) = &self.cells {
+            if self.designs.is_some()
+                || self.benchmarks.is_some()
+                || self.strategies.is_some()
+                || self.devices.is_some()
+                || self.batches.is_some()
+                || self.generations.is_some()
+                || self.overrides.is_some()
+            {
+                return Err("`cells` cannot be combined with axis fields".into());
+            }
+            if cells.is_empty() {
+                return Err("`cells` must name at least one scenario".into());
+            }
+            if cells.len() > max_cells {
+                return Err(format!(
+                    "grid names {} cells; the limit is {max_cells}",
+                    cells.len()
+                ));
+            }
+            return Ok(cells.clone());
+        }
         let mut grid = ScenarioGrid::paper_default();
         if let Some(designs) = &self.designs {
             grid = grid.designs(designs);
@@ -672,12 +738,11 @@ fn grid_endpoint(body: &[u8], state: &Arc<ServerState>) -> Outcome {
         .map(|t| cell_value(&t.scenario, &t.report, t.cached))
         .collect();
     Outcome {
-        status: 200,
-        body: serde::json::to_string_pretty(&Value::Map(vec![
+        computed_cells,
+        ..Outcome::ok(serde::json::to_string_pretty(&Value::Map(vec![
             ("count".into(), Value::U64(runs.len() as u64)),
             ("cells".into(), Value::Seq(cells)),
-        ])),
-        computed_cells,
+        ])))
     }
 }
 

@@ -31,6 +31,9 @@ struct Args {
     cache_cap: Option<usize>,
     snapshot: Option<String>,
     body: Option<String>,
+    workers: Option<usize>,
+    backends: Vec<String>,
+    timeout_ms: Option<u64>,
 }
 
 const USAGE: &str = "\
@@ -60,9 +63,14 @@ subcommands
                 (--ndjson streams one JSON object per cell to stdout)
   simulate      run one scenario cell from JSON, print its report
   serve         run the persistent HTTP simulation service
-  query         query a running service (healthz | stats | simulate | grid)
+  query         query a running service or gateway (healthz | stats |
+                metrics | cluster-stats | simulate | grid)
+  cluster       spawn a local fleet: N workers on ephemeral ports plus a
+                gateway routing across them (--workers N)
+  gateway       run a gateway over an existing fleet (--backends LIST)
   serve-bench   time the service layer, write BENCH_service.json
   store-bench   time the result-store cache core, write BENCH_store.json
+  cluster-bench time 1/2/4-worker fleets, write BENCH_cluster.json
   all           every report above, in order
   help          this message
 
@@ -78,19 +86,29 @@ options
   --filter SUBSTR   sweep: only run cells whose label contains SUBSTR
                     (labels look like `MC-DLA(B)/AlexNet/data-parallel`);
                     a filter matching zero cells is an error
-  --addr HOST:PORT  serve/query address (default 127.0.0.1:7878)
-  --cache-cap N     serve/sweep: bound the result store to N cells
-                    (globally LRU-evicted; residency never exceeds N)
+  --addr HOST:PORT  serve/query listen or target address (default
+                    127.0.0.1:7878); for cluster/gateway, the gateway's
+                    listen address (default 127.0.0.1:7900)
+  --cache-cap N     serve/sweep/cluster: bound the result store to N
+                    cells (globally LRU-evicted; residency never
+                    exceeds N; cluster: per worker)
   --snapshot FILE   serve: warm-load at startup, rewrite after new cells
-                    (snapshots larger than --cache-cap are compacted)
+                    (snapshots larger than --cache-cap are compacted);
+                    cluster: per-worker files FILE.w0.json, FILE.w1.json...
   --body JSON       simulate/query: the request body (`-` reads stdin;
                     `query grid` defaults to {}, the full paper matrix)
+  --workers N       cluster: fleet size
+  --backends LIST   gateway: comma-separated worker host:port addresses
+  --timeout-ms N    query/cluster/gateway: connect/read/write deadline
+                    per request (query default: 10 s connect, 120 s read)
 
-service endpoints (see docs/protocol.md)
+service endpoints (see docs/protocol.md and docs/cluster.md)
   POST /simulate   one serde Scenario in, {scenario,digest,cached,report} out
   POST /grid       cartesian axes in, {count,cells:[...]} out
   GET  /healthz    liveness probe
   GET  /stats      store hit/miss/eviction/in-flight + request counters
+  GET  /metrics    Prometheus text exposition (worker and gateway)
+  GET  /cluster/stats  gateway: per-worker health + fleet totals
 ";
 
 fn main() -> ExitCode {
@@ -127,6 +145,9 @@ fn parse_args() -> Result<Args, String> {
         cache_cap: None,
         snapshot: None,
         body: None,
+        workers: None,
+        backends: Vec::new(),
+        timeout_ms: None,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -170,6 +191,37 @@ fn parse_args() -> Result<Args, String> {
             }
             "--snapshot" => args.snapshot = Some(argv.next().ok_or("--snapshot needs a path")?),
             "--body" => args.body = Some(argv.next().ok_or("--body needs JSON (or `-`)")?),
+            "--workers" => {
+                let v = argv.next().ok_or("--workers needs a count")?;
+                let n: usize = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("worker count must be >= 1 (got `{v}`)"))?;
+                args.workers = Some(n);
+            }
+            "--backends" => {
+                let v = argv
+                    .next()
+                    .ok_or("--backends needs host:port,host:port,...")?;
+                args.backends = v
+                    .split(',')
+                    .map(|a| a.trim().to_owned())
+                    .filter(|a| !a.is_empty())
+                    .collect();
+                if args.backends.is_empty() {
+                    return Err("--backends needs at least one host:port".into());
+                }
+            }
+            "--timeout-ms" => {
+                let v = argv.next().ok_or("--timeout-ms needs a value")?;
+                let n: u64 = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("timeout must be >= 1 ms (got `{v}`)"))?;
+                args.timeout_ms = Some(n);
+            }
             other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
             positional => args.rest.push(positional.to_owned()),
         }
@@ -188,6 +240,16 @@ fn resolve_body(args: &Args) -> Result<Option<String>, String> {
         }
         Some(body) => Ok(Some(body.to_owned())),
         None => Ok(None),
+    }
+}
+
+/// Client/gateway deadlines: `--timeout-ms` bounds every phase; the
+/// default keeps the generous stock deadlines (10 s connect, 120 s
+/// read) so cold cells still simulate, while a dead host fails fast.
+fn timeouts(args: &Args) -> mcdla::serve::client::Timeouts {
+    match args.timeout_ms {
+        Some(ms) => mcdla::serve::client::Timeouts::all(std::time::Duration::from_millis(ms)),
+        None => mcdla::serve::client::Timeouts::default(),
     }
 }
 
@@ -223,8 +285,11 @@ const SUBCOMMANDS: &[&str] = &[
     "simulate",
     "serve",
     "query",
+    "cluster",
+    "gateway",
     "serve-bench",
     "store-bench",
+    "cluster-bench",
     "all",
     "help",
     "--help",
@@ -240,6 +305,26 @@ fn run(args: &Args) -> Result<(), String> {
     if args.ndjson && args.command != "sweep" {
         return Err(format!(
             "--ndjson is a `sweep` flag (got `{}`)",
+            args.command
+        ));
+    }
+    if args.timeout_ms.is_some()
+        && !matches!(args.command.as_str(), "query" | "cluster" | "gateway")
+    {
+        return Err(format!(
+            "--timeout-ms is a `query`/`cluster`/`gateway` flag (got `{}`)",
+            args.command
+        ));
+    }
+    if args.workers.is_some() && args.command != "cluster" {
+        return Err(format!(
+            "--workers is a `cluster` flag (got `{}`)",
+            args.command
+        ));
+    }
+    if !args.backends.is_empty() && args.command != "gateway" {
+        return Err(format!(
+            "--backends is a `gateway` flag (got `{}`)",
             args.command
         ));
     }
@@ -376,15 +461,16 @@ fn run(args: &Args) -> Result<(), String> {
             server.run().map_err(|e| format!("serving: {e}"))?;
         }
         "query" => {
-            let endpoint = args
-                .rest
-                .first()
-                .ok_or("`query` needs an endpoint: healthz | stats | simulate | grid")?;
+            let endpoint = args.rest.first().ok_or(
+                "`query` needs an endpoint: healthz | stats | metrics | cluster-stats | simulate | grid",
+            )?;
             let addr = args.addr.as_deref().unwrap_or("127.0.0.1:7878");
             let body = resolve_body(args)?;
             let (method, path, body) = match endpoint.as_str() {
                 "healthz" => ("GET", "/healthz", None),
                 "stats" => ("GET", "/stats", None),
+                "metrics" => ("GET", "/metrics", None),
+                "cluster-stats" => ("GET", "/cluster/stats", None),
                 "simulate" => (
                     "POST",
                     "/simulate",
@@ -398,15 +484,90 @@ fn run(args: &Args) -> Result<(), String> {
                 ),
                 other => {
                     return Err(format!(
-                    "unknown query endpoint `{other}` (expected healthz | stats | simulate | grid)"
-                ))
+                        "unknown query endpoint `{other}` (expected healthz | stats | metrics \
+                         | cluster-stats | simulate | grid)"
+                    ))
                 }
             };
-            let response = mcdla::serve::client::request_once(addr, method, path, body.as_deref())?;
+            let response = mcdla::serve::client::request_once_with(
+                addr,
+                method,
+                path,
+                body.as_deref(),
+                timeouts(args),
+            )?;
             println!("{}", response.body);
             if !response.is_ok() {
                 return Err(format!("{addr}{path} answered HTTP {}", response.status));
             }
+        }
+        "cluster" => {
+            let workers = args.workers.ok_or("`cluster` needs --workers N")?;
+            let addr = args.addr.as_deref().unwrap_or("127.0.0.1:7900");
+            let snapshot_prefix = args.snapshot.as_deref().map(std::path::Path::new);
+            let mut handles = Vec::with_capacity(workers);
+            let mut backends = Vec::with_capacity(workers);
+            for i in 0..workers {
+                let server = mcdla::serve::Server::bind(&mcdla::serve::ServeConfig {
+                    addr: "127.0.0.1:0".to_owned(),
+                    threads: args.threads.unwrap_or(4),
+                    cache_cap: args.cache_cap,
+                    snapshot: snapshot_prefix
+                        .map(|prefix| mcdla::cluster::worker_snapshot_path(prefix, i)),
+                })?;
+                let handle = server
+                    .spawn()
+                    .map_err(|e| format!("spawning worker {i}: {e}"))?;
+                println!("mcdla-serve worker {i} listening on {}", handle.addr());
+                backends.push(handle.addr().to_string());
+                handles.push(handle);
+            }
+            let gateway = mcdla::cluster::Gateway::bind(&mcdla::cluster::GatewayConfig {
+                addr: addr.to_owned(),
+                backends,
+                timeouts: timeouts(args),
+                ..mcdla::cluster::GatewayConfig::default()
+            })?;
+            let local = gateway
+                .local_addr()
+                .map_err(|e| format!("resolving gateway address: {e}"))?;
+            println!(
+                "mcdla-gateway listening on {local} ({workers} workers, cache {}, snapshot {})",
+                match args.cache_cap {
+                    Some(cap) => format!("{cap} cells/worker"),
+                    None => "unbounded".to_owned(),
+                },
+                match &args.snapshot {
+                    Some(prefix) => format!("{prefix}.wN.json"),
+                    None => "off".to_owned(),
+                },
+            );
+            gateway.run().map_err(|e| format!("serving gateway: {e}"))?;
+            for handle in handles {
+                handle.shutdown();
+            }
+        }
+        "gateway" => {
+            if args.backends.is_empty() {
+                return Err("`gateway` needs --backends host:port,host:port,...".into());
+            }
+            let gateway = mcdla::cluster::Gateway::bind(&mcdla::cluster::GatewayConfig {
+                addr: args
+                    .addr
+                    .clone()
+                    .unwrap_or_else(|| "127.0.0.1:7900".to_owned()),
+                backends: args.backends.clone(),
+                timeouts: timeouts(args),
+                ..mcdla::cluster::GatewayConfig::default()
+            })?;
+            let local = gateway
+                .local_addr()
+                .map_err(|e| format!("resolving gateway address: {e}"))?;
+            println!(
+                "mcdla-gateway listening on {local} ({} backends)",
+                args.backends.len()
+            );
+            gateway.run().map_err(|e| format!("serving gateway: {e}"))?;
         }
         "serve-bench" => {
             let result = mcdla_bench::service::service_bench(4, 5_000);
@@ -417,6 +578,22 @@ fn run(args: &Args) -> Result<(), String> {
                 "cached-cell throughput {:.0} req/s ({} the 10k req/s service bar)",
                 result.cached_rps,
                 if result.cached_rps >= 10_000.0 {
+                    "meets"
+                } else {
+                    "below"
+                }
+            );
+            println!("wrote {path}");
+        }
+        "cluster-bench" => {
+            let result = mcdla_bench::cluster_bench::cluster_bench(4, 2_000);
+            let path = args.out.as_deref().unwrap_or("BENCH_cluster.json");
+            std::fs::write(path, &result.json).map_err(|e| format!("writing {path}: {e}"))?;
+            print!("{}", result.summary);
+            println!(
+                "capacity-pressure scaling {:.2}x at 4 workers ({} the 2.5x fleet bar)",
+                result.pressure_scaling,
+                if result.pressure_scaling >= 2.5 {
                     "meets"
                 } else {
                     "below"

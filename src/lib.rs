@@ -25,6 +25,7 @@
 //! | [`parallel`] | data-/model-parallel partitioners (Fig. 3) |
 //! | [`core`] | the six system designs + iteration simulator + §V experiments |
 //! | [`serve`] | the persistent simulation service over the shared result store |
+//! | [`cluster`] | the fleet layer: consistent-hash gateway, failover, scatter-gather |
 //!
 //! # Quickstart
 //!
@@ -46,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub use mcdla_accel as accel;
+pub use mcdla_cluster as cluster;
 pub use mcdla_core as core;
 pub use mcdla_dnn as dnn;
 pub use mcdla_interconnect as interconnect;
