@@ -41,6 +41,7 @@ use std::fmt::Write as _;
 pub mod cluster_bench;
 pub mod reports;
 pub mod service;
+pub mod stage_bench;
 pub mod store_bench;
 pub mod timing;
 

@@ -1008,7 +1008,9 @@ pub fn sweep_cell_line(t: &mcdla_core::TimedRun) -> String {
 /// Expands, validates, and filters a sweep grid into a [`SweepPlan`].
 ///
 /// `batches`/`device_counts` extend (not replace) the default §V matrix
-/// along those axes when non-empty; `filter` keeps only the cells whose
+/// along those axes when non-empty — cells an extension duplicates (a
+/// flag repeating a default value) are collapsed to their first
+/// occurrence before compute; `filter` keeps only the cells whose
 /// [`label`](mcdla_core::Scenario::label) contains the given substring
 /// (case-insensitive); `cache_cap` bounds the sweep's memo cache.
 ///
@@ -1033,7 +1035,13 @@ pub fn plan_sweep(
     if !device_counts.is_empty() {
         grid = grid.extend_device_counts(device_counts);
     }
-    let expanded = grid.scenarios();
+    let mut expanded = grid.scenarios();
+    // Extended axes can repeat values already in the paper matrix (e.g.
+    // `--batches 256` when 256 is a default); simulating a cell twice
+    // wastes compute and double-counts it in the report, so keep the
+    // first occurrence of each distinct scenario.
+    let mut seen = std::collections::HashSet::new();
+    expanded.retain(|s| seen.insert(*s));
     let grid_cells = expanded.len();
     // Axis extensions multiply, so individually sane lists can produce
     // nonsensical cells (e.g. --batches 64 --devices 256): reject the
@@ -1164,6 +1172,27 @@ pub fn sweep(plan: SweepPlan) -> SweepResult {
             vec!["cell max".into(), format!("{:.2} ms", pick(1.0))],
         ],
     );
+    let stage_rows: Vec<Vec<String>> = cache
+        .stages
+        .iter()
+        .map(|s| {
+            vec![
+                s.stage.clone(),
+                format!("{}/{}", s.hits, s.misses),
+                crate::fmt_pct(s.hit_rate),
+                s.evictions.to_string(),
+                match s.capacity {
+                    Some(cap) => format!("{} (cap {cap})", s.entries),
+                    None => format!("{} (unbounded)", s.entries),
+                },
+            ]
+        })
+        .collect();
+    summary.push_str(&render_table(
+        "staged engine (per-stage memo-table traffic, process lifetime)",
+        &["stage", "hits/misses", "hit rate", "evictions", "entries"],
+        &stage_rows,
+    ));
     let _ = writeln!(summary, "slowest cells:");
     let mut by_wall: Vec<&&mcdla_core::TimedRun> = simulated.iter().collect();
     by_wall.sort_by_key(|t| std::cmp::Reverse(t.wall));

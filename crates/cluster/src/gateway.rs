@@ -540,14 +540,26 @@ fn stream_grid(
     };
     let router = &state.router;
 
+    // Duplicate cells are computed once: only canonical indices reach
+    // the fleet, and the gateway re-emits the canonical line for each
+    // duplicate, so the client still gets one line per input cell.
+    let canon = crate::merge::canonical_indices(&scenarios);
+    let keys = crate::merge::routing_keys(&scenarios);
+    let mut dup_count: Vec<usize> = vec![0; scenarios.len()];
+    for (i, &c) in canon.iter().enumerate() {
+        if c != i {
+            dup_count[c] += 1;
+        }
+    }
+
     // Open phase: partition and start every sub-stream, failing slices
     // over while nothing has been written to the client yet.
     let mut opened: Vec<(crate::pool::PooledConn<'_>, Vec<usize>, usize)> = Vec::new();
-    let mut pending: Vec<usize> = (0..scenarios.len()).collect();
+    let mut pending: Vec<usize> = (0..scenarios.len()).filter(|&i| canon[i] == i).collect();
     let mut excluded: BTreeSet<usize> = BTreeSet::new();
     let mut failures: Vec<String> = Vec::new();
     while !pending.is_empty() {
-        let parts = match partition_pending(router, &scenarios, &pending, &excluded) {
+        let parts = match partition_pending(router, &scenarios, &keys, &pending, &excluded) {
             Ok(parts) => parts,
             Err(e) => {
                 let message = if failures.is_empty() {
@@ -611,12 +623,17 @@ fn stream_grid(
             match stream.next_line() {
                 Some(Ok(mut line)) => {
                     line.push('\n');
-                    if write_chunk(writer, line.as_bytes()).is_err() {
-                        // Client went away: abandoning (not draining)
-                        // closes the worker connection, cancelling its
-                        // remaining cells.
-                        stream.abandon();
-                        return StreamOutcome::Streamed { clean: false };
+                    // One copy for the canonical cell plus one per
+                    // duplicate the gateway held back from the fleet.
+                    let copies = 1 + indices.get(lines).map_or(0, |&i| dup_count[i]);
+                    for _ in 0..copies {
+                        if write_chunk(writer, line.as_bytes()).is_err() {
+                            // Client went away: abandoning (not
+                            // draining) closes the worker connection,
+                            // cancelling its remaining cells.
+                            stream.abandon();
+                            return StreamOutcome::Streamed { clean: false };
+                        }
                     }
                     lines += 1;
                 }

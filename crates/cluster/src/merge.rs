@@ -10,13 +10,41 @@
 //! buffered response is cell-for-cell identical to what one big worker
 //! would have answered (modulo `cached` flags, which reflect each
 //! worker's own cache).
+//!
+//! Routing keys are hashed once per request ([`routing_keys`]) and
+//! duplicate cells are collapsed before the scatter
+//! ([`canonical_indices`]): a degenerate grid or a client-sent
+//! duplicate list costs one simulation per distinct cell, with the
+//! gateway replaying the canonical answer at every duplicate index.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 
 use mcdla_core::Scenario;
 use serde::{Serialize, Value};
 
 use crate::router::{GatewayError, Router};
+
+/// Maps each grid index to the first index holding the same scenario
+/// (an index maps to itself when it is the first occurrence). A
+/// client-sent duplicate list or a degenerate grid then costs one
+/// simulation per *distinct* cell: only canonical indices go to the
+/// fleet, and the gateway replays the canonical answer for the
+/// duplicates — output stays one cell per input cell, in input order.
+pub(crate) fn canonical_indices(scenarios: &[Scenario]) -> Vec<usize> {
+    let mut first: HashMap<&Scenario, usize> = HashMap::with_capacity(scenarios.len());
+    scenarios
+        .iter()
+        .enumerate()
+        .map(|(i, s)| *first.entry(s).or_insert(i))
+        .collect()
+}
+
+/// The routing keys for a request's cells, hashed once up front:
+/// retry rounds and replica walks reuse them instead of re-hashing
+/// scenarios on the failover path.
+pub(crate) fn routing_keys(scenarios: &[Scenario]) -> Vec<u64> {
+    scenarios.iter().map(mcdla_core::key_hash).collect()
+}
 
 /// One worker's slice of a grid: the original cell indices it owns and
 /// the ready-to-send sub-grid body.
@@ -45,6 +73,7 @@ fn sub_grid_body(cells: &[&Scenario]) -> String {
 pub(crate) fn partition_pending(
     router: &Router,
     scenarios: &[Scenario],
+    keys: &[u64],
     pending: &[usize],
     excluded: &BTreeSet<usize>,
 ) -> Result<Vec<Partition>, GatewayError> {
@@ -59,9 +88,8 @@ pub(crate) fn partition_pending(
     }
     let mut slices: Vec<Vec<usize>> = vec![Vec::new(); router.workers().len()];
     for &idx in pending {
-        let key = mcdla_core::key_hash(&scenarios[idx]);
         let choice = router
-            .route(key)
+            .route(keys[idx])
             .into_iter()
             .find(|w| !excluded.contains(w))
             .expect("checked above that at least one worker remains");
@@ -139,18 +167,23 @@ pub(crate) fn scatter_buffered(
 ) -> Result<Vec<Value>, GatewayError> {
     let mut out: Vec<Option<Value>> = Vec::with_capacity(scenarios.len());
     out.resize_with(scenarios.len(), || None);
-    let mut pending: Vec<usize> = (0..scenarios.len()).collect();
+    let canon = canonical_indices(scenarios);
+    let keys = routing_keys(scenarios);
+    // Only distinct cells go to the fleet; duplicates are filled from
+    // their canonical answer after the gather.
+    let mut pending: Vec<usize> = (0..scenarios.len()).filter(|&i| canon[i] == i).collect();
     let mut excluded: BTreeSet<usize> = BTreeSet::new();
     let mut failures: Vec<String> = Vec::new();
 
     while !pending.is_empty() {
-        let parts = partition_pending(router, scenarios, &pending, &excluded).map_err(|e| {
-            if failures.is_empty() {
-                e
-            } else {
-                GatewayError::new(502, format!("{}: {}", e.message, failures.join("; ")))
-            }
-        })?;
+        let parts =
+            partition_pending(router, scenarios, &keys, &pending, &excluded).map_err(|e| {
+                if failures.is_empty() {
+                    e
+                } else {
+                    GatewayError::new(502, format!("{}: {}", e.message, failures.join("; ")))
+                }
+            })?;
         let results: Vec<(Partition, Result<Vec<Value>, String>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = parts
                 .into_iter()
@@ -199,6 +232,11 @@ pub(crate) fn scatter_buffered(
         pending = next_pending;
     }
 
+    for idx in 0..out.len() {
+        if canon[idx] != idx {
+            out[idx] = out[canon[idx]].clone();
+        }
+    }
     Ok(out
         .into_iter()
         .map(|cell| cell.expect("every grid index was filled"))

@@ -176,6 +176,56 @@ fn streamed_grid_merges_every_partition_and_stays_reusable() {
 }
 
 #[test]
+fn gateway_deduplicates_repeated_cells_before_the_scatter() {
+    let fleet = fleet(2);
+    let addr = fleet.gateway_addr().to_string();
+    let a = Scenario::new(
+        SystemDesign::McDlaBwAware,
+        Benchmark::AlexNet,
+        ParallelStrategy::DataParallel,
+    );
+    let b = Scenario::new(
+        SystemDesign::DcDla,
+        Benchmark::GoogLeNet,
+        ParallelStrategy::DataParallel,
+    );
+    let body = format!(
+        r#"{{"cells": [{a}, {b}, {a}, {a}]}}"#,
+        a = scenario_json(&a),
+        b = scenario_json(&b)
+    );
+
+    let mut conn = Connection::open(&addr).expect("open gateway connection");
+    let resp = conn.request("POST", "/grid", Some(&body)).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let cells = grid_cells(&resp.body);
+    assert_eq!(cells.len(), 4, "one output cell per input cell");
+    assert_eq!(strip_cached(&cells[0]), strip_cached(&cells[2]));
+    assert_eq!(strip_cached(&cells[0]), strip_cached(&cells[3]));
+    // Only the two distinct cells reached the fleet: no worker saw the
+    // duplicates, so no worker-store lookup hit a just-computed entry.
+    let (hits, entries) = fleet.workers.iter().fold((0, 0), |(h, n), w| {
+        let stats = w.store().stats();
+        (h + stats.hits, n + stats.entries)
+    });
+    assert_eq!(entries, 2, "the fleet holds one entry per distinct cell");
+    assert_eq!(hits, 0, "duplicates were scattered to the fleet");
+
+    // Streaming dedupe keeps the line-per-input-cell contract too.
+    let stream = conn
+        .request_stream("POST", "/grid?stream=1", Some(&body))
+        .unwrap();
+    assert_eq!(stream.status, 200);
+    let lines = stream.collect_lines().expect("clean merged stream");
+    assert_eq!(lines.len(), 4, "one streamed line per input cell");
+    let parse = |l: &String| serde::json::to_string(&strip_cached(&serde::json::parse(l).unwrap()));
+    let payloads: Vec<String> = lines.iter().map(parse).collect();
+    let a_payload = serde::json::to_string(&strip_cached(&cells[0]));
+    assert_eq!(payloads.iter().filter(|p| **p == a_payload).count(), 3);
+    fleet.shutdown();
+}
+
+#[test]
 fn worker_grid_accepts_explicit_cells_and_rejects_mixtures() {
     let single = Server::bind(&ServeConfig {
         addr: "127.0.0.1:0".into(),

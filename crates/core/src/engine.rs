@@ -20,9 +20,22 @@
 //! [`VirtPath`](crate::VirtPath) (validated against the fluid-flow solver
 //! in that module's tests), and simulating one representative device yields
 //! the node-level timeline.
+//!
+//! # Staging
+//!
+//! The simulation is organized as a staged pipeline: the expensive
+//! network-, plan-, schedule-, and fabric-dependent preparation is
+//! captured in plain-data **artifacts** ([`PlanArt`], [`SchedArt`],
+//! [`FabricSummary`], the consumer lists, and the per-layer timing
+//! table), and a lean, uncached [`assemble`] pass replays the event loop
+//! over them. [`IterationSim::run`] builds every artifact from scratch —
+//! the monolithic reference path — while [`crate::stages`] memoizes each
+//! artifact in a [`StageCache`](crate::StageCache) keyed by exactly the
+//! scenario axes it depends on, so a mega-grid that varies one knob
+//! rebuilds only the artifacts that knob actually touches.
 
 use mcdla_accel::AccelTimingModel;
-use mcdla_dnn::Network;
+use mcdla_dnn::{DataType, Network};
 use mcdla_interconnect::{CollectiveKind, CollectiveModel, RingShape};
 use mcdla_parallel::{ParallelStrategy, SyncOp, SyncTrigger, WorkerPlan};
 use mcdla_sim::{Bytes, FifoEngine, SimDuration, SimTime};
@@ -126,220 +139,449 @@ impl<'a> IterationSim<'a> {
             .striped_latency(kind, Bytes::new(bytes), &self.rings)
     }
 
-    /// Effective overlay-transfer bytes for a stash (slice scaling and
-    /// cDMA-style compression applied).
-    fn transfer_bytes(&self, stash_bytes: u64) -> u64 {
-        let b = stash_bytes as f64 * self.plan.stash_scale / self.cfg.compression_ratio;
-        b.round() as u64
+    /// Runs the iteration and produces the report: builds every stage
+    /// artifact from scratch, then assembles. This is the monolithic
+    /// reference the staged pipeline ([`crate::stages`]) must match
+    /// bit-for-bit.
+    pub fn run(&self) -> IterationReport {
+        let shape = NetShape::of(self.net);
+        let timings = layer_timings(&self.timing, self.net, self.plan.worker_batch);
+        let plan_art = PlanArt::build(&self.plan, self.net.layers().len(), &self.cfg);
+        let sched_art = SchedArt::build(
+            &self.schedule,
+            self.net,
+            self.plan.virt_batch(),
+            self.cfg.dtype,
+        );
+        let xfer = xfer_table(
+            &sched_art,
+            plan_art.stash_scale,
+            self.cfg.compression_ratio,
+            self.virt.as_ref(),
+        );
+        assemble(
+            &self.cfg,
+            self.net,
+            &shape,
+            &timings,
+            &plan_art,
+            &sched_art,
+            &xfer,
+            self.virt.as_ref(),
+            &|oi| {
+                let op = &plan_art.fused[oi];
+                self.collective_time(op.kind, op.bytes)
+            },
+        )
     }
+}
 
-    fn transfer_time(&self, stash_bytes: u64) -> SimDuration {
-        let vp = self.virt.as_ref().expect("virt path exists");
-        vp.op_latency
-            + vp.bandwidth()
-                .transfer_time(Bytes::new(self.transfer_bytes(stash_bytes)))
-    }
+/// Compressed sparse rows: per-layer `u32` index lists packed into two
+/// flat arrays. The artifact builders run once per stage-cache miss but
+/// a mega-grid makes millions of misses, and a `Vec<Vec<u32>>` costs one
+/// allocation per layer; this costs two per artifact and keeps the
+/// assembly loop's reads contiguous.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Csr {
+    /// Row boundaries: row `l` spans `idx[off[l]..off[l + 1]]`.
+    off: Vec<u32>,
+    idx: Vec<u32>,
+}
 
-    /// Pinned-buffer budget for in-flight offloads.
-    fn pinned_budget(&self) -> u64 {
-        if let Some(b) = self.cfg.pinned_budget_bytes {
-            return b;
+impl Csr {
+    /// Packs `(row, value)` pairs, preserving each row's pair order
+    /// (the counting sort below is stable).
+    fn from_pairs(rows: usize, pairs: &[(u32, u32)]) -> Csr {
+        let mut off = vec![0u32; rows + 1];
+        for &(r, _) in pairs {
+            off[r as usize + 1] += 1;
         }
-        let resident = (self
-            .net
-            .footprint(self.plan.virt_batch(), self.cfg.dtype)
-            .total_virtualized() as f64
-            * self.plan.weight_scale.max(self.plan.stash_scale)) as u64;
-        self.cfg
-            .device
+        for i in 0..rows {
+            off[i + 1] += off[i];
+        }
+        let mut idx = vec![0u32; pairs.len()];
+        let mut cursor: Vec<u32> = off[..rows].to_vec();
+        for &(r, v) in pairs {
+            let c = &mut cursor[r as usize];
+            idx[*c as usize] = v;
+            *c += 1;
+        }
+        Csr { off, idx }
+    }
+
+    pub fn row(&self, l: usize) -> &[u32] {
+        &self.idx[self.off[l] as usize..self.off[l + 1] as usize]
+    }
+}
+
+/// Stage-2 artifact (network shape): per-layer input lists (so the
+/// assembly loop never walks the full `Layer` structs) and their
+/// transpose — `consumers.row(l)` lists the layers that read layer `l`'s
+/// output, the backward-pass dependency fan-in.
+#[derive(Debug, Clone)]
+pub(crate) struct NetShape {
+    pub inputs: Csr,
+    pub consumers: Csr,
+}
+
+impl NetShape {
+    pub fn of(net: &Network) -> NetShape {
+        let n = net.layers().len();
+        let mut fwd: Vec<(u32, u32)> = Vec::new();
+        let mut bwd: Vec<(u32, u32)> = Vec::new();
+        for layer in net.layers() {
+            let l = layer.id().index() as u32;
+            for &p in layer.inputs() {
+                fwd.push((l, p.index() as u32));
+                bwd.push((p.index() as u32, l));
+            }
+        }
+        NetShape {
+            inputs: Csr::from_pairs(n, &fwd),
+            consumers: Csr::from_pairs(n, &bwd),
+        }
+    }
+}
+
+/// Stage-2 artifact (layer timing): per-layer `(forward, backward)`
+/// durations at `worker_batch`, **unscaled** — [`assemble`] applies
+/// `macs_scale` exactly where the monolithic loop did, so caching the
+/// table cannot perturb a single float operation. A layer's recompute
+/// cost equals its forward time, so the pair covers all three uses.
+pub(crate) fn layer_timings(
+    timing: &AccelTimingModel,
+    net: &Network,
+    worker_batch: u64,
+) -> Vec<(SimDuration, SimDuration)> {
+    net.layers()
+        .iter()
+        .map(|l| {
+            (
+                timing.forward_time(l, worker_batch),
+                timing.backward_time(l, worker_batch),
+            )
+        })
+        .collect()
+}
+
+/// Stage-2 artifact (worker plan): the plan scalars [`assemble`] reads,
+/// the bucket-fused sync schedule, and per-trigger-layer indices into it.
+#[derive(Debug, Clone)]
+pub(crate) struct PlanArt {
+    pub strategy: ParallelStrategy,
+    pub workers: usize,
+    pub worker_batch: u64,
+    pub virt_batch: u64,
+    pub macs_scale: f64,
+    pub weight_scale: f64,
+    pub stash_scale: f64,
+    pub total_sync_bytes: u64,
+    /// Data-parallel dW all-reduces fused into the paper's 8 MB buckets.
+    pub fused: Vec<SyncOp>,
+    /// Per-layer indices into `fused` triggered after the forward pass.
+    pub fwd_ops: Csr,
+    /// Per-layer indices into `fused` triggered after the backward pass.
+    pub bwd_ops: Csr,
+}
+
+impl PlanArt {
+    pub fn build(plan: &WorkerPlan, layers: usize, cfg: &SystemConfig) -> PlanArt {
+        let fused = plan.fuse_buckets(cfg.sync_bucket_bytes);
+        let mut fwd: Vec<(u32, u32)> = Vec::new();
+        let mut bwd: Vec<(u32, u32)> = Vec::new();
+        for (i, op) in fused.iter().enumerate() {
+            match op.trigger {
+                SyncTrigger::AfterForward(l) => fwd.push((l.index() as u32, i as u32)),
+                SyncTrigger::AfterBackward(l) => bwd.push((l.index() as u32, i as u32)),
+            }
+        }
+        let fwd_ops = Csr::from_pairs(layers, &fwd);
+        let bwd_ops = Csr::from_pairs(layers, &bwd);
+        PlanArt {
+            strategy: plan.strategy,
+            workers: plan.workers,
+            worker_batch: plan.worker_batch,
+            virt_batch: plan.virt_batch(),
+            macs_scale: plan.macs_scale,
+            weight_scale: plan.weight_scale,
+            stash_scale: plan.stash_scale,
+            total_sync_bytes: plan.total_sync_bytes(),
+            fused,
+            fwd_ops,
+            bwd_ops,
+        }
+    }
+}
+
+/// Stage-2 artifact (overlay schedule): per-layer dispositions and stash
+/// sizes, offload lists indexed by trigger layer, and the virtualized
+/// footprint the pinned-buffer budget derives from.
+#[derive(Debug, Clone)]
+pub(crate) struct SchedArt {
+    pub disposition: Vec<Disposition>,
+    pub stash_bytes: Vec<u64>,
+    /// `offloads.row(l)` = layers whose stash leaves device memory after
+    /// layer `l`'s forward pass (its last forward consumer), in the
+    /// schedule's launch order.
+    pub offloads: Csr,
+    /// `footprint(virt_batch, dtype).total_virtualized()`.
+    pub total_virtualized: u64,
+}
+
+impl SchedArt {
+    pub fn build(
+        schedule: &VirtSchedule,
+        net: &Network,
+        virt_batch: u64,
+        dtype: DataType,
+    ) -> SchedArt {
+        let entries = schedule.entries();
+        // Same partition as `VirtSchedule::offloads_by_trigger`, packed
+        // flat: entry order is schedule order within each trigger.
+        let pairs: Vec<(u32, u32)> = entries
+            .iter()
+            .filter(|e| e.disposition == Disposition::Offload)
+            .map(|e| (e.offload_after.index() as u32, e.layer.index() as u32))
+            .collect();
+        let offloads = Csr::from_pairs(entries.len(), &pairs);
+        SchedArt {
+            disposition: entries.iter().map(|e| e.disposition).collect(),
+            stash_bytes: entries.iter().map(|e| e.stash_bytes).collect(),
+            offloads,
+            total_virtualized: net.footprint(virt_batch, dtype).total_virtualized(),
+        }
+    }
+}
+
+/// Stage-2 artifact (overlay transfers): effective bytes and DMA
+/// duration per offloaded stash (slice scaling and cDMA-style
+/// compression applied), `(0, ZERO)` for layers that stay resident.
+/// Each stash crosses the channel twice (offload + prefetch) at the
+/// same cost, so one precomputed pair serves both passes. Empty when
+/// the design has no virtualization path.
+pub(crate) fn xfer_table(
+    sched: &SchedArt,
+    stash_scale: f64,
+    compression_ratio: f64,
+    virt: Option<&VirtPath>,
+) -> Vec<(u64, SimDuration)> {
+    let Some(vp) = virt else {
+        return Vec::new();
+    };
+    let bw = vp.bandwidth();
+    sched
+        .disposition
+        .iter()
+        .zip(&sched.stash_bytes)
+        .map(|(&disp, &stash)| {
+            if disp == Disposition::Offload {
+                let bytes = (stash as f64 * stash_scale / compression_ratio).round() as u64;
+                (bytes, vp.op_latency + bw.transfer_time(Bytes::new(bytes)))
+            } else {
+                (0, SimDuration::ZERO)
+            }
+        })
+        .collect()
+}
+
+/// Stage-1 artifact: the communication fabric a configuration
+/// synchronizes over — its ring set and effective duplex link rate —
+/// which is all a [`CollectiveModel`] needs.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct FabricSummary {
+    pub rings: Vec<RingShape>,
+    pub duplex_gbs: f64,
+}
+
+impl FabricSummary {
+    pub fn of(cfg: &SystemConfig) -> FabricSummary {
+        let (rings, duplex_gbs) = comm_fabric(cfg);
+        FabricSummary { rings, duplex_gbs }
+    }
+}
+
+/// Stage-4: replays the iteration event loop over prebuilt artifacts.
+/// Cheap and uncached — per-cell knobs (compression ratio, pinned-budget
+/// override, pipeline fraction) enter only here, and every float
+/// operation retains the monolithic loop's exact order, so the report is
+/// bit-identical whether the artifacts were built fresh or served from a
+/// stage cache. `collective(oi)` answers the cost of `plan.fused[oi]`
+/// (an index, so callers can serve it from a per-plan vector).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn assemble(
+    cfg: &SystemConfig,
+    net: &Network,
+    shape: &NetShape,
+    timings: &[(SimDuration, SimDuration)],
+    plan: &PlanArt,
+    sched: &SchedArt,
+    xfer: &[(u64, SimDuration)],
+    virt: Option<&VirtPath>,
+    collective: &dyn Fn(usize) -> SimDuration,
+) -> IterationReport {
+    let n = net.layers().len();
+    let mut compute = FifoEngine::new();
+    let mut comm = FifoEngine::new();
+    let mut dma_out = FifoEngine::new();
+    let mut dma_in = FifoEngine::new();
+
+    let budget = if let Some(b) = cfg.pinned_budget_bytes {
+        b
+    } else {
+        let resident =
+            (sched.total_virtualized as f64 * plan.weight_scale.max(plan.stash_scale)) as u64;
+        cfg.device
             .memory_capacity_bytes
             .saturating_sub(resident)
             .max(1 << 30)
+    };
+
+    // One arena for the five per-layer time vectors: separate mallocs
+    // add up at mega-grid rates. The `*_sync_end` slices are
+    // blocking-collective gates; `SimTime::ZERO` = none (a max against
+    // zero is a no-op, so the sentinel is exact).
+    let mut times = vec![SimTime::ZERO; 5 * n];
+    let (fwd_end, rest) = times.split_at_mut(n);
+    let (fwd_sync_end, rest) = rest.split_at_mut(n);
+    let (bwd_start, rest) = rest.split_at_mut(n);
+    let (bwd_end, bwd_sync_end) = rest.split_at_mut(n);
+    bwd_start.fill(SimTime::MAX);
+    let mut offload_end = vec![None::<SimTime>; n];
+    let mut window = OffloadWindow::new(); // in-flight offloads
+    let mut stall_total = SimDuration::ZERO;
+    let mut virt_bytes = 0u64;
+
+    // ---------- forward propagation ----------
+    for l in 0..n {
+        let mut ready = SimTime::ZERO;
+        for &p in shape.inputs.row(l) {
+            let p = p as usize;
+            ready = ready.max(fwd_end[p]).max(fwd_sync_end[p]);
+        }
+        // Pinned-buffer stall: wait until in-flight offload bytes fit.
+        let ready_mem = window.earliest_under_budget(ready, budget);
+        stall_total += ready_mem.saturating_since(ready);
+        let dur = timings[l].0 * plan.macs_scale;
+        let c = compute.submit(ready_mem, dur);
+        fwd_end[l] = c.end;
+        // Launch the offloads whose last forward consumer just ran.
+        for &e in sched.offloads.row(l) {
+            let e = e as usize;
+            let (bytes, dma) = xfer[e];
+            let t = dma_out.submit(c.end, dma);
+            offload_end[e] = Some(t.end);
+            window.push(t.end, bytes);
+            virt_bytes += bytes;
+        }
+        // Launch forward collectives (model-parallel all-gathers).
+        for &oi in plan.fwd_ops.row(l) {
+            let op = &plan.fused[oi as usize];
+            let d = collective(oi as usize);
+            let s = comm.submit(c.end, d);
+            if op.blocking {
+                let exposed = d * (1.0 - cfg.boundary_pipeline_fraction);
+                let gate = s.start + exposed;
+                fwd_sync_end[l] = fwd_sync_end[l].max(gate);
+            }
+        }
+    }
+    let mut fwd_complete = SimTime::ZERO;
+    for l in 0..n {
+        fwd_complete = fwd_complete.max(fwd_end[l]).max(fwd_sync_end[l]);
     }
 
-    /// Runs the iteration and produces the report.
-    pub fn run(&self) -> IterationReport {
-        let n = self.net.layers().len();
-        let layers = self.net.layers();
-        let mut compute = FifoEngine::new();
-        let mut comm = FifoEngine::new();
-        let mut dma_out = FifoEngine::new();
-        let mut dma_in = FifoEngine::new();
-
-        // Sync schedule indexed by trigger layer. Data-parallel dW
-        // all-reduces are fused into the paper's 8 MB buckets first.
-        let fused = self.plan.fuse_buckets(self.cfg.sync_bucket_bytes);
-        let mut fwd_sync: Vec<Vec<&SyncOp>> = vec![Vec::new(); n];
-        let mut bwd_sync: Vec<Vec<&SyncOp>> = vec![Vec::new(); n];
-        for op in &fused {
-            match op.trigger {
-                SyncTrigger::AfterForward(l) => fwd_sync[l.index()].push(op),
-                SyncTrigger::AfterBackward(l) => bwd_sync[l.index()].push(op),
-            }
-        }
-
-        let offloads = self.schedule.offloads_by_trigger();
-        let budget = self.pinned_budget();
-
-        let mut fwd_end = vec![SimTime::ZERO; n];
-        let mut fwd_sync_end = vec![None::<SimTime>; n]; // blocking only
-        let mut offload_end = vec![None::<SimTime>; n];
-        let mut pending: Vec<(SimTime, u64)> = Vec::new(); // in-flight offloads
-        let mut stall_total = SimDuration::ZERO;
-        let mut virt_bytes = 0u64;
-
-        // ---------- forward propagation ----------
-        for l in 0..n {
-            let layer = &layers[l];
-            let mut ready = SimTime::ZERO;
-            for &p in layer.inputs() {
-                ready = ready.max(fwd_end[p.index()]);
-                if let Some(t) = fwd_sync_end[p.index()] {
-                    ready = ready.max(t);
-                }
-            }
-            // Pinned-buffer stall: wait until in-flight offload bytes fit.
-            let ready_mem = earliest_under_budget(&pending, ready, budget);
-            stall_total += ready_mem.saturating_since(ready);
-            let dur =
-                self.timing.forward_time(layer, self.plan.worker_batch) * self.plan.macs_scale;
-            let c = compute.submit(ready_mem, dur);
-            fwd_end[l] = c.end;
-            // Launch the offloads whose last forward consumer just ran.
-            for e in &offloads[l] {
-                let bytes = self.transfer_bytes(e.stash_bytes);
-                let t = dma_out.submit(c.end, self.transfer_time(e.stash_bytes));
-                offload_end[e.layer.index()] = Some(t.end);
-                pending.push((t.end, bytes));
-                virt_bytes += bytes;
-            }
-            // Launch forward collectives (model-parallel all-gathers).
-            for op in &fwd_sync[l] {
-                let d = self.collective_time(op.kind, op.bytes);
-                let s = comm.submit(c.end, d);
-                if op.blocking {
-                    let exposed = d * (1.0 - self.cfg.boundary_pipeline_fraction);
-                    let gate = s.start + exposed;
-                    fwd_sync_end[l] = Some(fwd_sync_end[l].unwrap_or(SimTime::ZERO).max(gate));
-                }
-            }
-        }
-        let mut fwd_complete = SimTime::ZERO;
-        for l in 0..n {
-            fwd_complete = fwd_complete.max(fwd_end[l]);
-            if let Some(t) = fwd_sync_end[l] {
-                fwd_complete = fwd_complete.max(t);
-            }
-        }
-
-        // Consumers for backward dependencies.
-        let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for layer in layers {
-            for &p in layer.inputs() {
-                consumers[p.index()].push(layer.id().index());
-            }
-        }
-
-        // ---------- backward propagation ----------
-        let mut bwd_start = vec![SimTime::MAX; n];
-        let mut bwd_end = vec![SimTime::ZERO; n];
-        let mut bwd_sync_end = vec![None::<SimTime>; n]; // blocking only
-        let look = self.cfg.prefetch_lookahead;
-        for l in (0..n).rev() {
-            let layer = &layers[l];
-            let entry = &self.schedule.entries()[l];
-            // Prefetch this layer's stash with lookahead.
-            let mut prefetch_ready = SimTime::ZERO;
-            if entry.disposition == Disposition::Offload {
-                // Lookahead 0 is the just-in-time (vDNN-minimal) case: the
-                // prefetch is enqueued only when the next backward layer
-                // completes; lookahead k enqueues when the k-th-later
-                // backward layer *starts*.
-                let enq = if look == 0 {
-                    if l + 1 >= n {
-                        fwd_complete
-                    } else {
-                        bwd_end[l + 1].max(fwd_complete)
-                    }
-                } else if l + look >= n {
+    // ---------- backward propagation ----------
+    let look = cfg.prefetch_lookahead;
+    for l in (0..n).rev() {
+        // Prefetch this layer's stash with lookahead.
+        let mut prefetch_ready = SimTime::ZERO;
+        if sched.disposition[l] == Disposition::Offload {
+            // Lookahead 0 is the just-in-time (vDNN-minimal) case: the
+            // prefetch is enqueued only when the next backward layer
+            // completes; lookahead k enqueues when the k-th-later
+            // backward layer *starts*.
+            let enq = if look == 0 {
+                if l + 1 >= n {
                     fwd_complete
                 } else {
-                    bwd_start[l + look].max(fwd_complete)
-                };
-                let avail = offload_end[l].unwrap_or(fwd_complete);
-                let t = dma_in.submit(enq.max(avail), self.transfer_time(entry.stash_bytes));
-                prefetch_ready = t.end;
-                virt_bytes += self.transfer_bytes(entry.stash_bytes);
-            }
-            // Dependencies: all consumers' backward passes (and their
-            // blocking boundary collectives).
-            let mut ready = fwd_complete;
-            for &c in &consumers[l] {
-                ready = ready.max(bwd_end[c]);
-                if let Some(t) = bwd_sync_end[c] {
-                    ready = ready.max(t);
+                    bwd_end[l + 1].max(fwd_complete)
                 }
-            }
-            ready = ready.max(prefetch_ready);
-            // Recomputed layers pay their forward pass again (footnote 4).
-            let mut dur =
-                self.timing.backward_time(layer, self.plan.worker_batch) * self.plan.macs_scale;
-            if entry.disposition == Disposition::Recompute {
-                dur += self.timing.recompute_time(layer, self.plan.worker_batch)
-                    * self.plan.macs_scale;
-            }
-            let c = compute.submit(ready, dur);
-            bwd_start[l] = c.start;
-            bwd_end[l] = c.end;
-            // Launch backward collectives (dX all-reduce / dW buckets).
-            // Blocking boundary collectives gate the producers' backward
-            // passes, minus the chunk-pipelined fraction the framework
-            // hides behind dependent compute.
-            for op in &bwd_sync[l] {
-                let d = self.collective_time(op.kind, op.bytes);
-                let s = comm.submit(c.end, d);
-                if op.blocking {
-                    let exposed = d * (1.0 - self.cfg.boundary_pipeline_fraction);
-                    let gate = s.start + exposed;
-                    bwd_sync_end[l] = Some(bwd_sync_end[l].unwrap_or(SimTime::ZERO).max(gate));
-                }
+            } else if l + look >= n {
+                fwd_complete
+            } else {
+                bwd_start[l + look].max(fwd_complete)
+            };
+            let avail = offload_end[l].unwrap_or(fwd_complete);
+            let (bytes, dma) = xfer[l];
+            let t = dma_in.submit(enq.max(avail), dma);
+            prefetch_ready = t.end;
+            virt_bytes += bytes;
+        }
+        // Dependencies: all consumers' backward passes (and their
+        // blocking boundary collectives).
+        let mut ready = fwd_complete;
+        for &c in shape.consumers.row(l) {
+            let c = c as usize;
+            ready = ready.max(bwd_end[c]).max(bwd_sync_end[c]);
+        }
+        ready = ready.max(prefetch_ready);
+        // Recomputed layers pay their forward pass again (footnote 4).
+        let mut dur = timings[l].1 * plan.macs_scale;
+        if sched.disposition[l] == Disposition::Recompute {
+            dur += timings[l].0 * plan.macs_scale;
+        }
+        let c = compute.submit(ready, dur);
+        bwd_start[l] = c.start;
+        bwd_end[l] = c.end;
+        // Launch backward collectives (dX all-reduce / dW buckets).
+        // Blocking boundary collectives gate the producers' backward
+        // passes, minus the chunk-pipelined fraction the framework
+        // hides behind dependent compute.
+        for &oi in plan.bwd_ops.row(l) {
+            let op = &plan.fused[oi as usize];
+            let d = collective(oi as usize);
+            let s = comm.submit(c.end, d);
+            if op.blocking {
+                let exposed = d * (1.0 - cfg.boundary_pipeline_fraction);
+                let gate = s.start + exposed;
+                bwd_sync_end[l] = bwd_sync_end[l].max(gate);
             }
         }
+    }
 
-        // Weight update barrier: every engine drained.
-        let iteration_end = compute
-            .free_at()
-            .max(comm.free_at())
-            .max(dma_in.free_at())
-            .max(dma_out.free_at());
-        let iteration_time = iteration_end - SimTime::ZERO;
+    // Weight update barrier: every engine drained.
+    let iteration_end = compute
+        .free_at()
+        .max(comm.free_at())
+        .max(dma_in.free_at())
+        .max(dma_out.free_at());
+    let iteration_time = iteration_end - SimTime::ZERO;
 
-        // Fig. 12 CPU memory-bandwidth accounting.
-        let (avg_gbs, max_gbs) = match &self.virt {
-            Some(vp) if vp.touches_host && virt_bytes > 0 => {
-                let per_socket_bytes = virt_bytes as f64 * self.cfg.devices_per_socket() as f64;
-                let avg = per_socket_bytes / iteration_time.as_secs_f64() / 1e9;
-                (avg, vp.socket_peak_gbs)
-            }
-            _ => (0.0, 0.0),
-        };
-
-        IterationReport {
-            design: self.cfg.design,
-            benchmark: self.net.name().to_owned(),
-            strategy: self.plan.strategy,
-            devices: self.cfg.devices,
-            global_batch: self.cfg.global_batch,
-            iteration_time,
-            compute_busy: compute.busy_time(),
-            sync_busy: comm.busy_time(),
-            virt_busy: dma_out.busy_time() + dma_in.busy_time(),
-            memory_stall: stall_total,
-            virt_bytes: Bytes::new(virt_bytes),
-            sync_bytes: Bytes::new(self.plan.total_sync_bytes()),
-            cpu_socket_avg_gbs: avg_gbs,
-            cpu_socket_max_gbs: max_gbs,
+    // Fig. 12 CPU memory-bandwidth accounting.
+    let (avg_gbs, max_gbs) = match virt {
+        Some(vp) if vp.touches_host && virt_bytes > 0 => {
+            let per_socket_bytes = virt_bytes as f64 * cfg.devices_per_socket() as f64;
+            let avg = per_socket_bytes / iteration_time.as_secs_f64() / 1e9;
+            (avg, vp.socket_peak_gbs)
         }
+        _ => (0.0, 0.0),
+    };
+
+    IterationReport {
+        design: cfg.design,
+        benchmark: net.name().to_owned(),
+        strategy: plan.strategy,
+        devices: cfg.devices,
+        global_batch: cfg.global_batch,
+        iteration_time,
+        compute_busy: compute.busy_time(),
+        sync_busy: comm.busy_time(),
+        virt_busy: dma_out.busy_time() + dma_in.busy_time(),
+        memory_stall: stall_total,
+        virt_bytes: Bytes::new(virt_bytes),
+        sync_bytes: Bytes::new(plan.total_sync_bytes),
+        cpu_socket_avg_gbs: avg_gbs,
+        cpu_socket_max_gbs: max_gbs,
     }
 }
 
@@ -438,32 +680,68 @@ fn backplane_ring_shapes(cfg: &SystemConfig) -> Vec<RingShape> {
     }
 }
 
-/// Earliest `t >= ready` at which the in-flight offload bytes drop to the
-/// budget.
-fn earliest_under_budget(pending: &[(SimTime, u64)], ready: SimTime, budget: u64) -> SimTime {
-    let outstanding = |t: SimTime| -> u64 {
-        pending
-            .iter()
-            .filter(|(e, _)| *e > t)
-            .map(|(_, b)| *b)
-            .sum()
-    };
-    if outstanding(ready) <= budget {
-        return ready;
-    }
-    let mut ends: Vec<SimTime> = pending
-        .iter()
-        .filter(|(e, _)| *e > ready)
-        .map(|(e, _)| *e)
-        .collect();
-    ends.sort_unstable();
-    for e in ends {
-        if outstanding(e) <= budget {
-            return e;
+/// In-flight offload tracker for the pinned-buffer stall model.
+///
+/// The offload DMA engine is FIFO, so completion times arrive in
+/// non-decreasing order and the outstanding bytes at any instant fall
+/// monotonically as offloads retire: with prefix byte sums, the
+/// "earliest time the outstanding bytes fit the budget" query is
+/// `max(ready, ends[k - 1])` for the first `k` whose retirement frees
+/// enough bytes. Prefix sums over `u64` are exact, so the answer is
+/// bit-identical to the scan over all pending offloads it replaced.
+struct OffloadWindow {
+    /// Offload completion times, non-decreasing (FIFO engine).
+    ends: Vec<SimTime>,
+    /// `prefix[i]` = total bytes of offloads `0..i` (`prefix[0] == 0`).
+    prefix: Vec<u64>,
+    /// Cached fit point: first index with `prefix[fit] >= need` from
+    /// the previous query.
+    fit: usize,
+}
+
+impl OffloadWindow {
+    fn new() -> Self {
+        OffloadWindow {
+            ends: Vec::new(),
+            prefix: vec![0],
+            fit: 0,
         }
     }
-    // All offloads must complete (budget smaller than any single stash).
-    pending.iter().map(|(e, _)| *e).fold(ready, SimTime::max)
+
+    fn push(&mut self, end: SimTime, bytes: u64) {
+        debug_assert!(
+            self.ends.last().is_none_or(|&e| e <= end),
+            "offload completions must be FIFO-ordered"
+        );
+        self.ends.push(end);
+        self.prefix.push(self.prefix[self.ends.len() - 1] + bytes);
+    }
+
+    /// Earliest `t >= ready` at which the bytes of offloads still in
+    /// flight (ending strictly after `t`) drop to the budget.
+    fn earliest_under_budget(&mut self, ready: SimTime, budget: u64) -> SimTime {
+        let total = self.prefix[self.ends.len()];
+        // Everything ever offloaded fits at once: no search needed.
+        if total <= budget {
+            return ready;
+        }
+        // Outstanding bytes at `t` are `total - prefix[k(t)]` where
+        // `k(t)` counts retirements; they fit once `prefix[k] >= need`,
+        // and the k-th offload retires at `ends[k - 1]`. The assembly
+        // loop queries with one fixed budget while `total` only grows,
+        // so `need` is non-decreasing across calls and the cached fit
+        // point only moves forward (amortized O(1)); any other query
+        // pattern falls back to a binary search.
+        let need = total - budget;
+        if self.fit > 0 && self.prefix[self.fit - 1] >= need {
+            self.fit = self.prefix.partition_point(|&p| p < need);
+        } else {
+            while self.prefix[self.fit] < need {
+                self.fit += 1;
+            }
+        }
+        ready.max(self.ends[self.fit - 1])
+    }
 }
 
 #[cfg(test)]
@@ -719,14 +997,71 @@ mod tests {
     #[test]
     fn budget_helper_finds_earliest_fit() {
         let t = SimTime::from_us;
-        let pending = vec![(t(10), 100u64), (t(20), 100), (t(30), 100)];
+        let mut w = OffloadWindow::new();
+        w.push(t(10), 100);
+        w.push(t(20), 100);
+        w.push(t(30), 100);
         // Budget 300: fits immediately.
-        assert_eq!(earliest_under_budget(&pending, t(1), 300), t(1));
+        assert_eq!(w.earliest_under_budget(t(1), 300), t(1));
         // Budget 150: wait until two complete (outstanding after t=20 is 100).
-        assert_eq!(earliest_under_budget(&pending, t(1), 150), t(20));
+        assert_eq!(w.earliest_under_budget(t(1), 150), t(20));
         // Budget 0: wait for all.
-        assert_eq!(earliest_under_budget(&pending, t(1), 0), t(30));
+        assert_eq!(w.earliest_under_budget(t(1), 0), t(30));
         // Ready already past everything.
-        assert_eq!(earliest_under_budget(&pending, t(99), 0), t(99));
+        assert_eq!(w.earliest_under_budget(t(99), 0), t(99));
+    }
+
+    #[test]
+    fn budget_window_matches_the_scan_it_replaced() {
+        // Reference: the O(pending) scan the prefix-sum window replaced.
+        fn scan(pending: &[(SimTime, u64)], ready: SimTime, budget: u64) -> SimTime {
+            let outstanding = |t: SimTime| -> u64 {
+                pending
+                    .iter()
+                    .filter(|(e, _)| *e > t)
+                    .map(|(_, b)| *b)
+                    .sum()
+            };
+            if outstanding(ready) <= budget {
+                return ready;
+            }
+            let mut ends: Vec<SimTime> = pending
+                .iter()
+                .filter(|(e, _)| *e > ready)
+                .map(|(e, _)| *e)
+                .collect();
+            ends.sort_unstable();
+            for e in ends {
+                if outstanding(e) <= budget {
+                    return e;
+                }
+            }
+            pending.iter().map(|(e, _)| *e).fold(ready, SimTime::max)
+        }
+        let t = SimTime::from_us;
+        // FIFO-ordered pending sets, including duplicate ends and
+        // zero-byte transfers (a rounded-down compressed stash).
+        let sets: Vec<Vec<(SimTime, u64)>> = vec![
+            vec![],
+            vec![(t(5), 10)],
+            vec![(t(5), 10), (t(5), 20), (t(7), 0), (t(9), 5)],
+            (0..50).map(|i| (t(3 * i + 1), (i % 7) * 11)).collect(),
+        ];
+        for pending in &sets {
+            let mut w = OffloadWindow::new();
+            for &(e, b) in pending {
+                w.push(e, b);
+            }
+            for ready_us in 0..40 {
+                for budget in [0u64, 1, 5, 10, 25, 30, 100, 500, u64::MAX] {
+                    let ready = t(ready_us);
+                    assert_eq!(
+                        w.earliest_under_budget(ready, budget),
+                        scan(pending, ready, budget),
+                        "pending {pending:?} ready {ready_us} budget {budget}"
+                    );
+                }
+            }
+        }
     }
 }

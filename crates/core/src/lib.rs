@@ -47,6 +47,7 @@ mod engine;
 pub mod experiment;
 mod report;
 pub mod scenario;
+pub mod stages;
 pub mod store;
 mod virt_path;
 
@@ -56,5 +57,5 @@ pub use energy::{EnergyReport, PowerModel};
 pub use engine::IterationSim;
 pub use report::IterationReport;
 pub use scenario::{DeviceModel, GridStream, Overrides, Runner, Scenario, ScenarioGrid, TimedRun};
-pub use store::{key_hash, Fetched, Provenance, ResultStore, StoreStats};
+pub use store::{key_hash, Fetched, Provenance, ResultStore, StageCache, StageStats, StoreStats};
 pub use virt_path::VirtPath;

@@ -347,8 +347,20 @@ impl Scenario {
         cfg
     }
 
-    /// Simulates this cell directly, bypassing any cache.
+    /// Simulates this cell through the staged pipeline
+    /// ([`crate::stages`]): per-stage artifacts (fabric summary, layer
+    /// timings, worker plan, overlay schedule, collective costs) are
+    /// memoized process-wide, and only the cheap report assembly runs
+    /// per call. Bit-identical to
+    /// [`simulate_monolithic`](Scenario::simulate_monolithic).
     pub fn simulate(&self) -> IterationReport {
+        crate::stages::simulate(self)
+    }
+
+    /// Simulates this cell from scratch — every stage artifact rebuilt,
+    /// no table touched. The reference the staged pipeline is pinned
+    /// against (and the baseline `mcdla stage-bench` measures).
+    pub fn simulate_monolithic(&self) -> IterationReport {
         let net = self.benchmark.build();
         IterationSim::new(self.config(), &net, self.strategy).run()
     }

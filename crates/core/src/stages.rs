@@ -1,0 +1,387 @@
+//! The staged scenario pipeline: sub-cell memoization over the engine's
+//! stage artifacts.
+//!
+//! [`Scenario::simulate`](crate::Scenario::simulate) runs through four
+//! explicit stages, each backed by a process-global
+//! [`StageCache`](crate::StageCache) (the [`ResultStore`](crate::ResultStore)
+//! machinery — sharding, global capacity bound, LRU eviction,
+//! single-flight — generic over key and value):
+//!
+//! 1. **Fabric summary** — ring shapes and effective duplex rate, keyed
+//!    by `(design, devices, generation, device model, pcie_gen4)`: every
+//!    input [`comm_fabric`](crate::IterationSim) reads. A mega-grid
+//!    sweeping batch over a few designs touches this a handful of times,
+//!    not once per cell.
+//! 2. **Layer timing** — the dnn-zoo walk and per-layer compute times,
+//!    split into four sub-tables keyed by exactly the axes each depends
+//!    on: the network topology (`benchmark`), the per-layer
+//!    forward/backward durations (`benchmark × device × worker batch`),
+//!    the bucket-fused worker plan (`benchmark × strategy × devices ×
+//!    global batch`), and the overlay schedule (`benchmark × virt batch ×
+//!    virtualizing?`).
+//! 3. **Collective cost** — two levels. The `collective` table holds
+//!    one striped ring collective's latency, keyed by `(fabric summary,
+//!    kind, gradient bytes)`; data-parallel dW buckets are
+//!    batch-invariant, so a batch sweep hits it after the first cell
+//!    per design. The `sync` table above it holds a plan's whole fused
+//!    sync-op cost vector, keyed by `(fabric summary, worker plan)` —
+//!    one lookup per cell instead of one per op, with misses reading
+//!    through the per-op table.
+//! 4. **Report assembly** — the lean event-loop replay
+//!    ([`assemble`](crate::IterationSim)), uncached: per-cell knobs
+//!    (compression, pinned-budget overrides) enter only here.
+//!
+//! Keys are derived purely from scenario axes, which is sound because
+//! every [`SystemConfig`] field a stage reads is a function of those
+//! axes (the data type never varies across scenarios, and the device
+//! config depends only on the generation/model overrides). Each table is
+//! capacity-bounded — see the README's "Stage tuning" section for the
+//! `MCDLA_STAGE_*_CAP` knobs — and every hit/miss/eviction is reported
+//! through [`StoreStats::stages`](crate::StoreStats), `GET /stats`,
+//! `GET /metrics`, and the sweep summary.
+
+use std::sync::{Arc, OnceLock};
+
+use mcdla_accel::{AccelTimingModel, DeviceGeneration};
+use mcdla_dnn::{Benchmark, Network};
+use mcdla_interconnect::{CollectiveKind, CollectiveModel};
+use mcdla_parallel::{ParallelStrategy, WorkerPlan};
+use mcdla_sim::{Bytes, SimDuration};
+use mcdla_vmem::{VirtPolicy, VirtSchedule};
+
+use crate::design::SystemDesign;
+use crate::engine::{
+    assemble, layer_timings, xfer_table, FabricSummary, NetShape, PlanArt, SchedArt,
+};
+use crate::report::IterationReport;
+use crate::scenario::{DeviceModel, Scenario};
+use crate::store::{StageCache, StageStats};
+use crate::virt_path::VirtPath;
+
+/// The device-identity axes: the device config is a pure function of
+/// these two overrides (every design uses the same calibrated baseline).
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+struct DeviceKey {
+    generation: Option<DeviceGeneration>,
+    model: Option<DeviceModel>,
+}
+
+/// Stage-1 key: everything the fabric derivation reads.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+struct FabricKey {
+    design: SystemDesign,
+    devices: usize,
+    device: DeviceKey,
+    pcie_gen4: bool,
+}
+
+/// Per-layer timing key: the device and the per-device batch.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+struct TimingKey {
+    benchmark: Benchmark,
+    device: DeviceKey,
+    worker_batch: u64,
+}
+
+/// Worker-plan key: design-independent (the plan partitions work, not
+/// hardware).
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+struct PlanKey {
+    benchmark: Benchmark,
+    strategy: ParallelStrategy,
+    devices: usize,
+    global_batch: u64,
+}
+
+/// Overlay-schedule key: designs split only into virtualizing and not.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+struct SchedKey {
+    benchmark: Benchmark,
+    virt_batch: u64,
+    virtualizes: bool,
+}
+
+/// Stage-3 key: the fabric identity plus the collective's shape.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+struct CollKey {
+    fabric: FabricKey,
+    kind: CollectiveKind,
+    bytes: u64,
+}
+
+/// Key for a plan's whole sync-op cost vector: the fabric the
+/// collectives run over plus the plan whose fused op list they price.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+struct SyncKey {
+    fabric: FabricKey,
+    plan: PlanKey,
+}
+
+/// Fabric artifact: the ring summary plus the design's virtualization
+/// data path. [`VirtPath::from_config`] reads exactly the fields
+/// [`FabricKey`] captures (never the batch or the compression knob), so
+/// its label allocations amortize with the rings.
+struct FabricArt {
+    summary: FabricSummary,
+    virt: Option<VirtPath>,
+}
+
+/// Network topology artifact: the built network and its packed
+/// input/consumer lists.
+struct NetTopo {
+    net: Network,
+    shape: NetShape,
+}
+
+impl NetTopo {
+    fn build(benchmark: Benchmark) -> NetTopo {
+        let net = benchmark.build();
+        let shape = NetShape::of(&net);
+        NetTopo { net, shape }
+    }
+}
+
+/// The process-global stage tables. One set per process: the staged
+/// pipeline is deterministic and scenario-keyed, so sharing across
+/// stores, runners, and serve handlers is free extra hit rate.
+struct StagePipeline {
+    fabrics: StageCache<FabricKey, Arc<FabricArt>>,
+    networks: StageCache<Benchmark, Arc<NetTopo>>,
+    timings: StageCache<TimingKey, Arc<Vec<(SimDuration, SimDuration)>>>,
+    plans: StageCache<PlanKey, Arc<PlanArt>>,
+    schedules: StageCache<SchedKey, Arc<SchedArt>>,
+    collectives: StageCache<CollKey, SimDuration>,
+    syncs: StageCache<SyncKey, Arc<Vec<SimDuration>>>,
+}
+
+/// Reads `var` as a table capacity: unset → `default`, `0` → unbounded,
+/// anything unparsable → `default`.
+fn cap_from_env(var: &str, default: usize) -> Option<usize> {
+    match std::env::var(var) {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(0) => None,
+            Ok(n) => Some(n),
+            Err(_) => Some(default),
+        },
+        Err(_) => Some(default),
+    }
+}
+
+fn pipeline() -> &'static StagePipeline {
+    static PIPELINE: OnceLock<StagePipeline> = OnceLock::new();
+    PIPELINE.get_or_init(|| StagePipeline {
+        fabrics: StageCache::with_shards(cap_from_env("MCDLA_STAGE_FABRIC_CAP", 4096), 16),
+        networks: StageCache::with_shards(cap_from_env("MCDLA_STAGE_NETWORK_CAP", 64), 4),
+        timings: StageCache::with_shards(cap_from_env("MCDLA_STAGE_TIMING_CAP", 8192), 16),
+        plans: StageCache::with_shards(cap_from_env("MCDLA_STAGE_PLAN_CAP", 8192), 16),
+        schedules: StageCache::with_shards(cap_from_env("MCDLA_STAGE_SCHEDULE_CAP", 8192), 16),
+        collectives: StageCache::with_shards(cap_from_env("MCDLA_STAGE_COLLECTIVE_CAP", 65536), 16),
+        syncs: StageCache::with_shards(cap_from_env("MCDLA_STAGE_SYNC_CAP", 8192), 16),
+    })
+}
+
+/// Counters for every stage table, in fixed display order. Feeds
+/// [`StoreStats::stages`](crate::StoreStats), `GET /stats`,
+/// `GET /metrics`, and the sweep summary.
+pub fn stage_stats() -> Vec<StageStats> {
+    let p = pipeline();
+    vec![
+        p.fabrics.stats("fabric"),
+        p.networks.stats("network"),
+        p.timings.stats("layer_timing"),
+        p.plans.stats("plan"),
+        p.schedules.stats("schedule"),
+        p.collectives.stats("collective"),
+        p.syncs.stats("sync"),
+    ]
+}
+
+/// Simulates one cell through the staged pipeline. Bit-identical to
+/// [`Scenario::simulate_monolithic`](crate::Scenario::simulate_monolithic):
+/// the stages cache exactly the artifacts the monolithic path builds
+/// fresh, and [`assemble`](crate::IterationSim) replays the identical
+/// event loop over them.
+pub fn simulate(scenario: &Scenario) -> IterationReport {
+    let p = pipeline();
+    let cfg = scenario.config();
+    let device = DeviceKey {
+        generation: scenario.generation,
+        model: scenario.overrides.device_model,
+    };
+
+    let (topo, _) = p.networks.get_or_compute(scenario.benchmark, || {
+        Arc::new(NetTopo::build(scenario.benchmark))
+    });
+
+    let plan_key = PlanKey {
+        benchmark: scenario.benchmark,
+        strategy: scenario.strategy,
+        devices: cfg.devices,
+        global_batch: cfg.global_batch,
+    };
+    let (plan, _) = p.plans.get_or_compute(plan_key, || {
+        let plan = WorkerPlan::plan(
+            &topo.net,
+            scenario.strategy,
+            cfg.devices,
+            cfg.global_batch,
+            cfg.dtype,
+        );
+        Arc::new(PlanArt::build(&plan, topo.net.layers().len(), &cfg))
+    });
+
+    let timing_key = TimingKey {
+        benchmark: scenario.benchmark,
+        device,
+        worker_batch: plan.worker_batch,
+    };
+    let (timings, _) = p.timings.get_or_compute(timing_key, || {
+        let timing = AccelTimingModel::new(cfg.device.clone(), cfg.dtype);
+        Arc::new(layer_timings(&timing, &topo.net, plan.worker_batch))
+    });
+
+    let virtualizes = cfg.design.virtualizes();
+    let sched_key = SchedKey {
+        benchmark: scenario.benchmark,
+        virt_batch: plan.virt_batch,
+        virtualizes,
+    };
+    let (sched, _) = p.schedules.get_or_compute(sched_key, || {
+        let policy = if virtualizes {
+            VirtPolicy::paper_default()
+        } else {
+            VirtPolicy::disabled()
+        };
+        let schedule = VirtSchedule::analyze(&topo.net, plan.virt_batch, cfg.dtype, policy);
+        Arc::new(SchedArt::build(
+            &schedule,
+            &topo.net,
+            plan.virt_batch,
+            cfg.dtype,
+        ))
+    });
+
+    let fabric_key = FabricKey {
+        design: scenario.design,
+        devices: cfg.devices,
+        device,
+        pcie_gen4: scenario.overrides.pcie_gen4,
+    };
+    let (fabric, _) = p.fabrics.get_or_compute(fabric_key, || {
+        Arc::new(FabricArt {
+            summary: FabricSummary::of(&cfg),
+            virt: VirtPath::from_config(&cfg),
+        })
+    });
+    let fabric = &*fabric;
+    let virt = fabric.virt.as_ref();
+
+    // The overlay-transfer table depends on the schedule's virt batch,
+    // so a batch sweep can never reuse it across cells — computing it
+    // inline is cheaper than a table that would miss every time.
+    let xfer = xfer_table(&sched, plan.stash_scale, cfg.compression_ratio, virt);
+
+    let (sync, _) = p.syncs.get_or_compute(
+        SyncKey {
+            fabric: fabric_key,
+            plan: plan_key,
+        },
+        || {
+            let model = CollectiveModel::with_link_bandwidth(fabric.summary.duplex_gbs);
+            let silent = fabric.summary.rings.is_empty() || plan.workers < 2;
+            Arc::new(
+                plan.fused
+                    .iter()
+                    .map(|op| {
+                        if silent {
+                            return SimDuration::ZERO;
+                        }
+                        let key = CollKey {
+                            fabric: fabric_key,
+                            kind: op.kind,
+                            bytes: op.bytes,
+                        };
+                        p.collectives
+                            .get_or_compute(key, || {
+                                model.striped_latency(
+                                    op.kind,
+                                    Bytes::new(op.bytes),
+                                    &fabric.summary.rings,
+                                )
+                            })
+                            .0
+                    })
+                    .collect(),
+            )
+        },
+    );
+    let collective = |oi: usize| sync[oi];
+
+    assemble(
+        &cfg,
+        &topo.net,
+        &topo.shape,
+        &timings,
+        &plan,
+        &sched,
+        &xfer,
+        virt,
+        &collective,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcdla_parallel::ParallelStrategy;
+
+    #[test]
+    fn staged_matches_monolithic_on_a_paper_cell() {
+        let cell = Scenario::new(
+            SystemDesign::McDlaBwAware,
+            Benchmark::GoogLeNet,
+            ParallelStrategy::DataParallel,
+        );
+        assert_eq!(simulate(&cell), cell.simulate_monolithic());
+        // Second pass: every stage is warm, result unchanged.
+        assert_eq!(simulate(&cell), cell.simulate_monolithic());
+    }
+
+    #[test]
+    fn stage_tables_amortize_across_designs() {
+        // Two designs at the same batch share network, plan, timing and
+        // schedule artifacts; only fabric (and collectives) split.
+        let before: u64 = stage_stats().iter().map(|s| s.misses).sum();
+        let batch = 4096;
+        for design in [SystemDesign::DcDla, SystemDesign::McDlaLocal] {
+            let cell = Scenario::new(design, Benchmark::AlexNet, ParallelStrategy::DataParallel)
+                .with_batch(batch);
+            assert_eq!(simulate(&cell), cell.simulate_monolithic());
+        }
+        let stats = stage_stats();
+        let after: u64 = stats.iter().map(|s| s.misses).sum();
+        let hits_after: u64 = stats.iter().map(|s| s.hits).sum();
+        assert!(
+            after > before,
+            "fresh axes must populate the tables: {stats:?}"
+        );
+        assert!(hits_after > 0, "shared artifacts must hit: {stats:?}");
+    }
+
+    #[test]
+    fn stage_stats_lists_every_stage_once() {
+        let names: Vec<String> = stage_stats().into_iter().map(|s| s.stage).collect();
+        assert_eq!(
+            names,
+            [
+                "fabric",
+                "network",
+                "layer_timing",
+                "plan",
+                "schedule",
+                "collective",
+                "sync"
+            ]
+        );
+    }
+}

@@ -1,6 +1,8 @@
 //! The shared scenario-result store: a sharded, capacity-bounded,
 //! LRU-evicting map from [`Scenario`] to [`IterationReport`] with
-//! single-flight deduplication and JSON snapshot/restore.
+//! single-flight deduplication and JSON snapshot/restore — plus the
+//! generic [`StageCache`] the staged engine's per-stage memo tables
+//! (see [`crate::stages`]) are built on.
 //!
 //! [`Runner`](crate::Runner) memoizes through a [`ResultStore`], and the
 //! `mcdla-serve` service shares the *same* store between its HTTP
@@ -24,6 +26,10 @@
 //! * **Warmable** — the full contents serialize to a deterministic JSON
 //!   snapshot and restore into a fresh store, so a restarted service
 //!   answers its first requests from cache.
+//!
+//! All of the mechanics except snapshotting live in [`StageCache`],
+//! which is generic over key and value; [`ResultStore`] is the
+//! `Scenario` → `IterationReport` instantiation plus warm restore.
 //!
 //! # Examples
 //!
@@ -51,7 +57,7 @@
 //! assert_eq!(warmed.get(&cell).as_ref(), Some(&first.report));
 //! ```
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::path::Path;
@@ -67,6 +73,15 @@ use crate::scenario::Scenario;
 /// threads while keeping an eviction scan short.
 pub const DEFAULT_SHARDS: usize = 16;
 
+/// The canonical 64-bit hash a [`StageCache`] shards its keys by.
+/// `DefaultHasher::new()` uses fixed keys, so the hash is stable across
+/// processes and runs.
+fn hash_of<K: Hash>(key: &K) -> u64 {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut hasher);
+    hasher.finish()
+}
+
 /// The canonical store key hash of a scenario: the exact 64-bit value
 /// the [`ResultStore`] shards by. `DefaultHasher::new()` uses fixed
 /// keys, so the hash is stable across processes and runs — `mcdla-serve`
@@ -74,9 +89,7 @@ pub const DEFAULT_SHARDS: usize = 16;
 /// `mcdla-cluster` gateway routes a scenario to the same worker that any
 /// other gateway (or a restarted one) would pick.
 pub fn key_hash(scenario: &Scenario) -> u64 {
-    let mut hasher = std::collections::hash_map::DefaultHasher::new();
-    scenario.hash(&mut hasher);
-    hasher.finish()
+    hash_of(scenario)
 }
 
 /// Where a [`Fetched`] report came from.
@@ -98,6 +111,28 @@ pub struct Fetched {
     pub report: IterationReport,
     /// Cache/flight provenance of this particular call.
     pub provenance: Provenance,
+}
+
+/// Counters for one staged-engine memo table, serialized into
+/// [`StoreStats::stages`] (and from there into `GET /stats`,
+/// `GET /metrics`, and the sweep summary).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageStats {
+    /// Stage name (`fabric`, `network`, `layer_timing`, `plan`,
+    /// `schedule`, `collective`, `sync`).
+    pub stage: String,
+    /// Lookups answered from the table (including coalesced waiters).
+    pub hits: u64,
+    /// Artifacts actually built.
+    pub misses: u64,
+    /// Artifacts evicted to stay within the table's capacity.
+    pub evictions: u64,
+    /// Artifacts currently resident.
+    pub entries: u64,
+    /// Capacity bound, if any.
+    pub capacity: Option<u64>,
+    /// `hits / (hits + misses)`, or 0 before any traffic.
+    pub hit_rate: f64,
 }
 
 /// A point-in-time snapshot of the store's counters, serializable into
@@ -129,26 +164,30 @@ pub struct StoreStats {
     /// Occupancy balance: the fullest shard over the mean shard
     /// (`1.0` = perfectly even, `0.0` = empty store).
     pub shard_imbalance: f64,
+    /// Counters for the staged engine's per-stage memo tables. The
+    /// tables are process-global (every store in the process shares
+    /// them), so these are process totals, not per-store.
+    pub stages: Vec<StageStats>,
 }
 
-struct Entry {
-    report: IterationReport,
+struct Entry<V> {
+    value: V,
     last_used: u64,
 }
 
-enum FlightState {
+enum FlightState<V> {
     Pending,
-    Done(IterationReport),
+    Done(V),
     /// The leader panicked; waiters retry (one becomes the new leader).
     Failed,
 }
 
-struct Flight {
-    state: Mutex<FlightState>,
+struct Flight<V> {
+    state: Mutex<FlightState<V>>,
     done: Condvar,
 }
 
-impl Flight {
+impl<V: Clone> Flight<V> {
     fn new() -> Self {
         Flight {
             state: Mutex::new(FlightState::Pending),
@@ -157,42 +196,92 @@ impl Flight {
     }
 
     /// Blocks until the flight lands; `None` means the leader failed.
-    fn wait(&self) -> Option<IterationReport> {
+    fn wait(&self) -> Option<V> {
         let mut state = self.state.lock().expect("flight lock");
         while matches!(*state, FlightState::Pending) {
             state = self.done.wait(state).expect("flight wait");
         }
         match &*state {
-            FlightState::Done(report) => Some(report.clone()),
+            FlightState::Done(value) => Some(value.clone()),
             FlightState::Failed => None,
             FlightState::Pending => unreachable!("wait loop exits only on a terminal state"),
         }
     }
 
-    fn land(&self, state: FlightState) {
+    fn land(&self, state: FlightState<V>) {
         *self.state.lock().expect("flight lock") = state;
         self.done.notify_all();
     }
 }
 
-struct Shard {
-    cells: HashMap<Scenario, Entry>,
-    flights: HashMap<Scenario, Arc<Flight>>,
+struct Shard<K, V> {
+    cells: HashMap<K, Entry<V>>,
+    flights: HashMap<K, Arc<Flight<V>>>,
+    /// Recency index: `last_used` tick → key, mirroring `cells` exactly
+    /// (ticks are globally unique). Keeps LRU eviction at
+    /// `O(shards · log n)` instead of a scan over every resident entry —
+    /// a mega-grid sweep overflows a bounded table on nearly every
+    /// insert, so eviction sits on the hot path.
+    by_tick: BTreeMap<u64, K>,
 }
 
-impl Shard {
+impl<K, V> Shard<K, V> {
     fn new() -> Self {
         Shard {
             cells: HashMap::new(),
             flights: HashMap::new(),
+            by_tick: BTreeMap::new(),
         }
     }
 }
 
-/// The sharded, bounded, warmable scenario→report store. See the
-/// [module docs](self) for the design.
-pub struct ResultStore {
-    shards: Box<[Mutex<Shard>]>,
+impl<K: Copy + Eq + Hash, V> Shard<K, V> {
+    /// Moves an entry's recency to `tick`, keeping the index in sync.
+    fn touch(&mut self, key: &K, tick: u64) -> Option<&Entry<V>> {
+        let entry = self.cells.get_mut(key)?;
+        self.by_tick.remove(&entry.last_used);
+        entry.last_used = tick;
+        self.by_tick.insert(tick, *key);
+        Some(entry)
+    }
+
+    /// Installs `key → value` at recency `tick`; true when an existing
+    /// entry (whose recency slot is reclaimed) was replaced.
+    fn install(&mut self, key: K, value: V, tick: u64) -> bool {
+        let replaced = self.cells.insert(
+            key,
+            Entry {
+                value,
+                last_used: tick,
+            },
+        );
+        if let Some(old) = &replaced {
+            self.by_tick.remove(&old.last_used);
+        }
+        self.by_tick.insert(tick, key);
+        replaced.is_some()
+    }
+}
+
+/// A sharded, globally capacity-bounded, LRU-evicting, single-flight
+/// memo table — the machinery behind [`ResultStore`], generic over key
+/// and value so the staged engine's per-stage tables (fabric summaries,
+/// layer timings, collective costs; see [`crate::stages`]) reuse the
+/// identical concurrency and bounding semantics.
+///
+/// # Examples
+///
+/// ```
+/// use mcdla_core::{Provenance, StageCache};
+///
+/// let cache: StageCache<u64, u64> = StageCache::bounded(2);
+/// let (v, p) = cache.get_or_compute(7, || 49);
+/// assert_eq!((v, p), (49, Provenance::Computed));
+/// let (v, p) = cache.get_or_compute(7, || unreachable!("cached"));
+/// assert_eq!((v, p), (49, Provenance::Cached));
+/// ```
+pub struct StageCache<K, V> {
+    shards: Box<[Mutex<Shard<K, V>>]>,
     /// Total capacity across all shards (`None` = unbounded).
     capacity: Option<usize>,
     /// Resident entries plus not-yet-materialized insert reservations.
@@ -208,14 +297,347 @@ pub struct ResultStore {
     evictions: AtomicU64,
     dedup_waits: AtomicU64,
     in_flight: AtomicU64,
+}
+
+impl<K: Copy + Eq + Hash, V: Clone> fmt::Debug for StageCache<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StageCache")
+            .field("shards", &self.shards.len())
+            .field("capacity", &self.capacity)
+            .field("entries", &self.len())
+            .finish()
+    }
+}
+
+impl<K: Copy + Eq + Hash, V: Clone> Default for StageCache<K, V> {
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
+impl<K: Copy + Eq + Hash, V: Clone> StageCache<K, V> {
+    /// A table with no capacity bound.
+    pub fn unbounded() -> Self {
+        Self::with_shards(None, DEFAULT_SHARDS)
+    }
+
+    /// A table bounded to at most `capacity` entries (LRU-evicting).
+    ///
+    /// The bound is **global**: however the keys hash across shards, the
+    /// table never holds more than `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero — a table that can hold nothing
+    /// cannot satisfy `get_or_compute`.
+    pub fn bounded(capacity: usize) -> Self {
+        Self::with_shards(Some(capacity), DEFAULT_SHARDS)
+    }
+
+    /// A table with an explicit shard count (tests use small counts to
+    /// exercise eviction deterministically). The capacity bound, if any,
+    /// is global regardless of the shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is `Some(0)`.
+    pub fn with_shards(capacity: Option<usize>, shards: usize) -> Self {
+        assert!(
+            capacity != Some(0),
+            "stage-cache capacity must be >= 1 (use None for unbounded)"
+        );
+        let shards = shards.max(1);
+        StageCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::new())).collect(),
+            capacity,
+            occupancy: AtomicUsize::new(0),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            dedup_waits: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_index(&self, key: &K) -> usize {
+        (hash_of(key) as usize) % self.shards.len()
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Lookups answered from the table (including coalesced waiters).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Values actually computed through this table.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted to stay within capacity.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that blocked on another caller's in-flight compute.
+    pub fn dedup_waits(&self) -> u64 {
+        self.dedup_waits.load(Ordering::Relaxed)
+    }
+
+    /// Computes currently executing.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Capacity bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Takes every shard lock at once, so cross-shard reads see one
+    /// atomic snapshot. Summing one shard at a time would tear: an entry
+    /// evicted from an already-counted shard while its replacement lands
+    /// in a not-yet-counted one counts twice, and "never observed over
+    /// capacity" would be unverifiable. No deadlock risk: every other
+    /// path holds at most one shard lock at a time.
+    fn lock_all(&self) -> Vec<std::sync::MutexGuard<'_, Shard<K, V>>> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("store shard lock"))
+            .collect()
+    }
+
+    /// Distinct entries currently resident (an atomic cross-shard count).
+    pub fn len(&self) -> usize {
+        self.lock_all().iter().map(|s| s.cells.len()).sum()
+    }
+
+    /// True when no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Resident entries per shard, in shard order, counted atomically.
+    pub fn shard_entries(&self) -> Vec<u64> {
+        self.lock_all()
+            .iter()
+            .map(|s| s.cells.len() as u64)
+            .collect()
+    }
+
+    /// This table's counters under a stage name, for
+    /// [`StoreStats::stages`].
+    pub fn stats(&self, stage: &str) -> StageStats {
+        let hits = self.hits();
+        let misses = self.misses();
+        StageStats {
+            stage: stage.to_owned(),
+            hits,
+            misses,
+            evictions: self.evictions(),
+            entries: self.len() as u64,
+            capacity: self.capacity.map(|c| c as u64),
+            hit_rate: if hits + misses > 0 {
+                hits as f64 / (hits + misses) as f64
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Looks up a key, counting a hit (and refreshing its recency) on
+    /// success. Absence is *not* counted as a miss — misses count actual
+    /// computes.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let tick = self.next_tick();
+        let mut shard = self.shards[self.shard_index(key)]
+            .lock()
+            .expect("store shard lock");
+        let entry = shard.touch(key, tick)?;
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(entry.value.clone())
+    }
+
+    /// True when the key is resident (no counter or recency effects).
+    pub fn contains(&self, key: &K) -> bool {
+        self.shards[self.shard_index(key)]
+            .lock()
+            .expect("store shard lock")
+            .cells
+            .contains_key(key)
+    }
+
+    /// Inserts a value directly (evicting first when at capacity, so
+    /// the bound holds at every observable point). Normal traffic goes
+    /// through [`StageCache::get_or_compute`].
+    pub fn insert(&self, key: K, value: V) {
+        let tick = self.next_tick();
+        let idx = self.shard_index(&key);
+        {
+            let mut shard = self.shards[idx].lock().expect("store shard lock");
+            let shard = &mut *shard;
+            if let Some(entry) = shard.cells.get_mut(&key) {
+                entry.value = value;
+                shard.by_tick.remove(&entry.last_used);
+                entry.last_used = tick;
+                shard.by_tick.insert(tick, key);
+                return;
+            }
+        }
+        self.reserve_slot();
+        let mut shard = self.shards[idx].lock().expect("store shard lock");
+        let replaced = shard.install(key, value, tick);
+        drop(shard);
+        if replaced {
+            // Another caller inserted the same key between our presence
+            // check and our insert; we replaced it, so give back the
+            // extra reservation.
+            self.release_slot();
+        }
+    }
+
+    /// Reserves one slot in the global occupancy budget, evicting the
+    /// least-recently-used entry while the table is at capacity. Must be
+    /// called with no shard lock held (eviction takes shard locks).
+    fn reserve_slot(&self) {
+        let Some(cap) = self.capacity else {
+            self.occupancy.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        loop {
+            let cur = self.occupancy.load(Ordering::Acquire);
+            if cur < cap {
+                if self
+                    .occupancy
+                    .compare_exchange(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    return;
+                }
+                continue;
+            }
+            if !self.evict_lru_once() {
+                // Every slot is held by a reservation another thread has
+                // not yet materialized into a visible entry; the window
+                // between its reservation and its insert is a few
+                // instructions, so yield and retry.
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Releases one occupancy slot (an entry was removed, or a
+    /// reservation lost a same-key insert race).
+    fn release_slot(&self) {
+        self.occupancy.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Evicts the globally least-recently-used entry, scanning shard by
+    /// shard (locks are taken one at a time, never nested). Returns
+    /// false when nothing was evicted — the table is empty, or the
+    /// chosen victim was touched/removed between the scan and the
+    /// removal (the caller rescans).
+    fn evict_lru_once(&self) -> bool {
+        let mut oldest: Option<(usize, K, u64)> = None;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let shard = shard.lock().expect("store shard lock");
+            if let Some((&t, &k)) = shard.by_tick.first_key_value() {
+                if oldest.is_none_or(|(_, _, best)| t < best) {
+                    oldest = Some((i, k, t));
+                }
+            }
+        }
+        let Some((idx, key, tick)) = oldest else {
+            return false;
+        };
+        let mut shard = self.shards[idx].lock().expect("store shard lock");
+        match shard.cells.get(&key) {
+            Some(entry) if entry.last_used == tick => {
+                shard.cells.remove(&key);
+                shard.by_tick.remove(&tick);
+                drop(shard);
+                self.release_slot();
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The table's workhorse: returns the key's value, computing it via
+    /// `compute` only if no cached copy exists and no other caller is
+    /// already computing it (single-flight).
+    ///
+    /// `compute` runs with **no locks held**, so slow computes never
+    /// block unrelated keys. If the leading caller panics, its waiters
+    /// wake and retry (one becomes the new leader); the panic propagates
+    /// to the leader's thread as usual.
+    pub fn get_or_compute(&self, key: K, compute: impl Fn() -> V) -> (V, Provenance) {
+        loop {
+            let idx = self.shard_index(&key);
+            let lead_or_wait = {
+                let mut shard = self.shards[idx].lock().expect("store shard lock");
+                let tick = self.next_tick();
+                if let Some(entry) = shard.touch(&key, tick) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return (entry.value.clone(), Provenance::Cached);
+                }
+                match shard.flights.get(&key) {
+                    Some(flight) => Err(flight.clone()),
+                    None => {
+                        let flight = Arc::new(Flight::new());
+                        shard.flights.insert(key, flight.clone());
+                        self.in_flight.fetch_add(1, Ordering::Relaxed);
+                        Ok(flight)
+                    }
+                }
+            };
+            match lead_or_wait {
+                Err(flight) => {
+                    self.dedup_waits.fetch_add(1, Ordering::Relaxed);
+                    match flight.wait() {
+                        Some(value) => {
+                            self.hits.fetch_add(1, Ordering::Relaxed);
+                            return (value, Provenance::Coalesced);
+                        }
+                        // Leader failed; loop around and try again.
+                        None => continue,
+                    }
+                }
+                Ok(flight) => {
+                    let guard = FlightGuard {
+                        cache: self,
+                        key,
+                        shard_index: idx,
+                        flight,
+                        landed: false,
+                    };
+                    let value = compute();
+                    guard.land(value.clone());
+                    return (value, Provenance::Computed);
+                }
+            }
+        }
+    }
+}
+
+/// The sharded, bounded, warmable scenario→report store: a
+/// [`StageCache<Scenario, IterationReport>`] plus JSON snapshot/restore.
+/// See the [module docs](self) for the design.
+pub struct ResultStore {
+    inner: StageCache<Scenario, IterationReport>,
     warm_loaded: AtomicU64,
 }
 
 impl fmt::Debug for ResultStore {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ResultStore")
-            .field("shards", &self.shards.len())
-            .field("capacity", &self.capacity)
+            .field("shards", &self.inner.shards.len())
+            .field("capacity", &self.inner.capacity)
             .field("stats", &self.stats())
             .finish()
     }
@@ -259,47 +681,30 @@ impl ResultStore {
             capacity != Some(0),
             "result-store capacity must be >= 1 (use None for unbounded)"
         );
-        let shards = shards.max(1);
         ResultStore {
-            shards: (0..shards).map(|_| Mutex::new(Shard::new())).collect(),
-            capacity,
-            occupancy: AtomicUsize::new(0),
-            tick: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            dedup_waits: AtomicU64::new(0),
-            in_flight: AtomicU64::new(0),
+            inner: StageCache::with_shards(capacity, shards),
             warm_loaded: AtomicU64::new(0),
         }
     }
 
-    fn shard_index(&self, scenario: &Scenario) -> usize {
-        (key_hash(scenario) as usize) % self.shards.len()
-    }
-
-    fn next_tick(&self) -> u64 {
-        self.tick.fetch_add(1, Ordering::Relaxed)
-    }
-
     /// Requests answered from the cache (including coalesced waiters).
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.inner.hits()
     }
 
     /// Cells actually simulated through this store.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.inner.misses()
     }
 
     /// Entries evicted to stay within capacity.
     pub fn evictions(&self) -> u64 {
-        self.evictions.load(Ordering::Relaxed)
+        self.inner.evictions()
     }
 
     /// Requests that blocked on another caller's in-flight simulation.
     pub fn dedup_waits(&self) -> u64 {
-        self.dedup_waits.load(Ordering::Relaxed)
+        self.inner.dedup_waits()
     }
 
     /// Entries loaded from snapshots.
@@ -309,42 +714,27 @@ impl ResultStore {
 
     /// Capacity bound, if any.
     pub fn capacity(&self) -> Option<usize> {
-        self.capacity
-    }
-
-    /// Takes every shard lock at once, so cross-shard reads see one
-    /// atomic snapshot. Summing one shard at a time would tear: an entry
-    /// evicted from an already-counted shard while its replacement lands
-    /// in a not-yet-counted one counts twice, and "never observed over
-    /// capacity" would be unverifiable. No deadlock risk: every other
-    /// path holds at most one shard lock at a time.
-    fn lock_all(&self) -> Vec<std::sync::MutexGuard<'_, Shard>> {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("store shard lock"))
-            .collect()
+        self.inner.capacity()
     }
 
     /// Distinct cells currently resident (an atomic cross-shard count).
     pub fn len(&self) -> usize {
-        self.lock_all().iter().map(|s| s.cells.len()).sum()
+        self.inner.len()
     }
 
     /// True when no cells are resident.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.inner.is_empty()
     }
 
     /// Resident entries per shard, in shard order (the occupancy/balance
     /// telemetry behind `GET /stats`), counted atomically.
     pub fn shard_entries(&self) -> Vec<u64> {
-        self.lock_all()
-            .iter()
-            .map(|s| s.cells.len() as u64)
-            .collect()
+        self.inner.shard_entries()
     }
 
-    /// All counters at once.
+    /// All counters at once, including the staged engine's per-stage
+    /// table counters (process-global; see [`crate::stages`]).
     pub fn stats(&self) -> StoreStats {
         let shard_entries = self.shard_entries();
         let entries: u64 = shard_entries.iter().sum();
@@ -356,9 +746,9 @@ impl ResultStore {
             misses,
             evictions: self.evictions(),
             dedup_waits: self.dedup_waits(),
-            in_flight: self.in_flight.load(Ordering::Relaxed),
+            in_flight: self.inner.in_flight(),
             entries,
-            capacity: self.capacity.map(|c| c as u64),
+            capacity: self.capacity().map(|c| c as u64),
             warm_loaded: self.warm_loaded(),
             hit_rate: if hits + misses > 0 {
                 hits as f64 / (hits + misses) as f64
@@ -372,6 +762,7 @@ impl ResultStore {
                 0.0
             },
             shard_entries,
+            stages: crate::stages::stage_stats(),
         }
     }
 
@@ -379,23 +770,12 @@ impl ResultStore {
     /// success. Absence is *not* counted as a miss — misses count actual
     /// simulations, matching the original `Runner` semantics.
     pub fn get(&self, scenario: &Scenario) -> Option<IterationReport> {
-        let tick = self.next_tick();
-        let mut shard = self.shards[self.shard_index(scenario)]
-            .lock()
-            .expect("store shard lock");
-        let entry = shard.cells.get_mut(scenario)?;
-        entry.last_used = tick;
-        self.hits.fetch_add(1, Ordering::Relaxed);
-        Some(entry.report.clone())
+        self.inner.get(scenario)
     }
 
     /// True when the cell is resident (no counter or recency effects).
     pub fn contains(&self, scenario: &Scenario) -> bool {
-        self.shards[self.shard_index(scenario)]
-            .lock()
-            .expect("store shard lock")
-            .cells
-            .contains_key(scenario)
+        self.inner.contains(scenario)
     }
 
     /// Inserts a result directly (evicting first when at capacity, so
@@ -403,102 +783,7 @@ impl ResultStore {
     /// restore; normal traffic goes through
     /// [`ResultStore::get_or_compute`].
     pub fn insert(&self, scenario: Scenario, report: IterationReport) {
-        let tick = self.next_tick();
-        let idx = self.shard_index(&scenario);
-        {
-            let mut shard = self.shards[idx].lock().expect("store shard lock");
-            if let Some(entry) = shard.cells.get_mut(&scenario) {
-                entry.report = report;
-                entry.last_used = tick;
-                return;
-            }
-        }
-        self.reserve_slot();
-        let mut shard = self.shards[idx].lock().expect("store shard lock");
-        let replaced = shard
-            .cells
-            .insert(
-                scenario,
-                Entry {
-                    report,
-                    last_used: tick,
-                },
-            )
-            .is_some();
-        drop(shard);
-        if replaced {
-            // Another caller inserted the same key between our presence
-            // check and our insert; we replaced it, so give back the
-            // extra reservation.
-            self.release_slot();
-        }
-    }
-
-    /// Reserves one slot in the global occupancy budget, evicting the
-    /// least-recently-used entry while the store is at capacity. Must be
-    /// called with no shard lock held (eviction takes shard locks).
-    fn reserve_slot(&self) {
-        let Some(cap) = self.capacity else {
-            self.occupancy.fetch_add(1, Ordering::Relaxed);
-            return;
-        };
-        loop {
-            let cur = self.occupancy.load(Ordering::Acquire);
-            if cur < cap {
-                if self
-                    .occupancy
-                    .compare_exchange(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire)
-                    .is_ok()
-                {
-                    return;
-                }
-                continue;
-            }
-            if !self.evict_lru_once() {
-                // Every slot is held by a reservation another thread has
-                // not yet materialized into a visible entry; the window
-                // between its reservation and its insert is a few
-                // instructions, so yield and retry.
-                std::thread::yield_now();
-            }
-        }
-    }
-
-    /// Releases one occupancy slot (an entry was removed, or a
-    /// reservation lost a same-key insert race).
-    fn release_slot(&self) {
-        self.occupancy.fetch_sub(1, Ordering::AcqRel);
-    }
-
-    /// Evicts the globally least-recently-used entry, scanning shard by
-    /// shard (locks are taken one at a time, never nested). Returns
-    /// false when nothing was evicted — the store is empty, or the
-    /// chosen victim was touched/removed between the scan and the
-    /// removal (the caller rescans).
-    fn evict_lru_once(&self) -> bool {
-        let mut oldest: Option<(usize, Scenario, u64)> = None;
-        for (i, shard) in self.shards.iter().enumerate() {
-            let shard = shard.lock().expect("store shard lock");
-            if let Some((s, e)) = shard.cells.iter().min_by_key(|(_, e)| e.last_used) {
-                if oldest.is_none_or(|(_, _, t)| e.last_used < t) {
-                    oldest = Some((i, *s, e.last_used));
-                }
-            }
-        }
-        let Some((idx, scenario, tick)) = oldest else {
-            return false;
-        };
-        let mut shard = self.shards[idx].lock().expect("store shard lock");
-        match shard.cells.get(&scenario) {
-            Some(entry) if entry.last_used == tick => {
-                shard.cells.remove(&scenario);
-                drop(shard);
-                self.release_slot();
-                self.evictions.fetch_add(1, Ordering::Relaxed);
-                true
-            }
-            _ => false,
-        }
+        self.inner.insert(scenario, report);
     }
 
     /// The store's workhorse: returns the cell's report, simulating it
@@ -514,60 +799,8 @@ impl ResultStore {
         scenario: Scenario,
         simulate: impl Fn() -> IterationReport,
     ) -> Fetched {
-        loop {
-            let idx = self.shard_index(&scenario);
-            let lead_or_wait = {
-                let mut shard = self.shards[idx].lock().expect("store shard lock");
-                if let Some(entry) = shard.cells.get_mut(&scenario) {
-                    entry.last_used = self.next_tick();
-                    self.hits.fetch_add(1, Ordering::Relaxed);
-                    return Fetched {
-                        report: entry.report.clone(),
-                        provenance: Provenance::Cached,
-                    };
-                }
-                match shard.flights.get(&scenario) {
-                    Some(flight) => Err(flight.clone()),
-                    None => {
-                        let flight = Arc::new(Flight::new());
-                        shard.flights.insert(scenario, flight.clone());
-                        self.in_flight.fetch_add(1, Ordering::Relaxed);
-                        Ok(flight)
-                    }
-                }
-            };
-            match lead_or_wait {
-                Err(flight) => {
-                    self.dedup_waits.fetch_add(1, Ordering::Relaxed);
-                    match flight.wait() {
-                        Some(report) => {
-                            self.hits.fetch_add(1, Ordering::Relaxed);
-                            return Fetched {
-                                report,
-                                provenance: Provenance::Coalesced,
-                            };
-                        }
-                        // Leader failed; loop around and try again.
-                        None => continue,
-                    }
-                }
-                Ok(flight) => {
-                    let guard = FlightGuard {
-                        store: self,
-                        scenario,
-                        shard_index: idx,
-                        flight,
-                        landed: false,
-                    };
-                    let report = simulate();
-                    guard.land(report.clone());
-                    return Fetched {
-                        report,
-                        provenance: Provenance::Computed,
-                    };
-                }
-            }
-        }
+        let (report, provenance) = self.inner.get_or_compute(scenario, simulate);
+        Fetched { report, provenance }
     }
 
     /// Serializes the resident cells to deterministic JSON (sorted by
@@ -578,16 +811,16 @@ impl ResultStore {
         let mut cells: Vec<SnapshotCell> = Vec::new();
         // Atomic cross-shard view: a shard-at-a-time walk could capture
         // more cells than the capacity under concurrent churn.
-        for shard in self.lock_all().iter() {
+        for shard in self.inner.lock_all().iter() {
             cells.extend(shard.cells.iter().map(|(s, e)| SnapshotCell {
                 scenario: *s,
-                report: e.report.clone(),
+                report: e.value.clone(),
             }));
         }
         cells.sort_by_key(|c| c.scenario.digest());
         serde::json::to_string_pretty(&Snapshot {
             version: SNAPSHOT_VERSION,
-            capacity: self.capacity.map(|c| c as u64),
+            capacity: self.capacity().map(|c| c as u64),
             cells,
         })
     }
@@ -656,66 +889,57 @@ struct Snapshot {
     cells: Vec<SnapshotCell>,
 }
 
-/// Cleans up a leader's flight however `simulate` exits: on a normal
+/// Cleans up a leader's flight however `compute` exits: on a normal
 /// landing the result is cached and waiters get `Done`; if the closure
 /// panics, `Drop` marks the flight `Failed` so waiters retry instead of
 /// hanging.
-struct FlightGuard<'a> {
-    store: &'a ResultStore,
-    scenario: Scenario,
+struct FlightGuard<'a, K: Copy + Eq + Hash, V: Clone> {
+    cache: &'a StageCache<K, V>,
+    key: K,
     shard_index: usize,
-    flight: Arc<Flight>,
+    flight: Arc<Flight<V>>,
     landed: bool,
 }
 
-impl FlightGuard<'_> {
-    fn land(mut self, report: IterationReport) {
+impl<K: Copy + Eq + Hash, V: Clone> FlightGuard<'_, K, V> {
+    fn land(mut self, value: V) {
         self.landed = true;
-        let tick = self.store.next_tick();
+        let tick = self.cache.next_tick();
         // Make room *before* the entry becomes visible: the capacity
         // bound must hold at every observable point. The flight is still
         // pending here, so concurrent callers coalesce rather than
-        // starting a duplicate simulation.
-        self.store.reserve_slot();
+        // starting a duplicate compute.
+        self.cache.reserve_slot();
         let replaced = {
-            let mut shard = self.store.shards[self.shard_index]
+            let mut shard = self.cache.shards[self.shard_index]
                 .lock()
                 .expect("store shard lock");
-            let replaced = shard
-                .cells
-                .insert(
-                    self.scenario,
-                    Entry {
-                        report: report.clone(),
-                        last_used: tick,
-                    },
-                )
-                .is_some();
-            shard.flights.remove(&self.scenario);
+            let replaced = shard.install(self.key, value.clone(), tick);
+            shard.flights.remove(&self.key);
             replaced
         };
         if replaced {
             // A direct `insert` (snapshot restore) raced us in; give the
             // extra reservation back.
-            self.store.release_slot();
+            self.cache.release_slot();
         }
-        self.store.misses.fetch_add(1, Ordering::Relaxed);
-        self.store.in_flight.fetch_sub(1, Ordering::Relaxed);
-        self.flight.land(FlightState::Done(report));
+        self.cache.misses.fetch_add(1, Ordering::Relaxed);
+        self.cache.in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.flight.land(FlightState::Done(value));
     }
 }
 
-impl Drop for FlightGuard<'_> {
+impl<K: Copy + Eq + Hash, V: Clone> Drop for FlightGuard<'_, K, V> {
     fn drop(&mut self) {
         if self.landed {
             return;
         }
-        let mut shard = self.store.shards[self.shard_index]
+        let mut shard = self.cache.shards[self.shard_index]
             .lock()
             .expect("store shard lock");
-        shard.flights.remove(&self.scenario);
+        shard.flights.remove(&self.key);
         drop(shard);
-        self.store.in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.cache.in_flight.fetch_sub(1, Ordering::Relaxed);
         self.flight.land(FlightState::Failed);
     }
 }
@@ -854,9 +1078,63 @@ mod tests {
     }
 
     #[test]
+    fn store_stats_carry_the_stage_tables() {
+        let store = ResultStore::unbounded();
+        // Run one cell through the staged engine so the stage tables
+        // exist and have seen traffic.
+        let _ = store.get_or_compute(cell(512), || cell(512).simulate());
+        let stats = store.stats();
+        let names: Vec<&str> = stats.stages.iter().map(|s| s.stage.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "fabric",
+                "network",
+                "layer_timing",
+                "plan",
+                "schedule",
+                "collective",
+                "sync"
+            ],
+            "stage list is fixed and ordered"
+        );
+        for stage in &stats.stages {
+            assert!(
+                stage.hits + stage.misses > 0 || stage.stage == "collective",
+                "stage {} saw no traffic: {stage:?}",
+                stage.stage
+            );
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "capacity must be >= 1")]
     fn zero_capacity_is_rejected() {
         let _ = ResultStore::bounded(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be >= 1")]
+    fn zero_stage_cache_capacity_is_rejected() {
+        let _: StageCache<u64, u64> = StageCache::bounded(0);
+    }
+
+    #[test]
+    fn stage_cache_tracks_hits_misses_and_evictions() {
+        let cache: StageCache<u64, u64> = StageCache::with_shards(Some(2), 1);
+        assert_eq!(cache.get_or_compute(1, || 10), (10, Provenance::Computed));
+        assert_eq!(cache.get_or_compute(1, || 99), (10, Provenance::Cached));
+        assert_eq!(cache.get_or_compute(2, || 20), (20, Provenance::Computed));
+        // Touch 1 so 2 is the LRU victim.
+        assert_eq!(cache.get(&1), Some(10));
+        assert_eq!(cache.get_or_compute(3, || 30), (30, Provenance::Computed));
+        assert!(cache.contains(&1) && cache.contains(&3) && !cache.contains(&2));
+        let stats = cache.stats("test");
+        assert_eq!(stats.stage, "test");
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (2, 3, 1));
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.capacity, Some(2));
+        assert!((stats.hit_rate - 0.4).abs() < 1e-12);
     }
 
     #[test]

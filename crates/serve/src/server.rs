@@ -567,6 +567,54 @@ fn metrics_text(state: &ServerState) -> String {
             capacity as f64,
         );
     }
+    b.family(
+        "mcdla_stage_hits_total",
+        "Staged-engine memo-table lookups answered from the table, by stage.",
+        "counter",
+    );
+    for stage in &stats.stages {
+        b.sample(
+            "mcdla_stage_hits_total",
+            &[("stage", &stage.stage)],
+            stage.hits as f64,
+        );
+    }
+    b.family(
+        "mcdla_stage_misses_total",
+        "Staged-engine artifacts actually built, by stage.",
+        "counter",
+    );
+    for stage in &stats.stages {
+        b.sample(
+            "mcdla_stage_misses_total",
+            &[("stage", &stage.stage)],
+            stage.misses as f64,
+        );
+    }
+    b.family(
+        "mcdla_stage_evictions_total",
+        "Staged-engine memo entries evicted to stay within each table's bound.",
+        "counter",
+    );
+    for stage in &stats.stages {
+        b.sample(
+            "mcdla_stage_evictions_total",
+            &[("stage", &stage.stage)],
+            stage.evictions as f64,
+        );
+    }
+    b.family(
+        "mcdla_stage_entries",
+        "Staged-engine artifacts currently resident, by stage.",
+        "gauge",
+    );
+    for stage in &stats.stages {
+        b.sample(
+            "mcdla_stage_entries",
+            &[("stage", &stage.stage)],
+            stage.entries as f64,
+        );
+    }
     b.finish()
 }
 

@@ -43,6 +43,7 @@ pub struct Completion {
 
 impl Completion {
     /// Time the item spent executing.
+    #[inline]
     pub fn duration(&self) -> SimDuration {
         self.end - self.start
     }
@@ -50,6 +51,7 @@ impl Completion {
 
 impl FifoEngine {
     /// Creates an idle engine at time zero.
+    #[inline]
     pub fn new() -> Self {
         FifoEngine::default()
     }
@@ -58,6 +60,7 @@ impl FifoEngine {
     ///
     /// The item begins at `max(ready, previous item's end)` and the engine's
     /// busy-time accumulator grows by `duration`.
+    #[inline]
     pub fn submit(&mut self, ready: SimTime, duration: SimDuration) -> Completion {
         let start = self.free_at.max(ready);
         let end = start + duration;
@@ -69,31 +72,37 @@ impl FifoEngine {
 
     /// Blocks the engine until at least `time` (models an external dependency
     /// occupying the head of the queue without doing billable work).
+    #[inline]
     pub fn stall_until(&mut self, time: SimTime) {
         self.free_at = self.free_at.max(time);
     }
 
     /// Instant at which the engine next becomes free.
+    #[inline]
     pub fn free_at(&self) -> SimTime {
         self.free_at
     }
 
     /// Total time spent executing work items (the Figure 11 stack component).
+    #[inline]
     pub fn busy_time(&self) -> SimDuration {
         self.busy
     }
 
     /// Number of completed work items.
+    #[inline]
     pub fn completed(&self) -> u64 {
         self.completed
     }
 
     /// Fraction of `[0, horizon]` spent busy; 0 for a zero horizon.
+    #[inline]
     pub fn utilization(&self, horizon: SimDuration) -> f64 {
         self.busy.fraction_of(horizon)
     }
 
     /// Resets the engine to idle at time zero, clearing statistics.
+    #[inline]
     pub fn reset(&mut self) {
         *self = FifoEngine::default();
     }

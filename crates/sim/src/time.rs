@@ -49,36 +49,43 @@ impl SimTime {
     pub const MAX: SimTime = SimTime(u64::MAX);
 
     /// Creates an instant `ps` picoseconds after simulation start.
+    #[inline]
     pub const fn from_ps(ps: u64) -> Self {
         SimTime(ps)
     }
 
     /// Creates an instant `ns` nanoseconds after simulation start.
+    #[inline]
     pub const fn from_ns(ns: u64) -> Self {
         SimTime(ns * PS_PER_NS)
     }
 
     /// Creates an instant `us` microseconds after simulation start.
+    #[inline]
     pub const fn from_us(us: u64) -> Self {
         SimTime(us * PS_PER_US)
     }
 
     /// Returns the raw picosecond count.
+    #[inline]
     pub const fn as_ps(self) -> u64 {
         self.0
     }
 
     /// Returns the instant as fractional seconds since simulation start.
+    #[inline]
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / PS_PER_SEC as f64
     }
 
     /// Duration elapsed since `earlier`, or zero if `earlier` is later.
+    #[inline]
     pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
         SimDuration(self.0.saturating_sub(earlier.0))
     }
 
     /// Returns the later of two instants.
+    #[inline]
     pub fn max(self, other: SimTime) -> SimTime {
         if self.0 >= other.0 {
             self
@@ -88,6 +95,7 @@ impl SimTime {
     }
 
     /// Returns the earlier of two instants.
+    #[inline]
     pub fn min(self, other: SimTime) -> SimTime {
         if self.0 <= other.0 {
             self
@@ -104,21 +112,25 @@ impl SimDuration {
     pub const MAX: SimDuration = SimDuration(u64::MAX);
 
     /// Creates a duration of `ps` picoseconds.
+    #[inline]
     pub const fn from_ps(ps: u64) -> Self {
         SimDuration(ps)
     }
 
     /// Creates a duration of `ns` nanoseconds.
+    #[inline]
     pub const fn from_ns(ns: u64) -> Self {
         SimDuration(ns * PS_PER_NS)
     }
 
     /// Creates a duration of `us` microseconds.
+    #[inline]
     pub const fn from_us(us: u64) -> Self {
         SimDuration(us * PS_PER_US)
     }
 
     /// Creates a duration of `ms` milliseconds.
+    #[inline]
     pub const fn from_ms(ms: u64) -> Self {
         SimDuration(ms * PS_PER_MS)
     }
@@ -126,6 +138,7 @@ impl SimDuration {
     /// Creates a duration from fractional seconds, rounding to the nearest
     /// picosecond. Negative, NaN, or non-finite inputs saturate to zero or
     /// [`SimDuration::MAX`] respectively.
+    #[inline]
     pub fn from_secs_f64(secs: f64) -> Self {
         if !secs.is_finite() || secs <= 0.0 {
             if secs.is_infinite() && secs > 0.0 {
@@ -142,36 +155,43 @@ impl SimDuration {
     }
 
     /// Returns the raw picosecond count.
+    #[inline]
     pub const fn as_ps(self) -> u64 {
         self.0
     }
 
     /// Returns the duration as fractional seconds.
+    #[inline]
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / PS_PER_SEC as f64
     }
 
     /// Returns the duration as fractional microseconds.
+    #[inline]
     pub fn as_us_f64(self) -> f64 {
         self.0 as f64 / PS_PER_US as f64
     }
 
     /// Returns the duration as fractional milliseconds.
+    #[inline]
     pub fn as_ms_f64(self) -> f64 {
         self.0 as f64 / PS_PER_MS as f64
     }
 
     /// True when the duration is zero.
+    #[inline]
     pub const fn is_zero(self) -> bool {
         self.0 == 0
     }
 
     /// Duration minus `other`, saturating at zero.
+    #[inline]
     pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
         SimDuration(self.0.saturating_sub(other.0))
     }
 
     /// Returns the larger of two durations.
+    #[inline]
     pub fn max(self, other: SimDuration) -> SimDuration {
         if self.0 >= other.0 {
             self
@@ -181,6 +201,7 @@ impl SimDuration {
     }
 
     /// Returns the smaller of two durations.
+    #[inline]
     pub fn min(self, other: SimDuration) -> SimDuration {
         if self.0 <= other.0 {
             self
@@ -191,6 +212,7 @@ impl SimDuration {
 
     /// Ratio of `self` to `total`, as a fraction in `[0, 1]` when
     /// `self <= total`. Returns 0 when `total` is zero.
+    #[inline]
     pub fn fraction_of(self, total: SimDuration) -> f64 {
         if total.0 == 0 {
             0.0
@@ -202,12 +224,14 @@ impl SimDuration {
 
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
+    #[inline]
     fn add(self, rhs: SimDuration) -> SimTime {
         SimTime(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign<SimDuration> for SimTime {
+    #[inline]
     fn add_assign(&mut self, rhs: SimDuration) {
         *self = *self + rhs;
     }
@@ -218,6 +242,7 @@ impl Sub<SimTime> for SimTime {
     /// # Panics
     ///
     /// Panics in debug builds if `rhs` is later than `self`.
+    #[inline]
     fn sub(self, rhs: SimTime) -> SimDuration {
         debug_assert!(self.0 >= rhs.0, "SimTime subtraction underflow");
         SimDuration(self.0.saturating_sub(rhs.0))
@@ -226,12 +251,14 @@ impl Sub<SimTime> for SimTime {
 
 impl Add for SimDuration {
     type Output = SimDuration;
+    #[inline]
     fn add(self, rhs: SimDuration) -> SimDuration {
         SimDuration(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign for SimDuration {
+    #[inline]
     fn add_assign(&mut self, rhs: SimDuration) {
         *self = *self + rhs;
     }
@@ -239,6 +266,7 @@ impl AddAssign for SimDuration {
 
 impl Sub for SimDuration {
     type Output = SimDuration;
+    #[inline]
     fn sub(self, rhs: SimDuration) -> SimDuration {
         debug_assert!(self.0 >= rhs.0, "SimDuration subtraction underflow");
         SimDuration(self.0.saturating_sub(rhs.0))
@@ -246,6 +274,7 @@ impl Sub for SimDuration {
 }
 
 impl SubAssign for SimDuration {
+    #[inline]
     fn sub_assign(&mut self, rhs: SimDuration) {
         *self = *self - rhs;
     }
@@ -253,6 +282,7 @@ impl SubAssign for SimDuration {
 
 impl Mul<u64> for SimDuration {
     type Output = SimDuration;
+    #[inline]
     fn mul(self, rhs: u64) -> SimDuration {
         SimDuration(self.0.saturating_mul(rhs))
     }
@@ -260,6 +290,7 @@ impl Mul<u64> for SimDuration {
 
 impl Mul<f64> for SimDuration {
     type Output = SimDuration;
+    #[inline]
     fn mul(self, rhs: f64) -> SimDuration {
         SimDuration::from_secs_f64(self.as_secs_f64() * rhs)
     }
@@ -267,36 +298,42 @@ impl Mul<f64> for SimDuration {
 
 impl Div<u64> for SimDuration {
     type Output = SimDuration;
+    #[inline]
     fn div(self, rhs: u64) -> SimDuration {
         SimDuration(self.0 / rhs)
     }
 }
 
 impl Sum for SimDuration {
+    #[inline]
     fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
         iter.fold(SimDuration::ZERO, Add::add)
     }
 }
 
 impl fmt::Debug for SimTime {
+    #[inline]
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "SimTime({})", format_ps(self.0))
     }
 }
 
 impl fmt::Display for SimTime {
+    #[inline]
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&format_ps(self.0))
     }
 }
 
 impl fmt::Debug for SimDuration {
+    #[inline]
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "SimDuration({})", format_ps(self.0))
     }
 }
 
 impl fmt::Display for SimDuration {
+    #[inline]
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&format_ps(self.0))
     }

@@ -32,71 +32,85 @@ impl Bytes {
     pub const ZERO: Bytes = Bytes(0);
 
     /// Creates a byte count.
+    #[inline]
     pub const fn new(bytes: u64) -> Self {
         Bytes(bytes)
     }
 
     /// Decimal kilobytes (1 KB = 1000 B).
+    #[inline]
     pub const fn from_kb(kb: u64) -> Self {
         Bytes(kb * 1_000)
     }
 
     /// Decimal megabytes (1 MB = 10^6 B).
+    #[inline]
     pub const fn from_mb(mb: u64) -> Self {
         Bytes(mb * 1_000_000)
     }
 
     /// Decimal gigabytes (1 GB = 10^9 B).
+    #[inline]
     pub const fn from_gb(gb: u64) -> Self {
         Bytes(gb * 1_000_000_000)
     }
 
     /// Binary kibibytes (1 KiB = 1024 B).
+    #[inline]
     pub const fn from_kib(kib: u64) -> Self {
         Bytes(kib * 1024)
     }
 
     /// Binary mebibytes.
+    #[inline]
     pub const fn from_mib(mib: u64) -> Self {
         Bytes(mib * 1024 * 1024)
     }
 
     /// Binary gibibytes.
+    #[inline]
     pub const fn from_gib(gib: u64) -> Self {
         Bytes(gib * 1024 * 1024 * 1024)
     }
 
     /// Raw byte count.
+    #[inline]
     pub const fn as_u64(self) -> u64 {
         self.0
     }
 
     /// Byte count as `f64`, for rate arithmetic.
+    #[inline]
     pub fn as_f64(self) -> f64 {
         self.0 as f64
     }
 
     /// Fractional mebibytes.
+    #[inline]
     pub fn as_mib(self) -> f64 {
         self.0 as f64 / (1024.0 * 1024.0)
     }
 
     /// Fractional gibibytes.
+    #[inline]
     pub fn as_gib(self) -> f64 {
         self.0 as f64 / (1024.0 * 1024.0 * 1024.0)
     }
 
     /// Fractional decimal gigabytes.
+    #[inline]
     pub fn as_gb(self) -> f64 {
         self.0 as f64 / 1e9
     }
 
     /// True when zero.
+    #[inline]
     pub const fn is_zero(self) -> bool {
         self.0 == 0
     }
 
     /// Subtraction saturating at zero.
+    #[inline]
     pub fn saturating_sub(self, other: Bytes) -> Bytes {
         Bytes(self.0.saturating_sub(other.0))
     }
@@ -106,17 +120,20 @@ impl Bytes {
     /// # Panics
     ///
     /// Panics if `chunk` is zero bytes.
+    #[inline]
     pub fn div_ceil(self, chunk: Bytes) -> u64 {
         assert!(chunk.0 > 0, "chunk size must be non-zero");
         self.0.div_ceil(chunk.0)
     }
 
     /// Returns the larger of two sizes.
+    #[inline]
     pub fn max(self, other: Bytes) -> Bytes {
         Bytes(self.0.max(other.0))
     }
 
     /// Returns the smaller of two sizes.
+    #[inline]
     pub fn min(self, other: Bytes) -> Bytes {
         Bytes(self.0.min(other.0))
     }
@@ -124,12 +141,14 @@ impl Bytes {
 
 impl Add for Bytes {
     type Output = Bytes;
+    #[inline]
     fn add(self, rhs: Bytes) -> Bytes {
         Bytes(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign for Bytes {
+    #[inline]
     fn add_assign(&mut self, rhs: Bytes) {
         *self = *self + rhs;
     }
@@ -137,6 +156,7 @@ impl AddAssign for Bytes {
 
 impl Sub for Bytes {
     type Output = Bytes;
+    #[inline]
     fn sub(self, rhs: Bytes) -> Bytes {
         debug_assert!(self.0 >= rhs.0, "Bytes subtraction underflow");
         Bytes(self.0.saturating_sub(rhs.0))
@@ -145,6 +165,7 @@ impl Sub for Bytes {
 
 impl Mul<u64> for Bytes {
     type Output = Bytes;
+    #[inline]
     fn mul(self, rhs: u64) -> Bytes {
         Bytes(self.0.saturating_mul(rhs))
     }
@@ -152,24 +173,28 @@ impl Mul<u64> for Bytes {
 
 impl Div<u64> for Bytes {
     type Output = Bytes;
+    #[inline]
     fn div(self, rhs: u64) -> Bytes {
         Bytes(self.0 / rhs)
     }
 }
 
 impl Sum for Bytes {
+    #[inline]
     fn sum<I: Iterator<Item = Bytes>>(iter: I) -> Bytes {
         iter.fold(Bytes::ZERO, Add::add)
     }
 }
 
 impl fmt::Debug for Bytes {
+    #[inline]
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Bytes({self})")
     }
 }
 
 impl fmt::Display for Bytes {
+    #[inline]
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let b = self.0;
         if b >= 1024 * 1024 * 1024 {
@@ -208,6 +233,7 @@ impl Bandwidth {
     /// # Panics
     ///
     /// Panics if `bytes_per_sec` is negative or NaN.
+    #[inline]
     pub fn bytes_per_sec(bytes_per_sec: f64) -> Self {
         assert!(
             bytes_per_sec.is_finite() && bytes_per_sec >= 0.0,
@@ -217,32 +243,38 @@ impl Bandwidth {
     }
 
     /// Decimal gigabytes per second (the unit used throughout the paper).
+    #[inline]
     pub fn gb_per_sec(gb: f64) -> Self {
         Bandwidth::bytes_per_sec(gb * 1e9)
     }
 
     /// Decimal megabytes per second.
+    #[inline]
     pub fn mb_per_sec(mb: f64) -> Self {
         Bandwidth::bytes_per_sec(mb * 1e6)
     }
 
     /// Raw bytes per second.
+    #[inline]
     pub fn as_bytes_per_sec(self) -> f64 {
         self.0
     }
 
     /// Decimal gigabytes per second.
+    #[inline]
     pub fn as_gb_per_sec(self) -> f64 {
         self.0 / 1e9
     }
 
     /// True when zero.
+    #[inline]
     pub fn is_zero(self) -> bool {
         self.0 == 0.0
     }
 
     /// Time to move `bytes` at this rate; [`SimDuration::MAX`] at zero rate
     /// (unless `bytes` is also zero, which takes no time).
+    #[inline]
     pub fn transfer_time(self, bytes: Bytes) -> SimDuration {
         if bytes.is_zero() {
             SimDuration::ZERO
@@ -254,11 +286,13 @@ impl Bandwidth {
     }
 
     /// Returns the smaller of two bandwidths.
+    #[inline]
     pub fn min(self, other: Bandwidth) -> Bandwidth {
         Bandwidth(self.0.min(other.0))
     }
 
     /// Returns the larger of two bandwidths.
+    #[inline]
     pub fn max(self, other: Bandwidth) -> Bandwidth {
         Bandwidth(self.0.max(other.0))
     }
@@ -266,6 +300,7 @@ impl Bandwidth {
 
 impl Add for Bandwidth {
     type Output = Bandwidth;
+    #[inline]
     fn add(self, rhs: Bandwidth) -> Bandwidth {
         Bandwidth(self.0 + rhs.0)
     }
@@ -273,6 +308,7 @@ impl Add for Bandwidth {
 
 impl Mul<f64> for Bandwidth {
     type Output = Bandwidth;
+    #[inline]
     fn mul(self, rhs: f64) -> Bandwidth {
         Bandwidth::bytes_per_sec(self.0 * rhs)
     }
@@ -280,24 +316,28 @@ impl Mul<f64> for Bandwidth {
 
 impl Div<f64> for Bandwidth {
     type Output = Bandwidth;
+    #[inline]
     fn div(self, rhs: f64) -> Bandwidth {
         Bandwidth::bytes_per_sec(self.0 / rhs)
     }
 }
 
 impl Sum for Bandwidth {
+    #[inline]
     fn sum<I: Iterator<Item = Bandwidth>>(iter: I) -> Bandwidth {
         iter.fold(Bandwidth::ZERO, Add::add)
     }
 }
 
 impl fmt::Debug for Bandwidth {
+    #[inline]
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Bandwidth({self})")
     }
 }
 
 impl fmt::Display for Bandwidth {
+    #[inline]
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:.2}GB/s", self.as_gb_per_sec())
     }
