@@ -27,6 +27,7 @@ use std::time::Instant;
 use mcdla_cluster::{spawn_local_fleet, FleetConfig};
 use mcdla_core::{Scenario, SystemDesign};
 use mcdla_dnn::Benchmark;
+use mcdla_obs::Histogram;
 use mcdla_parallel::ParallelStrategy;
 use mcdla_serve::client::Connection;
 use serde::{Serialize, Value};
@@ -71,11 +72,6 @@ pub(crate) fn pressure_requests(requests_per_thread: usize) -> usize {
     (requests_per_thread / 4).max(50)
 }
 
-/// The q-th percentile of an ascending-sorted latency list.
-pub(crate) fn percentile(sorted: &[f64], q: f64) -> f64 {
-    sorted[(((sorted.len() - 1) as f64) * q).round() as usize]
-}
-
 /// One load phase's measurement.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Load {
@@ -96,48 +92,45 @@ impl Load {
 
 /// Hammers `POST /simulate` at `addr` from `threads` persistent
 /// connections, `per_thread` requests each, bodies drawn
-/// deterministically (seeded LCG per thread) from `bodies`.
+/// deterministically (seeded LCG per thread) from `bodies`. Latencies
+/// are accumulated into one shared lock-free [`Histogram`] (no
+/// per-request `Vec` growth, no post-hoc sort) and the percentiles read
+/// off its snapshot.
 ///
 /// # Panics
 ///
 /// Panics when a connection or request fails — a bench environment
 /// problem, not a measurement.
 pub(crate) fn hammer(addr: &str, bodies: &[String], threads: usize, per_thread: usize) -> Load {
+    let hist = Histogram::new();
     let start = Instant::now();
-    let mut latencies_us: Vec<f64> = std::thread::scope(|scope| {
-        let workers: Vec<_> = (0..threads)
-            .map(|t| {
-                scope.spawn(move || {
-                    let mut conn = Connection::open(addr).expect("open bench connection");
-                    let mut lcg: u64 = 0x9e37_79b9_7f4a_7c15 ^ (t as u64).wrapping_mul(0xdead_beef);
-                    let mut latencies = Vec::with_capacity(per_thread);
-                    for _ in 0..per_thread {
-                        lcg = lcg
-                            .wrapping_mul(6364136223846793005)
-                            .wrapping_add(1442695040888963407);
-                        let body = &bodies[((lcg >> 33) as usize) % bodies.len()];
-                        let t0 = Instant::now();
-                        let resp = conn
-                            .request("POST", "/simulate", Some(body))
-                            .expect("bench simulate");
-                        latencies.push(t0.elapsed().as_secs_f64() * 1e6);
-                        assert!(resp.is_ok(), "bench simulate failed: {}", resp.body);
-                    }
-                    latencies
-                })
-            })
-            .collect();
-        workers
-            .into_iter()
-            .flat_map(|w| w.join().expect("bench worker"))
-            .collect()
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let hist = &hist;
+            scope.spawn(move || {
+                let mut conn = Connection::open(addr).expect("open bench connection");
+                let mut lcg: u64 = 0x9e37_79b9_7f4a_7c15 ^ (t as u64).wrapping_mul(0xdead_beef);
+                for _ in 0..per_thread {
+                    lcg = lcg
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let body = &bodies[((lcg >> 33) as usize) % bodies.len()];
+                    let t0 = Instant::now();
+                    let resp = conn
+                        .request("POST", "/simulate", Some(body))
+                        .expect("bench simulate");
+                    hist.observe_duration(t0.elapsed());
+                    assert!(resp.is_ok(), "bench simulate failed: {}", resp.body);
+                }
+            });
+        }
     });
     let wall = start.elapsed().as_secs_f64();
-    latencies_us.sort_by(f64::total_cmp);
+    let snap = hist.snapshot();
     Load {
         requests_per_sec: (threads * per_thread) as f64 / wall.max(1e-9),
-        latency_p50_us: percentile(&latencies_us, 0.5),
-        latency_p99_us: percentile(&latencies_us, 0.99),
+        latency_p50_us: snap.quantile(0.5) * 1e6,
+        latency_p99_us: snap.quantile(0.99) * 1e6,
     }
 }
 

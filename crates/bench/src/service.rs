@@ -11,6 +11,7 @@ use std::time::Instant;
 
 use mcdla_core::{Scenario, SystemDesign};
 use mcdla_dnn::Benchmark;
+use mcdla_obs::Histogram;
 use mcdla_parallel::ParallelStrategy;
 use serde::{Serialize, Value};
 
@@ -68,40 +69,36 @@ pub fn service_bench(client_threads: usize, requests_per_thread: usize) -> Servi
     let cold_ms = start.elapsed().as_secs_f64() * 1e3;
     assert!(cold.is_ok(), "cold simulate failed: {}", cold.body);
 
-    // Cached cells: hammer the warmed cell from persistent connections.
+    // Cached cells: hammer the warmed cell from persistent connections,
+    // accumulating latencies into one shared lock-free histogram (no
+    // per-request Vec growth, no post-hoc sort).
+    let hist = Histogram::new();
     let start = Instant::now();
-    let latencies_us: Vec<f64> = std::thread::scope(|scope| {
-        let workers: Vec<_> = (0..client_threads)
-            .map(|_| {
-                let addr = addr.clone();
-                let body = body.clone();
-                scope.spawn(move || {
-                    let mut conn = Connection::open(&addr).expect("open bench connection");
-                    let mut latencies = Vec::with_capacity(requests_per_thread);
-                    for _ in 0..requests_per_thread {
-                        let t = Instant::now();
-                        let resp = conn
-                            .request("POST", "/simulate", Some(&body))
-                            .expect("cached simulate");
-                        latencies.push(t.elapsed().as_secs_f64() * 1e6);
-                        debug_assert!(resp.is_ok());
-                    }
-                    latencies
-                })
-            })
-            .collect();
-        workers
-            .into_iter()
-            .flat_map(|w| w.join().expect("bench worker"))
-            .collect()
+    std::thread::scope(|scope| {
+        for _ in 0..client_threads {
+            let addr = addr.clone();
+            let body = body.clone();
+            let hist = &hist;
+            scope.spawn(move || {
+                let mut conn = Connection::open(&addr).expect("open bench connection");
+                for _ in 0..requests_per_thread {
+                    let t = Instant::now();
+                    let resp = conn
+                        .request("POST", "/simulate", Some(&body))
+                        .expect("cached simulate");
+                    hist.observe_duration(t.elapsed());
+                    debug_assert!(resp.is_ok());
+                }
+            });
+        }
     });
     let wall = start.elapsed().as_secs_f64();
     let total_requests = client_threads * requests_per_thread;
     let cached_rps = total_requests as f64 / wall.max(1e-9);
 
-    let mut sorted = latencies_us.clone();
-    sorted.sort_by(f64::total_cmp);
-    let pick = |q: f64| sorted[(((sorted.len() - 1) as f64) * q).round() as usize];
+    let snap = hist.snapshot();
+    let pick = |q: f64| snap.quantile(q) * 1e6;
+    let max_us = snap.max_estimate() * 1e6;
 
     // Grid: a 12-cell batch, cold then fully cached.
     let grid_body = r#"{"benchmarks": ["GoogLeNet"]}"#;
@@ -203,7 +200,7 @@ pub fn service_bench(client_threads: usize, requests_per_thread: usize) -> Servi
                 ("latency_p50_us".into(), Value::F64(pick(0.5))),
                 ("latency_p90_us".into(), Value::F64(pick(0.9))),
                 ("latency_p99_us".into(), Value::F64(pick(0.99))),
-                ("latency_max_us".into(), Value::F64(pick(1.0))),
+                ("latency_max_us".into(), Value::F64(max_us)),
             ]),
         ),
         ("cold_simulate_ms".into(), Value::F64(cold_ms)),

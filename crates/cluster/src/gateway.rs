@@ -13,13 +13,15 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use mcdla_core::Scenario;
+use mcdla_obs::{FlightRecorder, TraceRecord, TraceScope};
 use mcdla_serve::accept::{accept_loop, ConnRegistry};
 use mcdla_serve::client::Timeouts;
 use mcdla_serve::http::{
-    error_body, finish_chunked, query_flag, read_request, split_target, write_chunk,
-    write_chunked_head, write_response, write_response_typed, Request, WireError,
+    error_body, finish_chunked, query_flag, query_param, read_request, split_target, write_chunk,
+    write_chunked_head_with, write_response, write_response_with, Request, WireError,
 };
 use mcdla_serve::metrics::MetricsBuilder;
+use mcdla_serve::trace::{self, LatencyFamily, REQUEST_ID_HEADER};
 use mcdla_serve::{
     GridRequest, ServeConfig, Server, ServerHandle, MAX_GRID_CELLS, MAX_STREAM_CELLS,
 };
@@ -72,17 +74,19 @@ struct GatewayCounters {
     metrics: AtomicU64,
     simulate: AtomicU64,
     grid: AtomicU64,
+    debug: AtomicU64,
     errors: AtomicU64,
 }
 
 impl GatewayCounters {
-    fn snapshot(&self) -> [(&'static str, u64); 6] {
+    fn snapshot(&self) -> [(&'static str, u64); 7] {
         [
             ("healthz", self.healthz.load(Ordering::Relaxed)),
             ("cluster_stats", self.cluster_stats.load(Ordering::Relaxed)),
             ("metrics", self.metrics.load(Ordering::Relaxed)),
             ("simulate", self.simulate.load(Ordering::Relaxed)),
             ("grid", self.grid.load(Ordering::Relaxed)),
+            ("debug", self.debug.load(Ordering::Relaxed)),
             ("errors", self.errors.load(Ordering::Relaxed)),
         ]
     }
@@ -97,6 +101,31 @@ impl GatewayCounters {
     }
 }
 
+/// Endpoint labels for the gateway's request-latency histograms and the
+/// flight-recorder listing.
+const ENDPOINT_LABELS: &[&str] = &[
+    "healthz",
+    "cluster_stats",
+    "metrics",
+    "simulate",
+    "grid",
+    "debug",
+    "other",
+];
+
+/// The histogram/recorder label for a request path.
+fn endpoint_label(path: &str) -> &'static str {
+    match path {
+        "/healthz" => "healthz",
+        "/cluster/stats" => "cluster_stats",
+        "/metrics" => "metrics",
+        "/simulate" => "simulate",
+        "/grid" => "grid",
+        p if p.starts_with("/debug/") => "debug",
+        _ => "other",
+    }
+}
+
 #[derive(Debug)]
 struct GatewayState {
     router: Router,
@@ -104,6 +133,28 @@ struct GatewayState {
     conns: ConnRegistry,
     started: Instant,
     requests: GatewayCounters,
+    /// This gateway's flight recorder — separate from any co-hosted
+    /// worker's (`mcdla cluster` runs both tiers in one process).
+    recorder: FlightRecorder,
+    latency: LatencyFamily,
+    slow_ms: Option<u64>,
+}
+
+/// Finishes the request trace: records it, observes the endpoint
+/// latency, and emits the slow-request line when over threshold.
+fn finish_trace(
+    state: &GatewayState,
+    scope: TraceScope,
+    rid: &str,
+    endpoint: &'static str,
+    status: u16,
+) -> Arc<TraceRecord> {
+    let record = scope.finish(rid.to_owned(), endpoint, status);
+    if let Some(hist) = state.latency.get(endpoint) {
+        hist.observe(record.total_us as f64 / 1e6);
+    }
+    trace::log_if_slow("mcdla-gateway", state.slow_ms, &record);
+    state.recorder.record(record)
 }
 
 /// A bound-but-not-yet-serving gateway.
@@ -138,6 +189,9 @@ impl Gateway {
         )?;
         let listener =
             TcpListener::bind(&config.addr).map_err(|e| format!("binding {}: {e}", config.addr))?;
+        // Serving turns tracing on process-wide (spans are otherwise
+        // inert so batch runs pay nothing).
+        mcdla_obs::set_enabled(true);
         Ok(Gateway {
             listener,
             threads: config.threads,
@@ -148,6 +202,9 @@ impl Gateway {
                 conns: ConnRegistry::default(),
                 started: Instant::now(),
                 requests: GatewayCounters::default(),
+                recorder: FlightRecorder::from_env(),
+                latency: LatencyFamily::new(ENDPOINT_LABELS),
+                slow_ms: trace::slow_ms_from_env(),
             }),
         })
     }
@@ -310,17 +367,29 @@ fn handle_connection(stream: TcpStream, state: &Arc<GatewayState>) {
             Ok(Some(request)) => {
                 let keep_alive = request.keep_alive && !state.shutdown.load(Ordering::SeqCst);
                 let (path, query) = split_target(&request.path);
+                let endpoint = endpoint_label(path);
+                let rid = trace::request_trace_id(&request);
+                let traced = query_flag(query, "trace");
+                let scope = TraceScope::begin();
                 if request.method == "POST" && path == "/grid" && query_flag(query, "stream") {
                     state.requests.grid.fetch_add(1, Ordering::Relaxed);
                     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        stream_grid(&request.body, state, &mut writer, keep_alive)
+                        stream_grid(&request.body, state, &mut writer, keep_alive, &rid)
                     }));
+                    let status = match &outcome {
+                        Ok(StreamOutcome::Rejected(o)) => o.status,
+                        Ok(StreamOutcome::Streamed { .. }) => 200,
+                        Err(_) => 500,
+                    };
+                    finish_trace(state, scope, &rid, endpoint, status);
                     match outcome {
                         Ok(StreamOutcome::Rejected(outcome)) => {
                             state.requests.errors.fetch_add(1, Ordering::Relaxed);
-                            if write_response(
+                            if write_response_with(
                                 &mut writer,
                                 outcome.status,
+                                outcome.content_type,
+                                &[(REQUEST_ID_HEADER, &rid)],
                                 &outcome.body,
                                 keep_alive,
                             )
@@ -347,17 +416,32 @@ fn handle_connection(stream: TcpStream, state: &Arc<GatewayState>) {
                     continue;
                 }
                 let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    route(&request, state)
+                    route(&request, state, &rid)
                 }))
                 .unwrap_or_else(|_| Outcome::error(500, "internal error handling the request"));
                 if outcome.status >= 400 {
                     state.requests.errors.fetch_add(1, Ordering::Relaxed);
                 }
-                if write_response_typed(
+                let record = finish_trace(state, scope, &rid, endpoint, outcome.status);
+                let body = if traced
+                    && outcome.status < 400
+                    && outcome.content_type == "application/json"
+                {
+                    let mut tv = trace::trace_value("mcdla-gateway", &record);
+                    if let (Value::Map(entries), Some(worker)) = (&mut tv, outcome.upstream) {
+                        entries
+                            .push(("upstream".into(), upstream_trace_value(state, worker, &rid)));
+                    }
+                    trace::graft_json(&outcome.body, "trace", tv)
+                } else {
+                    outcome.body
+                };
+                if write_response_with(
                     &mut writer,
                     outcome.status,
                     outcome.content_type,
-                    &outcome.body,
+                    &[(REQUEST_ID_HEADER, &rid)],
+                    &body,
                     keep_alive,
                 )
                 .is_err()
@@ -375,6 +459,9 @@ struct Outcome {
     status: u16,
     body: String,
     content_type: &'static str,
+    /// The worker index that answered (set by `/simulate` forwards so a
+    /// traced response can embed that worker's sub-trace).
+    upstream: Option<usize>,
 }
 
 impl Outcome {
@@ -383,6 +470,7 @@ impl Outcome {
             status: 200,
             body,
             content_type: "application/json",
+            upstream: None,
         }
     }
 
@@ -391,6 +479,7 @@ impl Outcome {
             status,
             body,
             content_type: "application/json",
+            upstream: None,
         }
     }
 
@@ -399,7 +488,16 @@ impl Outcome {
             status,
             body: error_body(message),
             content_type: "application/json",
+            upstream: None,
         }
+    }
+
+    /// An error body carrying the request id, so a client holding a 502
+    /// can quote the id that `/debug/requests` will list.
+    fn error_with_rid(status: u16, message: &str, rid: &str) -> Self {
+        let mut outcome = Outcome::error(status, message);
+        outcome.body = trace::graft_json(&outcome.body, "request_id", Value::Str(rid.to_owned()));
+        outcome
     }
 }
 
@@ -409,8 +507,28 @@ impl From<GatewayError> for Outcome {
     }
 }
 
-fn route(request: &Request, state: &Arc<GatewayState>) -> Outcome {
-    let (path, _query) = split_target(&request.path);
+/// Fetches the answering worker's recorded trace for `rid` and wraps it
+/// as the `upstream` block of a gateway trace: `[{worker, addr, trace}]`.
+/// A worker that cannot produce the trace yields `"trace": null` rather
+/// than failing the response.
+fn upstream_trace_value(state: &GatewayState, worker: usize, rid: &str) -> Value {
+    let w = &state.router.workers()[worker];
+    let trace = w
+        .pool()
+        .request("GET", &format!("/debug/trace/{rid}"), None)
+        .ok()
+        .filter(|r| r.status == 200)
+        .and_then(|r| serde::json::parse(&r.body).ok())
+        .unwrap_or(Value::Null);
+    Value::Seq(vec![Value::Map(vec![
+        ("worker".into(), Value::U64(worker as u64)),
+        ("addr".into(), Value::Str(w.addr().to_owned())),
+        ("trace".into(), trace),
+    ])])
+}
+
+fn route(request: &Request, state: &Arc<GatewayState>, rid: &str) -> Outcome {
+    let (path, query) = split_target(&request.path);
     match (request.method.as_str(), path) {
         ("GET", "/healthz") => {
             state.requests.healthz.fetch_add(1, Ordering::Relaxed);
@@ -418,6 +536,11 @@ fn route(request: &Request, state: &Arc<GatewayState>) -> Outcome {
             Outcome::ok(serde::json::to_string(&Value::Map(vec![
                 ("status".into(), Value::Str("ok".into())),
                 ("service".into(), Value::Str("mcdla-gateway".into())),
+                (
+                    "uptime_seconds".into(),
+                    Value::F64(state.started.elapsed().as_secs_f64()),
+                ),
+                ("build".into(), trace::build_value()),
                 ("workers".into(), Value::U64(router.workers().len() as u64)),
                 ("workers_up".into(), Value::U64(router.up_count() as u64)),
             ])))
@@ -432,21 +555,46 @@ fn route(request: &Request, state: &Arc<GatewayState>) -> Outcome {
                 status: 200,
                 body: metrics_text(state),
                 content_type: mcdla_serve::metrics::CONTENT_TYPE,
+                upstream: None,
             }
         }
         ("POST", "/simulate") => {
             state.requests.simulate.fetch_add(1, Ordering::Relaxed);
-            simulate_endpoint(&request.body, state)
+            simulate_endpoint(&request.body, state, rid)
         }
         ("POST", "/grid") => {
             state.requests.grid.fetch_add(1, Ordering::Relaxed);
-            grid_endpoint(&request.body, state)
+            grid_endpoint(&request.body, state, rid)
+        }
+        ("GET", "/debug/requests") => {
+            state.requests.debug.fetch_add(1, Ordering::Relaxed);
+            Outcome::ok(serde::json::to_string_pretty(&trace::debug_requests_value(
+                "mcdla-gateway",
+                &state.recorder,
+                query_param(query, "sort"),
+                query_param(query, "endpoint"),
+                query_param(query, "limit"),
+            )))
+        }
+        ("GET", p) if p.starts_with("/debug/trace/") => {
+            state.requests.debug.fetch_add(1, Ordering::Relaxed);
+            let id = p.trim_start_matches("/debug/trace/");
+            match state.recorder.lookup(id) {
+                Some(rec) => Outcome::ok(serde::json::to_string_pretty(&trace::trace_value(
+                    "mcdla-gateway",
+                    &rec,
+                ))),
+                None => Outcome::error(404, &format!("no trace recorded for request id `{id}`")),
+            }
         }
         (_, "/healthz" | "/cluster/stats" | "/metrics") => {
             Outcome::error(405, "use GET on this endpoint")
         }
         (_, "/simulate" | "/grid") => {
             Outcome::error(405, "use POST with a JSON body on this endpoint")
+        }
+        (_, p) if p == "/debug/requests" || p.starts_with("/debug/trace/") => {
+            Outcome::error(405, "use GET on this endpoint")
         }
         (_, path) => Outcome::error(404, &format!("no such endpoint `{path}`")),
     }
@@ -462,7 +610,7 @@ fn parse_body<T: Deserialize>(body: &[u8], what: &str) -> Result<T, Outcome> {
 /// answer), then forward the client's body verbatim along the scenario
 /// key's failover chain. A worker's 2xx/4xx answer passes through
 /// byte-for-byte; worker-unreachable becomes a 502 naming the workers.
-fn simulate_endpoint(body: &[u8], state: &Arc<GatewayState>) -> Outcome {
+fn simulate_endpoint(body: &[u8], state: &Arc<GatewayState>, rid: &str) -> Outcome {
     let scenario: Scenario = match parse_body(body, "scenario") {
         Ok(s) => s,
         Err(outcome) => return outcome,
@@ -472,15 +620,25 @@ fn simulate_endpoint(body: &[u8], state: &Arc<GatewayState>) -> Outcome {
     }
     let key = mcdla_core::key_hash(&scenario);
     let text = std::str::from_utf8(body).expect("validated utf-8 above");
-    match state.router.forward(key, "POST", "/simulate", Some(text)) {
-        Ok((_, response)) => Outcome::passthrough(response.status, response.body),
-        Err(e) => e.into(),
+    match state.router.forward_with(
+        key,
+        "POST",
+        "/simulate",
+        &[(REQUEST_ID_HEADER, rid)],
+        Some(text),
+    ) {
+        Ok((worker, response)) => {
+            let mut outcome = Outcome::passthrough(response.status, response.body);
+            outcome.upstream = Some(worker);
+            outcome
+        }
+        Err(e) => Outcome::error_with_rid(e.status, &e.message, rid),
     }
 }
 
 /// `POST /grid` (buffered): expand, partition by owner, scatter-gather,
 /// merge back into single-node cell order.
-fn grid_endpoint(body: &[u8], state: &Arc<GatewayState>) -> Outcome {
+fn grid_endpoint(body: &[u8], state: &Arc<GatewayState>, rid: &str) -> Outcome {
     let scenarios = match gateway_grid_scenarios(body, MAX_GRID_CELLS) {
         Ok(s) => s,
         Err(outcome) => return outcome,
@@ -490,7 +648,7 @@ fn grid_endpoint(body: &[u8], state: &Arc<GatewayState>) -> Outcome {
             ("count".into(), Value::U64(cells.len() as u64)),
             ("cells".into(), Value::Seq(cells)),
         ]))),
-        Err(e) => e.into(),
+        Err(e) => Outcome::error_with_rid(e.status, &e.message, rid),
     }
 }
 
@@ -533,6 +691,7 @@ fn stream_grid(
     state: &Arc<GatewayState>,
     writer: &mut TcpStream,
     keep_alive: bool,
+    rid: &str,
 ) -> StreamOutcome {
     let scenarios = match gateway_grid_scenarios(body, MAX_STREAM_CELLS) {
         Ok(s) => s,
@@ -598,7 +757,7 @@ fn stream_grid(
         pending = next_pending;
     }
 
-    if write_chunked_head(writer, 200, keep_alive).is_err() {
+    if write_chunked_head_with(writer, 200, &[(REQUEST_ID_HEADER, rid)], keep_alive).is_err() {
         return StreamOutcome::Streamed { clean: false };
     }
 
@@ -737,9 +896,10 @@ fn cluster_stats_value(state: &GatewayState) -> Value {
     Value::Map(vec![
         ("service".into(), Value::Str("mcdla-gateway".into())),
         (
-            "uptime_secs".into(),
+            "uptime_seconds".into(),
             Value::F64(state.started.elapsed().as_secs_f64()),
         ),
+        ("build".into(), trace::build_value()),
         (
             "gateway".into(),
             Value::Map(vec![
@@ -781,6 +941,19 @@ fn metrics_text(state: &GatewayState) -> String {
         "Seconds since this gateway started.",
         "gauge",
         state.started.elapsed().as_secs_f64(),
+    );
+    b.family(
+        "mcdla_build_info",
+        "Build metadata as labels (constant 1).",
+        "gauge",
+    );
+    b.sample(
+        "mcdla_build_info",
+        &[
+            ("version", mcdla_obs::build_version()),
+            ("build", mcdla_obs::build_id()),
+        ],
+        1.0,
     );
     b.family(
         "mcdla_gateway_requests_total",
@@ -840,6 +1013,28 @@ fn metrics_text(state: &GatewayState) -> String {
             "mcdla_gateway_worker_failures_total",
             &[("worker", worker.addr())],
             worker.failures.load(Ordering::Relaxed) as f64,
+        );
+    }
+    b.histogram_family(
+        "mcdla_gateway_request_seconds",
+        "Gateway request latency by endpoint, seconds.",
+    );
+    for (endpoint, snap) in state.latency.snapshots() {
+        b.histogram(
+            "mcdla_gateway_request_seconds",
+            &[("endpoint", endpoint)],
+            &snap,
+        );
+    }
+    b.histogram_family(
+        "mcdla_gateway_upstream_seconds",
+        "Gateway->worker round-trip latency per upstream worker, seconds.",
+    );
+    for worker in router.workers() {
+        b.histogram(
+            "mcdla_gateway_upstream_seconds",
+            &[("worker", worker.addr())],
+            &worker.latency.snapshot(),
         );
     }
     b.finish()

@@ -12,6 +12,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use mcdla_obs::Span;
 use mcdla_serve::client::{Connection, Response, Timeouts};
 
 /// A pool of idle keep-alive connections to one worker address.
@@ -81,8 +82,23 @@ impl WorkerPool {
         path: &str,
         body: Option<&str>,
     ) -> Result<Response, String> {
-        let mut conn = self.checkout()?;
-        match conn.get().request(method, path, body) {
+        self.request_with(method, path, &[], body)
+    }
+
+    /// [`WorkerPool::request`] with extra request headers (the gateway
+    /// propagates `X-Mcdla-Request-Id` this way).
+    pub fn request_with(
+        &self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: Option<&str>,
+    ) -> Result<Response, String> {
+        let mut conn = {
+            let _s = Span::enter("pool.checkout");
+            self.checkout()?
+        };
+        match conn.get().request_with(method, path, headers, body) {
             Ok(response) => {
                 conn.release();
                 Ok(response)
@@ -94,7 +110,7 @@ impl WorkerPool {
                 let mut fresh = self
                     .connect_fresh()
                     .map_err(|e| format!("{e} (after a stale pooled connection: {first})"))?;
-                let response = fresh.get().request(method, path, body)?;
+                let response = fresh.get().request_with(method, path, headers, body)?;
                 fresh.release();
                 Ok(response)
             }

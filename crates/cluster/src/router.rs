@@ -3,8 +3,9 @@
 //! for point requests.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
+use mcdla_obs::{Histogram, Span};
 use mcdla_serve::client::{Response, Timeouts};
 
 use crate::pool::WorkerPool;
@@ -39,6 +40,9 @@ pub struct WorkerState {
     /// Errors observed against this worker (connect/read failures and
     /// 5xx answers).
     pub failures: AtomicU64,
+    /// Upstream round-trip latency against this worker (successful and
+    /// failed attempts both count — a slow failure is still time spent).
+    pub latency: Arc<Histogram>,
     last_error: Mutex<String>,
 }
 
@@ -51,6 +55,7 @@ impl WorkerState {
             up: AtomicBool::new(true),
             answered: AtomicU64::new(0),
             failures: AtomicU64::new(0),
+            latency: Arc::new(Histogram::new()),
             last_error: Mutex::new(String::new()),
         }
     }
@@ -166,12 +171,32 @@ impl Router {
         path: &str,
         body: Option<&str>,
     ) -> Result<(usize, Response), GatewayError> {
-        let order = self.route(key);
+        self.forward_with(key, method, path, &[], body)
+    }
+
+    /// [`Router::forward`] with extra request headers forwarded to the
+    /// worker on every attempt (request-id propagation).
+    pub fn forward_with(
+        &self,
+        key: u64,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: Option<&str>,
+    ) -> Result<(usize, Response), GatewayError> {
+        let order = {
+            let _s = Span::enter("gateway.route");
+            self.route(key)
+        };
         let owner = order[0];
         let mut attempts: Vec<String> = Vec::new();
         for &i in &order {
             let worker = &self.workers[i];
-            match worker.pool.request(method, path, body) {
+            let attempt = {
+                let _s = Span::enter_timed(&format!("gateway.upstream.{i}"), &worker.latency);
+                worker.pool.request_with(method, path, headers, body)
+            };
+            match attempt {
                 Ok(response) if response.status < 500 => {
                     worker.mark_up();
                     worker.answered.fetch_add(1, Ordering::Relaxed);

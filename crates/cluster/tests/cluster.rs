@@ -466,3 +466,194 @@ fn background_prober_revives_a_worker_marked_down() {
     }
     fleet.shutdown();
 }
+
+#[test]
+fn traced_simulate_carries_one_request_id_through_every_hop() {
+    let fleet = fleet(3);
+    let addr = fleet.gateway_addr().to_string();
+    let cell = Scenario::new(
+        SystemDesign::McDlaBwAware,
+        Benchmark::VggE,
+        ParallelStrategy::ModelParallel,
+    );
+    let body = scenario_json(&cell);
+    let rid = "fleet-trace-1";
+
+    let mut conn = Connection::open(&addr).expect("open gateway connection");
+    let resp = conn
+        .request_with(
+            "POST",
+            "/simulate?trace=1",
+            &[("x-mcdla-request-id", rid)],
+            Some(&body),
+        )
+        .expect("traced simulate");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    // The gateway echoes the propagated id.
+    assert_eq!(resp.header("x-mcdla-request-id"), Some(rid));
+
+    let parsed = serde::json::parse(&resp.body).expect("simulate JSON");
+    assert!(parsed.get("report").is_some(), "{}", resp.body);
+    let trace = parsed.get("trace").expect("gateway trace grafted");
+    assert_eq!(trace.get("id").and_then(|v| v.as_str()), Some(rid));
+    assert_eq!(
+        trace.get("service").and_then(|v| v.as_str()),
+        Some("mcdla-gateway")
+    );
+    let gateway_spans: Vec<&str> = trace
+        .get("spans")
+        .and_then(|s| s.as_seq())
+        .expect("gateway spans")
+        .iter()
+        .map(|s| s.get("name").and_then(|v| v.as_str()).unwrap())
+        .collect();
+    assert!(
+        gateway_spans.contains(&"gateway.route"),
+        "{gateway_spans:?}"
+    );
+    assert!(
+        gateway_spans.contains(&"pool.checkout"),
+        "{gateway_spans:?}"
+    );
+    assert!(
+        gateway_spans
+            .iter()
+            .any(|n| n.starts_with("gateway.upstream.")),
+        "{gateway_spans:?}"
+    );
+
+    // The grafted upstream block names the worker that answered and
+    // carries its sub-trace under the very same id.
+    let upstream = trace
+        .get("upstream")
+        .and_then(|u| u.as_seq())
+        .expect("upstream block");
+    assert_eq!(upstream.len(), 1);
+    let hop = &upstream[0];
+    let worker_idx = hop.get("worker").and_then(|v| v.as_u64()).expect("worker") as usize;
+    assert!(worker_idx < 3);
+    let sub = hop.get("trace").expect("worker sub-trace");
+    assert_eq!(sub.get("id").and_then(|v| v.as_str()), Some(rid));
+    let worker_spans: Vec<&str> = sub
+        .get("spans")
+        .and_then(|s| s.as_seq())
+        .expect("worker spans")
+        .iter()
+        .map(|s| s.get("name").and_then(|v| v.as_str()).unwrap())
+        .collect();
+    assert!(
+        worker_spans.contains(&"engine.simulate"),
+        "{worker_spans:?}"
+    );
+    assert!(
+        worker_spans.iter().any(|n| n.starts_with("stage.")),
+        "{worker_spans:?}"
+    );
+
+    // Exactly the answering worker recorded the trace; the others 404.
+    let mut hits = Vec::new();
+    for (i, worker_addr) in fleet.worker_addrs().iter().enumerate() {
+        let mut wconn = Connection::open(worker_addr).expect("open worker");
+        let replay = wconn
+            .request("GET", &format!("/debug/trace/{rid}"), None)
+            .expect("worker debug trace");
+        if replay.status == 200 {
+            assert!(replay.body.contains(rid));
+            hits.push(i);
+        } else {
+            assert_eq!(replay.status, 404);
+        }
+    }
+    assert_eq!(hits, vec![worker_idx], "trace recorded on the wrong worker");
+
+    // The gateway's own flight recorder replays the trace too.
+    let replay = conn
+        .request("GET", &format!("/debug/trace/{rid}"), None)
+        .expect("gateway debug trace");
+    assert_eq!(replay.status, 200, "{}", replay.body);
+    assert!(replay.body.contains("mcdla-gateway"), "{}", replay.body);
+    let listing = conn
+        .request("GET", "/debug/requests?endpoint=simulate", None)
+        .expect("gateway debug requests");
+    assert_eq!(listing.status, 200);
+    assert!(listing.body.contains(rid), "{}", listing.body);
+
+    fleet.shutdown();
+}
+
+#[test]
+fn gateway_metrics_expose_latency_histograms_and_build_info() {
+    let fleet = fleet(2);
+    let addr = fleet.gateway_addr().to_string();
+    let cell = Scenario::new(
+        SystemDesign::DcDla,
+        Benchmark::ResNet,
+        ParallelStrategy::DataParallel,
+    );
+    let mut conn = Connection::open(&addr).expect("open gateway connection");
+    let resp = conn
+        .request("POST", "/simulate", Some(&scenario_json(&cell)))
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+
+    let metrics = conn.request("GET", "/metrics", None).unwrap();
+    assert_eq!(metrics.status, 200);
+    let text = &metrics.body;
+    for needle in [
+        "# TYPE mcdla_gateway_request_seconds histogram",
+        "mcdla_gateway_request_seconds_bucket{endpoint=\"simulate\",le=\"+Inf\"}",
+        "mcdla_gateway_request_seconds_count{endpoint=\"simulate\"}",
+        "# TYPE mcdla_gateway_upstream_seconds histogram",
+        "mcdla_gateway_upstream_seconds_bucket{worker=",
+        "mcdla_build_info{",
+    ] {
+        assert!(
+            text.contains(needle),
+            "gateway metrics missing `{needle}`:\n{text}"
+        );
+    }
+
+    fleet.shutdown();
+}
+
+#[test]
+fn gateway_502_body_names_the_request_id() {
+    // A backend address with nothing listening: bind, learn the port,
+    // drop the listener. No prober, so the gateway only learns of the
+    // outage from the request itself.
+    let dead = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap().to_string()
+    };
+    let gateway = mcdla_cluster::Gateway::bind(&mcdla_cluster::GatewayConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        backends: vec![dead],
+        probe_interval: None,
+        ..mcdla_cluster::GatewayConfig::default()
+    })
+    .expect("bind gateway");
+    let handle = gateway.spawn().expect("spawn gateway");
+    let addr = handle.addr().to_string();
+
+    let cell = Scenario::new(
+        SystemDesign::HcDla,
+        Benchmark::AlexNet,
+        ParallelStrategy::DataParallel,
+    );
+    let mut conn = Connection::open(&addr).expect("open gateway connection");
+    let resp = conn
+        .request_with(
+            "POST",
+            "/simulate",
+            &[("x-mcdla-request-id", "dead-fleet-1")],
+            Some(&scenario_json(&cell)),
+        )
+        .expect("simulate against dead fleet");
+    assert_eq!(resp.status, 502, "{}", resp.body);
+    assert_eq!(resp.header("x-mcdla-request-id"), Some("dead-fleet-1"));
+    assert!(resp.body.contains("\"request_id\""), "{}", resp.body);
+    assert!(resp.body.contains("dead-fleet-1"), "{}", resp.body);
+
+    handle.shutdown();
+}

@@ -45,6 +45,7 @@ use std::sync::{Arc, OnceLock};
 use mcdla_accel::{AccelTimingModel, DeviceGeneration};
 use mcdla_dnn::{Benchmark, Network};
 use mcdla_interconnect::{CollectiveKind, CollectiveModel};
+use mcdla_obs::{Histogram, HistogramSnapshot, Span};
 use mcdla_parallel::{ParallelStrategy, WorkerPlan};
 use mcdla_sim::{Bytes, SimDuration};
 use mcdla_vmem::{VirtPolicy, VirtSchedule};
@@ -152,6 +153,36 @@ struct StagePipeline {
     schedules: StageCache<SchedKey, Arc<SchedArt>>,
     collectives: StageCache<CollKey, SimDuration>,
     syncs: StageCache<SyncKey, Arc<Vec<SimDuration>>>,
+    hists: StageHists,
+}
+
+/// Latency histograms per pipeline section (lookup + compute-on-miss
+/// per stage table, plus the uncached assembly replay). Pre-registered
+/// `Arc<Histogram>` handles so the hot path never touches a map or
+/// lock; observation is gated behind `mcdla_obs::enabled()` by the
+/// `Span` guards, so batch sweeps pay one atomic load per section.
+struct StageHists {
+    fabric: Arc<Histogram>,
+    network: Arc<Histogram>,
+    layer_timing: Arc<Histogram>,
+    plan: Arc<Histogram>,
+    schedule: Arc<Histogram>,
+    sync: Arc<Histogram>,
+    assemble: Arc<Histogram>,
+}
+
+impl StageHists {
+    fn new() -> StageHists {
+        StageHists {
+            fabric: Arc::new(Histogram::new()),
+            network: Arc::new(Histogram::new()),
+            layer_timing: Arc::new(Histogram::new()),
+            plan: Arc::new(Histogram::new()),
+            schedule: Arc::new(Histogram::new()),
+            sync: Arc::new(Histogram::new()),
+            assemble: Arc::new(Histogram::new()),
+        }
+    }
 }
 
 /// Reads `var` as a table capacity: unset → `default`, `0` → unbounded,
@@ -177,7 +208,28 @@ fn pipeline() -> &'static StagePipeline {
         schedules: StageCache::with_shards(cap_from_env("MCDLA_STAGE_SCHEDULE_CAP", 8192), 16),
         collectives: StageCache::with_shards(cap_from_env("MCDLA_STAGE_COLLECTIVE_CAP", 65536), 16),
         syncs: StageCache::with_shards(cap_from_env("MCDLA_STAGE_SYNC_CAP", 8192), 16),
+        hists: StageHists::new(),
     })
+}
+
+/// Latency snapshots per pipeline section, in fixed display order:
+/// the six spanned stage tables (per-op `collective` lookups run
+/// inside the `sync` section and are not timed individually) plus the
+/// uncached `assemble` replay. Feeds the `mcdla_stage_seconds`
+/// Prometheus family on `GET /metrics`. Populated only while span
+/// recording is enabled (`mcdla_obs::set_enabled`, flipped on by the
+/// servers) — batch sweeps leave these empty by design.
+pub fn stage_latency() -> Vec<(&'static str, HistogramSnapshot)> {
+    let h = &pipeline().hists;
+    vec![
+        ("fabric", h.fabric.snapshot()),
+        ("network", h.network.snapshot()),
+        ("layer_timing", h.layer_timing.snapshot()),
+        ("plan", h.plan.snapshot()),
+        ("schedule", h.schedule.snapshot()),
+        ("sync", h.sync.snapshot()),
+        ("assemble", h.assemble.snapshot()),
+    ]
 }
 
 /// Counters for every stage table, in fixed display order. Feeds
@@ -203,15 +255,19 @@ pub fn stage_stats() -> Vec<StageStats> {
 /// event loop over them.
 pub fn simulate(scenario: &Scenario) -> IterationReport {
     let p = pipeline();
+    let _engine = Span::enter("engine.simulate");
     let cfg = scenario.config();
     let device = DeviceKey {
         generation: scenario.generation,
         model: scenario.overrides.device_model,
     };
 
-    let (topo, _) = p.networks.get_or_compute(scenario.benchmark, || {
-        Arc::new(NetTopo::build(scenario.benchmark))
-    });
+    let (topo, _) = {
+        let _s = Span::enter_timed("stage.network", &p.hists.network);
+        p.networks.get_or_compute(scenario.benchmark, || {
+            Arc::new(NetTopo::build(scenario.benchmark))
+        })
+    };
 
     let plan_key = PlanKey {
         benchmark: scenario.benchmark,
@@ -219,26 +275,32 @@ pub fn simulate(scenario: &Scenario) -> IterationReport {
         devices: cfg.devices,
         global_batch: cfg.global_batch,
     };
-    let (plan, _) = p.plans.get_or_compute(plan_key, || {
-        let plan = WorkerPlan::plan(
-            &topo.net,
-            scenario.strategy,
-            cfg.devices,
-            cfg.global_batch,
-            cfg.dtype,
-        );
-        Arc::new(PlanArt::build(&plan, topo.net.layers().len(), &cfg))
-    });
+    let (plan, _) = {
+        let _s = Span::enter_timed("stage.plan", &p.hists.plan);
+        p.plans.get_or_compute(plan_key, || {
+            let plan = WorkerPlan::plan(
+                &topo.net,
+                scenario.strategy,
+                cfg.devices,
+                cfg.global_batch,
+                cfg.dtype,
+            );
+            Arc::new(PlanArt::build(&plan, topo.net.layers().len(), &cfg))
+        })
+    };
 
     let timing_key = TimingKey {
         benchmark: scenario.benchmark,
         device,
         worker_batch: plan.worker_batch,
     };
-    let (timings, _) = p.timings.get_or_compute(timing_key, || {
-        let timing = AccelTimingModel::new(cfg.device.clone(), cfg.dtype);
-        Arc::new(layer_timings(&timing, &topo.net, plan.worker_batch))
-    });
+    let (timings, _) = {
+        let _s = Span::enter_timed("stage.layer_timing", &p.hists.layer_timing);
+        p.timings.get_or_compute(timing_key, || {
+            let timing = AccelTimingModel::new(cfg.device.clone(), cfg.dtype);
+            Arc::new(layer_timings(&timing, &topo.net, plan.worker_batch))
+        })
+    };
 
     let virtualizes = cfg.design.virtualizes();
     let sched_key = SchedKey {
@@ -246,20 +308,23 @@ pub fn simulate(scenario: &Scenario) -> IterationReport {
         virt_batch: plan.virt_batch,
         virtualizes,
     };
-    let (sched, _) = p.schedules.get_or_compute(sched_key, || {
-        let policy = if virtualizes {
-            VirtPolicy::paper_default()
-        } else {
-            VirtPolicy::disabled()
-        };
-        let schedule = VirtSchedule::analyze(&topo.net, plan.virt_batch, cfg.dtype, policy);
-        Arc::new(SchedArt::build(
-            &schedule,
-            &topo.net,
-            plan.virt_batch,
-            cfg.dtype,
-        ))
-    });
+    let (sched, _) = {
+        let _s = Span::enter_timed("stage.schedule", &p.hists.schedule);
+        p.schedules.get_or_compute(sched_key, || {
+            let policy = if virtualizes {
+                VirtPolicy::paper_default()
+            } else {
+                VirtPolicy::disabled()
+            };
+            let schedule = VirtSchedule::analyze(&topo.net, plan.virt_batch, cfg.dtype, policy);
+            Arc::new(SchedArt::build(
+                &schedule,
+                &topo.net,
+                plan.virt_batch,
+                cfg.dtype,
+            ))
+        })
+    };
 
     let fabric_key = FabricKey {
         design: scenario.design,
@@ -267,12 +332,15 @@ pub fn simulate(scenario: &Scenario) -> IterationReport {
         device,
         pcie_gen4: scenario.overrides.pcie_gen4,
     };
-    let (fabric, _) = p.fabrics.get_or_compute(fabric_key, || {
-        Arc::new(FabricArt {
-            summary: FabricSummary::of(&cfg),
-            virt: VirtPath::from_config(&cfg),
+    let (fabric, _) = {
+        let _s = Span::enter_timed("stage.fabric", &p.hists.fabric);
+        p.fabrics.get_or_compute(fabric_key, || {
+            Arc::new(FabricArt {
+                summary: FabricSummary::of(&cfg),
+                virt: VirtPath::from_config(&cfg),
+            })
         })
-    });
+    };
     let fabric = &*fabric;
     let virt = fabric.virt.as_ref();
 
@@ -281,6 +349,7 @@ pub fn simulate(scenario: &Scenario) -> IterationReport {
     // inline is cheaper than a table that would miss every time.
     let xfer = xfer_table(&sched, plan.stash_scale, cfg.compression_ratio, virt);
 
+    let sync_span = Span::enter_timed("stage.sync", &p.hists.sync);
     let (sync, _) = p.syncs.get_or_compute(
         SyncKey {
             fabric: fabric_key,
@@ -315,8 +384,10 @@ pub fn simulate(scenario: &Scenario) -> IterationReport {
             )
         },
     );
+    drop(sync_span);
     let collective = |oi: usize| sync[oi];
 
+    let _s = Span::enter_timed("engine.assemble", &p.hists.assemble);
     assemble(
         &cfg,
         &topo.net,

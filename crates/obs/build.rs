@@ -1,0 +1,33 @@
+//! Bakes a git-ish build id into the crate at compile time so a
+//! restarted worker is distinguishable from a long-lived one: the id is
+//! exposed through `mcdla_obs::build_id()`, `/healthz`, `/stats`, and
+//! the `mcdla_build_info` metric. Falls back to `"unknown"` outside a
+//! git checkout (e.g. a source tarball).
+
+use std::process::Command;
+
+fn git_build_id() -> Option<String> {
+    let out = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let id = String::from_utf8(out.stdout).ok()?;
+    let id = id.trim();
+    if id.is_empty() {
+        None
+    } else {
+        Some(id.to_string())
+    }
+}
+
+fn main() {
+    let id = git_build_id().unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=MCDLA_BUILD_ID={id}");
+    // Re-stamp when HEAD moves (best effort: the .git dir sits at the
+    // workspace root, two levels up from this crate).
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+}

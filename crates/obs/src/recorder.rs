@@ -1,0 +1,204 @@
+//! The flight recorder: a bounded, lock-striped ring buffer of the
+//! last N completed request traces.
+//!
+//! Each server instance owns one recorder (worker and gateway keep
+//! separate recorders even when co-resident in one process, so
+//! `/debug/trace/<id>` answers per tier). Records are struck across
+//! a fixed set of stripes by a global sequence number: concurrent
+//! handler threads contend on different stripe mutexes, and each
+//! stripe holds an equal share of the capacity, so the recorder as a
+//! whole keeps exactly the last `capacity` traces (± nothing: the
+//! round-robin assignment evicts oldest-first per stripe, which is
+//! globally oldest-first because sequence numbers are dense).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::span::TraceRecord;
+
+const STRIPES: usize = 8;
+
+/// Default recorder capacity (completed traces retained).
+pub const DEFAULT_TRACE_CAP: usize = 1024;
+
+/// Reads `MCDLA_TRACE_CAP` for the recorder capacity: unset, zero, or
+/// unparsable → [`DEFAULT_TRACE_CAP`].
+pub fn trace_cap_from_env() -> usize {
+    std::env::var("MCDLA_TRACE_CAP")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_TRACE_CAP)
+}
+
+/// A bounded ring buffer of completed [`TraceRecord`]s (see module
+/// docs). Shared across handler threads behind `&self`.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    stripes: Vec<Mutex<VecDeque<Arc<TraceRecord>>>>,
+    caps: Vec<usize>,
+    seq: AtomicU64,
+    capacity: usize,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining the last `capacity` traces (`capacity` is
+    /// clamped to at least 1).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let capacity = capacity.max(1);
+        let stripes = STRIPES.min(capacity);
+        // Distribute the capacity exactly: stripe i gets an extra slot
+        // while i < capacity % stripes.
+        let caps: Vec<usize> = (0..stripes)
+            .map(|i| capacity / stripes + usize::from(i < capacity % stripes))
+            .collect();
+        FlightRecorder {
+            stripes: (0..stripes).map(|_| Mutex::new(VecDeque::new())).collect(),
+            caps,
+            seq: AtomicU64::new(0),
+            capacity,
+        }
+    }
+
+    /// A recorder sized from `MCDLA_TRACE_CAP` (default 1024).
+    pub fn from_env() -> FlightRecorder {
+        FlightRecorder::new(trace_cap_from_env())
+    }
+
+    /// Admits a completed trace, assigning its recorder sequence
+    /// number, and returns the shared record.
+    pub fn record(&self, mut rec: TraceRecord) -> Arc<TraceRecord> {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        rec.seq = seq;
+        let rec = Arc::new(rec);
+        let stripe = (seq as usize) % self.stripes.len();
+        let mut ring = self.stripes[stripe]
+            .lock()
+            .expect("recorder stripe poisoned");
+        ring.push_back(Arc::clone(&rec));
+        while ring.len() > self.caps[stripe] {
+            ring.pop_front();
+        }
+        rec
+    }
+
+    /// Finds the most recent trace with the given request id.
+    pub fn lookup(&self, id: &str) -> Option<Arc<TraceRecord>> {
+        self.stripes
+            .iter()
+            .filter_map(|s| {
+                s.lock()
+                    .expect("recorder stripe poisoned")
+                    .iter()
+                    .rev()
+                    .find(|r| r.id == id)
+                    .cloned()
+            })
+            .max_by_key(|r| r.seq)
+    }
+
+    /// Every retained trace, newest first.
+    pub fn recent(&self) -> Vec<Arc<TraceRecord>> {
+        let mut all: Vec<Arc<TraceRecord>> = self
+            .stripes
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .expect("recorder stripe poisoned")
+                    .iter()
+                    .cloned()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        all.sort_by_key(|t| std::cmp::Reverse(t.seq));
+        all
+    }
+
+    /// The configured retention bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of traces currently retained.
+    pub fn len(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|s| s.lock().expect("recorder stripe poisoned").len())
+            .sum()
+    }
+
+    /// Whether the recorder holds no traces yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: &str, endpoint: &str, total_us: u64) -> TraceRecord {
+        TraceRecord {
+            id: id.to_string(),
+            endpoint: endpoint.to_string(),
+            status: 200,
+            started_unix_ms: 0,
+            total_us,
+            spans: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn holds_exactly_the_last_capacity_traces() {
+        let r = FlightRecorder::new(16);
+        for i in 0..100 {
+            r.record(rec(&format!("id-{i}"), "simulate", i));
+        }
+        assert_eq!(r.len(), 16);
+        let recent = r.recent();
+        assert_eq!(recent.len(), 16);
+        // Newest first, and exactly the last 16 sequence numbers.
+        let seqs: Vec<u64> = recent.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, (84..100).rev().collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn lookup_answers_the_latest_record_for_an_id() {
+        let r = FlightRecorder::new(64);
+        r.record(rec("dup", "simulate", 10));
+        r.record(rec("other", "grid", 20));
+        r.record(rec("dup", "grid", 30));
+        let hit = r.lookup("dup").expect("dup is retained");
+        assert_eq!(hit.endpoint, "grid");
+        assert_eq!(hit.total_us, 30);
+        assert!(r.lookup("missing").is_none());
+    }
+
+    #[test]
+    fn tiny_capacities_survive() {
+        let r = FlightRecorder::new(1);
+        r.record(rec("a", "x", 1));
+        r.record(rec("b", "x", 2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.recent()[0].id, "b");
+        assert_eq!(FlightRecorder::new(0).capacity(), 1);
+    }
+
+    #[test]
+    fn concurrent_recording_keeps_the_bound() {
+        let r = std::sync::Arc::new(FlightRecorder::new(128));
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let r = std::sync::Arc::clone(&r);
+                s.spawn(move || {
+                    for i in 0..200 {
+                        r.record(rec(&format!("t{t}-{i}"), "simulate", i));
+                    }
+                });
+            }
+        });
+        assert_eq!(r.len(), 128);
+    }
+}

@@ -6,19 +6,30 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-/// One response: status code and body text.
+/// One response: status code, body text, and response headers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
     /// Response body (the service always answers JSON).
     pub body: String,
+    /// Response headers, names lower-cased, in wire order.
+    pub headers: Vec<(String, String)>,
 }
 
 impl Response {
     /// True for 2xx statuses.
     pub fn is_ok(&self) -> bool {
         (200..300).contains(&self.status)
+    }
+
+    /// The first header with this name (lower-cased lookup).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -117,7 +128,19 @@ impl Connection {
         path: &str,
         body: Option<&str>,
     ) -> Result<Response, String> {
-        self.send_request(method, path, body)?;
+        self.request_with(method, path, &[], body)
+    }
+
+    /// Issues one request with extra request headers (e.g. the
+    /// propagated `X-Mcdla-Request-Id`) and reads the full response.
+    pub fn request_with(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: Option<&str>,
+    ) -> Result<Response, String> {
+        self.send_request_with(method, path, headers, body)?;
         self.read_response()
     }
 
@@ -154,7 +177,12 @@ impl Connection {
     /// [`Connection::start_stream`] and returns the stream reader over
     /// its body.
     pub fn read_stream(&mut self) -> Result<StreamingResponse<'_>, String> {
-        let (status, content_length, chunked) = read_response_head(&mut self.reader)?;
+        let Head {
+            status,
+            content_length,
+            chunked,
+            ..
+        } = read_response_head(&mut self.reader)?;
         if chunked {
             Ok(StreamingResponse {
                 status,
@@ -178,11 +206,25 @@ impl Connection {
     }
 
     fn send_request(&mut self, method: &str, path: &str, body: Option<&str>) -> Result<(), String> {
+        self.send_request_with(method, path, &[], body)
+    }
+
+    fn send_request_with(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: Option<&str>,
+    ) -> Result<(), String> {
         let body = body.unwrap_or("");
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\nhost: mcdla-serve\r\ncontent-length: {}\r\n\r\n",
-            body.len()
-        );
+        let mut head = format!("{method} {path} HTTP/1.1\r\nhost: mcdla-serve\r\n");
+        for (name, value) in headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str(&format!("content-length: {}\r\n\r\n", body.len()));
         let mut out = Vec::with_capacity(head.len() + body.len());
         out.extend_from_slice(head.as_bytes());
         out.extend_from_slice(body.as_bytes());
@@ -192,7 +234,12 @@ impl Connection {
     }
 
     fn read_response(&mut self) -> Result<Response, String> {
-        let (status, content_length, chunked) = read_response_head(&mut self.reader)?;
+        let Head {
+            status,
+            content_length,
+            chunked,
+            headers,
+        } = read_response_head(&mut self.reader)?;
         if chunked {
             return Err("unexpected chunked response (use `request_stream`)".into());
         }
@@ -203,12 +250,21 @@ impl Connection {
         Ok(Response {
             status,
             body: String::from_utf8(body).map_err(|_| "body is not valid utf-8".to_owned())?,
+            headers,
         })
     }
 }
 
-/// Reads one response head: `(status, content_length, chunked)`.
-fn read_response_head(reader: &mut BufReader<TcpStream>) -> Result<(u16, usize, bool), String> {
+/// One parsed response head.
+struct Head {
+    status: u16,
+    content_length: usize,
+    chunked: bool,
+    headers: Vec<(String, String)>,
+}
+
+/// Reads one response head, collecting every header (names lower-cased).
+fn read_response_head(reader: &mut BufReader<TcpStream>) -> Result<Head, String> {
     let mut status_line = String::new();
     reader
         .read_line(&mut status_line)
@@ -221,6 +277,7 @@ fn read_response_head(reader: &mut BufReader<TcpStream>) -> Result<(u16, usize, 
 
     let mut content_length = 0usize;
     let mut chunked = false;
+    let mut headers = Vec::new();
     loop {
         let mut line = String::new();
         let n = reader
@@ -234,20 +291,24 @@ fn read_response_head(reader: &mut BufReader<TcpStream>) -> Result<(u16, usize, 
             break;
         }
         if let Some((name, value)) = line.split_once(':') {
-            let name = name.trim();
+            let name = name.trim().to_ascii_lowercase();
             let value = value.trim();
-            if name.eq_ignore_ascii_case("content-length") {
+            if name == "content-length" {
                 content_length = value
                     .parse()
                     .map_err(|_| format!("bad content-length `{value}`"))?;
-            } else if name.eq_ignore_ascii_case("transfer-encoding")
-                && value.eq_ignore_ascii_case("chunked")
-            {
+            } else if name == "transfer-encoding" && value.eq_ignore_ascii_case("chunked") {
                 chunked = true;
             }
+            headers.push((name, value.to_owned()));
         }
     }
-    Ok((status, content_length, chunked))
+    Ok(Head {
+        status,
+        content_length,
+        chunked,
+        headers,
+    })
 }
 
 /// A streamed (`?stream=1`) response: the status plus a reader yielding

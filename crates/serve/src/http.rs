@@ -27,6 +27,19 @@ pub struct Request {
     /// Whether the connection should stay open after the response
     /// (HTTP/1.1 default unless `Connection: close`).
     pub keep_alive: bool,
+    /// All request headers, names lower-cased, values trimmed, in
+    /// arrival order.
+    pub headers: Vec<(String, String)>,
+}
+
+impl Request {
+    /// The first header with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// A wire-level failure, carrying the HTTP status the server should
@@ -84,6 +97,7 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, WireE
     let mut content_length = 0usize;
     // HTTP/1.0 closes by default; 1.1 keeps alive by default.
     let mut keep_alive = version != "HTTP/1.0";
+    let mut headers: Vec<(String, String)> = Vec::new();
     for line in lines {
         if line.is_empty() {
             continue;
@@ -93,6 +107,7 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, WireE
         };
         let name = name.trim().to_ascii_lowercase();
         let value = value.trim();
+        headers.push((name.clone(), value.to_owned()));
         match name.as_str() {
             "content-length" => {
                 content_length = value
@@ -133,6 +148,7 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, WireE
         path: path.to_owned(),
         body,
         keep_alive,
+        headers,
     }))
 }
 
@@ -216,6 +232,16 @@ pub fn query_flag(query: Option<&str>, key: &str) -> bool {
     })
 }
 
+/// The value of `key=...` in a query string (`None` when absent or
+/// bare). No percent-decoding — the values this service reads are
+/// plain tokens (`sort=slow`, `endpoint=grid`, `limit=50`).
+pub fn query_param<'q>(query: Option<&'q str>, key: &str) -> Option<&'q str> {
+    query?
+        .split('&')
+        .find_map(|pair| pair.split_once('=').filter(|(k, _)| *k == key))
+        .map(|(_, v)| v)
+}
+
 /// Starts a chunked NDJSON response: status line and headers only; the
 /// body follows as [`write_chunk`] calls ended by [`finish_chunked`].
 pub fn write_chunked_head(
@@ -223,12 +249,30 @@ pub fn write_chunked_head(
     status: u16,
     keep_alive: bool,
 ) -> std::io::Result<()> {
+    write_chunked_head_with(w, status, &[], keep_alive)
+}
+
+/// [`write_chunked_head`] with extra response headers (the request-id
+/// echo on streamed grids).
+pub fn write_chunked_head_with(
+    w: &mut impl Write,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    keep_alive: bool,
+) -> std::io::Result<()> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
-    write!(
-        w,
-        "HTTP/1.1 {status} {}\r\ncontent-type: application/x-ndjson\r\ntransfer-encoding: chunked\r\nconnection: {connection}\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/x-ndjson\r\ntransfer-encoding: chunked\r\nconnection: {connection}\r\n",
         reason(status),
-    )
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    w.write_all(head.as_bytes())
 }
 
 /// Writes one HTTP/1.1 chunk (`{len:x}\r\n{data}\r\n`). Empty data is
@@ -270,13 +314,33 @@ pub fn write_response_typed(
     body: &str,
     keep_alive: bool,
 ) -> std::io::Result<()> {
+    write_response_with(w, status, content_type, &[], body, keep_alive)
+}
+
+/// [`write_response_typed`] with extra response headers (the
+/// `X-Mcdla-Request-Id` echo).
+pub fn write_response_with(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
     // One buffered write per response keeps cached-cell latency low.
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {connection}\r\n",
         reason(status),
         body.len(),
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     let mut out = Vec::with_capacity(head.len() + body.len());
     out.extend_from_slice(head.as_bytes());
     out.extend_from_slice(body.as_bytes());
@@ -310,6 +374,53 @@ mod tests {
         assert_eq!(req.path, "/simulate");
         assert_eq!(req.body, b"body");
         assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn headers_are_retained_case_insensitively() {
+        let req = parse(
+            b"POST /simulate HTTP/1.1\r\nX-Mcdla-Request-Id: abc123\r\ncontent-length: 0\r\n\r\n",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.header("x-mcdla-request-id"), Some("abc123"));
+        assert_eq!(req.header("X-MCDLA-REQUEST-ID"), Some("abc123"));
+        assert_eq!(req.header("absent"), None);
+    }
+
+    #[test]
+    fn query_params_parse() {
+        assert_eq!(
+            query_param(Some("sort=slow&endpoint=grid"), "sort"),
+            Some("slow")
+        );
+        assert_eq!(
+            query_param(Some("sort=slow&endpoint=grid"), "endpoint"),
+            Some("grid")
+        );
+        assert_eq!(query_param(Some("sort"), "sort"), None);
+        assert_eq!(query_param(None, "sort"), None);
+    }
+
+    #[test]
+    fn extra_headers_are_written() {
+        let mut out = Vec::new();
+        write_response_with(
+            &mut out,
+            200,
+            "application/json",
+            &[("x-mcdla-request-id", "deadbeef")],
+            "{}",
+            true,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("x-mcdla-request-id: deadbeef\r\n"));
+        let mut out = Vec::new();
+        write_chunked_head_with(&mut out, 200, &[("x-mcdla-request-id", "cafe")], true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("x-mcdla-request-id: cafe\r\n"));
+        assert!(text.ends_with("\r\n\r\n"));
     }
 
     #[test]

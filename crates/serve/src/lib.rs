@@ -16,8 +16,16 @@
 //! | `POST /simulate` | one serde [`Scenario`](mcdla_core::Scenario) | `{scenario, digest, cached, report}` |
 //! | `POST /grid` | cartesian axes ([`GridRequest`]) | `{count, cells: [...]}` |
 //! | `POST /grid?stream=1` | cartesian axes ([`GridRequest`]) | chunked NDJSON, one cell per line |
-//! | `GET /healthz` | — | `{"status":"ok"}` |
+//! | `GET /healthz` | — | `{"status":"ok"}` + uptime/build info |
 //! | `GET /stats` | — | store + request counters |
+//! | `GET /metrics` | — | Prometheus exposition (counters + latency histograms) |
+//! | `GET /debug/trace/<id>` | — | one recorded span tree ([`trace`]) |
+//! | `GET /debug/requests` | — | the flight-recorder listing |
+//!
+//! Every response echoes `X-Mcdla-Request-Id`, every request records
+//! a trace into the per-server flight recorder, and `?trace=1` on
+//! `POST /simulate` / `POST /grid` inlines the span tree in the
+//! response (see `docs/observability.md`).
 //!
 //! `docs/protocol.md` in the repository root specifies the JSON; served
 //! reports are bit-identical to the batch `Runner`'s (the wire tests
@@ -50,6 +58,7 @@ pub mod client;
 pub mod http;
 pub mod metrics;
 mod server;
+pub mod trace;
 
 pub use server::{
     cell_value, GridRequest, ServeConfig, Server, ServerHandle, MAX_GRID_CELLS, MAX_STREAM_CELLS,

@@ -1,6 +1,8 @@
 //! Prometheus text-exposition rendering (format version 0.0.4) for the
-//! worker's and the gateway's `GET /metrics` endpoints — counters and
-//! gauges only, which is all a scrape of this service needs.
+//! worker's and the gateway's `GET /metrics` endpoints — counters,
+//! gauges, and (since the `mcdla-obs` layer) latency histograms.
+
+use mcdla_obs::HistogramSnapshot;
 
 /// The `content-type` a Prometheus scrape expects.
 pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
@@ -71,9 +73,45 @@ impl MetricsBuilder {
         self.sample(name, &[], value)
     }
 
+    /// Starts a `histogram` family; follow with
+    /// [`MetricsBuilder::histogram`] calls for each label set.
+    pub fn histogram_family(&mut self, name: &str, help: &str) -> &mut Self {
+        self.family(name, help, "histogram")
+    }
+
+    /// One histogram series: cumulative `{name}_bucket{le=...}` lines
+    /// in ascending `le` order (ending at `le="+Inf"`, whose count
+    /// equals `{name}_count`), then `{name}_sum` and `{name}_count`.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        snap: &HistogramSnapshot,
+    ) -> &mut Self {
+        let bucket = format!("{name}_bucket");
+        for (bound, cum) in snap.cumulative() {
+            let le = fmt_le(bound);
+            let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+            with_le.push(("le", &le));
+            self.sample(&bucket, &with_le, cum as f64);
+        }
+        self.sample(&format!("{name}_sum"), labels, snap.sum_seconds);
+        self.sample(&format!("{name}_count"), labels, snap.count() as f64)
+    }
+
     /// The finished exposition document.
     pub fn finish(self) -> String {
         self.out
+    }
+}
+
+/// Formats a bucket bound as Prometheus expects: plain decimal for
+/// finite bounds, the literal `+Inf` for the overflow bucket.
+fn fmt_le(bound: f64) -> String {
+    if bound.is_infinite() {
+        "+Inf".to_string()
+    } else {
+        format!("{bound}")
     }
 }
 
@@ -93,5 +131,50 @@ mod tests {
         assert!(text.contains("x_total{endpoint=\"simulate\"} 3\n"));
         assert!(text.contains("x_total{endpoint=\"a\\\"b\\\\c\"} 1.5\n"));
         assert!(text.ends_with("up 1\n"));
+    }
+
+    #[test]
+    fn histograms_render_cumulative_ordered_buckets() {
+        let h = mcdla_obs::Histogram::new();
+        h.observe(3e-6);
+        h.observe(3e-6);
+        h.observe(0.3);
+        h.observe(1e9); // +Inf bucket
+        let mut b = MetricsBuilder::new();
+        b.histogram_family("lat_seconds", "latency");
+        b.histogram("lat_seconds", &[("endpoint", "simulate")], &h.snapshot());
+        let text = b.finish();
+        assert!(text.contains("# TYPE lat_seconds histogram\n"));
+        // Parse the bucket lines back out and check the contract.
+        let buckets: Vec<(f64, f64)> = text
+            .lines()
+            .filter(|l| l.starts_with("lat_seconds_bucket{"))
+            .map(|l| {
+                let le_raw = l.split("le=\"").nth(1).unwrap().split('"').next().unwrap();
+                let le = if le_raw == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    le_raw.parse().unwrap()
+                };
+                let count: f64 = l.rsplit(' ').next().unwrap().parse().unwrap();
+                (le, count)
+            })
+            .collect();
+        assert_eq!(buckets.len(), mcdla_obs::BUCKETS);
+        for w in buckets.windows(2) {
+            assert!(w[0].0 < w[1].0, "le bounds must ascend: {w:?}");
+            assert!(w[0].1 <= w[1].1, "buckets must be cumulative: {w:?}");
+        }
+        let (inf_bound, inf_count) = buckets[buckets.len() - 1];
+        assert!(inf_bound.is_infinite());
+        assert!(text.contains("lat_seconds_count{endpoint=\"simulate\"} 4\n"));
+        assert_eq!(inf_count, 4.0, "+Inf bucket equals _count");
+        assert!(text.contains("lat_seconds_sum{endpoint=\"simulate\"} "));
+        // Label escaping holds inside histogram label sets too.
+        let mut b = MetricsBuilder::new();
+        b.histogram("esc_seconds", &[("worker", "a\"b\\c")], &h.snapshot());
+        assert!(b
+            .finish()
+            .contains("esc_seconds_sum{worker=\"a\\\"b\\\\c\"} "));
     }
 }

@@ -13,15 +13,17 @@ use mcdla_core::{
     Overrides, Provenance, ResultStore, Runner, Scenario, ScenarioGrid, SystemDesign,
 };
 use mcdla_dnn::Benchmark;
+use mcdla_obs::{FlightRecorder, Span, TraceRecord, TraceScope};
 use mcdla_parallel::ParallelStrategy;
 use serde::{Deserialize, Serialize, Value};
 
 use crate::accept::{accept_loop, ConnRegistry};
 use crate::http::{
-    error_body, finish_chunked, query_flag, read_request, split_target, write_chunk,
-    write_chunked_head, write_response, write_response_typed, Request, WireError,
+    error_body, finish_chunked, query_flag, query_param, read_request, split_target, write_chunk,
+    write_chunked_head_with, write_response, write_response_with, Request, WireError,
 };
 use crate::metrics::MetricsBuilder;
+use crate::trace::{self, LatencyFamily, REQUEST_ID_HEADER};
 
 /// Largest grid one buffered `POST /grid` request may expand to.
 pub const MAX_GRID_CELLS: usize = 10_000;
@@ -70,18 +72,20 @@ struct EndpointCounters {
     metrics: AtomicU64,
     simulate: AtomicU64,
     grid: AtomicU64,
+    debug: AtomicU64,
     errors: AtomicU64,
 }
 
 impl EndpointCounters {
     /// `(endpoint name, count)` snapshot, in stable order.
-    fn snapshot(&self) -> [(&'static str, u64); 6] {
+    fn snapshot(&self) -> [(&'static str, u64); 7] {
         [
             ("healthz", self.healthz.load(Ordering::Relaxed)),
             ("stats", self.stats.load(Ordering::Relaxed)),
             ("metrics", self.metrics.load(Ordering::Relaxed)),
             ("simulate", self.simulate.load(Ordering::Relaxed)),
             ("grid", self.grid.load(Ordering::Relaxed)),
+            ("debug", self.debug.load(Ordering::Relaxed)),
             ("errors", self.errors.load(Ordering::Relaxed)),
         ]
     }
@@ -107,6 +111,12 @@ struct ServerState {
     conns: ConnRegistry,
     started: Instant,
     requests: EndpointCounters,
+    /// The last `MCDLA_TRACE_CAP` completed request traces.
+    recorder: FlightRecorder,
+    /// Request-latency histograms, one per endpoint label.
+    latency: LatencyFamily,
+    /// Slow-request log threshold (`MCDLA_SLOW_MS`; `None` = off).
+    slow_ms: Option<u64>,
 }
 
 impl ServerState {
@@ -181,6 +191,10 @@ impl Server {
         // (MCDLA_THREADS or machine parallelism) — the accept pool is a
         // separate resource.
         let sim_threads = Runner::new().threads();
+        // Span recording is process-global and off by default (batch
+        // sweeps skip the instrumentation); a serving process turns it
+        // on for request traces and stage latency histograms.
+        mcdla_obs::set_enabled(true);
         Ok(Server {
             listener,
             threads: config.threads,
@@ -193,6 +207,9 @@ impl Server {
                 conns: ConnRegistry::default(),
                 started: Instant::now(),
                 requests: EndpointCounters::default(),
+                recorder: FlightRecorder::from_env(),
+                latency: LatencyFamily::new(ENDPOINT_LABELS),
+                slow_ms: trace::slow_ms_from_env(),
             }),
         })
     }
@@ -326,17 +343,29 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
             Ok(Some(request)) => {
                 let keep_alive = request.keep_alive && !state.shutdown.load(Ordering::SeqCst);
                 let (path, query) = split_target(&request.path);
+                let endpoint = endpoint_label(path);
+                let rid = trace::request_trace_id(&request);
+                let traced = query_flag(query, "trace");
+                let scope = TraceScope::begin();
                 if request.method == "POST" && path == "/grid" && query_flag(query, "stream") {
                     state.requests.grid.fetch_add(1, Ordering::Relaxed);
                     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        stream_grid(&request.body, state, &mut writer, keep_alive)
+                        stream_grid(&request.body, state, &mut writer, keep_alive, &rid)
                     }));
+                    let status = match &outcome {
+                        Ok(StreamOutcome::Rejected(o)) => o.status,
+                        Ok(StreamOutcome::Streamed { .. }) => 200,
+                        Err(_) => 500,
+                    };
+                    finish_trace(state, scope, &rid, endpoint, status);
                     match outcome {
                         Ok(StreamOutcome::Rejected(outcome)) => {
                             state.requests.errors.fetch_add(1, Ordering::Relaxed);
-                            if write_response(
+                            if write_response_with(
                                 &mut writer,
                                 outcome.status,
+                                outcome.content_type,
+                                &[(REQUEST_ID_HEADER, &rid)],
                                 &outcome.body,
                                 keep_alive,
                             )
@@ -381,11 +410,24 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
                 if outcome.status >= 400 {
                     state.requests.errors.fetch_add(1, Ordering::Relaxed);
                 }
-                if write_response_typed(
+                let record = finish_trace(state, scope, &rid, endpoint, outcome.status);
+                let body =
+                    if traced && outcome.status < 400 && outcome.content_type == "application/json"
+                    {
+                        trace::graft_json(
+                            &outcome.body,
+                            "trace",
+                            trace::trace_value("mcdla-serve", &record),
+                        )
+                    } else {
+                        outcome.body
+                    };
+                if write_response_with(
                     &mut writer,
                     outcome.status,
                     outcome.content_type,
-                    &outcome.body,
+                    &[(REQUEST_ID_HEADER, &rid)],
+                    &body,
                     keep_alive,
                 )
                 .is_err()
@@ -402,6 +444,43 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
             }
         }
     }
+}
+
+/// The endpoint labels request-latency histograms are registered for.
+const ENDPOINT_LABELS: &[&str] = &[
+    "healthz", "stats", "metrics", "simulate", "grid", "debug", "other",
+];
+
+/// The histogram/trace label for a request path.
+fn endpoint_label(path: &str) -> &'static str {
+    match path {
+        "/healthz" => "healthz",
+        "/stats" => "stats",
+        "/metrics" => "metrics",
+        "/simulate" => "simulate",
+        "/grid" => "grid",
+        p if p.starts_with("/debug/") => "debug",
+        _ => "other",
+    }
+}
+
+/// Closes a request's trace scope and runs the per-request
+/// observability tail: endpoint latency histogram, slow-request log,
+/// and admission into the flight recorder. Returns the shared record
+/// (for `?trace=1` grafting).
+fn finish_trace(
+    state: &ServerState,
+    scope: TraceScope,
+    rid: &str,
+    endpoint: &'static str,
+    status: u16,
+) -> Arc<TraceRecord> {
+    let record = scope.finish(rid.to_string(), endpoint, status);
+    if let Some(hist) = state.latency.get(endpoint) {
+        hist.observe(record.total_us as f64 / 1e6);
+    }
+    trace::log_if_slow("mcdla-serve", state.slow_ms, &record);
+    state.recorder.record(record)
 }
 
 struct Outcome {
@@ -443,13 +522,18 @@ impl Outcome {
 }
 
 fn route(request: &Request, state: &Arc<ServerState>) -> Outcome {
-    let (path, _query) = split_target(&request.path);
+    let (path, query) = split_target(&request.path);
     match (request.method.as_str(), path) {
         ("GET", "/healthz") => {
             state.requests.healthz.fetch_add(1, Ordering::Relaxed);
             Outcome::ok(serde::json::to_string(&Value::Map(vec![
                 ("status".into(), Value::Str("ok".into())),
                 ("service".into(), Value::Str("mcdla-serve".into())),
+                (
+                    "uptime_seconds".into(),
+                    Value::F64(state.started.elapsed().as_secs_f64()),
+                ),
+                ("build".into(), trace::build_value()),
             ])))
         }
         ("GET", "/stats") => {
@@ -468,7 +552,31 @@ fn route(request: &Request, state: &Arc<ServerState>) -> Outcome {
             state.requests.grid.fetch_add(1, Ordering::Relaxed);
             grid_endpoint(&request.body, state)
         }
+        ("GET", "/debug/requests") => {
+            state.requests.debug.fetch_add(1, Ordering::Relaxed);
+            Outcome::ok(serde::json::to_string_pretty(&trace::debug_requests_value(
+                "mcdla-serve",
+                &state.recorder,
+                query_param(query, "sort"),
+                query_param(query, "endpoint"),
+                query_param(query, "limit"),
+            )))
+        }
+        ("GET", p) if p.starts_with("/debug/trace/") => {
+            state.requests.debug.fetch_add(1, Ordering::Relaxed);
+            let id = p.trim_start_matches("/debug/trace/");
+            match state.recorder.lookup(id) {
+                Some(rec) => Outcome::ok(serde::json::to_string_pretty(&trace::trace_value(
+                    "mcdla-serve",
+                    &rec,
+                ))),
+                None => Outcome::error(404, &format!("no trace recorded for request id `{id}`")),
+            }
+        }
         (_, "/healthz" | "/stats" | "/metrics") => Outcome::error(405, "use GET on this endpoint"),
+        (_, p) if p == "/debug/requests" || p.starts_with("/debug/trace/") => {
+            Outcome::error(405, "use GET on this endpoint")
+        }
         (_, "/simulate" | "/grid") => {
             Outcome::error(405, "use POST with a JSON body on this endpoint")
         }
@@ -480,15 +588,26 @@ fn stats_value(state: &ServerState) -> Value {
     Value::Map(vec![
         ("service".into(), Value::Str("mcdla-serve".into())),
         (
-            "uptime_secs".into(),
+            "uptime_seconds".into(),
             Value::F64(state.started.elapsed().as_secs_f64()),
         ),
+        ("build".into(), trace::build_value()),
         (
             "simulation_threads".into(),
             Value::U64(state.runner.threads() as u64),
         ),
         ("store".into(), state.store.stats().to_value()),
         ("requests".into(), state.requests.to_value()),
+        (
+            "recorder".into(),
+            Value::Map(vec![
+                (
+                    "capacity".into(),
+                    Value::U64(state.recorder.capacity() as u64),
+                ),
+                ("recorded".into(), Value::U64(state.recorder.len() as u64)),
+            ]),
+        ),
     ])
 }
 
@@ -510,6 +629,19 @@ fn metrics_text(state: &ServerState) -> String {
         "Seconds since this worker started.",
         "gauge",
         state.started.elapsed().as_secs_f64(),
+    );
+    b.family(
+        "mcdla_build_info",
+        "Build metadata as labels (constant 1).",
+        "gauge",
+    );
+    b.sample(
+        "mcdla_build_info",
+        &[
+            ("version", mcdla_obs::build_version()),
+            ("build", mcdla_obs::build_id()),
+        ],
+        1.0,
     );
     b.family(
         "mcdla_requests_total",
@@ -615,6 +747,20 @@ fn metrics_text(state: &ServerState) -> String {
             stage.entries as f64,
         );
     }
+    b.histogram_family(
+        "mcdla_request_seconds",
+        "Request latency by endpoint, seconds.",
+    );
+    for (endpoint, snap) in state.latency.snapshots() {
+        b.histogram("mcdla_request_seconds", &[("endpoint", endpoint)], &snap);
+    }
+    b.histogram_family(
+        "mcdla_stage_seconds",
+        "Staged-engine section latency (lookup plus compute on miss), by stage, seconds.",
+    );
+    for (stage, snap) in mcdla_core::stages::stage_latency() {
+        b.histogram("mcdla_stage_seconds", &[("stage", stage)], &snap);
+    }
     b.finish()
 }
 
@@ -651,7 +797,10 @@ fn simulate_endpoint(body: &[u8], state: &Arc<ServerState>) -> Outcome {
     if let Err(msg) = scenario.validate() {
         return Outcome::error(400, &msg);
     }
-    let fetched = state.store.get_or_compute(scenario, || scenario.simulate());
+    let fetched = {
+        let _s = Span::enter("store.get_or_compute");
+        state.store.get_or_compute(scenario, || scenario.simulate())
+    };
     let computed = fetched.provenance == Provenance::Computed;
     Outcome {
         computed_cells: usize::from(computed),
@@ -815,12 +964,13 @@ fn stream_grid(
     state: &Arc<ServerState>,
     writer: &mut TcpStream,
     keep_alive: bool,
+    rid: &str,
 ) -> StreamOutcome {
     let scenarios = match grid_scenarios(body, MAX_STREAM_CELLS) {
         Ok(s) => s,
         Err(outcome) => return StreamOutcome::Rejected(outcome),
     };
-    if write_chunked_head(writer, 200, keep_alive).is_err() {
+    if write_chunked_head_with(writer, 200, &[(REQUEST_ID_HEADER, rid)], keep_alive).is_err() {
         return StreamOutcome::Streamed {
             computed_cells: 0,
             clean: false,

@@ -1,0 +1,315 @@
+//! Request-trace wire helpers shared by the worker and the gateway:
+//! request-id extraction, trace → JSON rendering, the `/debug/requests`
+//! listing, the slow-request log, and build-info blocks.
+//!
+//! The observability contract (`docs/observability.md`):
+//!
+//! * every response echoes `X-Mcdla-Request-Id` (propagated from the
+//!   request when well-formed, freshly generated otherwise);
+//! * every request records a trace into the server's
+//!   [`FlightRecorder`](mcdla_obs::FlightRecorder), whether or not the
+//!   client asked to see it;
+//! * `?trace=1` grafts the finished span tree into a JSON response
+//!   body under a top-level `"trace"` key;
+//! * requests slower than `MCDLA_SLOW_MS` emit one structured JSON
+//!   line to stderr.
+
+use std::sync::Arc;
+
+use mcdla_obs::{Histogram, HistogramSnapshot, TraceRecord};
+use serde::Value;
+
+use crate::http::Request;
+
+/// The request-id header, lower-cased as the parsed [`Request`] stores
+/// header names.
+pub const REQUEST_ID_HEADER: &str = "x-mcdla-request-id";
+
+/// The request id for a request: the propagated `X-Mcdla-Request-Id`
+/// when present and well-formed (see
+/// [`valid_request_id`](mcdla_obs::valid_request_id)), else a fresh
+/// id generated at this edge.
+pub fn request_trace_id(request: &Request) -> String {
+    match request.header(REQUEST_ID_HEADER) {
+        Some(id) if mcdla_obs::valid_request_id(id) => id.to_string(),
+        _ => mcdla_obs::request_id(),
+    }
+}
+
+/// A fixed set of labeled latency histograms (one per endpoint): the
+/// handles are pre-registered so the request path never touches a map.
+#[derive(Debug)]
+pub struct LatencyFamily {
+    entries: Vec<(&'static str, Arc<Histogram>)>,
+}
+
+impl LatencyFamily {
+    /// A family with one histogram per label.
+    pub fn new(labels: &[&'static str]) -> LatencyFamily {
+        LatencyFamily {
+            entries: labels
+                .iter()
+                .map(|&l| (l, Arc::new(Histogram::new())))
+                .collect(),
+        }
+    }
+
+    /// The histogram for a label (`None` for labels not registered).
+    pub fn get(&self, label: &str) -> Option<&Arc<Histogram>> {
+        self.entries
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map(|(_, h)| h)
+    }
+
+    /// `(label, snapshot)` pairs in registration order.
+    pub fn snapshots(&self) -> Vec<(&'static str, HistogramSnapshot)> {
+        self.entries
+            .iter()
+            .map(|(l, h)| (*l, h.snapshot()))
+            .collect()
+    }
+}
+
+/// Renders a completed trace as the wire JSON: identity, outcome, and
+/// the span tree (span `parent` indexes into the same `spans` array).
+pub fn trace_value(service: &str, rec: &TraceRecord) -> Value {
+    Value::Map(vec![
+        ("id".into(), Value::Str(rec.id.clone())),
+        ("service".into(), Value::Str(service.into())),
+        ("endpoint".into(), Value::Str(rec.endpoint.clone())),
+        ("status".into(), Value::U64(u64::from(rec.status))),
+        ("started_unix_ms".into(), Value::U64(rec.started_unix_ms)),
+        ("total_us".into(), Value::U64(rec.total_us)),
+        (
+            "spans".into(),
+            Value::Seq(
+                rec.spans
+                    .iter()
+                    .map(|s| {
+                        Value::Map(vec![
+                            ("name".into(), Value::Str(s.name.clone())),
+                            (
+                                "parent".into(),
+                                match s.parent {
+                                    Some(p) => Value::U64(p as u64),
+                                    None => Value::Null,
+                                },
+                            ),
+                            ("start_us".into(), Value::U64(s.start_us)),
+                            ("dur_us".into(), Value::U64(s.dur_us)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// One line of the `/debug/requests` listing: the trace identity and
+/// totals without the span tree (fetch `/debug/trace/<id>` for that).
+pub fn trace_summary(rec: &TraceRecord) -> Value {
+    Value::Map(vec![
+        ("id".into(), Value::Str(rec.id.clone())),
+        ("endpoint".into(), Value::Str(rec.endpoint.clone())),
+        ("status".into(), Value::U64(u64::from(rec.status))),
+        ("started_unix_ms".into(), Value::U64(rec.started_unix_ms)),
+        ("total_us".into(), Value::U64(rec.total_us)),
+        ("spans".into(), Value::U64(rec.spans.len() as u64)),
+        ("seq".into(), Value::U64(rec.seq)),
+    ])
+}
+
+/// Builds the `GET /debug/requests` body from a recorder's contents:
+/// newest first by default, slowest first with `sort=slow`, filtered
+/// by `endpoint=<label>`, truncated to `limit=<n>` entries (default
+/// 100).
+pub fn debug_requests_value(
+    service: &str,
+    recorder: &mcdla_obs::FlightRecorder,
+    sort: Option<&str>,
+    endpoint: Option<&str>,
+    limit: Option<&str>,
+) -> Value {
+    let mut traces = recorder.recent();
+    if let Some(ep) = endpoint {
+        traces.retain(|t| t.endpoint == ep);
+    }
+    if sort == Some("slow") {
+        traces.sort_by_key(|t| std::cmp::Reverse(t.total_us));
+    }
+    let matched = traces.len();
+    let limit = limit.and_then(|l| l.parse::<usize>().ok()).unwrap_or(100);
+    traces.truncate(limit);
+    Value::Map(vec![
+        ("service".into(), Value::Str(service.into())),
+        ("capacity".into(), Value::U64(recorder.capacity() as u64)),
+        ("matched".into(), Value::U64(matched as u64)),
+        ("count".into(), Value::U64(traces.len() as u64)),
+        (
+            "requests".into(),
+            Value::Seq(traces.iter().map(|t| trace_summary(t)).collect()),
+        ),
+    ])
+}
+
+/// Grafts `(key, value)` into a JSON-object body, re-serializing
+/// pretty. A body that does not parse as an object comes back
+/// unchanged (defensive: graft targets are bodies this process just
+/// serialized).
+pub fn graft_json(body: &str, key: &str, value: Value) -> String {
+    match serde::json::parse(body) {
+        Ok(Value::Map(mut entries)) => {
+            entries.push((key.into(), value));
+            serde::json::to_string_pretty(&Value::Map(entries))
+        }
+        _ => body.to_string(),
+    }
+}
+
+/// The build-info block for `/healthz` and `/stats`: crate version and
+/// the compile-time git-ish build id.
+pub fn build_value() -> Value {
+    Value::Map(vec![
+        (
+            "version".into(),
+            Value::Str(mcdla_obs::build_version().into()),
+        ),
+        ("id".into(), Value::Str(mcdla_obs::build_id().into())),
+    ])
+}
+
+/// Reads `MCDLA_SLOW_MS`: a positive integer enables the slow-request
+/// log at that threshold; unset, `0`, or unparsable disables it.
+pub fn slow_ms_from_env() -> Option<u64> {
+    std::env::var("MCDLA_SLOW_MS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&ms| ms > 0)
+}
+
+/// The structured slow-request log line (one compact JSON object):
+/// request id, endpoint, status, total, and the per-span breakdown.
+pub fn slow_log_line(service: &str, rec: &TraceRecord) -> String {
+    serde::json::to_string(&Value::Map(vec![(
+        "slow_request".into(),
+        Value::Map(vec![
+            ("service".into(), Value::Str(service.into())),
+            ("id".into(), Value::Str(rec.id.clone())),
+            ("endpoint".into(), Value::Str(rec.endpoint.clone())),
+            ("status".into(), Value::U64(u64::from(rec.status))),
+            ("total_us".into(), Value::U64(rec.total_us)),
+            (
+                "spans".into(),
+                Value::Seq(
+                    rec.spans
+                        .iter()
+                        .map(|s| {
+                            Value::Map(vec![
+                                ("name".into(), Value::Str(s.name.clone())),
+                                ("dur_us".into(), Value::U64(s.dur_us)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+    )]))
+}
+
+/// Emits the slow-request line when the trace crossed the threshold.
+pub fn log_if_slow(service: &str, slow_ms: Option<u64>, rec: &TraceRecord) {
+    if let Some(ms) = slow_ms {
+        if rec.total_us >= ms.saturating_mul(1000) {
+            eprintln!("{}", slow_log_line(service, rec));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcdla_obs::{FlightRecorder, SpanRecord};
+
+    fn rec(id: &str, endpoint: &str, total_us: u64) -> TraceRecord {
+        TraceRecord {
+            id: id.into(),
+            endpoint: endpoint.into(),
+            status: 200,
+            started_unix_ms: 1,
+            total_us,
+            spans: vec![SpanRecord {
+                name: "stage.fabric".into(),
+                parent: None,
+                start_us: 0,
+                dur_us: total_us,
+            }],
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn request_id_propagates_or_regenerates() {
+        let mut req = Request {
+            method: "POST".into(),
+            path: "/simulate".into(),
+            body: Vec::new(),
+            keep_alive: true,
+            headers: vec![(REQUEST_ID_HEADER.into(), "abc-123".into())],
+        };
+        assert_eq!(request_trace_id(&req), "abc-123");
+        req.headers[0].1 = "not valid!!".into();
+        let fresh = request_trace_id(&req);
+        assert_ne!(fresh, "not valid!!");
+        assert_eq!(fresh.len(), 16);
+    }
+
+    #[test]
+    fn debug_requests_sorts_filters_and_limits() {
+        let r = FlightRecorder::new(64);
+        r.record(rec("a", "simulate", 50));
+        r.record(rec("b", "grid", 500));
+        r.record(rec("c", "simulate", 5));
+        let v = debug_requests_value("mcdla-serve", &r, Some("slow"), None, None);
+        let text = serde::json::to_string(&v);
+        let b_pos = text.find("\"b\"").unwrap();
+        let a_pos = text.find("\"a\"").unwrap();
+        let c_pos = text.find("\"c\"").unwrap();
+        assert!(b_pos < a_pos && a_pos < c_pos, "slowest first: {text}");
+        let v = debug_requests_value("mcdla-serve", &r, None, Some("simulate"), None);
+        let text = serde::json::to_string(&v);
+        assert!(text.contains("\"matched\":2"), "{text}");
+        assert!(!text.contains("\"b\""));
+        let v = debug_requests_value("mcdla-serve", &r, None, None, Some("1"));
+        let text = serde::json::to_string(&v);
+        assert!(text.contains("\"count\":1"), "{text}");
+    }
+
+    #[test]
+    fn grafting_appends_a_top_level_key() {
+        let body = "{\n  \"count\": 1\n}";
+        let out = graft_json(
+            body,
+            "trace",
+            trace_value("mcdla-serve", &rec("x", "grid", 9)),
+        );
+        assert!(out.contains("\"count\""));
+        assert!(out.contains("\"trace\""));
+        assert!(out.contains("\"stage.fabric\""));
+        // Non-object bodies come back unchanged.
+        assert_eq!(graft_json("[1,2]", "trace", Value::Null), "[1,2]");
+    }
+
+    #[test]
+    fn slow_line_is_one_structured_json_object() {
+        let line = slow_log_line("mcdla-serve", &rec("slow-1", "simulate", 250_000));
+        assert!(!line.contains('\n'));
+        let parsed = serde::json::parse(&line).unwrap();
+        let Value::Map(entries) = parsed else {
+            panic!("not an object")
+        };
+        assert_eq!(entries[0].0, "slow_request");
+        assert!(line.contains("\"slow-1\""));
+        assert!(line.contains("\"stage.fabric\""));
+    }
+}

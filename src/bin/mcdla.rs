@@ -64,7 +64,8 @@ subcommands
   simulate      run one scenario cell from JSON, print its report
   serve         run the persistent HTTP simulation service
   query         query a running service or gateway (healthz | stats |
-                metrics | cluster-stats | simulate | grid)
+                metrics | cluster-stats | simulate | grid |
+                trace <id> | requests)
   cluster       spawn a local fleet: N workers on ephemeral ports plus a
                 gateway routing across them (--workers N)
   gateway       run a gateway over an existing fleet (--backends LIST)
@@ -111,6 +112,9 @@ service endpoints (see docs/protocol.md and docs/cluster.md)
   GET  /stats      store hit/miss/eviction/in-flight + request counters
   GET  /metrics    Prometheus text exposition (worker and gateway)
   GET  /cluster/stats  gateway: per-worker health + fleet totals
+  GET  /debug/trace/<id>   one recorded request's span tree
+  GET  /debug/requests     the flight-recorder listing (?sort=slow,
+                           ?endpoint=..., ?limit=N)
 ";
 
 fn main() -> ExitCode {
@@ -465,37 +469,47 @@ fn run(args: &Args) -> Result<(), String> {
         }
         "query" => {
             let endpoint = args.rest.first().ok_or(
-                "`query` needs an endpoint: healthz | stats | metrics | cluster-stats | simulate | grid",
+                "`query` needs an endpoint: healthz | stats | metrics | cluster-stats | simulate | grid | trace | requests",
             )?;
             let addr = args.addr.as_deref().unwrap_or("127.0.0.1:7878");
             let body = resolve_body(args)?;
             let (method, path, body) = match endpoint.as_str() {
-                "healthz" => ("GET", "/healthz", None),
-                "stats" => ("GET", "/stats", None),
-                "metrics" => ("GET", "/metrics", None),
-                "cluster-stats" => ("GET", "/cluster/stats", None),
+                "healthz" => ("GET", "/healthz".to_owned(), None),
+                "stats" => ("GET", "/stats".to_owned(), None),
+                "metrics" => ("GET", "/metrics".to_owned(), None),
+                "cluster-stats" => ("GET", "/cluster/stats".to_owned(), None),
+                // The recorded span tree for one request id.
+                "trace" => {
+                    let id = args
+                        .rest
+                        .get(1)
+                        .ok_or("`query trace` needs a request id: mcdla query trace <id>")?;
+                    ("GET", format!("/debug/trace/{id}"), None)
+                }
+                // The flight-recorder listing (newest first).
+                "requests" => ("GET", "/debug/requests".to_owned(), None),
                 "simulate" => (
                     "POST",
-                    "/simulate",
+                    "/simulate".to_owned(),
                     Some(body.ok_or("`query simulate` needs --body JSON (a serde Scenario)")?),
                 ),
                 // An omitted grid body means the full paper matrix.
                 "grid" => (
                     "POST",
-                    "/grid",
+                    "/grid".to_owned(),
                     Some(body.unwrap_or_else(|| "{}".to_owned())),
                 ),
                 other => {
                     return Err(format!(
                         "unknown query endpoint `{other}` (expected healthz | stats | metrics \
-                         | cluster-stats | simulate | grid)"
+                         | cluster-stats | simulate | grid | trace | requests)"
                     ))
                 }
             };
             let response = mcdla::serve::client::request_once_with(
                 addr,
                 method,
-                path,
+                &path,
                 body.as_deref(),
                 timeouts(args),
             )?;
