@@ -1,12 +1,15 @@
-//! The cluster gateway: an HTTP server (the same hand-rolled wire layer
-//! as `mcdla-serve`) that owns a [`Router`] over the worker fleet and
-//! exposes the single-node endpoints at fleet scale — `POST /simulate`
-//! with retry + failover, scatter-gather `POST /grid` (buffered and
-//! `?stream=1`), `GET /cluster/stats` aggregation, and Prometheus
-//! `GET /metrics`.
+//! The cluster gateway: an HTTP server (the same epoll event loop as
+//! `mcdla-serve`, see [`mcdla_serve::accept`]) that owns a [`Router`]
+//! over the worker fleet and exposes the single-node endpoints at fleet
+//! scale — `POST /simulate` with retry + failover, scatter-gather
+//! `POST /grid` (buffered and `?stream=1`), `GET /cluster/stats`
+//! aggregation, and Prometheus `GET /metrics`. Locally answered
+//! endpoints run on the loop thread; anything that talks to a backend
+//! detaches to the bounded worker pool (and sheds 429 beyond the
+//! admission queue).
 
 use std::collections::BTreeSet;
-use std::io::{BufReader, Write as _};
+use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -14,10 +17,12 @@ use std::time::{Duration, Instant};
 
 use mcdla_core::Scenario;
 use mcdla_obs::{FlightRecorder, TraceRecord, TraceScope};
-use mcdla_serve::accept::{accept_loop, ConnRegistry};
+use mcdla_serve::accept::{
+    spawn_event_loop, FastAnswer, LoopConfig, LoopHandle, LoopStats, Service,
+};
 use mcdla_serve::client::Timeouts;
 use mcdla_serve::http::{
-    error_body, finish_chunked, query_flag, query_param, read_request, split_target, write_chunk,
+    error_body, finish_chunked, query_flag, query_param, split_target, write_chunk,
     write_chunked_head_with, write_response, write_response_with, Request, WireError,
 };
 use mcdla_serve::metrics::MetricsBuilder;
@@ -39,7 +44,10 @@ const READ_TIMEOUT: Duration = Duration::from_secs(30);
 pub struct GatewayConfig {
     /// Listen address (`host:port`; port 0 picks an ephemeral port).
     pub addr: String,
-    /// Accept-pool size: concurrently served client connections.
+    /// Worker-pool size: concurrent gateway→fleet round trips
+    /// (forwards, scatters, stats scrapes). Client connection I/O is
+    /// not bounded by this — the event loop multiplexes every
+    /// connection.
     pub threads: usize,
     /// Worker addresses (`host:port`), in stable index order.
     pub backends: Vec<String>,
@@ -50,6 +58,11 @@ pub struct GatewayConfig {
     pub probe_interval: Option<Duration>,
     /// Parked keep-alive connections kept per worker.
     pub max_idle_per_worker: usize,
+    /// Event-loop threads (one epoll instance each).
+    pub loops: usize,
+    /// Admission-queue bound: fleet-bound requests waiting beyond the
+    /// worker pool; the next one is answered 429 + `Retry-After`.
+    pub queue_depth: usize,
 }
 
 impl Default for GatewayConfig {
@@ -61,6 +74,8 @@ impl Default for GatewayConfig {
             timeouts: Timeouts::default(),
             probe_interval: Some(Duration::from_secs(2)),
             max_idle_per_worker: 16,
+            loops: 1,
+            queue_depth: 128,
         }
     }
 }
@@ -130,7 +145,8 @@ fn endpoint_label(path: &str) -> &'static str {
 struct GatewayState {
     router: Router,
     shutdown: AtomicBool,
-    conns: ConnRegistry,
+    /// Event-loop counters (open/accepted/shed/timeouts).
+    loop_stats: Arc<LoopStats>,
     started: Instant,
     requests: GatewayCounters,
     /// This gateway's flight recorder — separate from any co-hosted
@@ -161,7 +177,7 @@ fn finish_trace(
 #[derive(Debug)]
 pub struct Gateway {
     listener: TcpListener,
-    threads: usize,
+    loop_config: LoopConfig,
     probe_interval: Option<Duration>,
     state: Arc<GatewayState>,
 }
@@ -172,7 +188,7 @@ pub struct Gateway {
 pub struct GatewayHandle {
     addr: SocketAddr,
     state: Arc<GatewayState>,
-    acceptors: Vec<std::thread::JoinHandle<()>>,
+    loops: LoopHandle,
     prober: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -194,12 +210,18 @@ impl Gateway {
         mcdla_obs::set_enabled(true);
         Ok(Gateway {
             listener,
-            threads: config.threads,
+            loop_config: LoopConfig {
+                loops: config.loops.max(1),
+                workers: config.threads,
+                queue_depth: config.queue_depth.max(1),
+                idle_timeout: READ_TIMEOUT,
+                request_timeout: READ_TIMEOUT,
+            },
             probe_interval: config.probe_interval,
             state: Arc::new(GatewayState {
                 router,
                 shutdown: AtomicBool::new(false),
-                conns: ConnRegistry::default(),
+                loop_stats: Arc::new(LoopStats::default()),
                 started: Instant::now(),
                 requests: GatewayCounters::default(),
                 recorder: FlightRecorder::from_env(),
@@ -219,24 +241,19 @@ impl Gateway {
         &self.state.router
     }
 
-    /// Starts the accept pool (and the health prober) in background
-    /// threads and returns a handle.
+    /// Starts the event loop and worker pool (and the health prober) in
+    /// background threads and returns a handle.
     pub fn spawn(self) -> std::io::Result<GatewayHandle> {
         let addr = self.listener.local_addr()?;
-        let mut acceptors = Vec::with_capacity(self.threads);
-        for i in 0..self.threads {
-            let listener = self.listener.try_clone()?;
-            let state = self.state.clone();
-            acceptors.push(
-                std::thread::Builder::new()
-                    .name(format!("mcdla-gateway-{i}"))
-                    .spawn(move || {
-                        accept_loop(&listener, &state.shutdown, |stream| {
-                            handle_connection(stream, &state)
-                        })
-                    })?,
-            );
-        }
+        let service = Arc::new(GatewayService {
+            state: self.state.clone(),
+        });
+        let loops = spawn_event_loop(
+            self.listener,
+            service,
+            &self.loop_config,
+            self.state.loop_stats.clone(),
+        )?;
         let prober = match self.probe_interval {
             Some(interval) => Some(
                 std::thread::Builder::new()
@@ -251,44 +268,19 @@ impl Gateway {
         Ok(GatewayHandle {
             addr,
             state: self.state,
-            acceptors,
+            loops,
             prober,
         })
     }
 
-    /// Runs the accept pool on the calling thread (plus `threads - 1`
-    /// workers), blocking until the process exits — the `mcdla gateway`
-    /// entry point.
+    /// Runs the gateway on background threads and parks the calling
+    /// thread until they exit — the `mcdla gateway` entry point (it
+    /// runs until the process is killed).
     pub fn run(self) -> std::io::Result<()> {
-        let state = self.state.clone();
-        let listener = self.listener.try_clone()?;
-        let mut workers = Vec::new();
-        for i in 1..self.threads {
-            let listener = self.listener.try_clone()?;
-            let state = self.state.clone();
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("mcdla-gateway-{i}"))
-                    .spawn(move || {
-                        accept_loop(&listener, &state.shutdown, |stream| {
-                            handle_connection(stream, &state)
-                        })
-                    })?,
-            );
-        }
-        if let Some(interval) = self.probe_interval {
-            let state = self.state.clone();
-            workers.push(
-                std::thread::Builder::new()
-                    .name("mcdla-gateway-probe".to_owned())
-                    .spawn(move || probe_loop(&state, interval))?,
-            );
-        }
-        accept_loop(&listener, &state.shutdown, |stream| {
-            handle_connection(stream, &state)
-        });
-        for w in workers {
-            let _ = w.join();
+        let handle = self.spawn()?;
+        handle.loops.join();
+        if let Some(p) = handle.prober {
+            let _ = p.join();
         }
         Ok(())
     }
@@ -305,19 +297,13 @@ impl GatewayHandle {
         &self.state.router
     }
 
-    /// Stops accepting, unblocks idle connections, and joins the pool
-    /// and prober. In-flight responses finish first.
+    /// Stops the event loop and worker pool and joins every thread
+    /// (including the prober). In-flight responses finish first; idle
+    /// keep-alive connections close immediately — the loop owns them,
+    /// so no thread is parked in a blocking read anywhere.
     pub fn shutdown(self) {
         self.state.shutdown.store(true, Ordering::SeqCst);
-        self.state.conns.close_all();
-        for _ in 0..self.acceptors.len() {
-            if let Ok(stream) = TcpStream::connect(self.addr) {
-                drop(stream);
-            }
-        }
-        for a in self.acceptors {
-            let _ = a.join();
-        }
+        self.loops.shutdown();
         if let Some(p) = self.prober {
             let _ = p.join();
         }
@@ -343,116 +329,189 @@ fn probe_loop(state: &GatewayState, interval: Duration) {
     }
 }
 
-/// Serves one client connection's keep-alive request loop.
-fn handle_connection(stream: TcpStream, state: &Arc<GatewayState>) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
-    let _guard = state.conns.register(&stream);
-    if state.shutdown.load(Ordering::SeqCst) {
-        return;
+/// The gateway's [`Service`]: locally answered endpoints run on the
+/// loop thread, anything that makes a gateway→fleet round trip
+/// detaches to the worker pool.
+struct GatewayService {
+    state: Arc<GatewayState>,
+}
+
+impl Service for GatewayService {
+    fn fast(&self, request: &Request) -> Option<FastAnswer> {
+        respond_fast(&self.state, request)
     }
-    let Ok(read_half) = stream.try_clone() else {
-        return;
+
+    fn handle(&self, request: &Request, stream: &mut TcpStream) -> bool {
+        respond_heavy(&self.state, request, stream)
+    }
+
+    fn shed(&self, request: &Request) -> FastAnswer {
+        shed_answer(&self.state, request)
+    }
+
+    fn wire_error(&self, error: &WireError) -> Vec<u8> {
+        self.state.requests.errors.fetch_add(1, Ordering::Relaxed);
+        let mut out = Vec::new();
+        let _ = write_response(&mut out, error.status, &error_body(&error.message), false);
+        out
+    }
+}
+
+/// Builds the 429 + `Retry-After` load-shedding answer and records it
+/// like any other request (error counter, latency histogram, trace).
+fn shed_answer(state: &GatewayState, request: &Request) -> FastAnswer {
+    state.requests.errors.fetch_add(1, Ordering::Relaxed);
+    let (path, _) = split_target(&request.path);
+    let endpoint = endpoint_label(path);
+    let rid = trace::request_trace_id(request);
+    let scope = TraceScope::begin();
+    let record = scope.finish(rid.clone(), endpoint, 429);
+    if let Some(hist) = state.latency.get(endpoint) {
+        hist.observe(record.total_us as f64 / 1e6);
+    }
+    trace::log_if_slow("mcdla-gateway", state.slow_ms, &record);
+    state.recorder.record(record);
+    let keep_alive = request.keep_alive && !state.shutdown.load(Ordering::SeqCst);
+    let mut out = Vec::new();
+    let _ = write_response_with(
+        &mut out,
+        429,
+        "application/json",
+        &[("retry-after", "1"), (REQUEST_ID_HEADER, &rid)],
+        &error_body("request queue is full; retry shortly"),
+        keep_alive,
+    );
+    FastAnswer {
+        bytes: out,
+        keep_alive,
+    }
+}
+
+/// Answers a request inline on the loop thread when it never leaves
+/// this process: health, metrics, debug endpoints, and the 405/404
+/// rejections. Forwards, scatters, and fleet-stats scrapes return
+/// `None` — the loop thread must never block on a backend round trip.
+fn respond_fast(state: &Arc<GatewayState>, request: &Request) -> Option<FastAnswer> {
+    let (path, query) = split_target(&request.path);
+    if matches!(
+        (request.method.as_str(), path),
+        ("POST", "/simulate") | ("POST", "/grid") | ("GET", "/cluster/stats")
+    ) {
+        return None;
+    }
+    let keep_alive = request.keep_alive && !state.shutdown.load(Ordering::SeqCst);
+    let endpoint = endpoint_label(path);
+    let rid = trace::request_trace_id(request);
+    let traced = query_flag(query, "trace");
+    let scope = TraceScope::begin();
+    // A panicking handler must not take the loop thread down.
+    let outcome =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(request, state, &rid)))
+            .unwrap_or_else(|_| Outcome::error(500, "internal error handling the request"));
+    if outcome.status >= 400 {
+        state.requests.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    let record = finish_trace(state, scope, &rid, endpoint, outcome.status);
+    let body = if traced && outcome.status < 400 && outcome.content_type == "application/json" {
+        // Fast outcomes never carry an upstream worker (forwards are
+        // heavy), so the graft is the gateway's own span tree alone.
+        trace::graft_json(
+            &outcome.body,
+            "trace",
+            trace::trace_value("mcdla-gateway", &record),
+        )
+    } else {
+        outcome.body
     };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = stream;
-    loop {
-        match read_request(&mut reader) {
-            Ok(None) => return,
-            Err(WireError { status, message }) => {
+    let mut out = Vec::new();
+    let _ = write_response_with(
+        &mut out,
+        outcome.status,
+        outcome.content_type,
+        &[(REQUEST_ID_HEADER, &rid)],
+        &body,
+        keep_alive,
+    );
+    Some(FastAnswer {
+        bytes: out,
+        keep_alive,
+    })
+}
+
+/// Handles one fleet-bound request on a pool worker with a blocking
+/// stream: `/simulate` forwards, `/grid` scatters (buffered and
+/// streamed), and `/cluster/stats` scrapes. Returns whether the
+/// connection should stay open.
+fn respond_heavy(state: &Arc<GatewayState>, request: &Request, writer: &mut TcpStream) -> bool {
+    let keep_alive = request.keep_alive && !state.shutdown.load(Ordering::SeqCst);
+    let (path, query) = split_target(&request.path);
+    let endpoint = endpoint_label(path);
+    let rid = trace::request_trace_id(request);
+    let traced = query_flag(query, "trace");
+    let scope = TraceScope::begin();
+    if request.method == "POST" && path == "/grid" && query_flag(query, "stream") {
+        state.requests.grid.fetch_add(1, Ordering::Relaxed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            stream_grid(&request.body, state, writer, keep_alive, &rid)
+        }));
+        let status = match &outcome {
+            Ok(StreamOutcome::Rejected(o)) => o.status,
+            Ok(StreamOutcome::Streamed { .. }) => 200,
+            Err(_) => 500,
+        };
+        finish_trace(state, scope, &rid, endpoint, status);
+        return match outcome {
+            Ok(StreamOutcome::Rejected(outcome)) => {
                 state.requests.errors.fetch_add(1, Ordering::Relaxed);
-                let _ = write_response(&mut writer, status, &error_body(&message), false);
-                return;
-            }
-            Ok(Some(request)) => {
-                let keep_alive = request.keep_alive && !state.shutdown.load(Ordering::SeqCst);
-                let (path, query) = split_target(&request.path);
-                let endpoint = endpoint_label(path);
-                let rid = trace::request_trace_id(&request);
-                let traced = query_flag(query, "trace");
-                let scope = TraceScope::begin();
-                if request.method == "POST" && path == "/grid" && query_flag(query, "stream") {
-                    state.requests.grid.fetch_add(1, Ordering::Relaxed);
-                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        stream_grid(&request.body, state, &mut writer, keep_alive, &rid)
-                    }));
-                    let status = match &outcome {
-                        Ok(StreamOutcome::Rejected(o)) => o.status,
-                        Ok(StreamOutcome::Streamed { .. }) => 200,
-                        Err(_) => 500,
-                    };
-                    finish_trace(state, scope, &rid, endpoint, status);
-                    match outcome {
-                        Ok(StreamOutcome::Rejected(outcome)) => {
-                            state.requests.errors.fetch_add(1, Ordering::Relaxed);
-                            if write_response_with(
-                                &mut writer,
-                                outcome.status,
-                                outcome.content_type,
-                                &[(REQUEST_ID_HEADER, &rid)],
-                                &outcome.body,
-                                keep_alive,
-                            )
-                            .is_err()
-                                || !keep_alive
-                            {
-                                let _ = writer.flush();
-                                return;
-                            }
-                        }
-                        Ok(StreamOutcome::Streamed { clean }) => {
-                            if !clean || !keep_alive {
-                                let _ = writer.flush();
-                                return;
-                            }
-                        }
-                        // A panic after the 200 head: close without the
-                        // terminal chunk, exactly like the worker.
-                        Err(_) => {
-                            state.requests.errors.fetch_add(1, Ordering::Relaxed);
-                            return;
-                        }
-                    }
-                    continue;
-                }
-                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    route(&request, state, &rid)
-                }))
-                .unwrap_or_else(|_| Outcome::error(500, "internal error handling the request"));
-                if outcome.status >= 400 {
-                    state.requests.errors.fetch_add(1, Ordering::Relaxed);
-                }
-                let record = finish_trace(state, scope, &rid, endpoint, outcome.status);
-                let body = if traced
-                    && outcome.status < 400
-                    && outcome.content_type == "application/json"
-                {
-                    let mut tv = trace::trace_value("mcdla-gateway", &record);
-                    if let (Value::Map(entries), Some(worker)) = (&mut tv, outcome.upstream) {
-                        entries
-                            .push(("upstream".into(), upstream_trace_value(state, worker, &rid)));
-                    }
-                    trace::graft_json(&outcome.body, "trace", tv)
-                } else {
-                    outcome.body
-                };
-                if write_response_with(
-                    &mut writer,
+                write_response_with(
+                    writer,
                     outcome.status,
                     outcome.content_type,
                     &[(REQUEST_ID_HEADER, &rid)],
-                    &body,
+                    &outcome.body,
                     keep_alive,
                 )
-                .is_err()
-                    || !keep_alive
-                {
-                    let _ = writer.flush();
-                    return;
-                }
+                .is_ok()
+                    && keep_alive
             }
-        }
+            Ok(StreamOutcome::Streamed { clean }) => {
+                let _ = writer.flush();
+                clean && keep_alive
+            }
+            // A panic after the 200 head: close without the terminal
+            // chunk, exactly like the worker.
+            Err(_) => {
+                state.requests.errors.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        };
     }
+    let outcome =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(request, state, &rid)))
+            .unwrap_or_else(|_| Outcome::error(500, "internal error handling the request"));
+    if outcome.status >= 400 {
+        state.requests.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    let record = finish_trace(state, scope, &rid, endpoint, outcome.status);
+    let body = if traced && outcome.status < 400 && outcome.content_type == "application/json" {
+        let mut tv = trace::trace_value("mcdla-gateway", &record);
+        if let (Value::Map(entries), Some(worker)) = (&mut tv, outcome.upstream) {
+            entries.push(("upstream".into(), upstream_trace_value(state, worker, &rid)));
+        }
+        trace::graft_json(&outcome.body, "trace", tv)
+    } else {
+        outcome.body
+    };
+    write_response_with(
+        writer,
+        outcome.status,
+        outcome.content_type,
+        &[(REQUEST_ID_HEADER, &rid)],
+        &body,
+        keep_alive,
+    )
+    .is_ok()
+        && keep_alive
 }
 
 struct Outcome {
@@ -905,6 +964,22 @@ fn cluster_stats_value(state: &GatewayState) -> Value {
             Value::Map(vec![
                 ("requests".into(), state.requests.to_value()),
                 (
+                    "connections".into(),
+                    Value::Map(vec![
+                        ("open".into(), Value::U64(state.loop_stats.open())),
+                        ("accepted".into(), Value::U64(state.loop_stats.accepted())),
+                        ("shed".into(), Value::U64(state.loop_stats.shed())),
+                        (
+                            "request_timeouts".into(),
+                            Value::U64(state.loop_stats.request_timeouts()),
+                        ),
+                        (
+                            "idle_closed".into(),
+                            Value::U64(state.loop_stats.idle_closed()),
+                        ),
+                    ]),
+                ),
+                (
                     "failovers".into(),
                     Value::U64(router.failovers.load(Ordering::Relaxed)),
                 ),
@@ -967,6 +1042,36 @@ fn metrics_text(state: &GatewayState) -> String {
             count as f64,
         );
     }
+    b.scalar(
+        "mcdla_gateway_open_connections",
+        "Connections attached to the gateway event loop right now.",
+        "gauge",
+        state.loop_stats.open() as f64,
+    );
+    b.scalar(
+        "mcdla_gateway_accepted_connections_total",
+        "Connections accepted since start.",
+        "counter",
+        state.loop_stats.accepted() as f64,
+    );
+    b.scalar(
+        "mcdla_gateway_requests_shed_total",
+        "Requests answered 429 because the admission queue was full.",
+        "counter",
+        state.loop_stats.shed() as f64,
+    );
+    b.scalar(
+        "mcdla_gateway_request_timeouts_total",
+        "Requests answered 408 after stalling mid-head or mid-body.",
+        "counter",
+        state.loop_stats.request_timeouts() as f64,
+    );
+    b.scalar(
+        "mcdla_gateway_idle_connections_closed_total",
+        "Idle keep-alive connections closed silently.",
+        "counter",
+        state.loop_stats.idle_closed() as f64,
+    );
     b.scalar(
         "mcdla_gateway_failovers_total",
         "Requests or grid slices answered by a non-owner worker.",
@@ -1057,7 +1162,7 @@ pub struct LocalFleet {
 pub struct FleetConfig {
     /// Worker count.
     pub workers: usize,
-    /// Accept-pool threads per worker.
+    /// Simulation worker-pool threads per worker node.
     pub worker_threads: usize,
     /// Result-store capacity per worker (`None` = unbounded).
     pub cache_cap: Option<usize>,
@@ -1066,7 +1171,7 @@ pub struct FleetConfig {
     pub snapshot_prefix: Option<std::path::PathBuf>,
     /// Gateway listen address (`127.0.0.1:0` for ephemeral).
     pub gateway_addr: String,
-    /// Gateway accept-pool threads.
+    /// Gateway worker-pool threads (concurrent fleet round trips).
     pub gateway_threads: usize,
     /// Gateway→worker deadlines.
     pub timeouts: Timeouts,
@@ -1113,6 +1218,7 @@ pub fn spawn_local_fleet(config: &FleetConfig) -> Result<LocalFleet, String> {
                 .snapshot_prefix
                 .as_deref()
                 .map(|prefix| worker_snapshot_path(prefix, i)),
+            ..ServeConfig::default()
         })?;
         let handle = server
             .spawn()
@@ -1127,6 +1233,7 @@ pub fn spawn_local_fleet(config: &FleetConfig) -> Result<LocalFleet, String> {
         timeouts: config.timeouts,
         probe_interval: config.probe_interval,
         max_idle_per_worker: 16,
+        ..GatewayConfig::default()
     })?;
     let gateway = gateway
         .spawn()

@@ -103,6 +103,7 @@ fn buffered_grid_matches_a_single_node_cell_for_cell() {
         threads: 2,
         cache_cap: None,
         snapshot: None,
+        ..ServeConfig::default()
     })
     .unwrap()
     .spawn()
@@ -232,6 +233,7 @@ fn worker_grid_accepts_explicit_cells_and_rejects_mixtures() {
         threads: 2,
         cache_cap: None,
         snapshot: None,
+        ..ServeConfig::default()
     })
     .unwrap()
     .spawn()

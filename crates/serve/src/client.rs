@@ -205,6 +205,26 @@ impl Connection {
         }
     }
 
+    /// Issues a whole batch of `(method, path, body)` requests as **one
+    /// pipelined write** — every request leaves in a single segment,
+    /// then all responses are read back in order. This is what pushes
+    /// cached-cell throughput past the per-round-trip ceiling: the
+    /// server parses and answers back-to-back requests without waiting
+    /// for the client to see each response first.
+    pub fn request_pipelined(
+        &mut self,
+        requests: &[(&str, &str, Option<&str>)],
+    ) -> Result<Vec<Response>, String> {
+        let mut out = Vec::new();
+        for (method, path, body) in requests {
+            encode_request(&mut out, method, path, &[], *body);
+        }
+        self.stream
+            .write_all(&out)
+            .map_err(|e| format!("sending pipelined requests: {e}"))?;
+        requests.iter().map(|_| self.read_response()).collect()
+    }
+
     fn send_request(&mut self, method: &str, path: &str, body: Option<&str>) -> Result<(), String> {
         self.send_request_with(method, path, &[], body)
     }
@@ -216,18 +236,8 @@ impl Connection {
         headers: &[(&str, &str)],
         body: Option<&str>,
     ) -> Result<(), String> {
-        let body = body.unwrap_or("");
-        let mut head = format!("{method} {path} HTTP/1.1\r\nhost: mcdla-serve\r\n");
-        for (name, value) in headers {
-            head.push_str(name);
-            head.push_str(": ");
-            head.push_str(value);
-            head.push_str("\r\n");
-        }
-        head.push_str(&format!("content-length: {}\r\n\r\n", body.len()));
-        let mut out = Vec::with_capacity(head.len() + body.len());
-        out.extend_from_slice(head.as_bytes());
-        out.extend_from_slice(body.as_bytes());
+        let mut out = Vec::new();
+        encode_request(&mut out, method, path, headers, body);
         self.stream
             .write_all(&out)
             .map_err(|e| format!("sending request: {e}"))
@@ -253,6 +263,29 @@ impl Connection {
             headers,
         })
     }
+}
+
+/// Appends one serialized request to `out` (the unit both single
+/// writes and pipelined batches are built from).
+fn encode_request(
+    out: &mut Vec<u8>,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: Option<&str>,
+) {
+    let body = body.unwrap_or("");
+    let mut head = format!("{method} {path} HTTP/1.1\r\nhost: mcdla-serve\r\n");
+    for (name, value) in headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str(&format!("content-length: {}\r\n\r\n", body.len()));
+    out.reserve(head.len() + body.len());
+    out.extend_from_slice(head.as_bytes());
+    out.extend_from_slice(body.as_bytes());
 }
 
 /// One parsed response head.

@@ -6,6 +6,15 @@
 //! `Content-Length` bodies, keep-alive by default. Everything malformed,
 //! truncated, oversized, or unsupported maps to a 4xx/5xx [`WireError`]
 //! rather than a panic; the wire tests in `tests/wire.rs` pin that.
+//!
+//! The primary entry point is [`parse_request`]: an incremental,
+//! buffer-oriented parser the epoll event loop calls against each
+//! connection's inbox. Requests that are smuggling-shaped — conflicting
+//! duplicate `Content-Length` headers, any `Transfer-Encoding` — are
+//! rejected outright (400/501) so unread body bytes can never be
+//! re-parsed as a pipelined request. Keep-alive follows a strict
+//! version table (see [`parse_request`]); anything that is not a known
+//! `HTTP/1.x` version is served conservatively or refused.
 
 use std::io::{BufRead, Write};
 
@@ -53,7 +62,9 @@ pub struct WireError {
 }
 
 impl WireError {
-    fn new(status: u16, message: impl Into<String>) -> Self {
+    /// A wire error with the status the connection should answer
+    /// before closing.
+    pub fn new(status: u16, message: impl Into<String>) -> Self {
         WireError {
             status,
             message: message.into(),
@@ -61,15 +72,55 @@ impl WireError {
     }
 }
 
-/// Reads one request from the stream.
+/// Tries to parse one complete request from the front of `buf`.
 ///
-/// Returns `Ok(None)` on a clean close (EOF before the first byte of a
-/// request) — the keep-alive loop's normal exit. Every malformed input
-/// is an `Err` naming the 4xx to answer with.
-pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, WireError> {
-    let Some(head) = read_head(reader)? else {
-        return Ok(None);
+/// Returns `Ok(Some((request, consumed)))` when a full head + body is
+/// present — the caller drains `consumed` bytes and may call again for
+/// the next pipelined request. `Ok(None)` means the buffer holds only a
+/// request prefix so far: keep reading. `Err` names the 4xx/5xx to
+/// answer with before closing the connection (a parse error leaves the
+/// stream position undefined, so errors always close).
+///
+/// Keep-alive follows a per-version table:
+///
+/// | version            | default     | honored opt-outs/ins          |
+/// |--------------------|-------------|-------------------------------|
+/// | `HTTP/1.1`         | keep-alive  | `Connection: close`           |
+/// | `HTTP/1.0`         | close       | `Connection: keep-alive`      |
+/// | other `HTTP/1.x`   | close       | none (served, then closed)    |
+/// | anything else      | —           | rejected with 400             |
+///
+/// Smuggling-shaped requests are rejected: conflicting duplicate
+/// `Content-Length` headers and non-numeric lengths are 400, any
+/// `Transfer-Encoding` (chunked included) is 501.
+pub fn parse_request(buf: &[u8]) -> Result<Option<(Request, usize)>, WireError> {
+    match parse_inner(buf)? {
+        Parsed::Complete(request, consumed) => Ok(Some((request, consumed))),
+        Parsed::NeedMore(_) => Ok(None),
+    }
+}
+
+/// Incremental parse status: either a complete request or "read more",
+/// with the total request size attached once the head has arrived.
+enum Parsed {
+    Complete(Request, usize),
+    NeedMore(Option<usize>),
+}
+
+fn parse_inner(buf: &[u8]) -> Result<Parsed, WireError> {
+    let window = &buf[..buf.len().min(MAX_HEAD_BYTES)];
+    let Some(head_len) = find_head_end(window) else {
+        if buf.len() >= MAX_HEAD_BYTES {
+            return Err(WireError::new(
+                431,
+                format!("request head exceeds the {MAX_HEAD_BYTES}-byte limit"),
+            ));
+        }
+        return Ok(Parsed::NeedMore(None)); // incomplete head: keep reading
     };
+    let head = std::str::from_utf8(&buf[..head_len])
+        .map_err(|_| WireError::new(400, "request head is not valid utf-8"))?;
+
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or("");
     let mut parts = request_line.split(' ');
@@ -87,16 +138,23 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, WireE
             format!("malformed request line `{request_line}`"),
         ));
     }
-    if !version.starts_with("HTTP/1.") {
-        return Err(WireError::new(
-            400,
-            format!("unsupported protocol version `{version}`"),
-        ));
-    }
+    // The keep-alive version table. Unknown HTTP/1.x minors are served
+    // conservatively: one response, then close — their keep-alive
+    // semantics are not ours to guess.
+    let mut keep_alive = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        v if is_http_1x(v) => false,
+        _ => {
+            return Err(WireError::new(
+                400,
+                format!("unsupported protocol version `{version}`"),
+            ));
+        }
+    };
+    let may_keep_alive = matches!(version, "HTTP/1.0" | "HTTP/1.1");
 
-    let mut content_length = 0usize;
-    // HTTP/1.0 closes by default; 1.1 keeps alive by default.
-    let mut keep_alive = version != "HTTP/1.0";
+    let mut content_length: Option<usize> = None;
     let mut headers: Vec<(String, String)> = Vec::new();
     for line in lines {
         if line.is_empty() {
@@ -110,15 +168,35 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, WireE
         headers.push((name.clone(), value.to_owned()));
         match name.as_str() {
             "content-length" => {
-                content_length = value
-                    .parse()
-                    .map_err(|_| WireError::new(400, format!("bad content-length `{value}`")))?;
-                if content_length > MAX_BODY_BYTES {
+                // Digits only: `parse::<usize>` alone would accept
+                // `+5`, which proxies may read differently — exactly
+                // the disagreement request smuggling exploits.
+                let parsed = if !value.is_empty() && value.bytes().all(|b| b.is_ascii_digit()) {
+                    value.parse::<usize>().ok()
+                } else {
+                    None
+                };
+                let Some(parsed) = parsed else {
+                    return Err(WireError::new(400, format!("bad content-length `{value}`")));
+                };
+                // Duplicate Content-Length headers that agree are
+                // tolerated; a conflict means the peer and any
+                // intermediary may frame the body differently, so 400.
+                if let Some(prior) = content_length {
+                    if prior != parsed {
+                        return Err(WireError::new(
+                            400,
+                            format!("conflicting content-length headers ({prior} then {parsed})"),
+                        ));
+                    }
+                }
+                if parsed > MAX_BODY_BYTES {
                     return Err(WireError::new(
                         413,
-                        format!("body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"),
+                        format!("body of {parsed} bytes exceeds the {MAX_BODY_BYTES}-byte limit"),
                     ));
                 }
+                content_length = Some(parsed);
             }
             "transfer-encoding" => {
                 return Err(WireError::new(
@@ -127,79 +205,124 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, WireE
                 ));
             }
             "connection" if value.eq_ignore_ascii_case("close") => keep_alive = false,
+            "connection" if value.eq_ignore_ascii_case("keep-alive") && may_keep_alive => {
+                keep_alive = true;
+            }
             _ => {}
         }
     }
 
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).map_err(|e| {
-        if matches!(
-            e.kind(),
-            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-        ) {
-            WireError::new(408, "timed out reading the request body")
-        } else {
-            WireError::new(400, "truncated request body")
-        }
-    })?;
-
-    Ok(Some(Request {
-        method: method.to_owned(),
-        path: path.to_owned(),
-        body,
-        keep_alive,
-        headers,
-    }))
+    let content_length = content_length.unwrap_or(0);
+    let body_start = head_len + 4;
+    let total = body_start + content_length;
+    if buf.len() < total {
+        return Ok(Parsed::NeedMore(Some(total))); // body still arriving
+    }
+    Ok(Parsed::Complete(
+        Request {
+            method: method.to_owned(),
+            path: path.to_owned(),
+            body: buf[body_start..total].to_vec(),
+            keep_alive,
+            headers,
+        },
+        total,
+    ))
 }
 
-/// Reads up to the blank line ending the request head, byte by byte
-/// (the reader is buffered, so this costs nanoseconds per byte).
-fn read_head<R: BufRead>(reader: &mut R) -> Result<Option<String>, WireError> {
-    let mut head: Vec<u8> = Vec::with_capacity(256);
+/// The error to answer when the peer stopped sending (EOF or timeout)
+/// with an incomplete request in `buf`. `timed_out` selects 408 over
+/// the 400 a truncating close earns.
+pub fn incomplete_error(buf: &[u8], timed_out: bool) -> WireError {
+    let part = if find_head_end(&buf[..buf.len().min(MAX_HEAD_BYTES)]).is_some() {
+        "body"
+    } else {
+        "head"
+    };
+    if timed_out {
+        WireError::new(408, format!("timed out reading the request {part}"))
+    } else {
+        WireError::new(400, format!("truncated request {part}"))
+    }
+}
+
+/// Byte offset of the `\r\n\r\n` head terminator (length of the head
+/// without the terminator), or `None` when it has not arrived yet.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// True for `HTTP/1.<digits>` versions other than the two we know.
+fn is_http_1x(version: &str) -> bool {
+    version
+        .strip_prefix("HTTP/1.")
+        .is_some_and(|minor| !minor.is_empty() && minor.bytes().all(|b| b.is_ascii_digit()))
+}
+
+/// Reads one request from a blocking stream (the worker-pool side and
+/// the tests use this; the event loop calls [`parse_request`] against
+/// its per-connection inbox instead).
+///
+/// Returns `Ok(None)` on a clean close (EOF before the first byte of a
+/// request) — the keep-alive loop's normal exit. Every malformed input
+/// is an `Err` naming the 4xx to answer with.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, WireError> {
+    // The head is read byte-by-byte (the reader is buffered, so this
+    // costs nanoseconds per byte) and the body with one `read_exact`,
+    // so exactly one request is consumed — pipelined bytes after it
+    // stay in the reader for the next call.
+    let mut buf: Vec<u8> = Vec::with_capacity(256);
     let mut byte = [0u8; 1];
     loop {
-        match reader.read(&mut byte) {
-            Ok(0) => {
-                return if head.is_empty() {
-                    Ok(None) // clean close between requests
-                } else {
-                    Err(WireError::new(400, "truncated request head"))
-                };
+        match parse_inner(&buf)? {
+            Parsed::Complete(request, consumed) => {
+                debug_assert_eq!(consumed, buf.len(), "read_request reads one request");
+                return Ok(Some(request));
             }
-            Ok(_) => {
-                head.push(byte[0]);
-                if head.len() > MAX_HEAD_BYTES {
-                    return Err(WireError::new(
-                        431,
-                        format!("request head exceeds the {MAX_HEAD_BYTES}-byte limit"),
-                    ));
+            Parsed::NeedMore(Some(total)) => {
+                let mut body = vec![0u8; total - buf.len()];
+                reader.read_exact(&mut body).map_err(|e| {
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) {
+                        WireError::new(408, "timed out reading the request body")
+                    } else {
+                        WireError::new(400, "truncated request body")
+                    }
+                })?;
+                buf.extend_from_slice(&body);
+            }
+            Parsed::NeedMore(None) => match reader.read(&mut byte) {
+                Ok(0) => {
+                    return if buf.is_empty() {
+                        Ok(None) // clean close between requests
+                    } else {
+                        Err(incomplete_error(&buf, false))
+                    };
                 }
-                if head.ends_with(b"\r\n\r\n") {
-                    head.truncate(head.len() - 4);
-                    let text = String::from_utf8(head)
-                        .map_err(|_| WireError::new(400, "request head is not valid utf-8"))?;
-                    return Ok(Some(text));
+                Ok(_) => buf.push(byte[0]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return if buf.is_empty() {
+                        Ok(None) // idle keep-alive connection: close quietly
+                    } else {
+                        Err(incomplete_error(&buf, true))
+                    };
                 }
-            }
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                return if head.is_empty() {
-                    Ok(None) // idle keep-alive connection: close quietly
-                } else {
-                    Err(WireError::new(408, "timed out reading the request head"))
-                };
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(_) => return Ok(None), // reset mid-idle: nothing to answer
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return Ok(None), // reset mid-idle: nothing to answer
+            },
         }
     }
 }
 
-fn reason(status: u16) -> &'static str {
+/// The canonical reason phrase for the statuses this service answers.
+pub fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
         400 => "Bad Request",
@@ -207,6 +330,7 @@ fn reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         408 => "Request Timeout",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         501 => "Not Implemented",
@@ -436,6 +560,90 @@ mod tests {
     #[test]
     fn clean_eof_is_none() {
         assert_eq!(parse(b"").unwrap(), None);
+    }
+
+    #[test]
+    fn keep_alive_version_table() {
+        // (version, extra header, expected keep_alive) — the table in
+        // the parse_request docs, pinned.
+        let cases: &[(&str, &str, bool)] = &[
+            ("HTTP/1.1", "", true),
+            ("HTTP/1.1", "Connection: close\r\n", false),
+            ("HTTP/1.1", "Connection: keep-alive\r\n", true),
+            ("HTTP/1.0", "", false),
+            ("HTTP/1.0", "Connection: keep-alive\r\n", true),
+            ("HTTP/1.0", "Connection: close\r\n", false),
+            // Unknown HTTP/1.x minors: served, but never kept alive —
+            // not even with an explicit Connection: keep-alive.
+            ("HTTP/1.2", "", false),
+            ("HTTP/1.2", "Connection: keep-alive\r\n", false),
+            ("HTTP/1.9", "", false),
+            ("HTTP/1.12", "", false),
+        ];
+        for &(version, extra, expect) in cases {
+            let raw = format!("GET /healthz {version}\r\n{extra}\r\n");
+            let req = parse(raw.as_bytes()).unwrap().unwrap();
+            assert_eq!(req.keep_alive, expect, "{version} + {extra:?}");
+        }
+        // Not HTTP/1.x at all: refused outright.
+        for version in ["HTTP/2.0", "HTTP/1.", "HTTP/1.x", "ICY/1.1"] {
+            let raw = format!("GET /healthz {version}\r\n\r\n");
+            assert_eq!(parse(raw.as_bytes()).unwrap_err().status, 400, "{version}");
+        }
+    }
+
+    #[test]
+    fn conflicting_content_lengths_are_rejected() {
+        let err = parse(b"POST /x HTTP/1.1\r\ncontent-length: 4\r\ncontent-length: 2\r\n\r\nbody")
+            .unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("conflicting"), "{}", err.message);
+        // Duplicates that agree are tolerated.
+        let req = parse(b"POST /x HTTP/1.1\r\ncontent-length: 4\r\ncontent-length: 4\r\n\r\nbody")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn content_length_is_digits_only() {
+        for bad in ["+4", "-4", " 4 x", "4,4", "0x4", ""] {
+            let raw = format!("POST /x HTTP/1.1\r\ncontent-length: {bad}\r\n\r\nbody");
+            assert_eq!(parse(raw.as_bytes()).unwrap_err().status, 400, "`{bad}`");
+        }
+    }
+
+    #[test]
+    fn buffer_parse_is_incremental_and_pipelined() {
+        let wire = b"POST /simulate HTTP/1.1\r\ncontent-length: 4\r\n\r\nbodyGET /healthz HTTP/1.1\r\n\r\n";
+        // Every strict prefix of the first request parses as None.
+        let first_len = b"POST /simulate HTTP/1.1\r\ncontent-length: 4\r\n\r\nbody".len();
+        for cut in 0..first_len {
+            assert_eq!(
+                parse_request(&wire[..cut]).unwrap(),
+                None,
+                "prefix of {cut} bytes"
+            );
+        }
+        // The full buffer yields the first request and its exact size.
+        let (req, consumed) = parse_request(wire).unwrap().unwrap();
+        assert_eq!(req.path, "/simulate");
+        assert_eq!(req.body, b"body");
+        assert_eq!(consumed, first_len);
+        // The remainder is the second pipelined request.
+        let (req2, consumed2) = parse_request(&wire[consumed..]).unwrap().unwrap();
+        assert_eq!(req2.path, "/healthz");
+        assert_eq!(consumed + consumed2, wire.len());
+    }
+
+    #[test]
+    fn incomplete_errors_name_head_or_body() {
+        let e = incomplete_error(b"GET /x HT", false);
+        assert_eq!((e.status, e.message.contains("head")), (400, true));
+        let e = incomplete_error(b"POST /x HTTP/1.1\r\ncontent-length: 9\r\n\r\nhi", false);
+        assert_eq!((e.status, e.message.contains("body")), (400, true));
+        let e = incomplete_error(b"GET /x HT", true);
+        assert_eq!(e.status, 408);
     }
 
     #[test]

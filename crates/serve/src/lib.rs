@@ -3,11 +3,14 @@
 //! PR 1 made the KwonR18 reproduction a batch tool: every `mcdla`
 //! invocation cold-starts, simulates, and exits. This crate is the
 //! long-running layer on top of the same engine: a hand-rolled HTTP/1.1
-//! server over `std::net::TcpListener` (the build environment has no
-//! crates.io access) whose handlers and batch grids share one
+//! server on a non-blocking epoll event loop ([`accept`], over raw
+//! syscalls — the build environment has no crates.io access) whose
+//! handlers and batch grids share one
 //! [`ResultStore`](mcdla_core::ResultStore) — sharded, capacity-bounded,
 //! LRU-evicting, single-flight-deduplicating, and snapshot-warmable, so
-//! a restarted service answers its first requests from cache.
+//! a restarted service answers its first requests from cache. The event
+//! loop owns all connection I/O (pipelining, timeouts, 429
+//! load-shedding); simulation runs on a bounded blocking worker pool.
 //!
 //! ## Endpoints
 //!
@@ -55,6 +58,7 @@
 
 pub mod accept;
 pub mod client;
+pub mod epoll;
 pub mod http;
 pub mod metrics;
 mod server;

@@ -1,7 +1,8 @@
-//! The `mcdla-serve` server: a worker-thread accept pool over
-//! `std::net::TcpListener`, routing to the shared scenario store.
+//! The `mcdla-serve` server: an epoll event loop owning every
+//! connection's I/O (see [`crate::accept`]), with simulation work on a
+//! bounded blocking worker pool, routing to the shared scenario store.
 
-use std::io::{BufReader, Write as _};
+use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -10,16 +11,16 @@ use std::time::{Duration, Instant};
 
 use mcdla_accel::DeviceGeneration;
 use mcdla_core::{
-    Overrides, Provenance, ResultStore, Runner, Scenario, ScenarioGrid, SystemDesign,
+    Overrides, Provenance, ResultStore, Runner, Scenario, ScenarioGrid, StageCache, SystemDesign,
 };
 use mcdla_dnn::Benchmark;
 use mcdla_obs::{FlightRecorder, Span, TraceRecord, TraceScope};
 use mcdla_parallel::ParallelStrategy;
 use serde::{Deserialize, Serialize, Value};
 
-use crate::accept::{accept_loop, ConnRegistry};
+use crate::accept::{spawn_event_loop, FastAnswer, LoopConfig, LoopHandle, LoopStats, Service};
 use crate::http::{
-    error_body, finish_chunked, query_flag, query_param, read_request, split_target, write_chunk,
+    error_body, finish_chunked, query_flag, query_param, split_target, write_chunk,
     write_chunked_head_with, write_response, write_response_with, Request, WireError,
 };
 use crate::metrics::MetricsBuilder;
@@ -38,18 +39,34 @@ pub const MAX_STREAM_CELLS: usize = 100_000;
 /// Idle keep-alive connections are dropped after this long.
 const READ_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// Serialized `/simulate` hit responses kept around (bodies are
+/// deterministic per scenario, so re-serializing a resident report is
+/// pure waste on the hot path).
+const RESPONSE_CACHE_CAP: usize = 1024;
+
 /// Everything `mcdla serve` configures.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Listen address (`host:port`; port 0 picks an ephemeral port).
     pub addr: String,
-    /// Accept-pool size: how many connections are served concurrently.
+    /// Worker-pool size: how many heavy (simulating/streaming)
+    /// requests run concurrently. Connection I/O is not bounded by
+    /// this — the event loop multiplexes every connection.
     pub threads: usize,
     /// Result-store capacity (`None` = unbounded).
     pub cache_cap: Option<usize>,
     /// Snapshot path: loaded (if present) at startup, rewritten after
     /// every request that simulated at least one new cell.
     pub snapshot: Option<PathBuf>,
+    /// Event-loop threads (one epoll instance each).
+    pub loops: usize,
+    /// Admission-queue bound: heavy requests waiting beyond the worker
+    /// pool; the next one is answered 429 + `Retry-After`.
+    pub queue_depth: usize,
+    /// Idle keep-alive connections close silently after this long.
+    pub idle_timeout: Duration,
+    /// Connections stalled mid-request answer 408 after this long.
+    pub request_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -59,6 +76,10 @@ impl Default for ServeConfig {
             threads: 4,
             cache_cap: None,
             snapshot: None,
+            loops: 1,
+            queue_depth: 128,
+            idle_timeout: READ_TIMEOUT,
+            request_timeout: READ_TIMEOUT,
         }
     }
 }
@@ -108,9 +129,15 @@ struct ServerState {
     /// Serializes snapshot writes from concurrent handlers.
     snapshot_write: Mutex<()>,
     shutdown: AtomicBool,
-    conns: ConnRegistry,
     started: Instant,
     requests: EndpointCounters,
+    /// Event-loop counters (open/accepted/shed/timeouts).
+    loop_stats: Arc<LoopStats>,
+    /// Serialized response bodies for `/simulate` cache hits, keyed by
+    /// scenario. Only consulted *after* `store.get` confirms residency
+    /// (so hit accounting is untouched), and reports are deterministic
+    /// per scenario, so a cached body is byte-identical to a fresh one.
+    sim_responses: StageCache<Scenario, Arc<str>>,
     /// The last `MCDLA_TRACE_CAP` completed request traces.
     recorder: FlightRecorder,
     /// Request-latency histograms, one per endpoint label.
@@ -133,11 +160,11 @@ impl ServerState {
 
 /// A bound-but-not-yet-serving server. [`Server::bind`] resolves the
 /// address, builds (and optionally warm-loads) the store; [`Server::run`]
-/// or [`Server::spawn`] starts the accept pool.
+/// or [`Server::spawn`] starts the event loop and worker pool.
 #[derive(Debug)]
 pub struct Server {
     listener: TcpListener,
-    threads: usize,
+    loop_config: LoopConfig,
     state: Arc<ServerState>,
 }
 
@@ -147,7 +174,7 @@ pub struct Server {
 pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<ServerState>,
-    acceptors: Vec<std::thread::JoinHandle<()>>,
+    loops: LoopHandle,
 }
 
 impl Server {
@@ -188,8 +215,8 @@ impl Server {
         let listener =
             TcpListener::bind(&config.addr).map_err(|e| format!("binding {}: {e}", config.addr))?;
         // Simulation threads follow the batch runner's default
-        // (MCDLA_THREADS or machine parallelism) — the accept pool is a
-        // separate resource.
+        // (MCDLA_THREADS or machine parallelism) — the event loop's
+        // worker pool is a separate resource.
         let sim_threads = Runner::new().threads();
         // Span recording is process-global and off by default (batch
         // sweeps skip the instrumentation); a serving process turns it
@@ -197,16 +224,23 @@ impl Server {
         mcdla_obs::set_enabled(true);
         Ok(Server {
             listener,
-            threads: config.threads,
+            loop_config: LoopConfig {
+                loops: config.loops.max(1),
+                workers: config.threads,
+                queue_depth: config.queue_depth.max(1),
+                idle_timeout: config.idle_timeout,
+                request_timeout: config.request_timeout,
+            },
             state: Arc::new(ServerState {
                 runner: Runner::with_store(sim_threads, store.clone()),
                 store,
                 snapshot: config.snapshot.clone(),
                 snapshot_write: Mutex::new(()),
                 shutdown: AtomicBool::new(false),
-                conns: ConnRegistry::default(),
                 started: Instant::now(),
                 requests: EndpointCounters::default(),
+                loop_stats: Arc::new(LoopStats::default()),
+                sim_responses: StageCache::bounded(RESPONSE_CACHE_CAP),
                 recorder: FlightRecorder::from_env(),
                 latency: LatencyFamily::new(ENDPOINT_LABELS),
                 slow_ms: trace::slow_ms_from_env(),
@@ -224,58 +258,33 @@ impl Server {
         &self.state.store
     }
 
-    /// Starts the accept pool in background threads and returns a
-    /// handle; the caller keeps running (tests, `mcdla query` probes,
-    /// embedded servers).
+    /// Starts the event loop and worker pool in background threads and
+    /// returns a handle; the caller keeps running (tests, `mcdla query`
+    /// probes, embedded servers).
     pub fn spawn(self) -> std::io::Result<ServerHandle> {
         let addr = self.listener.local_addr()?;
-        let mut acceptors = Vec::with_capacity(self.threads);
-        for i in 0..self.threads {
-            let listener = self.listener.try_clone()?;
-            let state = self.state.clone();
-            acceptors.push(
-                std::thread::Builder::new()
-                    .name(format!("mcdla-serve-{i}"))
-                    .spawn(move || {
-                        accept_loop(&listener, &state.shutdown, |stream| {
-                            handle_connection(stream, &state)
-                        })
-                    })?,
-            );
-        }
+        let service = Arc::new(WorkerService {
+            state: self.state.clone(),
+        });
+        let loops = spawn_event_loop(
+            self.listener,
+            service,
+            &self.loop_config,
+            self.state.loop_stats.clone(),
+        )?;
         Ok(ServerHandle {
             addr,
             state: self.state,
-            acceptors,
+            loops,
         })
     }
 
-    /// Runs the accept pool on the calling thread (plus `threads - 1`
-    /// workers), blocking until the process exits — the `mcdla serve`
-    /// entry point.
+    /// Runs the server on background threads and parks the calling
+    /// thread until they exit — the `mcdla serve` entry point (it runs
+    /// until the process is killed).
     pub fn run(self) -> std::io::Result<()> {
-        let state = self.state.clone();
-        let listener = self.listener.try_clone()?;
-        let mut workers = Vec::new();
-        for i in 1..self.threads {
-            let listener = self.listener.try_clone()?;
-            let state = self.state.clone();
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("mcdla-serve-{i}"))
-                    .spawn(move || {
-                        accept_loop(&listener, &state.shutdown, |stream| {
-                            handle_connection(stream, &state)
-                        })
-                    })?,
-            );
-        }
-        accept_loop(&listener, &state.shutdown, |stream| {
-            handle_connection(stream, &state)
-        });
-        for w in workers {
-            let _ = w.join();
-        }
+        let handle = self.spawn()?;
+        handle.loops.join();
         Ok(())
     }
 }
@@ -291,159 +300,271 @@ impl ServerHandle {
         &self.state.store
     }
 
-    /// Stops accepting, unblocks idle connections, wakes every
-    /// acceptor, flushes a final snapshot, and joins the pool.
-    /// In-flight responses finish first.
+    /// Stops the event loop and worker pool, flushes a final snapshot,
+    /// and joins every thread. In-flight responses finish first; idle
+    /// keep-alive connections close immediately (the loop owns them —
+    /// no thread is parked in a blocking read anywhere).
     pub fn shutdown(self) {
         self.state.shutdown.store(true, Ordering::SeqCst);
-        // Handlers parked in a keep-alive read would otherwise hold
-        // their acceptor threads until the 30 s idle timeout; closing
-        // the registered sockets returns those reads immediately. (A
-        // handler registering concurrently has already re-checked the
-        // flag — set above — before blocking.)
-        self.state.conns.close_all();
-        // Each remaining acceptor is parked in `accept`; poke one
-        // connection per thread so they all observe the flag.
-        for _ in 0..self.acceptors.len() {
-            if let Ok(stream) = TcpStream::connect(self.addr) {
-                drop(stream);
-            }
-        }
-        for a in self.acceptors {
-            let _ = a.join();
-        }
+        self.loops.shutdown();
         self.state.persist_snapshot();
     }
 }
 
-/// Serves one connection's keep-alive request loop.
-fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
-    let _guard = state.conns.register(&stream);
-    // `shutdown()` closes registered sockets *after* setting the flag;
-    // re-checking here means a connection that registered too late to
-    // be closed still exits instead of blocking the pool.
-    if state.shutdown.load(Ordering::SeqCst) {
-        return;
+/// The worker's [`Service`]: cheap endpoints and cache hits answer on
+/// the loop thread, simulation and streaming detach to the pool.
+struct WorkerService {
+    state: Arc<ServerState>,
+}
+
+impl Service for WorkerService {
+    fn fast(&self, request: &Request) -> Option<FastAnswer> {
+        respond_fast(&self.state, request)
     }
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = stream;
-    loop {
-        match read_request(&mut reader) {
-            Ok(None) => return, // clean close / idle timeout
-            Err(WireError { status, message }) => {
-                state.requests.errors.fetch_add(1, Ordering::Relaxed);
-                let _ = write_response(&mut writer, status, &error_body(&message), false);
-                return;
+
+    fn handle(&self, request: &Request, stream: &mut TcpStream) -> bool {
+        respond_heavy(&self.state, request, stream)
+    }
+
+    fn shed(&self, request: &Request) -> FastAnswer {
+        shed_answer(&self.state, request, "mcdla-serve")
+    }
+
+    fn wire_error(&self, error: &WireError) -> Vec<u8> {
+        self.state.requests.errors.fetch_add(1, Ordering::Relaxed);
+        let mut out = Vec::new();
+        let _ = write_response(&mut out, error.status, &error_body(&error.message), false);
+        out
+    }
+}
+
+/// Builds the 429 + `Retry-After` load-shedding answer and records it
+/// like any other request (error counter, latency histogram, trace).
+fn shed_answer(state: &ServerState, request: &Request, service: &str) -> FastAnswer {
+    state.requests.errors.fetch_add(1, Ordering::Relaxed);
+    let (path, _) = split_target(&request.path);
+    let endpoint = endpoint_label(path);
+    let rid = trace::request_trace_id(request);
+    let scope = TraceScope::begin();
+    let record = scope.finish(rid.clone(), endpoint, 429);
+    if let Some(hist) = state.latency.get(endpoint) {
+        hist.observe(record.total_us as f64 / 1e6);
+    }
+    trace::log_if_slow(service, state.slow_ms, &record);
+    state.recorder.record(record);
+    let keep_alive = request.keep_alive && !state.shutdown.load(Ordering::SeqCst);
+    let mut out = Vec::new();
+    let _ = write_response_with(
+        &mut out,
+        429,
+        "application/json",
+        &[("retry-after", "1"), (REQUEST_ID_HEADER, &rid)],
+        &error_body("request queue is full; retry shortly"),
+        keep_alive,
+    );
+    FastAnswer {
+        bytes: out,
+        keep_alive,
+    }
+}
+
+/// Answers a request inline on the loop thread when nothing about it
+/// needs the worker pool: every endpoint except `POST /grid` (always
+/// heavy) and `POST /simulate` misses (the simulation itself).
+fn respond_fast(state: &Arc<ServerState>, request: &Request) -> Option<FastAnswer> {
+    let (path, query) = split_target(&request.path);
+    let keep_alive = request.keep_alive && !state.shutdown.load(Ordering::SeqCst);
+    let traced = query_flag(query, "trace");
+    let scope = TraceScope::begin();
+    let outcome = if request.method == "POST" && path == "/simulate" {
+        // Inline only the cases that never simulate: malformed bodies
+        // and resident cache hits. A miss goes to the pool un-counted —
+        // the worker's `route` call counts it there.
+        let scenario = match parse_body::<Scenario>(&request.body, "scenario") {
+            Ok(s) => match s.validate() {
+                Ok(()) => Some(s),
+                Err(msg) => {
+                    state.requests.simulate.fetch_add(1, Ordering::Relaxed);
+                    return Some(finish_fast(
+                        state,
+                        request,
+                        scope,
+                        Outcome::error(400, &msg),
+                        keep_alive,
+                        traced,
+                    ));
+                }
+            },
+            Err(outcome) => {
+                state.requests.simulate.fetch_add(1, Ordering::Relaxed);
+                return Some(finish_fast(
+                    state, request, scope, outcome, keep_alive, traced,
+                ));
             }
-            Ok(Some(request)) => {
-                let keep_alive = request.keep_alive && !state.shutdown.load(Ordering::SeqCst);
-                let (path, query) = split_target(&request.path);
-                let endpoint = endpoint_label(path);
-                let rid = trace::request_trace_id(&request);
-                let traced = query_flag(query, "trace");
-                let scope = TraceScope::begin();
-                if request.method == "POST" && path == "/grid" && query_flag(query, "stream") {
-                    state.requests.grid.fetch_add(1, Ordering::Relaxed);
-                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        stream_grid(&request.body, state, &mut writer, keep_alive, &rid)
-                    }));
-                    let status = match &outcome {
-                        Ok(StreamOutcome::Rejected(o)) => o.status,
-                        Ok(StreamOutcome::Streamed { .. }) => 200,
-                        Err(_) => 500,
-                    };
-                    finish_trace(state, scope, &rid, endpoint, status);
-                    match outcome {
-                        Ok(StreamOutcome::Rejected(outcome)) => {
-                            state.requests.errors.fetch_add(1, Ordering::Relaxed);
-                            if write_response_with(
-                                &mut writer,
-                                outcome.status,
-                                outcome.content_type,
-                                &[(REQUEST_ID_HEADER, &rid)],
-                                &outcome.body,
-                                keep_alive,
-                            )
-                            .is_err()
-                            {
-                                return;
-                            }
-                            if !keep_alive {
-                                let _ = writer.flush();
-                                return;
-                            }
-                        }
-                        Ok(StreamOutcome::Streamed {
-                            computed_cells,
-                            clean,
-                        }) => {
-                            if computed_cells > 0 {
-                                state.persist_snapshot();
-                            }
-                            if !clean || !keep_alive {
-                                let _ = writer.flush();
-                                return;
-                            }
-                        }
-                        // A panic after the 200 head cannot be answered;
-                        // closing without the terminal chunk is how the
-                        // client learns the stream died (the acceptor
-                        // thread itself survives).
-                        Err(_) => {
-                            state.requests.errors.fetch_add(1, Ordering::Relaxed);
-                            return;
-                        }
-                    }
-                    continue;
+        };
+        let scenario = scenario?;
+        // The span matches the worker path's `get_or_compute` so traced
+        // hits and misses reconcile against the same span name.
+        let report = {
+            let _s = Span::enter("store.get_or_compute");
+            state.store.get(&scenario)
+        }?;
+        state.requests.simulate.fetch_add(1, Ordering::Relaxed);
+        let body = if traced {
+            // Traced responses graft a per-request span tree: never
+            // from the response cache.
+            serde::json::to_string_pretty(&cell_value(&scenario, &report, true))
+        } else {
+            match state.sim_responses.get(&scenario) {
+                Some(cached) => cached.to_string(),
+                None => {
+                    let body = serde::json::to_string_pretty(&cell_value(&scenario, &report, true));
+                    state
+                        .sim_responses
+                        .insert(scenario, Arc::from(body.as_str()));
+                    body
                 }
-                // A panicking handler must not take its acceptor thread
-                // (and the pool slot) with it: answer 500 and carry on.
-                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    route(&request, state)
-                }))
-                .unwrap_or_else(|_| Outcome::error(500, "internal error handling the request"));
-                if outcome.status >= 400 {
-                    state.requests.errors.fetch_add(1, Ordering::Relaxed);
-                }
-                let record = finish_trace(state, scope, &rid, endpoint, outcome.status);
-                let body =
-                    if traced && outcome.status < 400 && outcome.content_type == "application/json"
-                    {
-                        trace::graft_json(
-                            &outcome.body,
-                            "trace",
-                            trace::trace_value("mcdla-serve", &record),
-                        )
-                    } else {
-                        outcome.body
-                    };
-                if write_response_with(
-                    &mut writer,
+            }
+        };
+        Outcome::ok(body)
+    } else if path == "/grid" && request.method == "POST" {
+        return None; // buffered and streamed grids always take the pool
+    } else {
+        // Every remaining endpoint is cheap: route it right here
+        // (panics still must not take the loop thread down).
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(request, state)))
+            .unwrap_or_else(|_| Outcome::error(500, "internal error handling the request"))
+    };
+    Some(finish_fast(
+        state, request, scope, outcome, keep_alive, traced,
+    ))
+}
+
+/// The shared response tail for loop-thread answers: error counting,
+/// trace finish, optional `?trace=1` graft, serialization.
+fn finish_fast(
+    state: &Arc<ServerState>,
+    request: &Request,
+    scope: TraceScope,
+    outcome: Outcome,
+    keep_alive: bool,
+    traced: bool,
+) -> FastAnswer {
+    let (path, _) = split_target(&request.path);
+    let endpoint = endpoint_label(path);
+    let rid = trace::request_trace_id(request);
+    if outcome.status >= 400 {
+        state.requests.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    let record = finish_trace(state, scope, &rid, endpoint, outcome.status);
+    let body = if traced && outcome.status < 400 && outcome.content_type == "application/json" {
+        trace::graft_json(
+            &outcome.body,
+            "trace",
+            trace::trace_value("mcdla-serve", &record),
+        )
+    } else {
+        outcome.body
+    };
+    let mut out = Vec::new();
+    let _ = write_response_with(
+        &mut out,
+        outcome.status,
+        outcome.content_type,
+        &[(REQUEST_ID_HEADER, &rid)],
+        &body,
+        keep_alive,
+    );
+    FastAnswer {
+        bytes: out,
+        keep_alive,
+    }
+}
+
+/// Handles one heavy request on a pool worker with a blocking stream:
+/// `POST /grid` (buffered and streamed) and `/simulate` misses.
+/// Returns whether the connection should stay open.
+fn respond_heavy(state: &Arc<ServerState>, request: &Request, writer: &mut TcpStream) -> bool {
+    let keep_alive = request.keep_alive && !state.shutdown.load(Ordering::SeqCst);
+    let (path, query) = split_target(&request.path);
+    let endpoint = endpoint_label(path);
+    let rid = trace::request_trace_id(request);
+    let traced = query_flag(query, "trace");
+    let scope = TraceScope::begin();
+    if request.method == "POST" && path == "/grid" && query_flag(query, "stream") {
+        state.requests.grid.fetch_add(1, Ordering::Relaxed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            stream_grid(&request.body, state, writer, keep_alive, &rid)
+        }));
+        let status = match &outcome {
+            Ok(StreamOutcome::Rejected(o)) => o.status,
+            Ok(StreamOutcome::Streamed { .. }) => 200,
+            Err(_) => 500,
+        };
+        finish_trace(state, scope, &rid, endpoint, status);
+        return match outcome {
+            Ok(StreamOutcome::Rejected(outcome)) => {
+                state.requests.errors.fetch_add(1, Ordering::Relaxed);
+                write_response_with(
+                    writer,
                     outcome.status,
                     outcome.content_type,
                     &[(REQUEST_ID_HEADER, &rid)],
-                    &body,
+                    &outcome.body,
                     keep_alive,
                 )
-                .is_err()
-                {
-                    return;
-                }
-                if outcome.computed_cells > 0 {
+                .is_ok()
+                    && keep_alive
+            }
+            Ok(StreamOutcome::Streamed {
+                computed_cells,
+                clean,
+            }) => {
+                if computed_cells > 0 {
                     state.persist_snapshot();
                 }
-                if !keep_alive {
-                    let _ = writer.flush();
-                    return;
-                }
+                let _ = writer.flush();
+                clean && keep_alive
             }
-        }
+            // A panic after the 200 head cannot be answered; closing
+            // without the terminal chunk is how the client learns the
+            // stream died (the worker thread itself survives).
+            Err(_) => {
+                state.requests.errors.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        };
     }
+    // A panicking handler must not take its worker thread (and the
+    // pool slot) with it: answer 500 and carry on.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(request, state)))
+        .unwrap_or_else(|_| Outcome::error(500, "internal error handling the request"));
+    if outcome.status >= 400 {
+        state.requests.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    let record = finish_trace(state, scope, &rid, endpoint, outcome.status);
+    let body = if traced && outcome.status < 400 && outcome.content_type == "application/json" {
+        trace::graft_json(
+            &outcome.body,
+            "trace",
+            trace::trace_value("mcdla-serve", &record),
+        )
+    } else {
+        outcome.body
+    };
+    let wrote = write_response_with(
+        writer,
+        outcome.status,
+        outcome.content_type,
+        &[(REQUEST_ID_HEADER, &rid)],
+        &body,
+        keep_alive,
+    )
+    .is_ok();
+    if outcome.computed_cells > 0 {
+        state.persist_snapshot();
+    }
+    wrote && keep_alive
 }
 
 /// The endpoint labels request-latency histograms are registered for.
@@ -599,6 +720,22 @@ fn stats_value(state: &ServerState) -> Value {
         ("store".into(), state.store.stats().to_value()),
         ("requests".into(), state.requests.to_value()),
         (
+            "connections".into(),
+            Value::Map(vec![
+                ("open".into(), Value::U64(state.loop_stats.open())),
+                ("accepted".into(), Value::U64(state.loop_stats.accepted())),
+                ("shed".into(), Value::U64(state.loop_stats.shed())),
+                (
+                    "request_timeouts".into(),
+                    Value::U64(state.loop_stats.request_timeouts()),
+                ),
+                (
+                    "idle_closed".into(),
+                    Value::U64(state.loop_stats.idle_closed()),
+                ),
+            ]),
+        ),
+        (
             "recorder".into(),
             Value::Map(vec![
                 (
@@ -655,6 +792,36 @@ fn metrics_text(state: &ServerState) -> String {
             count as f64,
         );
     }
+    b.scalar(
+        "mcdla_open_connections",
+        "Connections attached to the event loop right now.",
+        "gauge",
+        state.loop_stats.open() as f64,
+    );
+    b.scalar(
+        "mcdla_accepted_connections_total",
+        "Connections accepted since start.",
+        "counter",
+        state.loop_stats.accepted() as f64,
+    );
+    b.scalar(
+        "mcdla_requests_shed_total",
+        "Requests answered 429 because the admission queue was full.",
+        "counter",
+        state.loop_stats.shed() as f64,
+    );
+    b.scalar(
+        "mcdla_request_timeouts_total",
+        "Requests answered 408 after stalling mid-head or mid-body.",
+        "counter",
+        state.loop_stats.request_timeouts() as f64,
+    );
+    b.scalar(
+        "mcdla_idle_connections_closed_total",
+        "Idle keep-alive connections closed silently.",
+        "counter",
+        state.loop_stats.idle_closed() as f64,
+    );
     b.scalar(
         "mcdla_store_hits_total",
         "Requests answered from the result cache (including coalesced waiters).",

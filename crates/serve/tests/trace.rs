@@ -24,7 +24,7 @@ fn start() -> (ServerHandle, String) {
         ..ServeConfig::default()
     })
     .expect("bind ephemeral server");
-    let handle = server.spawn().expect("spawn accept pool");
+    let handle = server.spawn().expect("spawn event loop");
     let addr = handle.addr().to_string();
     (handle, addr)
 }

@@ -20,7 +20,7 @@ fn start(config: ServeConfig) -> (ServerHandle, String) {
         ..config
     })
     .expect("bind ephemeral server");
-    let handle = server.spawn().expect("spawn accept pool");
+    let handle = server.spawn().expect("spawn event loop");
     let addr = handle.addr().to_string();
     (handle, addr)
 }

@@ -54,7 +54,7 @@ fn main() {
         ..ServeConfig::default()
     })
     .expect("bind server");
-    let handle = server.spawn().expect("start accept pool");
+    let handle = server.spawn().expect("start event loop");
     let addr = handle.addr();
     println!("mcdla-serve on {addr}\n");
 

@@ -82,7 +82,8 @@ options
   --ndjson          sweep: stream cells as NDJSON (one object per line,
                     completion order, constant memory) to stdout or --out
   --threads N       simulation worker threads (same as MCDLA_THREADS=N);
-                    for `serve`, also the connection-handling pool size
+                    for `serve`, the simulation worker pool behind the
+                    event loop (connections are handled non-blocking)
   --out FILE        sweep/serve-bench/store-bench output path
   --batches LIST    sweep: comma-separated batch sizes to add as an axis
   --devices LIST    sweep: comma-separated device counts to add as an axis
@@ -448,13 +449,14 @@ fn run(args: &Args) -> Result<(), String> {
                 threads: args.threads.unwrap_or(4),
                 cache_cap: args.cache_cap,
                 snapshot: args.snapshot.clone().map(std::path::PathBuf::from),
+                ..mcdla::serve::ServeConfig::default()
             };
             let server = mcdla::serve::Server::bind(&config)?;
             let local = server
                 .local_addr()
                 .map_err(|e| format!("resolving listen address: {e}"))?;
             println!(
-                "mcdla-serve listening on {local} ({} connection threads, cache {}, snapshot {})",
+                "mcdla-serve listening on {local} (event loop + {} worker threads, cache {}, snapshot {})",
                 config.threads,
                 match config.cache_cap {
                     Some(cap) => format!("{cap} cells"),
@@ -531,6 +533,7 @@ fn run(args: &Args) -> Result<(), String> {
                     cache_cap: args.cache_cap,
                     snapshot: snapshot_prefix
                         .map(|prefix| mcdla::cluster::worker_snapshot_path(prefix, i)),
+                    ..mcdla::serve::ServeConfig::default()
                 })?;
                 let handle = server
                     .spawn()

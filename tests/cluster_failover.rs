@@ -103,6 +103,7 @@ fn spawn_gateway(backends: Vec<String>) -> mcdla::cluster::GatewayHandle {
         timeouts: Timeouts::all(Duration::from_secs(30)),
         probe_interval: None,
         max_idle_per_worker: 4,
+        ..GatewayConfig::default()
     })
     .expect("bind gateway")
     .spawn()
