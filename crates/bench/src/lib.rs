@@ -23,6 +23,7 @@
 //! | `energy` | dynamic energy-per-iteration comparison |
 //! | `paper-report` | the full paper-vs-measured summary |
 //! | `sweep` | times every grid cell, writes `BENCH_scenarios.json` |
+//! | `fabric-bench` | times the routed flow-level fabric vs the analytical model, writes `BENCH_fabric.json` |
 //! | `all` | every report above, in order |
 //!
 //! Global flags: `--json` (machine-readable experiment data where
@@ -39,6 +40,7 @@
 use std::fmt::Write as _;
 
 pub mod cluster_bench;
+pub mod fabric_bench;
 pub mod reports;
 pub mod service;
 pub mod stage_bench;

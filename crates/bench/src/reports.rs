@@ -16,7 +16,8 @@ use mcdla_core::{
 };
 use mcdla_dnn::{Benchmark, DataType};
 use mcdla_interconnect::{
-    check_link_budget, CollectiveKind, CollectiveModel, Ring, RingShape, SystemInterconnect,
+    check_link_budget, CollectiveKind, CollectiveModel, FabricTopology, Ring, RingShape,
+    SystemInterconnect,
 };
 use mcdla_memnode::{
     DimmKind, MemoryNodeConfig, PagePolicy, RemoteAllocator, Side, SystemPower,
@@ -1007,12 +1008,14 @@ pub fn sweep_cell_line(t: &mcdla_core::TimedRun) -> String {
 
 /// Expands, validates, and filters a sweep grid into a [`SweepPlan`].
 ///
-/// `batches`/`device_counts` extend (not replace) the default §V matrix
-/// along those axes when non-empty — cells an extension duplicates (a
-/// flag repeating a default value) are collapsed to their first
-/// occurrence before compute; `filter` keeps only the cells whose
-/// [`label`](mcdla_core::Scenario::label) contains the given substring
-/// (case-insensitive); `cache_cap` bounds the sweep's memo cache.
+/// `batches`/`device_counts`/`topologies` extend (not replace) the
+/// default §V matrix along those axes when non-empty — cells an
+/// extension duplicates (a flag repeating a default value) are collapsed
+/// to their first occurrence before compute; `filter` keeps only the
+/// cells whose [`label`](mcdla_core::Scenario::label) contains the given
+/// substring (case-insensitive); `cache_cap` bounds the sweep's memo
+/// cache. Extending `topologies` keeps the analytical default cells and
+/// adds a flow-routed copy of the matrix per listed fabric.
 ///
 /// # Errors
 ///
@@ -1023,6 +1026,7 @@ pub fn sweep_cell_line(t: &mcdla_core::TimedRun) -> String {
 pub fn plan_sweep(
     batches: &[u64],
     device_counts: &[usize],
+    topologies: &[FabricTopology],
     filter: Option<&str>,
     cache_cap: Option<usize>,
 ) -> Result<SweepPlan, String> {
@@ -1034,6 +1038,9 @@ pub fn plan_sweep(
     }
     if !device_counts.is_empty() {
         grid = grid.extend_device_counts(device_counts);
+    }
+    if !topologies.is_empty() {
+        grid = grid.extend_topologies(topologies);
     }
     let mut expanded = grid.scenarios();
     // Extended axes can repeat values already in the paper matrix (e.g.

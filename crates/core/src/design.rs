@@ -4,7 +4,7 @@ use std::fmt;
 
 use mcdla_accel::DeviceConfig;
 use mcdla_dnn::DataType;
-use mcdla_interconnect::ScaleOutPlane;
+use mcdla_interconnect::{FabricTopology, ScaleOutPlane};
 use mcdla_memnode::{MemoryNodeConfig, PagePolicy};
 use mcdla_sim::SimDuration;
 use serde::{Deserialize, Serialize};
@@ -244,6 +244,11 @@ pub struct SystemConfig {
     /// stalls when exceeded (the vDNN pinned-buffer behavior). `None`
     /// derives it from device capacity minus the resident working set.
     pub pinned_budget_bytes: Option<u64>,
+    /// Concrete topology to realize the collective planes on. `None`
+    /// (the default) prices collectives with the closed-form analytical
+    /// model; `Some(t)` routes them as flow batches over `t` with
+    /// max-min fair link sharing (congestion becomes visible).
+    pub topology: Option<FabricTopology>,
 }
 
 impl SystemConfig {
@@ -274,6 +279,7 @@ impl SystemConfig {
             prefetch_lookahead: 4,
             boundary_pipeline_fraction: 0.5,
             pinned_budget_bytes: None,
+            topology: None,
         }
     }
 
@@ -311,6 +317,13 @@ impl SystemConfig {
     pub fn with_compression(mut self, ratio: f64) -> Self {
         assert!(ratio >= 1.0, "compression ratio must be >= 1");
         self.compression_ratio = ratio;
+        self
+    }
+
+    /// Returns the configuration with collectives routed as flows over a
+    /// concrete topology instead of the analytical model.
+    pub fn with_topology(mut self, topology: FabricTopology) -> Self {
+        self.topology = Some(topology);
         self
     }
 

@@ -34,9 +34,13 @@
 //! scenario axes it depends on, so a mega-grid that varies one knob
 //! rebuilds only the artifacts that knob actually touches.
 
+use std::sync::Arc;
+
 use mcdla_accel::AccelTimingModel;
 use mcdla_dnn::{DataType, Network};
-use mcdla_interconnect::{CollectiveKind, CollectiveModel, RingShape};
+use mcdla_interconnect::{
+    CollectiveKind, CollectiveModel, FabricSpec, FabricTopology, RingShape, RoutedFabric,
+};
 use mcdla_parallel::{ParallelStrategy, SyncOp, SyncTrigger, WorkerPlan};
 use mcdla_sim::{Bytes, FifoEngine, SimDuration, SimTime};
 use mcdla_vmem::{Disposition, VirtPolicy, VirtSchedule};
@@ -68,8 +72,7 @@ pub struct IterationSim<'a> {
     plan: WorkerPlan,
     schedule: VirtSchedule,
     timing: AccelTimingModel,
-    collectives: CollectiveModel,
-    rings: Vec<RingShape>,
+    fabric: Arc<dyn CommFabric>,
     virt: Option<VirtPath>,
 }
 
@@ -100,8 +103,7 @@ impl<'a> IterationSim<'a> {
         };
         let schedule = VirtSchedule::analyze(net, plan.virt_batch(), cfg.dtype, policy);
         let timing = AccelTimingModel::new(cfg.device.clone(), cfg.dtype);
-        let (rings, duplex_gbs) = comm_fabric(&cfg);
-        let collectives = CollectiveModel::with_link_bandwidth(duplex_gbs);
+        let fabric = build_fabric(&cfg);
         let virt = VirtPath::from_config(&cfg);
         IterationSim {
             cfg,
@@ -109,8 +111,7 @@ impl<'a> IterationSim<'a> {
             plan,
             schedule,
             timing,
-            collectives,
-            rings,
+            fabric,
             virt,
         }
     }
@@ -127,16 +128,20 @@ impl<'a> IterationSim<'a> {
 
     /// Ring shapes the collectives run over.
     pub fn ring_shapes(&self) -> &[RingShape] {
-        &self.rings
+        self.fabric.ring_shapes()
     }
 
-    /// Duration of one collective under this design's ring set.
+    /// The communication fabric pricing this simulation's collectives.
+    pub fn fabric(&self) -> &dyn CommFabric {
+        &*self.fabric
+    }
+
+    /// Duration of one collective under this design's fabric.
     pub fn collective_time(&self, kind: CollectiveKind, bytes: u64) -> SimDuration {
-        if self.rings.is_empty() || self.plan.workers < 2 {
+        if self.fabric.ring_shapes().is_empty() || self.plan.workers < 2 {
             return SimDuration::ZERO;
         }
-        self.collectives
-            .striped_latency(kind, Bytes::new(bytes), &self.rings)
+        self.fabric.collective_time(kind, Bytes::new(bytes))
     }
 
     /// Runs the iteration and produces the report: builds every stage
@@ -266,12 +271,17 @@ pub(crate) fn layer_timings(
 
 /// Stage-2 artifact (worker plan): the plan scalars [`assemble`] reads,
 /// the bucket-fused sync schedule, and per-trigger-layer indices into it.
+///
+/// Deliberately batch-free: the per-worker batch is a closed-form
+/// function of the scenario axes (`global_batch / devices` for data
+/// parallelism, `global_batch` for model parallelism), and data-parallel
+/// sync ops carry *weight* bytes — so one cached artifact serves a whole
+/// batch sweep (the stage key drops the batch axis for data-parallel
+/// plans).
 #[derive(Debug, Clone)]
 pub(crate) struct PlanArt {
     pub strategy: ParallelStrategy,
     pub workers: usize,
-    pub worker_batch: u64,
-    pub virt_batch: u64,
     pub macs_scale: f64,
     pub weight_scale: f64,
     pub stash_scale: f64,
@@ -300,8 +310,6 @@ impl PlanArt {
         PlanArt {
             strategy: plan.strategy,
             workers: plan.workers,
-            worker_batch: plan.worker_batch,
-            virt_batch: plan.virt_batch(),
             macs_scale: plan.macs_scale,
             weight_scale: plan.weight_scale,
             stash_scale: plan.stash_scale,
@@ -384,19 +392,124 @@ pub(crate) fn xfer_table(
         .collect()
 }
 
+/// The boundary behind which the engine prices communication.
+///
+/// Two implementations exist: [`AnalyticalFabric`] — the closed-form
+/// ring-algorithm model the paper's numbers come from (the fast path,
+/// selected when [`SystemConfig::topology`] is unset) — and
+/// [`FlowFabric`], which realizes every collective as routed flows on a
+/// concrete [`FabricTopology`] with max-min fair link sharing, so
+/// congestion and route contention (invisible to the closed form) price
+/// themselves. Both answer the same two questions: which logical rings
+/// the collectives run over, and what one collective costs.
+pub trait CommFabric: std::fmt::Debug + Send + Sync {
+    /// Ring shapes the collectives run over (empty = no fabric: a
+    /// single-device configuration never synchronizes).
+    fn ring_shapes(&self) -> &[RingShape];
+
+    /// Duration of one `kind` collective moving `size` payload bytes.
+    fn collective_time(&self, kind: CollectiveKind, size: Bytes) -> SimDuration;
+
+    /// The concrete topology flows are routed over, if any (`None` for
+    /// the analytical model).
+    fn topology(&self) -> Option<FabricTopology> {
+        None
+    }
+}
+
+/// The closed-form fabric: [`CollectiveModel::striped_latency`] over the
+/// design's ring set at the effective duplex link rate. Selected when no
+/// [`FabricTopology`] is requested; bit-identical to the pre-refactor
+/// engine.
+#[derive(Debug, Clone)]
+pub struct AnalyticalFabric {
+    rings: Vec<RingShape>,
+    model: CollectiveModel,
+}
+
+impl CommFabric for AnalyticalFabric {
+    fn ring_shapes(&self) -> &[RingShape] {
+        &self.rings
+    }
+
+    fn collective_time(&self, kind: CollectiveKind, size: Bytes) -> SimDuration {
+        self.model.striped_latency(kind, size, &self.rings)
+    }
+}
+
+/// The flow-level fabric: collectives become timed flow batches routed
+/// hop-by-hop over a concrete [`FabricTopology`] and drained under
+/// max-min fair link sharing ([`RoutedFabric`]).
+///
+/// The topology knob asks "what if this design's collective plane were
+/// wired as X?", so the plane links run at the device's native duplex
+/// rate and *contention on the realized routes* — not the analytical
+/// scale-out throttle — prices the fabric. Within one backplane the
+/// routes are exactly the design's rings on dedicated links, which is
+/// why the flow answer agrees with [`AnalyticalFabric`] to within
+/// byte-rounding there; past it, ring/line topologies escape between
+/// backplanes over the shared host-PCIe uplink share while switched
+/// topologies keep dedicated lanes — the §VI cliff.
+#[derive(Debug, Clone)]
+pub struct FlowFabric {
+    routed: RoutedFabric,
+    model: CollectiveModel,
+}
+
+impl CommFabric for FlowFabric {
+    fn ring_shapes(&self) -> &[RingShape] {
+        self.routed.ring_shapes()
+    }
+
+    fn collective_time(&self, kind: CollectiveKind, size: Bytes) -> SimDuration {
+        self.routed.collective_time(&self.model, kind, size)
+    }
+
+    fn topology(&self) -> Option<FabricTopology> {
+        Some(self.routed.kind())
+    }
+}
+
+/// Builds the fabric a configuration synchronizes over:
+/// [`AnalyticalFabric`] when `cfg.topology` is unset, otherwise a
+/// [`FlowFabric`] realizing the design's ring planes on the requested
+/// topology.
+pub(crate) fn build_fabric(cfg: &SystemConfig) -> Arc<dyn CommFabric> {
+    let (rings, duplex_gbs) = comm_fabric(cfg);
+    match cfg.topology {
+        None => Arc::new(AnalyticalFabric {
+            model: CollectiveModel::with_link_bandwidth(duplex_gbs),
+            rings,
+        }),
+        Some(kind) => {
+            let plane_gbs = 2.0 * cfg.device.link_bandwidth_gbs;
+            let spec = FabricSpec {
+                devices: cfg.devices,
+                planes: rings,
+                plane_gbs,
+                backplane: BACKPLANE_DEVICES,
+                escape_gbs: 2.0 * cfg.host.pcie.x16_gbs() / cfg.devices_per_switch() as f64,
+            };
+            Arc::new(FlowFabric {
+                model: CollectiveModel::with_link_bandwidth(plane_gbs),
+                routed: RoutedFabric::build(kind, &spec),
+            })
+        }
+    }
+}
+
 /// Stage-1 artifact: the communication fabric a configuration
-/// synchronizes over — its ring set and effective duplex link rate —
-/// which is all a [`CollectiveModel`] needs.
-#[derive(Debug, Clone, PartialEq)]
+/// synchronizes over, behind the [`CommFabric`] boundary.
+#[derive(Debug, Clone)]
 pub(crate) struct FabricSummary {
-    pub rings: Vec<RingShape>,
-    pub duplex_gbs: f64,
+    pub fabric: Arc<dyn CommFabric>,
 }
 
 impl FabricSummary {
     pub fn of(cfg: &SystemConfig) -> FabricSummary {
-        let (rings, duplex_gbs) = comm_fabric(cfg);
-        FabricSummary { rings, duplex_gbs }
+        FabricSummary {
+            fabric: build_fabric(cfg),
+        }
     }
 }
 
@@ -992,6 +1105,95 @@ mod tests {
             assert!(mc.sync_busy >= prev_sync.1, "{devices}: MC sync shrank");
             prev_sync = (dc.sync_busy, mc.sync_busy);
         }
+    }
+
+    #[test]
+    fn flow_fabric_agrees_with_analytical_inside_one_backplane() {
+        // Acceptance: iteration times under the flow-routed Ring fabric
+        // agree with the analytical model within 1% at <= 8 devices —
+        // there the realized routes are exactly the design's rings on
+        // dedicated links, so only byte-rounding separates the two.
+        let net = Benchmark::AlexNet.build();
+        for design in SystemDesign::ALL {
+            for devices in [2usize, 4, 8] {
+                let analytic = IterationSim::new(
+                    SystemConfig::new(design).with_devices(devices),
+                    &net,
+                    ParallelStrategy::DataParallel,
+                )
+                .run();
+                let flow = IterationSim::new(
+                    SystemConfig::new(design)
+                        .with_devices(devices)
+                        .with_topology(FabricTopology::Ring),
+                    &net,
+                    ParallelStrategy::DataParallel,
+                )
+                .run();
+                let a = analytic.iteration_time.as_secs_f64();
+                let f = flow.iteration_time.as_secs_f64();
+                let rel = (f - a).abs() / a;
+                assert!(
+                    rel < 0.01,
+                    "{design}/{devices}dev: flow {f} vs analytic {a} (rel {rel})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_switch_dodges_the_host_pcie_cliff_at_scale() {
+        // Acceptance: the SS VI cliff shape under the flow fabric. Past
+        // one backplane a ring topology escapes between chassis over the
+        // shared host-PCIe uplink share, so its sync cost blows up with
+        // scale; a pooled switch keeps dedicated per-plane lanes and
+        // stays flat. The cliff shape: near-parity inside one backplane,
+        // a severalfold gap at 64+ devices.
+        let net = Benchmark::VggE.build();
+        let sync_with = |topology: FabricTopology, devices: usize| {
+            IterationSim::new(
+                SystemConfig::new(SystemDesign::DcDla)
+                    .with_devices(devices)
+                    .with_topology(topology),
+                &net,
+                ParallelStrategy::DataParallel,
+            )
+            .run()
+            .sync_busy
+            .as_secs_f64()
+        };
+        let ratio = |devices| {
+            sync_with(FabricTopology::Ring, devices)
+                / sync_with(FabricTopology::PooledSwitch, devices)
+        };
+        let flat = ratio(8);
+        assert!(
+            flat < 1.5,
+            "8 devices: ring/pooled = {flat}, expected near-parity inside one backplane"
+        );
+        for devices in [64usize, 128] {
+            let cliff = ratio(devices);
+            assert!(
+                cliff > 3.0,
+                "{devices} devices: ring/pooled = {cliff}, no cliff"
+            );
+            assert!(
+                cliff > 2.0 * flat,
+                "{devices} devices: cliff {cliff} must tower over backplane parity {flat}"
+            );
+        }
+    }
+
+    #[test]
+    fn fabric_selection_follows_the_topology_knob() {
+        let cfg = SystemConfig::new(SystemDesign::McDlaBwAware);
+        let analytic = build_fabric(&cfg);
+        assert_eq!(analytic.topology(), None);
+        let routed = build_fabric(&cfg.clone().with_topology(FabricTopology::FatTree));
+        assert_eq!(routed.topology(), Some(FabricTopology::FatTree));
+        // Same logical ring set either way: the topology realizes the
+        // design's planes, it does not change how many there are.
+        assert_eq!(analytic.ring_shapes().len(), routed.ring_shapes().len());
     }
 
     #[test]

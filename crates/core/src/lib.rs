@@ -54,7 +54,8 @@ mod virt_path;
 pub use design::{HostConfig, PcieGen, SystemConfig, SystemDesign};
 pub use design::{BACKPLANE_DEVICES, PAPER_DEFAULT_BATCH, PAPER_DEFAULT_DEVICES};
 pub use energy::{EnergyReport, PowerModel};
-pub use engine::IterationSim;
+pub use engine::{AnalyticalFabric, CommFabric, FlowFabric, IterationSim};
+pub use mcdla_interconnect::FabricTopology;
 pub use report::IterationReport;
 pub use scenario::{DeviceModel, GridStream, Overrides, Runner, Scenario, ScenarioGrid, TimedRun};
 pub use store::{key_hash, Fetched, Provenance, ResultStore, StageCache, StageStats, StoreStats};

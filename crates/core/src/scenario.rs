@@ -43,6 +43,7 @@ use std::time::{Duration, Instant};
 
 use mcdla_accel::{DeviceConfig, DeviceGeneration};
 use mcdla_dnn::Benchmark;
+use mcdla_interconnect::FabricTopology;
 use mcdla_parallel::ParallelStrategy;
 use serde::{Deserialize, Serialize};
 
@@ -144,7 +145,7 @@ impl Hash for Overrides {
 /// default (see [`Scenario::default`]), so `{}` is a valid
 /// `POST /simulate` body naming the headline MC-DLA(B)/AlexNet/
 /// data-parallel cell.
-#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
 pub struct Scenario {
     /// System design point.
     pub design: SystemDesign,
@@ -161,6 +162,32 @@ pub struct Scenario {
     pub generation: Option<DeviceGeneration>,
     /// Sensitivity-study overrides.
     pub overrides: Overrides,
+    /// Concrete topology to route collectives over as flow batches;
+    /// `None` means the analytical fabric model (the paper's numbers).
+    pub topology: Option<FabricTopology>,
+}
+
+// Hand-written (not derived) so the canonical encoding — and therefore
+// [`Scenario::digest`] — is unchanged for every pre-topology cell: the
+// `topology` key is emitted only when set. A derived impl would append
+// `"topology":null` to all 96 golden-grid cells and silently re-key
+// every published digest.
+impl serde::Serialize for Scenario {
+    fn to_value(&self) -> serde::Value {
+        let mut map = vec![
+            ("design".to_string(), self.design.to_value()),
+            ("benchmark".to_string(), self.benchmark.to_value()),
+            ("strategy".to_string(), self.strategy.to_value()),
+            ("devices".to_string(), self.devices.to_value()),
+            ("batch".to_string(), self.batch.to_value()),
+            ("generation".to_string(), self.generation.to_value()),
+            ("overrides".to_string(), self.overrides.to_value()),
+        ];
+        if let Some(topology) = self.topology {
+            map.push(("topology".to_string(), topology.to_value()));
+        }
+        serde::Value::Map(map)
+    }
 }
 
 impl Default for Scenario {
@@ -185,7 +212,7 @@ impl Default for Scenario {
 // `Scenario::validate`, which callers run on every deserialized cell.
 impl serde::Deserialize for Scenario {
     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
-        const FIELDS: [&str; 7] = [
+        const FIELDS: [&str; 8] = [
             "design",
             "benchmark",
             "strategy",
@@ -193,6 +220,7 @@ impl serde::Deserialize for Scenario {
             "batch",
             "generation",
             "overrides",
+            "topology",
         ];
         let map = v
             .as_map()
@@ -215,6 +243,7 @@ impl serde::Deserialize for Scenario {
             batch: serde::__field(map, "batch")?,
             generation: serde::__field(map, "generation")?,
             overrides: serde::__field(map, "overrides")?,
+            topology: serde::__field(map, "topology")?,
         })
     }
 }
@@ -230,6 +259,7 @@ impl Scenario {
             batch: None,
             generation: None,
             overrides: Overrides::default(),
+            topology: None,
         }
     }
 
@@ -248,6 +278,13 @@ impl Scenario {
     /// Returns the scenario on a historical device generation (Fig. 2).
     pub fn with_generation(mut self, generation: DeviceGeneration) -> Self {
         self.generation = Some(generation);
+        self
+    }
+
+    /// Returns the scenario with collectives routed as flow batches over
+    /// a concrete topology instead of the analytical fabric model.
+    pub fn with_topology(mut self, topology: FabricTopology) -> Self {
+        self.topology = Some(topology);
         self
     }
 
@@ -318,6 +355,15 @@ impl Scenario {
                  (batch must be >= the device count)"
             ));
         }
+        // Flow-routed fabrics build explicit route tables (one BFS per
+        // ring hop); a hostile wire request naming the axis ceiling
+        // would spend minutes constructing a fabric nobody measures.
+        const MAX_FLOW_DEVICES: usize = 4096;
+        if self.topology.is_some() && devices > MAX_FLOW_DEVICES {
+            return Err(format!(
+                "topology-routed fabrics support at most {MAX_FLOW_DEVICES} devices (got {devices})"
+            ));
+        }
         Ok(())
     }
 
@@ -343,6 +389,9 @@ impl Scenario {
         }
         if let Some(ratio) = self.overrides.compression {
             cfg = cfg.with_compression(ratio);
+        }
+        if let Some(topology) = self.topology {
+            cfg = cfg.with_topology(topology);
         }
         cfg
     }
@@ -409,6 +458,9 @@ impl Scenario {
         if let Some(ratio) = self.overrides.compression {
             label.push_str(&format!("/comp{ratio}"));
         }
+        if let Some(topology) = self.topology {
+            label.push_str(&format!("/{topology}"));
+        }
         label
     }
 
@@ -429,8 +481,8 @@ impl Scenario {
 
 /// A cartesian product of scenario axes, expanded in a deterministic
 /// order (benchmark-major, then design, strategy, devices, batch,
-/// generation, overrides).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// generation, topology, overrides).
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ScenarioGrid {
     designs: Vec<SystemDesign>,
     benchmarks: Vec<Benchmark>,
@@ -439,6 +491,30 @@ pub struct ScenarioGrid {
     batches: Vec<Option<u64>>,
     generations: Vec<Option<DeviceGeneration>>,
     overrides: Vec<Overrides>,
+    topologies: Vec<Option<FabricTopology>>,
+}
+
+// Hand-written so pre-topology grid payloads (snapshots, scripted
+// clients) keep deserializing: a missing `topologies` axis means the
+// analytical default, exactly as before the axis existed. The seven
+// original axes stay required, as under the derived impl.
+impl serde::Deserialize for ScenarioGrid {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| serde::Error::expected("object", "ScenarioGrid"))?;
+        Ok(ScenarioGrid {
+            designs: serde::__field(map, "designs")?,
+            benchmarks: serde::__field(map, "benchmarks")?,
+            strategies: serde::__field(map, "strategies")?,
+            devices: serde::__field(map, "devices")?,
+            batches: serde::__field(map, "batches")?,
+            generations: serde::__field(map, "generations")?,
+            overrides: serde::__field(map, "overrides")?,
+            topologies: serde::__field::<Option<Vec<Option<FabricTopology>>>>(map, "topologies")?
+                .unwrap_or_else(|| vec![None]),
+        })
+    }
 }
 
 impl Default for ScenarioGrid {
@@ -459,6 +535,7 @@ impl ScenarioGrid {
             batches: vec![None],
             generations: vec![None],
             overrides: vec![Overrides::default()],
+            topologies: vec![None],
         }
     }
 
@@ -520,6 +597,28 @@ impl ScenarioGrid {
         self
     }
 
+    /// Sweeps the topology axis (flow-routed fabrics).
+    pub fn topologies(mut self, topologies: &[FabricTopology]) -> Self {
+        self.topologies = topologies.iter().map(|t| Some(*t)).collect();
+        self
+    }
+
+    /// Appends topologies to the existing axis, keeping whatever is
+    /// already there (the analytical default, unless
+    /// [`ScenarioGrid::topologies`] replaced it).
+    pub fn extend_topologies(mut self, topologies: &[FabricTopology]) -> Self {
+        self.topologies.extend(topologies.iter().map(|t| Some(*t)));
+        self
+    }
+
+    /// Sets the topology axis verbatim, `None` entries selecting the
+    /// analytical model — the shape the wire `topologies` axis uses
+    /// (`[null, "Ring"]` mixes both fabrics in one grid).
+    pub fn topology_axis(mut self, topologies: &[Option<FabricTopology>]) -> Self {
+        self.topologies = topologies.to_vec();
+        self
+    }
+
     /// Number of cells the grid expands to.
     pub fn len(&self) -> usize {
         self.designs.len()
@@ -529,6 +628,7 @@ impl ScenarioGrid {
             * self.batches.len()
             * self.generations.len()
             * self.overrides.len()
+            * self.topologies.len()
     }
 
     /// True when any axis is empty.
@@ -545,16 +645,19 @@ impl ScenarioGrid {
                     for &devices in &self.devices {
                         for &batch in &self.batches {
                             for &generation in &self.generations {
-                                for &overrides in &self.overrides {
-                                    out.push(Scenario {
-                                        design,
-                                        benchmark,
-                                        strategy,
-                                        devices,
-                                        batch,
-                                        generation,
-                                        overrides,
-                                    });
+                                for &topology in &self.topologies {
+                                    for &overrides in &self.overrides {
+                                        out.push(Scenario {
+                                            design,
+                                            benchmark,
+                                            strategy,
+                                            devices,
+                                            batch,
+                                            generation,
+                                            overrides,
+                                            topology,
+                                        });
+                                    }
                                 }
                             }
                         }
@@ -1062,6 +1165,151 @@ mod tests {
     fn grid_expansion_is_deterministic() {
         let grid = ScenarioGrid::paper_default();
         assert_eq!(grid.scenarios(), grid.scenarios());
+    }
+
+    #[test]
+    fn labels_are_unique_across_all_axes() {
+        // `sweep --filter` addresses cells by label, so two distinct
+        // scenarios must never share one. Span every axis — including
+        // the topology axis — and check pairwise by map insertion.
+        let override_variants = [
+            Overrides::default(),
+            Overrides {
+                pcie_gen4: true,
+                ..Overrides::default()
+            },
+            Overrides {
+                device_model: Some(DeviceModel::TpuV2Like),
+                ..Overrides::default()
+            },
+            Overrides {
+                device_model: Some(DeviceModel::Dgx2Like),
+                ..Overrides::default()
+            },
+            Overrides {
+                compression: Some(2.6),
+                ..Overrides::default()
+            },
+        ];
+        let mut generations = vec![None];
+        generations.extend(DeviceGeneration::ALL.iter().map(|g| Some(*g)));
+        let mut topologies = vec![None];
+        topologies.extend(FabricTopology::ALL.iter().map(|t| Some(*t)));
+        let mut seen: std::collections::HashMap<String, Scenario> =
+            std::collections::HashMap::new();
+        for design in SystemDesign::ALL {
+            for &benchmark in &[Benchmark::AlexNet, Benchmark::VggE] {
+                for strategy in ParallelStrategy::ALL {
+                    for devices in [None, Some(2), Some(64)] {
+                        for batch in [None, Some(128)] {
+                            for &generation in &generations {
+                                for &topology in &topologies {
+                                    for overrides in override_variants {
+                                        let s = Scenario {
+                                            design,
+                                            benchmark,
+                                            strategy,
+                                            devices,
+                                            batch,
+                                            generation,
+                                            overrides,
+                                            topology,
+                                        };
+                                        if let Some(dup) = seen.insert(s.label(), s) {
+                                            panic!(
+                                                "label collision `{}`: {dup:?} vs {s:?}",
+                                                s.label()
+                                            );
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn topology_round_trips_on_the_wire() {
+        let s: Scenario = serde::json::from_str(r#"{"topology":"pooled-switch"}"#).unwrap();
+        assert_eq!(s.topology, Some(FabricTopology::PooledSwitch));
+        // Wire names and labels alias the same cell, case-insensitively.
+        let canonical: Scenario = serde::json::from_str(r#"{"topology":"PooledSwitch"}"#).unwrap();
+        assert_eq!(s, canonical);
+        // Unknown topologies are rejected with the accepted names.
+        let err = serde::json::from_str::<Scenario>(r#"{"topology":"torus"}"#)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("unknown FabricTopology `torus`"), "{err}");
+        assert!(err.contains("pooled-switch"), "{err}");
+        assert!(err.contains("FatTree"), "{err}");
+        // Round trip through the canonical encoding.
+        let json = serde::json::to_string(&s);
+        let back: Scenario = serde::json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn topology_unset_keeps_the_pre_axis_encoding() {
+        // The canonical encoding — and therefore every published digest
+        // — must not change for pre-topology cells: the key is emitted
+        // only when set.
+        let json = serde::json::to_string(&cell());
+        assert!(!json.contains("topology"), "{json}");
+        assert_ne!(
+            cell().digest(),
+            cell().with_topology(FabricTopology::Ring).digest()
+        );
+        // Each topology keys its own cell.
+        let digests: std::collections::HashSet<u64> = FabricTopology::ALL
+            .iter()
+            .map(|t| cell().with_topology(*t).digest())
+            .collect();
+        assert_eq!(digests.len(), FabricTopology::ALL.len());
+    }
+
+    #[test]
+    fn validate_bounds_flow_routed_device_counts() {
+        // Route-table construction is superlinear in devices; the wire
+        // must not be able to stall a serving thread with a mega-fabric.
+        let mut s = cell().with_devices(8192).with_batch(1 << 20);
+        s.strategy = ParallelStrategy::ModelParallel;
+        assert!(s.validate().is_ok());
+        s.topology = Some(FabricTopology::Mesh);
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("at most 4096"), "{err}");
+        s = cell()
+            .with_devices(4096)
+            .with_batch(1 << 20)
+            .with_topology(FabricTopology::Mesh);
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn grid_topology_axis_expands_and_deserializes() {
+        let grid = ScenarioGrid::paper_default()
+            .designs(&[SystemDesign::DcDla])
+            .benchmarks(&[Benchmark::AlexNet])
+            .extend_topologies(&[FabricTopology::Ring, FabricTopology::FatTree]);
+        // Default (analytical) + the two extensions.
+        assert_eq!(grid.len(), 2 * 3);
+        let cells = grid.scenarios();
+        assert!(cells.iter().any(|s| s.topology.is_none()));
+        assert!(cells
+            .iter()
+            .any(|s| s.topology == Some(FabricTopology::FatTree)));
+        // Pre-topology grid payloads still deserialize (missing axis =
+        // analytical default), and the new axis round-trips.
+        let legacy = r#"{"designs":["DcDla"],"benchmarks":["AlexNet"],
+            "strategies":["DataParallel"],"devices":[null],"batches":[null],
+            "generations":[null],"overrides":[{}]}"#;
+        let parsed: ScenarioGrid = serde::json::from_str(legacy).unwrap();
+        assert_eq!(parsed.topologies, vec![None]);
+        let json = serde::json::to_string(&grid);
+        let back: ScenarioGrid = serde::json::from_str(&json).unwrap();
+        assert_eq!(back, grid);
     }
 
     #[test]

@@ -40,12 +40,14 @@
 #![warn(missing_debug_implementations)]
 
 mod collective;
+mod fabric;
 mod graph;
 mod layout;
 mod ring;
 mod scaleout;
 
 pub use collective::{CollectiveKind, CollectiveModel};
+pub use fabric::{FabricSpec, FabricTopology, RoutedFabric};
 pub use graph::{Link, LinkId, Node, NodeId, NodeKind, Topology};
 pub use layout::{RingPath, SystemInterconnect, VirtAttachment, VirtTarget};
 pub use ring::{check_link_budget, Ring, RingShape};

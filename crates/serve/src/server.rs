@@ -11,7 +11,8 @@ use std::time::{Duration, Instant};
 
 use mcdla_accel::DeviceGeneration;
 use mcdla_core::{
-    Overrides, Provenance, ResultStore, Runner, Scenario, ScenarioGrid, StageCache, SystemDesign,
+    FabricTopology, Overrides, Provenance, ResultStore, Runner, Scenario, ScenarioGrid, StageCache,
+    SystemDesign,
 };
 use mcdla_dnn::Benchmark;
 use mcdla_obs::{FlightRecorder, Span, TraceRecord, TraceScope};
@@ -998,6 +999,10 @@ pub struct GridRequest {
     pub generations: Option<Vec<DeviceGeneration>>,
     /// Overrides axis.
     pub overrides: Option<Vec<Overrides>>,
+    /// Fabric-topology axis; `null` entries select the analytical
+    /// collective model, names select a routed flow-level fabric
+    /// (`[null, "Ring"]` mixes both in one grid).
+    pub topologies: Option<Vec<Option<FabricTopology>>>,
     /// An **explicit** cell list instead of cartesian axes — the form the
     /// `mcdla-cluster` gateway scatters with, since a consistent-hash
     /// partition of a grid is not itself a cartesian product. Mutually
@@ -1023,6 +1028,7 @@ impl GridRequest {
                 || self.batches.is_some()
                 || self.generations.is_some()
                 || self.overrides.is_some()
+                || self.topologies.is_some()
             {
                 return Err("`cells` cannot be combined with axis fields".into());
             }
@@ -1064,6 +1070,9 @@ impl GridRequest {
         }
         if let Some(overrides) = &self.overrides {
             grid = grid.overrides(overrides);
+        }
+        if let Some(topologies) = &self.topologies {
+            grid = grid.topology_axis(topologies);
         }
         if grid.is_empty() {
             return Err("grid expands to zero cells (an axis is empty)".into());
@@ -1184,6 +1193,35 @@ mod tests {
         )
         .unwrap();
         assert_eq!(req.scenarios().unwrap().len(), 2 * 2);
+    }
+
+    #[test]
+    fn grid_request_opens_the_topology_axis() {
+        // `null` keeps the analytical model; names (wire or label, any
+        // case) select routed fabrics — so one grid can hold both.
+        let req: GridRequest = serde::json::from_str(
+            r#"{"benchmarks": ["AlexNet"],
+                "designs": ["DcDla"],
+                "strategies": ["DataParallel"],
+                "topologies": [null, "Ring", "pooled-switch"]}"#,
+        )
+        .unwrap();
+        let cells = req.scenarios().unwrap();
+        assert_eq!(cells.len(), 3);
+        let topologies: Vec<_> = cells.iter().map(|s| s.topology).collect();
+        assert_eq!(
+            topologies,
+            vec![
+                None,
+                Some(FabricTopology::Ring),
+                Some(FabricTopology::PooledSwitch)
+            ]
+        );
+        // An unknown fabric answers with the accepted list.
+        let err = serde::json::from_str::<GridRequest>(r#"{"topologies": ["torus"]}"#)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("pooled-switch"), "{err}");
     }
 
     #[test]

@@ -138,6 +138,126 @@ fn bytes_carried_matches_flow_sizes() {
 }
 
 #[test]
+fn routed_flows_conserve_bytes_per_channel() {
+    // Conservation generalizes to multi-link routes: every channel ends
+    // up having carried exactly the bytes of the flows routed over it
+    // (a flow deposits its full size on *each* link of its path).
+    for seed in 0..SEEDS {
+        let (caps, flows) = network_and_flows(seed);
+        let mut net = FlowNetwork::new();
+        let chs: Vec<_> = caps
+            .iter()
+            .map(|c| net.add_channel("ch", Bandwidth::gb_per_sec(*c)))
+            .collect();
+        for (path, bytes) in &flows {
+            let p: Vec<_> = path.iter().map(|i| chs[*i]).collect();
+            net.open_flow(SimTime::ZERO, &p, Bytes::new(*bytes))
+                .unwrap();
+        }
+        net.drain_all().unwrap();
+        for (i, ch) in chs.iter().enumerate() {
+            // A path may traverse the same channel more than once; each
+            // traversal carries the bytes again.
+            let expect: u64 = flows
+                .iter()
+                .map(|(path, bytes)| bytes * path.iter().filter(|p| **p == i).count() as u64)
+                .sum();
+            let carried = net.bytes_carried(*ch).as_u64();
+            let tolerance = expect / 1000 + 8;
+            assert!(
+                carried.abs_diff(expect) <= tolerance,
+                "seed {seed}: channel {i} carried {carried}, expected {expect}"
+            );
+        }
+    }
+}
+
+#[test]
+fn symmetric_flows_share_a_link_equally() {
+    // Max-min fairness: n identical flows over one bottleneck each get
+    // exactly cap/n, regardless of how many there are.
+    for seed in 0..SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cap_gb = rng.gen_range(1.0f64..100.0);
+        let n = rng.gen_range(2..10usize);
+        let bytes = rng.gen_range(1_000_000u64..1_000_000_000);
+        let mut net = FlowNetwork::new();
+        let ch = net.add_channel("ch", Bandwidth::gb_per_sec(cap_gb));
+        let ids: Vec<_> = (0..n)
+            .map(|_| {
+                net.open_flow(SimTime::ZERO, &[ch], Bytes::new(bytes))
+                    .unwrap()
+            })
+            .collect();
+        let fair = cap_gb / n as f64;
+        for id in &ids {
+            let rate = net.flow_rate(*id).unwrap().as_gb_per_sec();
+            assert!(
+                (rate - fair).abs() <= fair * 1e-9,
+                "seed {seed}: rate {rate} != fair share {fair} of {n} flows"
+            );
+        }
+        // ...and being identical, they all finish at the same instant.
+        let done = net.drain_all().unwrap();
+        let first = done.first().unwrap().0.as_secs_f64();
+        let last = done.last().unwrap().0.as_secs_f64();
+        assert!(
+            (last - first).abs() <= first * 1e-9 + 1e-12,
+            "seed {seed}: symmetric flows finished apart: {first} vs {last}"
+        );
+    }
+}
+
+#[test]
+fn open_order_does_not_change_completion_times() {
+    // Flows released at the same instant must complete at the same
+    // times whatever order they were opened in — the fluid model has no
+    // hidden arrival-order priority.
+    for seed in 0..SEEDS {
+        let (caps, flows) = network_and_flows(seed);
+        let run = |order: &[usize]| -> Vec<f64> {
+            let mut net = FlowNetwork::new();
+            let chs: Vec<_> = caps
+                .iter()
+                .map(|c| net.add_channel("ch", Bandwidth::gb_per_sec(*c)))
+                .collect();
+            for &fi in order {
+                let (path, bytes) = &flows[fi];
+                let p: Vec<_> = path.iter().map(|i| chs[*i]).collect();
+                net.open_flow(SimTime::ZERO, &p, Bytes::new(*bytes))
+                    .unwrap();
+            }
+            let mut done: Vec<f64> = net
+                .drain_all()
+                .unwrap()
+                .into_iter()
+                .map(|(t, _)| t.as_secs_f64())
+                .collect();
+            done.sort_by(f64::total_cmp);
+            done
+        };
+        let forward: Vec<usize> = (0..flows.len()).collect();
+        let mut reversed = forward.clone();
+        reversed.reverse();
+        let mut shuffled = forward.clone();
+        // Deterministic Fisher-Yates off the seed.
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9));
+        for i in (1..shuffled.len()).rev() {
+            shuffled.swap(i, rng.gen_range(0..=i));
+        }
+        let base = run(&forward);
+        for other in [run(&reversed), run(&shuffled)] {
+            for (a, b) in base.iter().zip(&other) {
+                assert!(
+                    (a - b).abs() <= a.abs() * 1e-9 + 1e-12,
+                    "seed {seed}: completion times depend on open order: {a} vs {b}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn later_release_never_finishes_earlier() {
     // Monotonicity of the fluid model under staggered arrivals.
     for seed in 0..SEEDS {

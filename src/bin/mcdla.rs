@@ -25,6 +25,7 @@ struct Args {
     out: Option<String>,
     batches: Vec<u64>,
     devices: Vec<usize>,
+    topologies: Vec<mcdla::interconnect::FabricTopology>,
     threads: Option<usize>,
     filter: Option<String>,
     addr: Option<String>,
@@ -74,6 +75,8 @@ subcommands
   cluster-bench time 1/2/4-worker fleets, write BENCH_cluster.json
   stage-bench   time mega-grid sweeps through the staged engine vs the
                 monolithic one, write BENCH_stages.json
+  fabric-bench  time the routed flow-level fabric against the analytical
+                collective model, write BENCH_fabric.json
   all           every report above, in order
   help          this message
 
@@ -87,6 +90,10 @@ options
   --out FILE        sweep/serve-bench/store-bench output path
   --batches LIST    sweep: comma-separated batch sizes to add as an axis
   --devices LIST    sweep: comma-separated device counts to add as an axis
+  --topologies LIST sweep: comma-separated fabric topologies to add as an
+                    axis (ring | line | mesh | pooled-switch | fat-tree);
+                    flow-routed copies of the matrix join the analytical
+                    default cells
   --filter SUBSTR   sweep: only run cells whose label contains SUBSTR
                     (labels look like `MC-DLA(B)/AlexNet/data-parallel`);
                     a filter matching zero cells is an error
@@ -146,6 +153,7 @@ fn parse_args() -> Result<Args, String> {
         out: None,
         batches: Vec::new(),
         devices: Vec::new(),
+        topologies: Vec::new(),
         threads: None,
         filter: None,
         addr: None,
@@ -183,6 +191,21 @@ fn parse_args() -> Result<Args, String> {
                 args.devices = parse_list(&argv.next().ok_or("--devices needs a list")?)?;
                 if args.devices.contains(&0) {
                     return Err("device counts must be >= 1".into());
+                }
+            }
+            "--topologies" => {
+                // FromStr on FabricTopology already names every accepted
+                // topology in its error, so the raw parse error is the
+                // helpful message (parse_list would swallow it).
+                let v = argv
+                    .next()
+                    .ok_or("--topologies needs a list (e.g. ring,pooled-switch)")?;
+                args.topologies = v
+                    .split(',')
+                    .map(|p| p.trim().parse())
+                    .collect::<Result<_, _>>()?;
+                if args.topologies.is_empty() {
+                    return Err("--topologies needs at least one topology".into());
                 }
             }
             "--filter" => args.filter = Some(argv.next().ok_or("--filter needs a substring")?),
@@ -298,6 +321,7 @@ const SUBCOMMANDS: &[&str] = &[
     "store-bench",
     "cluster-bench",
     "stage-bench",
+    "fabric-bench",
     "all",
     "help",
     "--help",
@@ -313,6 +337,12 @@ fn run(args: &Args) -> Result<(), String> {
     if args.ndjson && args.command != "sweep" {
         return Err(format!(
             "--ndjson is a `sweep` flag (got `{}`)",
+            args.command
+        ));
+    }
+    if !args.topologies.is_empty() && args.command != "sweep" {
+        return Err(format!(
+            "--topologies is a `sweep` flag (got `{}`)",
             args.command
         ));
     }
@@ -395,6 +425,7 @@ fn run(args: &Args) -> Result<(), String> {
             let plan = reports::plan_sweep(
                 &args.batches,
                 &args.devices,
+                &args.topologies,
                 args.filter.as_deref(),
                 args.cache_cap,
             )?;
@@ -419,6 +450,7 @@ fn run(args: &Args) -> Result<(), String> {
             let plan = reports::plan_sweep(
                 &args.batches,
                 &args.devices,
+                &args.topologies,
                 args.filter.as_deref(),
                 args.cache_cap,
             )?;
@@ -635,6 +667,25 @@ fn run(args: &Args) -> Result<(), String> {
                     "meets"
                 } else {
                     "below"
+                }
+            );
+            println!("wrote {path}");
+        }
+        "fabric-bench" => {
+            let result = mcdla_bench::fabric_bench::fabric_bench(
+                256,
+                &mcdla_bench::fabric_bench::PAPER_SCALES,
+            );
+            let path = args.out.as_deref().unwrap_or("BENCH_fabric.json");
+            std::fs::write(path, &result.json).map_err(|e| format!("writing {path}: {e}"))?;
+            print!("{}", result.summary);
+            println!(
+                "fabric-vs-analytical max rel err {:.2e} on single-backplane rings ({} the 1% bar)",
+                result.max_rel_err,
+                if result.max_rel_err <= 0.01 {
+                    "meets"
+                } else {
+                    "exceeds"
                 }
             );
             println!("wrote {path}");

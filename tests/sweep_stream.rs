@@ -25,7 +25,8 @@ fn streamed_sweep_cells_are_byte_identical_to_batch_cells() {
     let devices = [16usize, 32];
     let filter = Some("AlexNet");
 
-    let batch = reports::sweep(reports::plan_sweep(&[], &devices, filter, None).expect("plan"));
+    let batch =
+        reports::sweep(reports::plan_sweep(&[], &devices, &[], filter, None).expect("plan"));
     let payload = json::parse(&batch.json).expect("batch payload parses");
     let cells = payload
         .get("cells")
@@ -43,7 +44,7 @@ fn streamed_sweep_cells_are_byte_identical_to_batch_cells() {
     assert!(!batch_by_digest.is_empty());
 
     let mut out = Vec::new();
-    let plan = reports::plan_sweep(&[], &devices, filter, None).expect("plan");
+    let plan = reports::plan_sweep(&[], &devices, &[], filter, None).expect("plan");
     let summary = reports::sweep_ndjson(plan, &mut out).expect("streamed sweep");
     let text = String::from_utf8(out).expect("NDJSON is utf-8");
     let lines: Vec<&str> = text.lines().collect();
@@ -97,7 +98,7 @@ fn streamed_sweep_ends_cleanly_when_the_pipe_closes() {
         accepted: Vec::new(),
         lines_before_close: 2,
     };
-    let plan = reports::plan_sweep(&[], &[], Some("AlexNet"), None).expect("plan");
+    let plan = reports::plan_sweep(&[], &[], &[], Some("AlexNet"), None).expect("plan");
     let summary = reports::sweep_ndjson(plan, &mut out).expect("a closed pipe is a clean end");
     assert_eq!(summary.cells, 2, "exactly the accepted lines count");
     let text = String::from_utf8(out.accepted).unwrap();
@@ -108,7 +109,7 @@ fn streamed_sweep_ends_cleanly_when_the_pipe_closes() {
 
 #[test]
 fn sweep_plans_reject_invalid_axis_combinations() {
-    let err = reports::plan_sweep(&[64], &[256], None, None).unwrap_err();
+    let err = reports::plan_sweep(&[64], &[256], &[], None, None).unwrap_err();
     assert!(err.contains("cannot cover"), "{err}");
 }
 
@@ -118,15 +119,34 @@ fn sweep_plans_reject_filters_matching_zero_cells() {
     // with a degenerate report (null percentiles, `cell max 0.00 ms`).
     // Planning happens before any output file is touched, and a
     // no-match filter is a hard error naming the filter.
-    let err = reports::plan_sweep(&[], &[], Some("NoSuchDesign"), None).unwrap_err();
+    let err = reports::plan_sweep(&[], &[], &[], Some("NoSuchDesign"), None).unwrap_err();
     assert!(err.contains("`NoSuchDesign`"), "{err}");
     assert!(err.contains("matches none"), "{err}");
 }
 
 #[test]
+fn sweep_plans_expand_the_topology_axis() {
+    use mcdla::interconnect::FabricTopology;
+
+    let base = reports::plan_sweep(&[], &[], &[], Some("AlexNet"), None).expect("plan");
+    let ringed = reports::plan_sweep(&[], &[], &[FabricTopology::Ring], Some("AlexNet"), None)
+        .expect("plan");
+    // The flag *extends* the matrix: analytical default cells stay, and
+    // one flow-routed copy joins per listed topology.
+    assert_eq!(ringed.grid_cells, 2 * base.grid_cells);
+    assert_eq!(ringed.scenarios.len(), 2 * base.scenarios.len());
+    let ring_cells = ringed
+        .scenarios
+        .iter()
+        .filter(|s| s.label().ends_with("/ring"))
+        .count();
+    assert_eq!(ring_cells, base.scenarios.len());
+}
+
+#[test]
 fn bounded_sweeps_stay_within_their_cache_cap() {
     let mut out = Vec::new();
-    let plan = reports::plan_sweep(&[], &[], Some("AlexNet"), Some(3)).expect("plan");
+    let plan = reports::plan_sweep(&[], &[], &[], Some("AlexNet"), Some(3)).expect("plan");
     let total = plan.scenarios.len();
     let summary = reports::sweep_ndjson(plan, &mut out).expect("bounded streamed sweep");
     assert_eq!(summary.cells, total);
