@@ -40,7 +40,9 @@
 use std::fmt::Write as _;
 
 pub mod cluster_bench;
+pub mod collate;
 pub mod fabric_bench;
+pub mod obs_bench;
 pub mod reports;
 pub mod service;
 pub mod stage_bench;

@@ -1,0 +1,559 @@
+//! `mcdla top`: a live fleet console over the telemetry history.
+//!
+//! Plain ANSI redraw (home + clear, no terminal library): each frame
+//! polls `GET /metrics/history` + `GET /stats` on every worker — or one
+//! `GET /cluster/history` + `GET /cluster/stats` on a gateway — and
+//! repaints a per-node table, fleet sparklines, and the stage-cache hit
+//! rates. Everything renders from the same JSON the script surface
+//! (`mcdla query history`) exposes, so what the console shows is
+//! exactly what the endpoints answer.
+
+use std::io::Write;
+use std::time::Duration;
+
+use mcdla_serve::client::{request_once_with, Timeouts};
+use serde::Value;
+
+/// Everything `mcdla top` configures.
+#[derive(Debug)]
+pub struct TopConfig {
+    /// Poll a gateway (`/cluster/history` + `/cluster/stats`) at this
+    /// address. Mutually exclusive with `workers`.
+    pub gateway: Option<String>,
+    /// Poll each worker (`/metrics/history` + `/stats`) directly.
+    pub workers: Vec<String>,
+    /// Redraw cadence.
+    pub interval: Duration,
+    /// Stop after this many frames (`None` = run until killed) — the
+    /// scriptable escape hatch CI uses.
+    pub frames: Option<u64>,
+    /// Per-request deadlines.
+    pub timeouts: Timeouts,
+}
+
+/// One node's line in the console table — the newest history sample of
+/// each displayed series.
+#[derive(Debug, Default)]
+struct NodeRow {
+    name: String,
+    addr: String,
+    up: bool,
+    req_s: f64,
+    err_s: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    hit_rate: f64,
+    entries: f64,
+    evict_s: f64,
+    open: f64,
+    shed_s: f64,
+    rss_bytes: f64,
+    uptime_s: f64,
+}
+
+/// One rendered frame's data.
+#[derive(Debug, Default)]
+struct Frame {
+    source: String,
+    nodes: Vec<NodeRow>,
+    /// Fleet request-rate ring (newest last), for the sparkline.
+    req_ring: Vec<f64>,
+    /// Fleet store hit-rate ring (newest last).
+    hit_ring: Vec<f64>,
+    /// Per-stage `(name, hits, misses)` totals across nodes. Ratios of
+    /// sums are duplication-invariant: in-process fleets share one
+    /// global stage cache and report identical tables, and
+    /// `Σh/Σ(h+m)` over `k` identical copies equals each copy's rate.
+    stages: Vec<(String, u64, u64)>,
+    errors: Vec<String>,
+}
+
+/// Navigates a JSON map path.
+fn get<'a>(value: &'a Value, path: &[&str]) -> Option<&'a Value> {
+    let mut current = value;
+    for key in path {
+        let Value::Map(entries) = current else {
+            return None;
+        };
+        current = &entries.iter().find(|(k, _)| k == key)?.1;
+    }
+    Some(current)
+}
+
+/// A JSON scalar as f64.
+fn num(value: &Value) -> Option<f64> {
+    match value {
+        Value::F64(n) => Some(*n),
+        Value::U64(n) => Some(*n as f64),
+        Value::I64(n) => Some(*n as f64),
+        _ => None,
+    }
+}
+
+/// A named series out of a history body, as floats (newest last).
+fn series(history: &Value, name: &str) -> Vec<f64> {
+    match get(history, &["series", name]) {
+        Some(Value::Seq(points)) => points.iter().filter_map(num).collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// The newest sample of a named series, or 0.
+fn last(history: &Value, name: &str) -> f64 {
+    series(history, name).last().copied().unwrap_or(0.0)
+}
+
+/// Builds a node row from one worker's `/metrics/history` body.
+fn node_row(name: String, addr: String, history: &Value) -> NodeRow {
+    NodeRow {
+        name,
+        addr,
+        up: true,
+        req_s: last(history, "req_per_s"),
+        err_s: last(history, "err_per_s"),
+        p50_ms: last(history, "simulate.p50_ms").max(last(history, "grid.p50_ms")),
+        p99_ms: last(history, "simulate.p99_ms").max(last(history, "grid.p99_ms")),
+        hit_rate: last(history, "store.hit_rate"),
+        entries: last(history, "store.entries"),
+        evict_s: last(history, "store.evictions_per_s"),
+        open: last(history, "conns.open"),
+        shed_s: last(history, "conns.shed_per_s"),
+        rss_bytes: last(history, "rss_bytes"),
+        uptime_s: last(history, "uptime_seconds"),
+    }
+}
+
+/// Folds one `/stats` body's stage tables into the frame totals.
+fn fold_stages(stages: &mut Vec<(String, u64, u64)>, stats: &Value) {
+    let Some(Value::Seq(tables)) = get(stats, &["store", "stages"]) else {
+        return;
+    };
+    for table in tables {
+        let name = match get(table, &["stage"]) {
+            Some(Value::Str(s)) => s.clone(),
+            _ => continue,
+        };
+        let hits = get(table, &["hits"]).and_then(num).unwrap_or(0.0) as u64;
+        let misses = get(table, &["misses"]).and_then(num).unwrap_or(0.0) as u64;
+        match stages.iter_mut().find(|(n, ..)| *n == name) {
+            Some((_, h, m)) => {
+                *h += hits;
+                *m += misses;
+            }
+            None => stages.push((name, hits, misses)),
+        }
+    }
+}
+
+/// Element-wise tail-aligned sum of rings (shortest ring wins).
+fn sum_rings(rings: &[Vec<f64>]) -> Vec<f64> {
+    let len = rings.iter().map(Vec::len).min().unwrap_or(0);
+    (0..len)
+        .map(|j| rings.iter().map(|r| r[r.len() - len + j]).sum())
+        .collect()
+}
+
+/// Collects one frame by polling every worker directly.
+fn collect_workers(workers: &[String], timeouts: Timeouts) -> Frame {
+    let mut frame = Frame {
+        source: format!("{} workers", workers.len()),
+        ..Frame::default()
+    };
+    let mut req_rings = Vec::new();
+    let mut hit_weight: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> = Vec::new();
+    for (i, addr) in workers.iter().enumerate() {
+        let name = format!("w{i}");
+        match request_once_with(addr, "GET", "/metrics/history", None, timeouts)
+            .ok()
+            .filter(|r| r.status == 200)
+            .and_then(|r| serde::json::parse(&r.body).ok())
+        {
+            Some(history) => {
+                req_rings.push(series(&history, "req_per_s"));
+                hit_weight.push((
+                    series(&history, "store.hits_per_s"),
+                    series(&history, "store.misses_per_s"),
+                    Vec::new(),
+                ));
+                frame.nodes.push(node_row(name, addr.clone(), &history));
+            }
+            None => {
+                frame.errors.push(format!("{addr}: history unreachable"));
+                frame.nodes.push(NodeRow {
+                    name,
+                    addr: addr.clone(),
+                    up: false,
+                    ..NodeRow::default()
+                });
+                continue;
+            }
+        }
+        if let Some(stats) = request_once_with(addr, "GET", "/stats", None, timeouts)
+            .ok()
+            .filter(|r| r.status == 200)
+            .and_then(|r| serde::json::parse(&r.body).ok())
+        {
+            fold_stages(&mut frame.stages, &stats);
+        }
+    }
+    frame.req_ring = sum_rings(&req_rings);
+    let hits = sum_rings(
+        &hit_weight
+            .iter()
+            .map(|(h, ..)| h.clone())
+            .collect::<Vec<_>>(),
+    );
+    let misses = sum_rings(
+        &hit_weight
+            .iter()
+            .map(|(_, m, _)| m.clone())
+            .collect::<Vec<_>>(),
+    );
+    frame.hit_ring = hits
+        .iter()
+        .zip(&misses)
+        .map(|(h, m)| if h + m > 0.0 { h / (h + m) } else { 0.0 })
+        .collect();
+    frame
+}
+
+/// Collects one frame from a gateway's fleet aggregation.
+fn collect_gateway(addr: &str, timeouts: Timeouts) -> Frame {
+    let mut frame = Frame {
+        source: format!("gateway {addr}"),
+        ..Frame::default()
+    };
+    match request_once_with(addr, "GET", "/cluster/history", None, timeouts)
+        .ok()
+        .filter(|r| r.status == 200)
+        .and_then(|r| serde::json::parse(&r.body).ok())
+    {
+        Some(cluster) => {
+            if let Some(fleet) = get(&cluster, &["fleet"]) {
+                frame.req_ring = series(fleet, "req_per_s");
+                frame.hit_ring = series(fleet, "store.hit_rate");
+            }
+            if let Some(Value::Seq(workers)) = get(&cluster, &["workers"]) {
+                for worker in workers {
+                    let index = get(worker, &["index"]).and_then(num).unwrap_or(0.0) as usize;
+                    let addr = match get(worker, &["addr"]) {
+                        Some(Value::Str(a)) => a.clone(),
+                        _ => String::new(),
+                    };
+                    let name = format!("w{index}");
+                    match get(worker, &["history"]) {
+                        Some(history @ Value::Map(_)) => {
+                            frame.nodes.push(node_row(name, addr, history));
+                        }
+                        _ => frame.nodes.push(NodeRow {
+                            name,
+                            addr,
+                            up: false,
+                            ..NodeRow::default()
+                        }),
+                    }
+                }
+            }
+        }
+        None => frame
+            .errors
+            .push(format!("{addr}: /cluster/history unreachable")),
+    }
+    if let Some(stats) = request_once_with(addr, "GET", "/cluster/stats", None, timeouts)
+        .ok()
+        .filter(|r| r.status == 200)
+        .and_then(|r| serde::json::parse(&r.body).ok())
+    {
+        if let Some(Value::Seq(workers)) = get(&stats, &["workers"]) {
+            for worker in workers {
+                if let Some(wstats) = get(worker, &["stats"]) {
+                    fold_stages(&mut frame.stages, wstats);
+                }
+            }
+        }
+    }
+    frame
+}
+
+/// An ASCII sparkline (oldest left, newest right), scaled to the ring's
+/// own maximum; `width` caps the newest samples shown.
+fn sparkline(ring: &[f64], width: usize) -> String {
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    let tail = &ring[ring.len().saturating_sub(width)..];
+    let max = tail.iter().cloned().fold(0.0f64, f64::max);
+    tail.iter()
+        .map(|&v| {
+            let level = if max > 0.0 {
+                ((v / max) * (RAMP.len() - 1) as f64).round() as usize
+            } else {
+                0
+            };
+            RAMP[level.min(RAMP.len() - 1)] as char
+        })
+        .collect()
+}
+
+/// Bytes as a short human figure.
+fn fmt_bytes(b: f64) -> String {
+    if b >= 1e9 {
+        format!("{:.1}G", b / 1e9)
+    } else if b >= 1e6 {
+        format!("{:.0}M", b / 1e6)
+    } else if b >= 1e3 {
+        format!("{:.0}K", b / 1e3)
+    } else {
+        format!("{b:.0}")
+    }
+}
+
+/// Seconds as `h:mm:ss`.
+fn fmt_uptime(s: f64) -> String {
+    let s = s.max(0.0) as u64;
+    format!("{}:{:02}:{:02}", s / 3600, (s % 3600) / 60, s % 60)
+}
+
+/// Renders one frame (without the ANSI preamble) into `out`.
+fn render(frame: &Frame, interval: Duration, out: &mut dyn Write) -> std::io::Result<()> {
+    let up = frame.nodes.iter().filter(|n| n.up).count();
+    writeln!(
+        out,
+        "mcdla top — {} · {}/{} up · every {:.1}s · Ctrl-C quits",
+        frame.source,
+        up,
+        frame.nodes.len(),
+        interval.as_secs_f64(),
+    )?;
+    writeln!(
+        out,
+        "{:<4} {:<21} {:>3} {:>8} {:>7} {:>8} {:>8} {:>6} {:>8} {:>8} {:>5} {:>7} {:>6} {:>9}",
+        "NODE",
+        "ADDR",
+        "UP",
+        "REQ/S",
+        "ERR/S",
+        "P50ms",
+        "P99ms",
+        "HIT%",
+        "ENTRIES",
+        "EVICT/S",
+        "OPEN",
+        "SHED/S",
+        "RSS",
+        "UPTIME"
+    )?;
+    let mut fleet_req = 0.0;
+    for n in &frame.nodes {
+        fleet_req += n.req_s;
+        writeln!(
+            out,
+            "{:<4} {:<21} {:>3} {:>8.1} {:>7.1} {:>8.2} {:>8.2} {:>5.1}% {:>8.0} {:>8.1} {:>5.0} {:>7.1} {:>6} {:>9}",
+            n.name,
+            n.addr,
+            if n.up { "up" } else { "DOWN" },
+            n.req_s,
+            n.err_s,
+            n.p50_ms,
+            n.p99_ms,
+            n.hit_rate * 100.0,
+            n.entries,
+            n.evict_s,
+            n.open,
+            n.shed_s,
+            fmt_bytes(n.rss_bytes),
+            fmt_uptime(n.uptime_s),
+        )?;
+    }
+    let hit_now = frame.hit_ring.last().copied().unwrap_or(0.0);
+    writeln!(
+        out,
+        "fleet  req/s {:>8.1}  [{}]",
+        fleet_req,
+        sparkline(&frame.req_ring, 60)
+    )?;
+    writeln!(
+        out,
+        "fleet  hit%  {:>7.1}%  [{}]",
+        hit_now * 100.0,
+        sparkline(&frame.hit_ring, 60)
+    )?;
+    if !frame.stages.is_empty() {
+        let cells: Vec<String> = frame
+            .stages
+            .iter()
+            .map(|(name, h, m)| {
+                let rate = if h + m > 0 {
+                    *h as f64 / (h + m) as f64
+                } else {
+                    0.0
+                };
+                format!("{name} {:.0}%", rate * 100.0)
+            })
+            .collect();
+        writeln!(out, "stages {}", cells.join("  "))?;
+    }
+    for e in &frame.errors {
+        writeln!(out, "! {e}")?;
+    }
+    Ok(())
+}
+
+/// Runs the console loop: clear, poll, repaint, sleep — until
+/// `config.frames` frames have rendered (or forever).
+pub fn run_top(config: &TopConfig, out: &mut dyn Write) -> Result<(), String> {
+    if config.gateway.is_some() != config.workers.is_empty() {
+        return Err("`top` needs exactly one of --addr (a gateway) or --backends (workers)".into());
+    }
+    let mut rendered = 0u64;
+    loop {
+        let frame = match &config.gateway {
+            Some(addr) => collect_gateway(addr, config.timeouts),
+            None => collect_workers(&config.workers, config.timeouts),
+        };
+        // Home + clear-to-end: repaint in place without flashing the
+        // whole terminal the way a full clear-screen would.
+        let mut text = Vec::new();
+        let _ = write!(text, "\x1b[H\x1b[J");
+        render(&frame, config.interval, &mut text).map_err(|e| format!("rendering frame: {e}"))?;
+        out.write_all(&text)
+            .and_then(|()| out.flush())
+            .map_err(|e| format!("writing frame: {e}"))?;
+        rendered += 1;
+        if config.frames.is_some_and(|n| rendered >= n) {
+            return Ok(());
+        }
+        std::thread::sleep(config.interval);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn history_fixture() -> Value {
+        serde::json::parse(
+            r#"{
+                "service": "mcdla-serve",
+                "timestamps_ms": [1000, 2000, 3000],
+                "series": {
+                    "req_per_s": [1.0, 2.0, 4.0],
+                    "err_per_s": [0.0, 0.0, 1.0],
+                    "simulate.p50_ms": [0.5, 0.4, 0.3],
+                    "simulate.p99_ms": [2.0, 1.5, 1.0],
+                    "grid.p50_ms": [0.0, 0.0, 0.0],
+                    "grid.p99_ms": [0.0, 0.0, 0.0],
+                    "store.hit_rate": [0.0, 0.5, 0.9],
+                    "store.hits_per_s": [0.0, 1.0, 9.0],
+                    "store.misses_per_s": [1.0, 1.0, 1.0],
+                    "store.entries": [1, 2, 3],
+                    "store.evictions_per_s": [0, 0, 0],
+                    "conns.open": [1, 1, 2],
+                    "conns.shed_per_s": [0, 0, 0],
+                    "rss_bytes": [1000000, 1100000, 1200000],
+                    "uptime_seconds": [1, 2, 3]
+                }
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn node_rows_read_the_newest_sample() {
+        let row = node_row("w0".into(), "127.0.0.1:1".into(), &history_fixture());
+        assert!(row.up);
+        assert_eq!(row.req_s, 4.0);
+        assert_eq!(row.hit_rate, 0.9);
+        assert_eq!(row.p99_ms, 1.0);
+        assert_eq!(row.entries, 3.0);
+    }
+
+    #[test]
+    fn sparklines_scale_to_the_ring_max() {
+        let line = sparkline(&[0.0, 5.0, 10.0], 60);
+        assert_eq!(line.len(), 3);
+        assert!(line.starts_with(' '), "zero maps to the lowest level");
+        assert!(line.ends_with('@'), "max maps to the highest level");
+        // Constant-zero rings stay flat rather than dividing by zero.
+        assert_eq!(sparkline(&[0.0, 0.0], 60), "  ");
+        // Width caps the tail.
+        assert_eq!(sparkline(&[1.0; 100], 10).len(), 10);
+    }
+
+    #[test]
+    fn stage_tables_fold_duplication_invariantly() {
+        let stats = serde::json::parse(
+            r#"{"store": {"stages": [
+                {"stage": "fabric", "hits": 90, "misses": 10},
+                {"stage": "plan", "hits": 50, "misses": 50}
+            ]}}"#,
+        )
+        .unwrap();
+        let mut stages = Vec::new();
+        // Two identical worker reports of the shared global tables.
+        fold_stages(&mut stages, &stats);
+        fold_stages(&mut stages, &stats);
+        assert_eq!(stages.len(), 2);
+        let (name, h, m) = &stages[0];
+        assert_eq!(name, "fabric");
+        // Ratio of sums equals each copy's own 90%.
+        assert!((*h as f64 / (*h + *m) as f64 - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frames_render_rows_sparklines_and_stages() {
+        let frame = Frame {
+            source: "2 workers".into(),
+            nodes: vec![
+                node_row("w0".into(), "127.0.0.1:7878".into(), &history_fixture()),
+                NodeRow {
+                    name: "w1".into(),
+                    addr: "127.0.0.1:7879".into(),
+                    up: false,
+                    ..NodeRow::default()
+                },
+            ],
+            req_ring: vec![1.0, 2.0, 4.0],
+            hit_ring: vec![0.0, 0.5, 0.9],
+            stages: vec![("fabric".into(), 90, 10)],
+            errors: vec!["127.0.0.1:7879: history unreachable".into()],
+        };
+        let mut out = Vec::new();
+        render(&frame, Duration::from_secs(1), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("mcdla top — 2 workers · 1/2 up"), "{text}");
+        assert!(text.contains("w0"), "{text}");
+        assert!(text.contains("DOWN"), "{text}");
+        assert!(text.contains("fleet  req/s"), "{text}");
+        assert!(text.contains("90.0%"), "{text}");
+        assert!(text.contains("stages fabric 90%"), "{text}");
+        assert!(text.contains("history unreachable"), "{text}");
+    }
+
+    #[test]
+    fn ring_sums_align_from_the_tail() {
+        let sum = sum_rings(&[vec![1.0, 2.0, 3.0], vec![10.0, 20.0]]);
+        // Shortest ring wins: the overlap is the last two samples.
+        assert_eq!(sum, vec![12.0, 23.0]);
+        assert!(sum_rings(&[]).is_empty());
+    }
+
+    #[test]
+    fn top_rejects_ambiguous_targets() {
+        let both = TopConfig {
+            gateway: Some("127.0.0.1:1".into()),
+            workers: vec!["127.0.0.1:2".into()],
+            interval: Duration::from_millis(1),
+            frames: Some(1),
+            timeouts: Timeouts::default(),
+        };
+        let mut out = Vec::new();
+        assert!(run_top(&both, &mut out).is_err());
+        let neither = TopConfig {
+            gateway: None,
+            workers: Vec::new(),
+            interval: Duration::from_millis(1),
+            frames: Some(1),
+            timeouts: Timeouts::default(),
+        };
+        assert!(run_top(&neither, &mut out).is_err());
+    }
+}

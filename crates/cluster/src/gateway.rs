@@ -16,14 +16,17 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use mcdla_core::Scenario;
-use mcdla_obs::{FlightRecorder, TraceRecord, TraceScope};
+use mcdla_obs::{
+    rss_bytes, unix_ms, FlightRecorder, HistogramSnapshot, History, Sampler, TraceRecord,
+    TraceScope,
+};
 use mcdla_serve::accept::{
     spawn_event_loop, FastAnswer, LoopConfig, LoopHandle, LoopStats, Service,
 };
 use mcdla_serve::client::Timeouts;
 use mcdla_serve::http::{
     error_body, finish_chunked, query_flag, query_param, split_target, write_chunk,
-    write_chunked_head_with, write_response, write_response_with, Request, WireError,
+    write_chunked_head_with, write_response_with, Request, WireError,
 };
 use mcdla_serve::metrics::MetricsBuilder;
 use mcdla_serve::trace::{self, LatencyFamily, REQUEST_ID_HEADER};
@@ -63,6 +66,9 @@ pub struct GatewayConfig {
     /// Admission-queue bound: fleet-bound requests waiting beyond the
     /// worker pool; the next one is answered 429 + `Retry-After`.
     pub queue_depth: usize,
+    /// Telemetry sampling cadence in milliseconds. `None` defers to
+    /// `MCDLA_SAMPLE_MS` (default 1s); `Some(0)` disables the sampler.
+    pub sample_ms: Option<u64>,
 }
 
 impl Default for GatewayConfig {
@@ -76,6 +82,7 @@ impl Default for GatewayConfig {
             max_idle_per_worker: 16,
             loops: 1,
             queue_depth: 128,
+            sample_ms: None,
         }
     }
 }
@@ -132,12 +139,107 @@ const ENDPOINT_LABELS: &[&str] = &[
 fn endpoint_label(path: &str) -> &'static str {
     match path {
         "/healthz" => "healthz",
-        "/cluster/stats" => "cluster_stats",
-        "/metrics" => "metrics",
+        "/cluster/stats" | "/cluster/history" => "cluster_stats",
+        "/metrics" | "/metrics/history" => "metrics",
         "/simulate" => "simulate",
         "/grid" => "grid",
         p if p.starts_with("/debug/") => "debug",
         _ => "other",
+    }
+}
+
+/// The gateway's retained series, in record order. This list and
+/// [`GatewayTick::series_values`] must enumerate the same series in the
+/// same order — [`History::record`] panics on any arity drift.
+fn gateway_series_names() -> Vec<String> {
+    let mut names = vec!["req_per_s".to_string(), "err_per_s".to_string()];
+    for ep in ENDPOINT_LABELS {
+        names.push(format!("{ep}.req_per_s"));
+        names.push(format!("{ep}.p50_ms"));
+        names.push(format!("{ep}.p99_ms"));
+    }
+    names.extend(
+        [
+            "conns.open",
+            "conns.shed_per_s",
+            "conns.timeouts_per_s",
+            "fleet.failovers_per_s",
+            "fleet.retries_per_s",
+            "fleet.workers_up",
+            "rss_bytes",
+            "uptime_seconds",
+        ]
+        .map(String::from),
+    );
+    names
+}
+
+/// One sampler tick's snapshot of every monotone counter the gateway
+/// series derive from; consecutive ticks difference into windowed
+/// rates and quantiles.
+struct GatewayTick {
+    at: Instant,
+    errors: u64,
+    shed: u64,
+    timeouts: u64,
+    open: u64,
+    failovers: u64,
+    retries: u64,
+    workers_up: u64,
+    uptime_s: f64,
+    latency: Vec<HistogramSnapshot>,
+}
+
+impl GatewayTick {
+    fn capture(state: &GatewayState) -> GatewayTick {
+        GatewayTick {
+            at: Instant::now(),
+            errors: state.requests.errors.load(Ordering::Relaxed),
+            shed: state.loop_stats.shed(),
+            timeouts: state.loop_stats.request_timeouts(),
+            open: state.loop_stats.open(),
+            failovers: state.router.failovers.load(Ordering::Relaxed),
+            retries: state.router.retries(),
+            workers_up: state.router.up_count() as u64,
+            uptime_s: state.started.elapsed().as_secs_f64(),
+            latency: state
+                .latency
+                .snapshots()
+                .into_iter()
+                .map(|(_, s)| s)
+                .collect(),
+        }
+    }
+
+    /// The values for one history sample, in [`gateway_series_names`]
+    /// order, windowed against the previous tick.
+    fn series_values(&self, prev: &GatewayTick) -> Vec<f64> {
+        let dt = self.at.duration_since(prev.at).as_secs_f64().max(1e-3);
+        let rate = |now: u64, then: u64| now.saturating_sub(then) as f64 / dt;
+        let windows: Vec<HistogramSnapshot> = self
+            .latency
+            .iter()
+            .zip(&prev.latency)
+            .map(|(now, then)| now.delta(then))
+            .collect();
+        let total: u64 = windows.iter().map(HistogramSnapshot::count).sum();
+        let mut values = vec![total as f64 / dt, rate(self.errors, prev.errors)];
+        for w in &windows {
+            values.push(w.count() as f64 / dt);
+            values.push(w.quantile(0.5) * 1e3);
+            values.push(w.quantile(0.99) * 1e3);
+        }
+        values.extend([
+            self.open as f64,
+            rate(self.shed, prev.shed),
+            rate(self.timeouts, prev.timeouts),
+            rate(self.failovers, prev.failovers),
+            rate(self.retries, prev.retries),
+            self.workers_up as f64,
+            rss_bytes().unwrap_or(0) as f64,
+            self.uptime_s,
+        ]);
+        values
     }
 }
 
@@ -154,10 +256,13 @@ struct GatewayState {
     recorder: FlightRecorder,
     latency: LatencyFamily,
     slow_ms: Option<u64>,
+    /// Retained telemetry rings, fed by the background sampler.
+    history: Arc<History>,
 }
 
-/// Finishes the request trace: records it, observes the endpoint
-/// latency, and emits the slow-request line when over threshold.
+/// Finishes the request trace: records it and observes the endpoint
+/// latency. The wide event is emitted by the call site — only it knows
+/// the queue time and byte count.
 fn finish_trace(
     state: &GatewayState,
     scope: TraceScope,
@@ -169,7 +274,6 @@ fn finish_trace(
     if let Some(hist) = state.latency.get(endpoint) {
         hist.observe(record.total_us as f64 / 1e6);
     }
-    trace::log_if_slow("mcdla-gateway", state.slow_ms, &record);
     state.recorder.record(record)
 }
 
@@ -179,6 +283,7 @@ pub struct Gateway {
     listener: TcpListener,
     loop_config: LoopConfig,
     probe_interval: Option<Duration>,
+    sample_ms: Option<u64>,
     state: Arc<GatewayState>,
 }
 
@@ -190,6 +295,7 @@ pub struct GatewayHandle {
     state: Arc<GatewayState>,
     loops: LoopHandle,
     prober: Option<std::thread::JoinHandle<()>>,
+    sampler: Option<Sampler>,
 }
 
 impl Gateway {
@@ -208,6 +314,16 @@ impl Gateway {
         // Serving turns tracing on process-wide (spans are otherwise
         // inert so batch runs pay nothing).
         mcdla_obs::set_enabled(true);
+        let sample_ms = match config.sample_ms {
+            Some(0) => None,
+            Some(n) => Some(n),
+            None => mcdla_obs::sample_ms_from_env(),
+        };
+        let history = Arc::new(History::new(
+            gateway_series_names(),
+            mcdla_obs::history_cap_from_env(),
+            sample_ms.unwrap_or(0),
+        ));
         Ok(Gateway {
             listener,
             loop_config: LoopConfig {
@@ -218,6 +334,7 @@ impl Gateway {
                 request_timeout: READ_TIMEOUT,
             },
             probe_interval: config.probe_interval,
+            sample_ms,
             state: Arc::new(GatewayState {
                 router,
                 shutdown: AtomicBool::new(false),
@@ -227,6 +344,7 @@ impl Gateway {
                 recorder: FlightRecorder::from_env(),
                 latency: LatencyFamily::new(ENDPOINT_LABELS),
                 slow_ms: trace::slow_ms_from_env(),
+                history,
             }),
         })
     }
@@ -265,11 +383,23 @@ impl Gateway {
             ),
             None => None,
         };
+        let sampler = self.sample_ms.map(|interval_ms| {
+            let state = self.state.clone();
+            let mut previous = GatewayTick::capture(&state);
+            Sampler::spawn(interval_ms, move || {
+                let current = GatewayTick::capture(&state);
+                state
+                    .history
+                    .record(unix_ms(), &current.series_values(&previous));
+                previous = current;
+            })
+        });
         Ok(GatewayHandle {
             addr,
             state: self.state,
             loops,
             prober,
+            sampler,
         })
     }
 
@@ -303,6 +433,9 @@ impl GatewayHandle {
     /// so no thread is parked in a blocking read anywhere.
     pub fn shutdown(self) {
         self.state.shutdown.store(true, Ordering::SeqCst);
+        if let Some(sampler) = self.sampler {
+            sampler.stop();
+        }
         self.loops.shutdown();
         if let Some(p) = self.prober {
             let _ = p.join();
@@ -341,8 +474,8 @@ impl Service for GatewayService {
         respond_fast(&self.state, request)
     }
 
-    fn handle(&self, request: &Request, stream: &mut TcpStream) -> bool {
-        respond_heavy(&self.state, request, stream)
+    fn handle(&self, request: &Request, stream: &mut TcpStream, queued: Duration) -> bool {
+        respond_heavy(&self.state, request, stream, queued)
     }
 
     fn shed(&self, request: &Request) -> FastAnswer {
@@ -351,9 +484,7 @@ impl Service for GatewayService {
 
     fn wire_error(&self, error: &WireError) -> Vec<u8> {
         self.state.requests.errors.fetch_add(1, Ordering::Relaxed);
-        let mut out = Vec::new();
-        let _ = write_response(&mut out, error.status, &error_body(&error.message), false);
-        out
+        trace::wire_error_answer("gateway", "mcdla-gateway", error)
     }
 }
 
@@ -369,7 +500,16 @@ fn shed_answer(state: &GatewayState, request: &Request) -> FastAnswer {
     if let Some(hist) = state.latency.get(endpoint) {
         hist.observe(record.total_us as f64 / 1e6);
     }
-    trace::log_if_slow("mcdla-gateway", state.slow_ms, &record);
+    trace::wide_event(
+        "gateway",
+        "mcdla-gateway",
+        state.slow_ms,
+        &record,
+        None,
+        0,
+        0,
+        &[],
+    );
     state.recorder.record(record);
     let keep_alive = request.keep_alive && !state.shutdown.load(Ordering::SeqCst);
     let mut out = Vec::new();
@@ -395,7 +535,10 @@ fn respond_fast(state: &Arc<GatewayState>, request: &Request) -> Option<FastAnsw
     let (path, query) = split_target(&request.path);
     if matches!(
         (request.method.as_str(), path),
-        ("POST", "/simulate") | ("POST", "/grid") | ("GET", "/cluster/stats")
+        ("POST", "/simulate")
+            | ("POST", "/grid")
+            | ("GET", "/cluster/stats")
+            | ("GET", "/cluster/history")
     ) {
         return None;
     }
@@ -423,6 +566,16 @@ fn respond_fast(state: &Arc<GatewayState>, request: &Request) -> Option<FastAnsw
     } else {
         outcome.body
     };
+    trace::wide_event(
+        "gateway",
+        "mcdla-gateway",
+        state.slow_ms,
+        &record,
+        None,
+        0,
+        body.len() as u64,
+        &[],
+    );
     let mut out = Vec::new();
     let _ = write_response_with(
         &mut out,
@@ -442,12 +595,18 @@ fn respond_fast(state: &Arc<GatewayState>, request: &Request) -> Option<FastAnsw
 /// stream: `/simulate` forwards, `/grid` scatters (buffered and
 /// streamed), and `/cluster/stats` scrapes. Returns whether the
 /// connection should stay open.
-fn respond_heavy(state: &Arc<GatewayState>, request: &Request, writer: &mut TcpStream) -> bool {
+fn respond_heavy(
+    state: &Arc<GatewayState>,
+    request: &Request,
+    writer: &mut TcpStream,
+    queued: Duration,
+) -> bool {
     let keep_alive = request.keep_alive && !state.shutdown.load(Ordering::SeqCst);
     let (path, query) = split_target(&request.path);
     let endpoint = endpoint_label(path);
     let rid = trace::request_trace_id(request);
     let traced = query_flag(query, "trace");
+    let queue_us = queued.as_micros().min(u128::from(u64::MAX)) as u64;
     let scope = TraceScope::begin();
     if request.method == "POST" && path == "/grid" && query_flag(query, "stream") {
         state.requests.grid.fetch_add(1, Ordering::Relaxed);
@@ -459,10 +618,20 @@ fn respond_heavy(state: &Arc<GatewayState>, request: &Request, writer: &mut TcpS
             Ok(StreamOutcome::Streamed { .. }) => 200,
             Err(_) => 500,
         };
-        finish_trace(state, scope, &rid, endpoint, status);
+        let record = finish_trace(state, scope, &rid, endpoint, status);
         return match outcome {
             Ok(StreamOutcome::Rejected(outcome)) => {
                 state.requests.errors.fetch_add(1, Ordering::Relaxed);
+                trace::wide_event(
+                    "gateway",
+                    "mcdla-gateway",
+                    state.slow_ms,
+                    &record,
+                    None,
+                    queue_us,
+                    outcome.body.len() as u64,
+                    &[("stream", true.into())],
+                );
                 write_response_with(
                     writer,
                     outcome.status,
@@ -474,7 +643,17 @@ fn respond_heavy(state: &Arc<GatewayState>, request: &Request, writer: &mut TcpS
                 .is_ok()
                     && keep_alive
             }
-            Ok(StreamOutcome::Streamed { clean }) => {
+            Ok(StreamOutcome::Streamed { bytes, clean }) => {
+                trace::wide_event(
+                    "gateway",
+                    "mcdla-gateway",
+                    state.slow_ms,
+                    &record,
+                    None,
+                    queue_us,
+                    bytes,
+                    &[("stream", true.into()), ("clean", clean.into())],
+                );
                 let _ = writer.flush();
                 clean && keep_alive
             }
@@ -482,6 +661,16 @@ fn respond_heavy(state: &Arc<GatewayState>, request: &Request, writer: &mut TcpS
             // chunk, exactly like the worker.
             Err(_) => {
                 state.requests.errors.fetch_add(1, Ordering::Relaxed);
+                trace::wide_event(
+                    "gateway",
+                    "mcdla-gateway",
+                    state.slow_ms,
+                    &record,
+                    None,
+                    queue_us,
+                    0,
+                    &[("stream", true.into()), ("panic", true.into())],
+                );
                 false
             }
         };
@@ -492,6 +681,7 @@ fn respond_heavy(state: &Arc<GatewayState>, request: &Request, writer: &mut TcpS
     if outcome.status >= 400 {
         state.requests.errors.fetch_add(1, Ordering::Relaxed);
     }
+    let upstream = outcome.upstream;
     let record = finish_trace(state, scope, &rid, endpoint, outcome.status);
     let body = if traced && outcome.status < 400 && outcome.content_type == "application/json" {
         let mut tv = trace::trace_value("mcdla-gateway", &record);
@@ -502,6 +692,20 @@ fn respond_heavy(state: &Arc<GatewayState>, request: &Request, writer: &mut TcpS
     } else {
         outcome.body
     };
+    let extra: Vec<(&str, mcdla_obs::log::LogValue)> = match upstream {
+        Some(worker) => vec![("worker", (worker as u64).into())],
+        None => Vec::new(),
+    };
+    trace::wide_event(
+        "gateway",
+        "mcdla-gateway",
+        state.slow_ms,
+        &record,
+        None,
+        queue_us,
+        body.len() as u64,
+        &extra,
+    );
     write_response_with(
         writer,
         outcome.status,
@@ -608,6 +812,21 @@ fn route(request: &Request, state: &Arc<GatewayState>, rid: &str) -> Outcome {
             state.requests.cluster_stats.fetch_add(1, Ordering::Relaxed);
             Outcome::ok(serde::json::to_string_pretty(&cluster_stats_value(state)))
         }
+        ("GET", "/cluster/history") => {
+            state.requests.cluster_stats.fetch_add(1, Ordering::Relaxed);
+            Outcome::ok(serde::json::to_string_pretty(&cluster_history_value(
+                state, query,
+            )))
+        }
+        ("GET", "/metrics/history") => {
+            state.requests.metrics.fetch_add(1, Ordering::Relaxed);
+            let (filter, last) = trace::history_query(query);
+            let dump = state.history.dump(filter.as_deref(), last);
+            Outcome::ok(serde::json::to_string_pretty(&trace::history_value(
+                "mcdla-gateway",
+                &dump,
+            )))
+        }
         ("GET", "/metrics") => {
             state.requests.metrics.fetch_add(1, Ordering::Relaxed);
             Outcome {
@@ -646,9 +865,10 @@ fn route(request: &Request, state: &Arc<GatewayState>, rid: &str) -> Outcome {
                 None => Outcome::error(404, &format!("no trace recorded for request id `{id}`")),
             }
         }
-        (_, "/healthz" | "/cluster/stats" | "/metrics") => {
-            Outcome::error(405, "use GET on this endpoint")
-        }
+        (
+            _,
+            "/healthz" | "/cluster/stats" | "/cluster/history" | "/metrics" | "/metrics/history",
+        ) => Outcome::error(405, "use GET on this endpoint"),
         (_, "/simulate" | "/grid") => {
             Outcome::error(405, "use POST with a JSON body on this endpoint")
         }
@@ -731,7 +951,11 @@ enum StreamOutcome {
     /// The 200 head went out. `clean` is false when a worker stream or
     /// the client write failed mid-flight — the gateway then closes
     /// without the terminal chunk, exactly the worker's contract.
-    Streamed { clean: bool },
+    Streamed {
+        /// Payload bytes forwarded (cell lines, not chunk framing).
+        bytes: u64,
+        clean: bool,
+    },
 }
 
 /// Scatter-gather streaming: open one `?stream=1` sub-stream per owning
@@ -817,24 +1041,34 @@ fn stream_grid(
     }
 
     if write_chunked_head_with(writer, 200, &[(REQUEST_ID_HEADER, rid)], keep_alive).is_err() {
-        return StreamOutcome::Streamed { clean: false };
+        return StreamOutcome::Streamed {
+            bytes: 0,
+            clean: false,
+        };
     }
 
     // Drain phase: worker-index-ordered partitions, lines forwarded as
     // raw bytes (cell payloads stay byte-identical to the worker's).
+    let mut bytes = 0u64;
     for (mut conn, indices, worker_idx) in opened {
         let worker = &router.workers()[worker_idx];
         let mut stream = match conn.get().read_stream() {
             Ok(stream) => stream,
             Err(e) => {
                 worker.mark_down(&e);
-                return StreamOutcome::Streamed { clean: false };
+                return StreamOutcome::Streamed {
+                    bytes,
+                    clean: false,
+                };
             }
         };
         if stream.status != 200 {
             worker.failures.fetch_add(1, Ordering::Relaxed);
             stream.abandon();
-            return StreamOutcome::Streamed { clean: false };
+            return StreamOutcome::Streamed {
+                bytes,
+                clean: false,
+            };
         }
         let mut lines = 0usize;
         loop {
@@ -850,15 +1084,22 @@ fn stream_grid(
                             // draining) closes the worker connection,
                             // cancelling its remaining cells.
                             stream.abandon();
-                            return StreamOutcome::Streamed { clean: false };
+                            return StreamOutcome::Streamed {
+                                bytes,
+                                clean: false,
+                            };
                         }
+                        bytes += line.len() as u64;
                     }
                     lines += 1;
                 }
                 Some(Err(e)) => {
                     worker.mark_down(&format!("sub-stream died: {e}"));
                     stream.abandon();
-                    return StreamOutcome::Streamed { clean: false };
+                    return StreamOutcome::Streamed {
+                        bytes,
+                        clean: false,
+                    };
                 }
                 None => break,
             }
@@ -871,12 +1112,16 @@ fn stream_grid(
                 "sub-stream ended cleanly after {lines} of {} cells",
                 indices.len()
             ));
-            return StreamOutcome::Streamed { clean: false };
+            return StreamOutcome::Streamed {
+                bytes,
+                clean: false,
+            };
         }
         worker.answered.fetch_add(1, Ordering::Relaxed);
         // `conn` drops here un-parked — fresh-per-stream policy.
     }
     StreamOutcome::Streamed {
+        bytes,
         clean: finish_chunked(writer).is_ok(),
     }
 }
@@ -896,6 +1141,184 @@ fn value_u64(value: &Value, path: &[&str]) -> Option<u64> {
         Value::F64(n) if *n >= 0.0 => Some(*n as u64),
         _ => None,
     }
+}
+
+/// Pulls an `f64` out of a JSON scalar.
+fn value_f64(value: &Value) -> Option<f64> {
+    match value {
+        Value::F64(n) => Some(*n),
+        Value::U64(n) => Some(*n as f64),
+        Value::I64(n) => Some(*n as f64),
+        _ => None,
+    }
+}
+
+/// Pulls one named series out of a worker's `/metrics/history` body.
+fn history_series(history: &Value, name: &str) -> Option<Vec<f64>> {
+    let Value::Map(entries) = history else {
+        return None;
+    };
+    let series = &entries.iter().find(|(k, _)| k == "series")?.1;
+    let Value::Map(series) = series else {
+        return None;
+    };
+    let Value::Seq(points) = &series.iter().find(|(k, _)| k == name)?.1 else {
+        return None;
+    };
+    Some(points.iter().filter_map(value_f64).collect())
+}
+
+/// Pulls the timestamp ring out of a worker's `/metrics/history` body.
+fn history_timestamps(history: &Value) -> Option<Vec<u64>> {
+    let Value::Map(entries) = history else {
+        return None;
+    };
+    let Value::Seq(points) = &entries.iter().find(|(k, _)| k == "timestamps_ms")?.1 else {
+        return None;
+    };
+    Some(
+        points
+            .iter()
+            .filter_map(|v| value_f64(v).map(|n| n as u64))
+            .collect(),
+    )
+}
+
+/// `GET /cluster/history`: the gateway's own retained series plus one
+/// `GET /metrics/history` scrape of every worker, with fleet-wide
+/// aggregates. Workers sample on independent clocks, so the fleet view
+/// aligns rings **from the tail** — sample `j` of the fleet series sums
+/// the `j`-th-from-last sample of every reachable worker — and only
+/// spans the window every reachable worker has retained. `?last=` is
+/// forwarded to the workers; `?series=` filters only the gateway's own
+/// block (the fleet aggregate always needs the store series).
+/// One worker's scraped rings: (timestamps, req/s, hits/s, misses/s).
+type WorkerTail = (Vec<u64>, Vec<f64>, Vec<f64>, Vec<f64>);
+
+fn cluster_history_value(state: &Arc<GatewayState>, query: Option<&str>) -> Value {
+    let (filter, last) = trace::history_query(query);
+    let router = &state.router;
+    let path = match last {
+        Some(n) => format!("/metrics/history?last={n}"),
+        None => "/metrics/history".to_owned(),
+    };
+    // Tail-aligned accumulators: per-worker (timestamps, req, hits,
+    // misses) kept until every reachable worker has answered.
+    let mut tails: Vec<WorkerTail> = Vec::new();
+    let mut workers = Vec::new();
+    let mut up = 0u64;
+    for (i, worker) in router.workers().iter().enumerate() {
+        let mut entry = vec![
+            ("index".into(), Value::U64(i as u64)),
+            ("addr".into(), Value::Str(worker.addr().to_owned())),
+        ];
+        match worker.pool().request("GET", &path, None) {
+            Ok(response) if response.status == 200 => {
+                worker.mark_up();
+                up += 1;
+                match serde::json::parse(&response.body) {
+                    Ok(history) => {
+                        let timestamps = history_timestamps(&history).unwrap_or_default();
+                        let req = history_series(&history, "req_per_s").unwrap_or_default();
+                        let hits = history_series(&history, "store.hits_per_s").unwrap_or_default();
+                        let misses =
+                            history_series(&history, "store.misses_per_s").unwrap_or_default();
+                        tails.push((timestamps, req, hits, misses));
+                        entry.push(("up".into(), Value::Bool(true)));
+                        entry.push(("history".into(), history));
+                    }
+                    Err(_) => {
+                        entry.push(("up".into(), Value::Bool(true)));
+                        entry.push(("history".into(), Value::Null));
+                    }
+                }
+            }
+            Ok(response) => {
+                entry.push(("up".into(), Value::Bool(worker.is_up())));
+                entry.push((
+                    "error".into(),
+                    Value::Str(format!("history answered HTTP {}", response.status)),
+                ));
+            }
+            Err(e) => {
+                worker.mark_down(&e);
+                entry.push(("up".into(), Value::Bool(false)));
+                entry.push(("error".into(), Value::Str(e)));
+            }
+        }
+        workers.push(Value::Map(entry));
+    }
+
+    // The overlapping window: the shortest retained tail across every
+    // scraped worker (zero when any worker has no samples yet).
+    let samples = tails.iter().map(|(ts, ..)| ts.len()).min().unwrap_or(0);
+    let tail = |ring: &[f64], j: usize| ring[ring.len() - samples + j];
+    let mut timestamps = Vec::with_capacity(samples);
+    let mut fleet_req = Vec::with_capacity(samples);
+    let mut fleet_hits = Vec::with_capacity(samples);
+    let mut fleet_misses = Vec::with_capacity(samples);
+    let mut fleet_hit_rate = Vec::with_capacity(samples);
+    for j in 0..samples {
+        // Each fleet sample is stamped with the newest worker stamp it
+        // folds in — the most recent moment the sample describes.
+        timestamps.push(Value::U64(
+            tails
+                .iter()
+                .map(|(ts, ..)| ts[ts.len() - samples + j])
+                .max()
+                .unwrap_or(0),
+        ));
+        let (mut req, mut hits, mut misses) = (0.0, 0.0, 0.0);
+        for (_, r, h, m) in &tails {
+            // A worker tail shorter than `samples` cannot happen (the
+            // window is the minimum), but stay defensive on ring sizes.
+            if r.len() >= samples {
+                req += tail(r, j);
+            }
+            if h.len() >= samples {
+                hits += tail(h, j);
+            }
+            if m.len() >= samples {
+                misses += tail(m, j);
+            }
+        }
+        fleet_req.push(Value::F64(req));
+        fleet_hits.push(Value::F64(hits));
+        fleet_misses.push(Value::F64(misses));
+        fleet_hit_rate.push(Value::F64(if hits + misses > 0.0 {
+            hits / (hits + misses)
+        } else {
+            0.0
+        }));
+    }
+
+    let gateway_dump = state.history.dump(filter.as_deref(), last);
+    Value::Map(vec![
+        ("service".into(), Value::Str("mcdla-gateway".into())),
+        (
+            "gateway".into(),
+            trace::history_value("mcdla-gateway", &gateway_dump),
+        ),
+        (
+            "fleet".into(),
+            Value::Map(vec![
+                ("workers".into(), Value::U64(router.workers().len() as u64)),
+                ("up".into(), Value::U64(up)),
+                ("samples".into(), Value::U64(samples as u64)),
+                ("timestamps_ms".into(), Value::Seq(timestamps)),
+                (
+                    "series".into(),
+                    Value::Map(vec![
+                        ("req_per_s".into(), Value::Seq(fleet_req)),
+                        ("store.hits_per_s".into(), Value::Seq(fleet_hits)),
+                        ("store.misses_per_s".into(), Value::Seq(fleet_misses)),
+                        ("store.hit_rate".into(), Value::Seq(fleet_hit_rate)),
+                    ]),
+                ),
+            ]),
+        ),
+        ("workers".into(), Value::Seq(workers)),
+    ])
 }
 
 /// `GET /cluster/stats`: gateway counters plus one `GET /stats` scrape
@@ -1177,6 +1600,10 @@ pub struct FleetConfig {
     pub timeouts: Timeouts,
     /// Gateway health-probe period.
     pub probe_interval: Option<Duration>,
+    /// Telemetry sampling cadence for every node (worker and gateway),
+    /// in milliseconds. `None` defers to `MCDLA_SAMPLE_MS`; `Some(0)`
+    /// disables sampling fleet-wide.
+    pub sample_ms: Option<u64>,
 }
 
 impl Default for FleetConfig {
@@ -1190,6 +1617,7 @@ impl Default for FleetConfig {
             gateway_threads: 8,
             timeouts: Timeouts::default(),
             probe_interval: Some(Duration::from_secs(2)),
+            sample_ms: None,
         }
     }
 }
@@ -1218,6 +1646,7 @@ pub fn spawn_local_fleet(config: &FleetConfig) -> Result<LocalFleet, String> {
                 .snapshot_prefix
                 .as_deref()
                 .map(|prefix| worker_snapshot_path(prefix, i)),
+            sample_ms: config.sample_ms,
             ..ServeConfig::default()
         })?;
         let handle = server
@@ -1233,6 +1662,7 @@ pub fn spawn_local_fleet(config: &FleetConfig) -> Result<LocalFleet, String> {
         timeouts: config.timeouts,
         probe_interval: config.probe_interval,
         max_idle_per_worker: 16,
+        sample_ms: config.sample_ms,
         ..GatewayConfig::default()
     })?;
     let gateway = gateway

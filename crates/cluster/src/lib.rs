@@ -59,6 +59,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod console;
 pub mod gateway;
 mod merge;
 pub mod pool;

@@ -659,3 +659,157 @@ fn gateway_502_body_names_the_request_id() {
 
     handle.shutdown();
 }
+
+/// The ISSUE-10 acceptance scenario: a cold fleet warms up, and
+/// `GET /cluster/history` shows the hit-rate climb — a cold sample
+/// window with misses and no hits, then a later window with hits and a
+/// strictly higher hit rate — with tail-aligned fleet series and
+/// monotone timestamps.
+#[test]
+fn cluster_history_shows_the_warmup_hit_rate_climb() {
+    let fleet = spawn_local_fleet(&FleetConfig {
+        workers: 2,
+        worker_threads: 2,
+        gateway_threads: 4,
+        probe_interval: None,
+        sample_ms: Some(40),
+        ..FleetConfig::default()
+    })
+    .expect("spawn fleet");
+    let addr = fleet.gateway_addr().to_string();
+    let mut conn = Connection::open(&addr).expect("open gateway connection");
+
+    let cells: Vec<String> = (0..6)
+        .map(|i| {
+            scenario_json(
+                &Scenario::new(
+                    SystemDesign::DcDla,
+                    Benchmark::AlexNet,
+                    ParallelStrategy::DataParallel,
+                )
+                .with_batch(3_000 + i),
+            )
+        })
+        .collect();
+
+    // Cold phase: every cell misses. Then let the sampler tick a few
+    // windows so the misses land in their own samples.
+    for body in &cells {
+        let resp = conn.request("POST", "/simulate", Some(body)).expect("cold");
+        assert_eq!(resp.status, 200, "{}", resp.body);
+    }
+    std::thread::sleep(std::time::Duration::from_millis(150));
+
+    // Warm phase: the same cells, three rounds — pure hits.
+    for _ in 0..3 {
+        for body in &cells {
+            let resp = conn.request("POST", "/simulate", Some(body)).expect("warm");
+            assert_eq!(resp.status, 200, "{}", resp.body);
+        }
+    }
+    std::thread::sleep(std::time::Duration::from_millis(150));
+
+    let resp = conn
+        .request("GET", "/cluster/history", None)
+        .expect("cluster history");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let parsed = serde::json::parse(&resp.body).expect("cluster history JSON");
+
+    // The gateway's own ring is present and sampling.
+    let gateway_samples = parsed
+        .get("gateway")
+        .and_then(|g| g.get("samples"))
+        .and_then(|v| v.as_u64())
+        .expect("gateway.samples");
+    assert!(gateway_samples > 0, "gateway sampler must have ticked");
+
+    let fleet_block = parsed.get("fleet").expect("fleet block");
+    assert_eq!(
+        fleet_block.get("up").and_then(|v| v.as_u64()),
+        Some(2),
+        "both workers reachable: {}",
+        resp.body
+    );
+    let stamps: Vec<u64> = fleet_block
+        .get("timestamps_ms")
+        .and_then(|v| v.as_seq())
+        .expect("fleet.timestamps_ms")
+        .iter()
+        .map(|v| v.as_u64().expect("timestamp"))
+        .collect();
+    assert!(!stamps.is_empty(), "fleet history must hold samples");
+    assert!(
+        stamps.windows(2).all(|w| w[0] <= w[1]),
+        "fleet timestamps must be monotone: {stamps:?}"
+    );
+
+    let series = |name: &str| -> Vec<f64> {
+        fleet_block
+            .get("series")
+            .and_then(|s| s.get(name))
+            .and_then(|v| v.as_seq())
+            .unwrap_or_else(|| panic!("fleet series {name} missing"))
+            .iter()
+            .map(|v| v.as_f64().expect("sample"))
+            .collect()
+    };
+    let hits = series("store.hits_per_s");
+    let misses = series("store.misses_per_s");
+    let hit_rate = series("store.hit_rate");
+    assert_eq!(hits.len(), stamps.len());
+    assert_eq!(hit_rate.len(), stamps.len());
+
+    // The climb: a cold window saw misses and no hits (rate 0), and a
+    // strictly later window saw hits at a strictly higher rate.
+    let cold = (0..stamps.len())
+        .find(|&j| misses[j] > 0.0 && hits[j] == 0.0)
+        .expect("a cold all-miss sample window");
+    let warm = (0..stamps.len())
+        .rfind(|&j| hits[j] > 0.0)
+        .expect("a warm sample window with hits");
+    assert!(
+        cold < warm,
+        "cold window {cold} must precede warm window {warm}"
+    );
+    assert!(
+        hit_rate[warm] > hit_rate[cold],
+        "hit rate must climb from warm-up: {hit_rate:?}"
+    );
+
+    // Per-worker rings ride along, marked up.
+    let workers = parsed
+        .get("workers")
+        .and_then(|v| v.as_seq())
+        .expect("workers array");
+    assert_eq!(workers.len(), 2);
+    for worker in workers {
+        assert!(
+            matches!(worker.get("up"), Some(Value::Bool(true))),
+            "worker must be up: {}",
+            resp.body
+        );
+        let samples = worker
+            .get("history")
+            .and_then(|h| h.get("samples"))
+            .and_then(|v| v.as_u64())
+            .expect("worker history samples");
+        assert!(samples > 0, "worker sampler must have ticked");
+    }
+
+    // `?last=` bounds every ring in the answer.
+    let resp = conn
+        .request("GET", "/cluster/history?last=2", None)
+        .expect("bounded cluster history");
+    let parsed = serde::json::parse(&resp.body).expect("bounded JSON");
+    let bounded = parsed
+        .get("fleet")
+        .and_then(|f| f.get("samples"))
+        .and_then(|v| v.as_u64())
+        .expect("bounded fleet samples");
+    assert!(
+        bounded <= 2,
+        "last=2 must bound fleet samples, got {bounded}"
+    );
+
+    fleet.shutdown();
+}

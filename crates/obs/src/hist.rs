@@ -182,6 +182,25 @@ impl HistogramSnapshot {
         BUCKET_BOUNDS[BUCKET_BOUNDS.len() - 1]
     }
 
+    /// The observations recorded since `earlier` was taken: per-bucket
+    /// saturating differences. Both snapshots must come from the same
+    /// (monotonically growing) histogram; the sampler uses this to
+    /// compute *windowed* quantiles between ticks instead of
+    /// lifetime-cumulative ones.
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (out, (now, then)) in buckets
+            .iter_mut()
+            .zip(self.buckets.iter().zip(&earlier.buckets))
+        {
+            *out = now.saturating_sub(*then);
+        }
+        HistogramSnapshot {
+            buckets,
+            sum_seconds: (self.sum_seconds - earlier.sum_seconds).max(0.0),
+        }
+    }
+
     /// The upper bound of the highest non-empty bucket, in seconds —
     /// a conservative estimate of the maximum observation. Returns 0.0
     /// for an empty histogram.
@@ -273,6 +292,26 @@ mod tests {
         assert!(p50 <= p99);
         assert!(s.max_estimate() >= 0.1);
         assert_eq!(s.quantile(0.0), s.quantile(1e-9));
+    }
+
+    #[test]
+    fn delta_isolates_the_window() {
+        let h = Histogram::new();
+        h.observe(1e-3);
+        h.observe(1e-3);
+        let before = h.snapshot();
+        h.observe(0.3);
+        h.observe(0.3);
+        h.observe(0.3);
+        let after = h.snapshot();
+        let window = after.delta(&before);
+        assert_eq!(window.count(), 3);
+        assert_eq!(window.buckets[17], 3, "all window observations ~0.3s");
+        assert!((window.sum_seconds - 0.9).abs() < 1e-9);
+        // The window quantile reflects only the new observations.
+        assert!(window.quantile(0.5) > 0.1);
+        // Empty window: identical snapshots.
+        assert_eq!(after.delta(&after).count(), 0);
     }
 
     #[test]

@@ -91,9 +91,11 @@ pub trait Service: Send + Sync + 'static {
     fn fast(&self, request: &Request) -> Option<FastAnswer>;
 
     /// Handles one request on a pool worker with a blocking stream
-    /// (buffered responses and chunked streams alike). Returns whether
-    /// the connection should stay open.
-    fn handle(&self, request: &Request, stream: &mut TcpStream) -> bool;
+    /// (buffered responses and chunked streams alike). `queued` is how
+    /// long the request waited in the admission queue before a worker
+    /// picked it up (feeds the wide-event `queue_us` field). Returns
+    /// whether the connection should stay open.
+    fn handle(&self, request: &Request, stream: &mut TcpStream, queued: Duration) -> bool;
 
     /// The load-shedding answer (429 + `Retry-After`) for a request
     /// that found the admission queue full.
@@ -194,6 +196,8 @@ struct Job {
     request: Request,
     /// Loop index to re-attach to afterwards.
     home: usize,
+    /// When the request entered the admission queue.
+    enqueued: Instant,
 }
 
 /// State shared by loops, workers, and the handle.
@@ -428,7 +432,11 @@ fn run_loop<S: Service>(
     let epoll = match Epoll::new() {
         Ok(ep) => ep,
         Err(e) => {
-            eprintln!("mcdla-serve: creating epoll instance: {e}");
+            mcdla_obs::log::error(
+                "serve",
+                "epoll_create_failed",
+                &[("error", e.to_string().into())],
+            );
             return;
         }
     };
@@ -436,12 +444,20 @@ fn run_loop<S: Service>(
     // loop per connection instead of all of them.
     let listener_events = EPOLLIN | if loop_count > 1 { EPOLLEXCLUSIVE } else { 0 };
     if let Err(e) = epoll.add(listener.as_raw_fd(), listener_events, TOKEN_LISTENER) {
-        eprintln!("mcdla-serve: registering listener: {e}");
+        mcdla_obs::log::error(
+            "serve",
+            "epoll_register_listener_failed",
+            &[("error", e.to_string().into())],
+        );
         return;
     }
     let waker_fd = core.mailboxes[loop_idx].waker.fd();
     if let Err(e) = epoll.add(waker_fd, EPOLLIN, TOKEN_WAKER) {
-        eprintln!("mcdla-serve: registering waker: {e}");
+        mcdla_obs::log::error(
+            "serve",
+            "epoll_register_waker_failed",
+            &[("error", e.to_string().into())],
+        );
         return;
     }
 
@@ -463,7 +479,11 @@ fn run_loop<S: Service>(
         let n = match epoll.wait(&mut events, sweep_every.as_millis() as i32) {
             Ok(n) => n,
             Err(e) => {
-                eprintln!("mcdla-serve: epoll_wait: {e}");
+                mcdla_obs::log::error(
+                    "serve",
+                    "epoll_wait_failed",
+                    &[("error", e.to_string().into())],
+                );
                 break;
             }
         };
@@ -701,6 +721,7 @@ fn advance<S: Service>(
                     inbox: conn.inbox,
                     request,
                     home: loop_idx,
+                    enqueued: Instant::now(),
                 };
                 if job_tx.send(job).is_err() {
                     // Workers are gone (shutdown): the connection
@@ -851,7 +872,7 @@ fn run_worker<S: Service>(
         if !job.pending_out.is_empty() && job.stream.write_all(&job.pending_out).is_err() {
             continue; // client gone; earlier responses undeliverable
         }
-        let keep = service.handle(&job.request, &mut job.stream);
+        let keep = service.handle(&job.request, &mut job.stream, job.enqueued.elapsed());
         if keep && !core.shutdown.load(Ordering::SeqCst) {
             let mailbox = &core.mailboxes[job.home];
             mailbox.inbox.lock().expect("mailbox lock").push(Reattach {

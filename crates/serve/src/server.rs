@@ -15,14 +15,17 @@ use mcdla_core::{
     SystemDesign,
 };
 use mcdla_dnn::Benchmark;
-use mcdla_obs::{FlightRecorder, Span, TraceRecord, TraceScope};
+use mcdla_obs::{
+    rss_bytes, unix_ms, FlightRecorder, HistogramSnapshot, History, Sampler, Span, TraceRecord,
+    TraceScope,
+};
 use mcdla_parallel::ParallelStrategy;
 use serde::{Deserialize, Serialize, Value};
 
 use crate::accept::{spawn_event_loop, FastAnswer, LoopConfig, LoopHandle, LoopStats, Service};
 use crate::http::{
     error_body, finish_chunked, query_flag, query_param, split_target, write_chunk,
-    write_chunked_head_with, write_response, write_response_with, Request, WireError,
+    write_chunked_head_with, write_response_with, Request, WireError,
 };
 use crate::metrics::MetricsBuilder;
 use crate::trace::{self, LatencyFamily, REQUEST_ID_HEADER};
@@ -68,6 +71,11 @@ pub struct ServeConfig {
     pub idle_timeout: Duration,
     /// Connections stalled mid-request answer 408 after this long.
     pub request_timeout: Duration,
+    /// Telemetry-sampler cadence override: `None` reads
+    /// `MCDLA_SAMPLE_MS` (default 1 s), `Some(0)` disables sampling,
+    /// `Some(n)` ticks every `n` ms. The override exists so benches can
+    /// A/B sampler-on/off in-process without racing on env vars.
+    pub sample_ms: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -81,6 +89,7 @@ impl Default for ServeConfig {
             queue_depth: 128,
             idle_timeout: READ_TIMEOUT,
             request_timeout: READ_TIMEOUT,
+            sample_ms: None,
         }
     }
 }
@@ -145,6 +154,9 @@ struct ServerState {
     latency: LatencyFamily,
     /// Slow-request log threshold (`MCDLA_SLOW_MS`; `None` = off).
     slow_ms: Option<u64>,
+    /// Retained time-series telemetry, fed by the background sampler
+    /// and served by `GET /metrics/history`.
+    history: Arc<History>,
 }
 
 impl ServerState {
@@ -154,7 +166,14 @@ impl ServerState {
         let Some(path) = &self.snapshot else { return };
         let _guard = self.snapshot_write.lock().expect("snapshot write lock");
         if let Err(e) = self.store.save(path) {
-            eprintln!("mcdla-serve: writing snapshot {}: {e}", path.display());
+            mcdla_obs::log::error(
+                "serve",
+                "snapshot_write_failed",
+                &[
+                    ("path", path.display().to_string().into()),
+                    ("error", e.to_string().into()),
+                ],
+            );
         }
     }
 }
@@ -167,6 +186,8 @@ pub struct Server {
     listener: TcpListener,
     loop_config: LoopConfig,
     state: Arc<ServerState>,
+    /// Resolved sampler cadence (`None` = sampling off).
+    sample_ms: Option<u64>,
 }
 
 /// Handle to a running server: its resolved address, a shared view of
@@ -176,6 +197,8 @@ pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<ServerState>,
     loops: LoopHandle,
+    /// The background telemetry sampler (absent when sampling is off).
+    sampler: Option<Sampler>,
 }
 
 impl Server {
@@ -194,21 +217,36 @@ impl Server {
             if path.exists() {
                 let loaded = store.load(path)?;
                 let resident = store.len();
-                eprintln!("mcdla-serve: warmed {loaded} cells from {}", path.display());
+                mcdla_obs::log::info(
+                    "serve",
+                    "snapshot_warmed",
+                    &[
+                        ("cells", loaded.into()),
+                        ("path", path.display().to_string().into()),
+                    ],
+                );
                 if resident < loaded {
                     // The file outgrew this store's capacity (e.g. it was
                     // written unbounded and we restarted with --cache-cap):
                     // compact it now so evicted cells are dropped once
                     // instead of being re-parsed on every restart.
                     match store.save(path) {
-                        Ok(()) => eprintln!(
-                            "mcdla-serve: compacted snapshot to {resident} cells \
-                             (dropped {} evicted)",
-                            loaded - resident
+                        Ok(()) => mcdla_obs::log::info(
+                            "serve",
+                            "snapshot_compacted",
+                            &[
+                                ("cells", resident.into()),
+                                ("dropped", (loaded - resident).into()),
+                            ],
                         ),
-                        Err(e) => {
-                            eprintln!("mcdla-serve: compacting snapshot {}: {e}", path.display())
-                        }
+                        Err(e) => mcdla_obs::log::error(
+                            "serve",
+                            "snapshot_compact_failed",
+                            &[
+                                ("path", path.display().to_string().into()),
+                                ("error", e.to_string().into()),
+                            ],
+                        ),
                     }
                 }
             }
@@ -223,8 +261,19 @@ impl Server {
         // sweeps skip the instrumentation); a serving process turns it
         // on for request traces and stage latency histograms.
         mcdla_obs::set_enabled(true);
+        let sample_ms = match config.sample_ms {
+            Some(0) => None,
+            Some(n) => Some(n),
+            None => mcdla_obs::sample_ms_from_env(),
+        };
+        let history = Arc::new(History::new(
+            worker_series_names(),
+            mcdla_obs::history_cap_from_env(),
+            sample_ms.unwrap_or(0),
+        ));
         Ok(Server {
             listener,
+            sample_ms,
             loop_config: LoopConfig {
                 loops: config.loops.max(1),
                 workers: config.threads,
@@ -245,6 +294,7 @@ impl Server {
                 recorder: FlightRecorder::from_env(),
                 latency: LatencyFamily::new(ENDPOINT_LABELS),
                 slow_ms: trace::slow_ms_from_env(),
+                history,
             }),
         })
     }
@@ -273,10 +323,22 @@ impl Server {
             &self.loop_config,
             self.state.loop_stats.clone(),
         )?;
+        let sampler = self.sample_ms.map(|interval_ms| {
+            let state = self.state.clone();
+            let mut previous = WorkerTick::capture(&state);
+            Sampler::spawn(interval_ms, move || {
+                let current = WorkerTick::capture(&state);
+                state
+                    .history
+                    .record(unix_ms(), &current.series_values(&previous));
+                previous = current;
+            })
+        });
         Ok(ServerHandle {
             addr,
             state: self.state,
             loops,
+            sampler,
         })
     }
 
@@ -307,8 +369,155 @@ impl ServerHandle {
     /// no thread is parked in a blocking read anywhere).
     pub fn shutdown(self) {
         self.state.shutdown.store(true, Ordering::SeqCst);
+        if let Some(sampler) = self.sampler {
+            sampler.stop();
+        }
         self.loops.shutdown();
         self.state.persist_snapshot();
+    }
+}
+
+/// The stage tables retained telemetry tracks, in series order
+/// (the fixed display order of `mcdla_core::stages::stage_stats`).
+const STAGE_LABELS: &[&str] = &[
+    "fabric",
+    "network",
+    "layer_timing",
+    "plan",
+    "schedule",
+    "collective",
+    "sync",
+];
+
+/// The worker's retained series, in record order. This list and
+/// [`WorkerTick::series_values`] must enumerate the same series in the
+/// same order — [`History::record`] panics on any arity drift.
+fn worker_series_names() -> Vec<String> {
+    let mut names = vec!["req_per_s".to_string(), "err_per_s".to_string()];
+    for ep in ENDPOINT_LABELS {
+        names.push(format!("{ep}.req_per_s"));
+        names.push(format!("{ep}.p50_ms"));
+        names.push(format!("{ep}.p99_ms"));
+    }
+    names.extend(
+        [
+            "store.hit_rate",
+            "store.hits_per_s",
+            "store.misses_per_s",
+            "store.evictions_per_s",
+            "store.entries",
+        ]
+        .map(String::from),
+    );
+    for stage in STAGE_LABELS {
+        names.push(format!("stage.{stage}.hit_rate"));
+    }
+    names.extend(
+        [
+            "conns.open",
+            "conns.shed_per_s",
+            "conns.timeouts_per_s",
+            "rss_bytes",
+            "uptime_seconds",
+        ]
+        .map(String::from),
+    );
+    names
+}
+
+/// One sampler tick's snapshot of every monotone counter the worker
+/// series derive from; consecutive ticks difference into windowed
+/// rates and quantiles.
+struct WorkerTick {
+    at: Instant,
+    errors: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    entries: u64,
+    stage_hits: Vec<u64>,
+    stage_misses: Vec<u64>,
+    shed: u64,
+    timeouts: u64,
+    open: u64,
+    uptime_s: f64,
+    latency: Vec<HistogramSnapshot>,
+}
+
+impl WorkerTick {
+    fn capture(state: &ServerState) -> WorkerTick {
+        let stats = state.store.stats();
+        let stage = |name: &str| stats.stages.iter().find(|s| s.stage == name);
+        WorkerTick {
+            at: Instant::now(),
+            errors: state.requests.errors.load(Ordering::Relaxed),
+            hits: stats.hits,
+            misses: stats.misses,
+            evictions: stats.evictions,
+            entries: stats.entries,
+            stage_hits: STAGE_LABELS
+                .iter()
+                .map(|l| stage(l).map_or(0, |s| s.hits))
+                .collect(),
+            stage_misses: STAGE_LABELS
+                .iter()
+                .map(|l| stage(l).map_or(0, |s| s.misses))
+                .collect(),
+            shed: state.loop_stats.shed(),
+            timeouts: state.loop_stats.request_timeouts(),
+            open: state.loop_stats.open(),
+            uptime_s: state.started.elapsed().as_secs_f64(),
+            latency: state
+                .latency
+                .snapshots()
+                .into_iter()
+                .map(|(_, s)| s)
+                .collect(),
+        }
+    }
+
+    /// The values for one history sample, in [`worker_series_names`]
+    /// order, windowed against the previous tick.
+    fn series_values(&self, prev: &WorkerTick) -> Vec<f64> {
+        let dt = self.at.duration_since(prev.at).as_secs_f64().max(1e-3);
+        let rate = |now: u64, then: u64| now.saturating_sub(then) as f64 / dt;
+        let ratio = |h: f64, m: f64| if h + m > 0.0 { h / (h + m) } else { 0.0 };
+        let windows: Vec<HistogramSnapshot> = self
+            .latency
+            .iter()
+            .zip(&prev.latency)
+            .map(|(now, then)| now.delta(then))
+            .collect();
+        let total: u64 = windows.iter().map(HistogramSnapshot::count).sum();
+        let mut values = vec![total as f64 / dt, rate(self.errors, prev.errors)];
+        for w in &windows {
+            values.push(w.count() as f64 / dt);
+            values.push(w.quantile(0.5) * 1e3);
+            values.push(w.quantile(0.99) * 1e3);
+        }
+        let hits_per_s = rate(self.hits, prev.hits);
+        let misses_per_s = rate(self.misses, prev.misses);
+        values.extend([
+            ratio(hits_per_s, misses_per_s),
+            hits_per_s,
+            misses_per_s,
+            rate(self.evictions, prev.evictions),
+            self.entries as f64,
+        ]);
+        for i in 0..STAGE_LABELS.len() {
+            values.push(ratio(
+                rate(self.stage_hits[i], prev.stage_hits[i]),
+                rate(self.stage_misses[i], prev.stage_misses[i]),
+            ));
+        }
+        values.extend([
+            self.open as f64,
+            rate(self.shed, prev.shed),
+            rate(self.timeouts, prev.timeouts),
+            rss_bytes().unwrap_or(0) as f64,
+            self.uptime_s,
+        ]);
+        values
     }
 }
 
@@ -323,8 +532,8 @@ impl Service for WorkerService {
         respond_fast(&self.state, request)
     }
 
-    fn handle(&self, request: &Request, stream: &mut TcpStream) -> bool {
-        respond_heavy(&self.state, request, stream)
+    fn handle(&self, request: &Request, stream: &mut TcpStream, queued: Duration) -> bool {
+        respond_heavy(&self.state, request, stream, queued)
     }
 
     fn shed(&self, request: &Request) -> FastAnswer {
@@ -333,9 +542,7 @@ impl Service for WorkerService {
 
     fn wire_error(&self, error: &WireError) -> Vec<u8> {
         self.state.requests.errors.fetch_add(1, Ordering::Relaxed);
-        let mut out = Vec::new();
-        let _ = write_response(&mut out, error.status, &error_body(&error.message), false);
-        out
+        trace::wire_error_answer("serve", "mcdla-serve", error)
     }
 }
 
@@ -351,7 +558,7 @@ fn shed_answer(state: &ServerState, request: &Request, service: &str) -> FastAns
     if let Some(hist) = state.latency.get(endpoint) {
         hist.observe(record.total_us as f64 / 1e6);
     }
-    trace::log_if_slow(service, state.slow_ms, &record);
+    trace::wide_event("serve", service, state.slow_ms, &record, None, 0, 0, &[]);
     state.recorder.record(record);
     let keep_alive = request.keep_alive && !state.shutdown.load(Ordering::SeqCst);
     let mut out = Vec::new();
@@ -457,6 +664,7 @@ fn finish_fast(
     if outcome.status >= 400 {
         state.requests.errors.fetch_add(1, Ordering::Relaxed);
     }
+    let cached = cache_disposition(endpoint, outcome.status, outcome.computed_cells);
     let record = finish_trace(state, scope, &rid, endpoint, outcome.status);
     let body = if traced && outcome.status < 400 && outcome.content_type == "application/json" {
         trace::graft_json(
@@ -467,6 +675,16 @@ fn finish_fast(
     } else {
         outcome.body
     };
+    trace::wide_event(
+        "serve",
+        "mcdla-serve",
+        state.slow_ms,
+        &record,
+        cached,
+        0,
+        body.len() as u64,
+        &[],
+    );
     let mut out = Vec::new();
     let _ = write_response_with(
         &mut out,
@@ -485,12 +703,18 @@ fn finish_fast(
 /// Handles one heavy request on a pool worker with a blocking stream:
 /// `POST /grid` (buffered and streamed) and `/simulate` misses.
 /// Returns whether the connection should stay open.
-fn respond_heavy(state: &Arc<ServerState>, request: &Request, writer: &mut TcpStream) -> bool {
+fn respond_heavy(
+    state: &Arc<ServerState>,
+    request: &Request,
+    writer: &mut TcpStream,
+    queued: Duration,
+) -> bool {
     let keep_alive = request.keep_alive && !state.shutdown.load(Ordering::SeqCst);
     let (path, query) = split_target(&request.path);
     let endpoint = endpoint_label(path);
     let rid = trace::request_trace_id(request);
     let traced = query_flag(query, "trace");
+    let queue_us = queued.as_micros().min(u128::from(u64::MAX)) as u64;
     let scope = TraceScope::begin();
     if request.method == "POST" && path == "/grid" && query_flag(query, "stream") {
         state.requests.grid.fetch_add(1, Ordering::Relaxed);
@@ -502,10 +726,20 @@ fn respond_heavy(state: &Arc<ServerState>, request: &Request, writer: &mut TcpSt
             Ok(StreamOutcome::Streamed { .. }) => 200,
             Err(_) => 500,
         };
-        finish_trace(state, scope, &rid, endpoint, status);
+        let record = finish_trace(state, scope, &rid, endpoint, status);
         return match outcome {
             Ok(StreamOutcome::Rejected(outcome)) => {
                 state.requests.errors.fetch_add(1, Ordering::Relaxed);
+                trace::wide_event(
+                    "serve",
+                    "mcdla-serve",
+                    state.slow_ms,
+                    &record,
+                    None,
+                    queue_us,
+                    outcome.body.len() as u64,
+                    &[("stream", true.into())],
+                );
                 write_response_with(
                     writer,
                     outcome.status,
@@ -519,8 +753,19 @@ fn respond_heavy(state: &Arc<ServerState>, request: &Request, writer: &mut TcpSt
             }
             Ok(StreamOutcome::Streamed {
                 computed_cells,
+                bytes,
                 clean,
             }) => {
+                trace::wide_event(
+                    "serve",
+                    "mcdla-serve",
+                    state.slow_ms,
+                    &record,
+                    Some(computed_cells == 0),
+                    queue_us,
+                    bytes,
+                    &[("stream", true.into()), ("clean", clean.into())],
+                );
                 if computed_cells > 0 {
                     state.persist_snapshot();
                 }
@@ -532,6 +777,16 @@ fn respond_heavy(state: &Arc<ServerState>, request: &Request, writer: &mut TcpSt
             // stream died (the worker thread itself survives).
             Err(_) => {
                 state.requests.errors.fetch_add(1, Ordering::Relaxed);
+                trace::wide_event(
+                    "serve",
+                    "mcdla-serve",
+                    state.slow_ms,
+                    &record,
+                    None,
+                    queue_us,
+                    0,
+                    &[("stream", true.into()), ("panic", true.into())],
+                );
                 false
             }
         };
@@ -543,6 +798,7 @@ fn respond_heavy(state: &Arc<ServerState>, request: &Request, writer: &mut TcpSt
     if outcome.status >= 400 {
         state.requests.errors.fetch_add(1, Ordering::Relaxed);
     }
+    let cached = cache_disposition(endpoint, outcome.status, outcome.computed_cells);
     let record = finish_trace(state, scope, &rid, endpoint, outcome.status);
     let body = if traced && outcome.status < 400 && outcome.content_type == "application/json" {
         trace::graft_json(
@@ -553,6 +809,16 @@ fn respond_heavy(state: &Arc<ServerState>, request: &Request, writer: &mut TcpSt
     } else {
         outcome.body
     };
+    trace::wide_event(
+        "serve",
+        "mcdla-serve",
+        state.slow_ms,
+        &record,
+        cached,
+        queue_us,
+        body.len() as u64,
+        &[],
+    );
     let wrote = write_response_with(
         writer,
         outcome.status,
@@ -578,7 +844,7 @@ fn endpoint_label(path: &str) -> &'static str {
     match path {
         "/healthz" => "healthz",
         "/stats" => "stats",
-        "/metrics" => "metrics",
+        "/metrics" | "/metrics/history" => "metrics",
         "/simulate" => "simulate",
         "/grid" => "grid",
         p if p.starts_with("/debug/") => "debug",
@@ -587,9 +853,10 @@ fn endpoint_label(path: &str) -> &'static str {
 }
 
 /// Closes a request's trace scope and runs the per-request
-/// observability tail: endpoint latency histogram, slow-request log,
-/// and admission into the flight recorder. Returns the shared record
-/// (for `?trace=1` grafting).
+/// observability tail: endpoint latency histogram and admission into
+/// the flight recorder. Returns the shared record (for `?trace=1`
+/// grafting and the wide event the call site emits — only the call
+/// site knows the cache disposition, queue time, and byte count).
 fn finish_trace(
     state: &ServerState,
     scope: TraceScope,
@@ -601,8 +868,14 @@ fn finish_trace(
     if let Some(hist) = state.latency.get(endpoint) {
         hist.observe(record.total_us as f64 / 1e6);
     }
-    trace::log_if_slow("mcdla-serve", state.slow_ms, &record);
     state.recorder.record(record)
+}
+
+/// The cache disposition a wide event reports. Only the simulation
+/// endpoints answer from the store; a successful answer that computed
+/// zero cells was served entirely from cache.
+fn cache_disposition(endpoint: &str, status: u16, computed_cells: usize) -> Option<bool> {
+    (matches!(endpoint, "simulate" | "grid") && status < 400).then_some(computed_cells == 0)
 }
 
 struct Outcome {
@@ -666,6 +939,15 @@ fn route(request: &Request, state: &Arc<ServerState>) -> Outcome {
             state.requests.metrics.fetch_add(1, Ordering::Relaxed);
             Outcome::text(metrics_text(state), crate::metrics::CONTENT_TYPE)
         }
+        ("GET", "/metrics/history") => {
+            state.requests.metrics.fetch_add(1, Ordering::Relaxed);
+            let (filter, last) = trace::history_query(query);
+            let dump = state.history.dump(filter.as_deref(), last);
+            Outcome::ok(serde::json::to_string_pretty(&trace::history_value(
+                "mcdla-serve",
+                &dump,
+            )))
+        }
         ("POST", "/simulate") => {
             state.requests.simulate.fetch_add(1, Ordering::Relaxed);
             simulate_endpoint(&request.body, state)
@@ -695,7 +977,9 @@ fn route(request: &Request, state: &Arc<ServerState>) -> Outcome {
                 None => Outcome::error(404, &format!("no trace recorded for request id `{id}`")),
             }
         }
-        (_, "/healthz" | "/stats" | "/metrics") => Outcome::error(405, "use GET on this endpoint"),
+        (_, "/healthz" | "/stats" | "/metrics" | "/metrics/history") => {
+            Outcome::error(405, "use GET on this endpoint")
+        }
         (_, p) if p == "/debug/requests" || p.starts_with("/debug/trace/") => {
             Outcome::error(405, "use GET on this endpoint")
         }
@@ -1127,7 +1411,12 @@ enum StreamOutcome {
     /// The 200 head went out and cells streamed. `clean` is false when
     /// the client disappeared (or a write failed) mid-stream — the
     /// connection must close without the terminal chunk.
-    Streamed { computed_cells: usize, clean: bool },
+    Streamed {
+        computed_cells: usize,
+        /// Payload bytes written (cell lines, not chunk framing).
+        bytes: u64,
+        clean: bool,
+    },
 }
 
 /// Streams a grid as chunked NDJSON: one [`cell_value`] object per
@@ -1149,11 +1438,13 @@ fn stream_grid(
     if write_chunked_head_with(writer, 200, &[(REQUEST_ID_HEADER, rid)], keep_alive).is_err() {
         return StreamOutcome::Streamed {
             computed_cells: 0,
+            bytes: 0,
             clean: false,
         };
     }
     let buffer = 2 * state.runner.threads();
     let mut computed_cells = 0usize;
+    let mut bytes = 0u64;
     for run in state.runner.run_grid_streaming(scenarios, buffer) {
         computed_cells += usize::from(!run.cached);
         let mut line = serde::json::to_string(&cell_value(&run.scenario, &run.report, run.cached));
@@ -1163,12 +1454,15 @@ fn stream_grid(
             // cancels the remaining cells; close without the terminator.
             return StreamOutcome::Streamed {
                 computed_cells,
+                bytes,
                 clean: false,
             };
         }
+        bytes += line.len() as u64;
     }
     StreamOutcome::Streamed {
         computed_cells,
+        bytes,
         clean: finish_chunked(writer).is_ok(),
     }
 }

@@ -1,25 +1,30 @@
 //! Request-trace wire helpers shared by the worker and the gateway:
 //! request-id extraction, trace → JSON rendering, the `/debug/requests`
-//! listing, the slow-request log, and build-info blocks.
+//! listing, wide-event emission, the `/metrics/history` body, and
+//! build-info blocks.
 //!
 //! The observability contract (`docs/observability.md`):
 //!
 //! * every response echoes `X-Mcdla-Request-Id` (propagated from the
-//!   request when well-formed, freshly generated otherwise);
+//!   request when well-formed, freshly generated otherwise) — including
+//!   429 sheds, 408 timeouts, and streamed response heads;
 //! * every request records a trace into the server's
 //!   [`FlightRecorder`](mcdla_obs::FlightRecorder), whether or not the
 //!   client asked to see it;
 //! * `?trace=1` grafts the finished span tree into a JSON response
 //!   body under a top-level `"trace"` key;
-//! * requests slower than `MCDLA_SLOW_MS` emit one structured JSON
-//!   line to stderr.
+//! * every completed request emits one *wide event* — a single flat
+//!   JSON line through [`mcdla_obs::log`] — at `info` when it was
+//!   slow (over `MCDLA_SLOW_MS`), shed, timed out, or 5xx, and at
+//!   `debug` otherwise.
 
 use std::sync::Arc;
 
-use mcdla_obs::{Histogram, HistogramSnapshot, TraceRecord};
+use mcdla_obs::log::{Level, LogValue};
+use mcdla_obs::{Histogram, HistogramSnapshot, HistoryDump, TraceRecord};
 use serde::Value;
 
-use crate::http::Request;
+use crate::http::{error_body, write_response_with, Request, WireError};
 
 /// The request-id header, lower-cased as the parsed [`Request`] stores
 /// header names.
@@ -136,7 +141,10 @@ pub fn debug_requests_value(
         traces.retain(|t| t.endpoint == ep);
     }
     if sort == Some("slow") {
-        traces.sort_by_key(|t| std::cmp::Reverse(t.total_us));
+        // The `seq` tie-break makes the order total: equal-latency
+        // entries list newest first instead of in whatever order the
+        // striped recorder surfaced them.
+        traces.sort_by_key(|t| (std::cmp::Reverse(t.total_us), std::cmp::Reverse(t.seq)));
     }
     let matched = traces.len();
     let limit = limit.and_then(|l| l.parse::<usize>().ok()).unwrap_or(100);
@@ -188,42 +196,136 @@ pub fn slow_ms_from_env() -> Option<u64> {
         .filter(|&ms| ms > 0)
 }
 
-/// The structured slow-request log line (one compact JSON object):
-/// request id, endpoint, status, total, and the per-span breakdown.
-pub fn slow_log_line(service: &str, rec: &TraceRecord) -> String {
-    serde::json::to_string(&Value::Map(vec![(
-        "slow_request".into(),
-        Value::Map(vec![
-            ("service".into(), Value::Str(service.into())),
-            ("id".into(), Value::Str(rec.id.clone())),
-            ("endpoint".into(), Value::Str(rec.endpoint.clone())),
-            ("status".into(), Value::U64(u64::from(rec.status))),
-            ("total_us".into(), Value::U64(rec.total_us)),
-            (
-                "spans".into(),
-                Value::Seq(
-                    rec.spans
-                        .iter()
-                        .map(|s| {
-                            Value::Map(vec![
-                                ("name".into(), Value::Str(s.name.clone())),
-                                ("dur_us".into(), Value::U64(s.dur_us)),
-                            ])
-                        })
-                        .collect(),
-                ),
-            ),
-        ]),
-    )]))
+/// The wide-event level for a finished request: `info` when it needs
+/// an operator's attention (slow per `MCDLA_SLOW_MS`, shed 429, timed
+/// out 408, or 5xx), `debug` otherwise.
+pub fn wide_event_level(slow_ms: Option<u64>, status: u16, total_us: u64) -> Level {
+    let slow = slow_ms.is_some_and(|ms| total_us >= ms.saturating_mul(1000));
+    if slow || status >= 500 || status == 429 || status == 408 {
+        Level::Info
+    } else {
+        Level::Debug
+    }
 }
 
-/// Emits the slow-request line when the trace crossed the threshold.
-pub fn log_if_slow(service: &str, slow_ms: Option<u64>, rec: &TraceRecord) {
-    if let Some(ms) = slow_ms {
-        if rec.total_us >= ms.saturating_mul(1000) {
-            eprintln!("{}", slow_log_line(service, rec));
-        }
+/// Emits the per-request *wide event*: one flat JSON line carrying the
+/// whole request story — id, endpoint, status, cache disposition,
+/// queue + service micros, response bytes — through the leveled
+/// [`mcdla_obs::log`] pipeline (see [`wide_event_level`]). `cached` is
+/// the cache disposition where the endpoint has one (`/simulate`,
+/// `/grid`); `extra` carries tier-specific fields (the gateway adds
+/// the upstream worker index).
+#[allow(clippy::too_many_arguments)]
+pub fn wide_event(
+    target: &str,
+    service: &str,
+    slow_ms: Option<u64>,
+    rec: &TraceRecord,
+    cached: Option<bool>,
+    queue_us: u64,
+    bytes: u64,
+    extra: &[(&str, LogValue)],
+) {
+    let level = wide_event_level(slow_ms, rec.status, rec.total_us);
+    if !mcdla_obs::log::log_enabled(level, target) {
+        return;
     }
+    let mut fields: Vec<(&str, LogValue)> = vec![
+        ("id", rec.id.as_str().into()),
+        ("service", service.into()),
+        ("endpoint", rec.endpoint.as_str().into()),
+        ("status", rec.status.into()),
+        (
+            "cache",
+            match cached {
+                Some(true) => "hit",
+                Some(false) => "miss",
+                None => "none",
+            }
+            .into(),
+        ),
+        ("queue_us", queue_us.into()),
+        ("total_us", rec.total_us.into()),
+        ("bytes", bytes.into()),
+    ];
+    fields.extend(extra.iter().map(|(k, v)| (*k, v.clone())));
+    mcdla_obs::log::log(level, target, "request", &fields);
+}
+
+/// Serializes a wire-level failure answer (parse 4xx or stall 408):
+/// the error body with a freshly generated request id echoed, plus the
+/// failure's wide event (408 timeouts at `info`, parse rejections at
+/// `debug`). The connection always closes after this answer.
+pub fn wire_error_answer(target: &str, service: &str, error: &WireError) -> Vec<u8> {
+    let rid = mcdla_obs::request_id();
+    let level = wide_event_level(None, error.status, 0);
+    mcdla_obs::log::log(
+        level,
+        target,
+        "wire_error",
+        &[
+            ("id", rid.as_str().into()),
+            ("service", service.into()),
+            ("status", error.status.into()),
+            ("error", error.message.as_str().into()),
+        ],
+    );
+    let mut out = Vec::new();
+    let _ = write_response_with(
+        &mut out,
+        error.status,
+        "application/json",
+        &[(REQUEST_ID_HEADER, &rid)],
+        &error_body(&error.message),
+        false,
+    );
+    out
+}
+
+/// Renders a [`HistoryDump`] as the `GET /metrics/history` body:
+/// the shared timestamp column plus a `series` map, aligned
+/// index-for-index, oldest sample first.
+pub fn history_value(service: &str, dump: &HistoryDump) -> Value {
+    Value::Map(vec![
+        ("service".into(), Value::Str(service.into())),
+        ("interval_ms".into(), Value::U64(dump.interval_ms)),
+        ("capacity".into(), Value::U64(dump.capacity as u64)),
+        (
+            "samples".into(),
+            Value::U64(dump.timestamps_ms.len() as u64),
+        ),
+        (
+            "timestamps_ms".into(),
+            Value::Seq(dump.timestamps_ms.iter().map(|&t| Value::U64(t)).collect()),
+        ),
+        (
+            "series".into(),
+            Value::Map(
+                dump.series
+                    .iter()
+                    .map(|(name, values)| {
+                        (
+                            name.clone(),
+                            Value::Seq(values.iter().map(|&v| Value::F64(v)).collect()),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Parses the `GET /metrics/history` query surface: `series=` a
+/// comma-separated exact-name filter, `last=` the newest-N truncation.
+pub fn history_query(query: Option<&str>) -> (Option<Vec<&str>>, Option<usize>) {
+    let filter = crate::http::query_param(query, "series").map(|s| {
+        s.split(',')
+            .map(str::trim)
+            .filter(|name| !name.is_empty())
+            .collect::<Vec<_>>()
+    });
+    let last = crate::http::query_param(query, "last").and_then(|v| v.parse::<usize>().ok());
+    (filter, last)
 }
 
 #[cfg(test)]
@@ -301,15 +403,56 @@ mod tests {
     }
 
     #[test]
-    fn slow_line_is_one_structured_json_object() {
-        let line = slow_log_line("mcdla-serve", &rec("slow-1", "simulate", 250_000));
-        assert!(!line.contains('\n'));
-        let parsed = serde::json::parse(&line).unwrap();
-        let Value::Map(entries) = parsed else {
-            panic!("not an object")
+    fn wide_event_levels_follow_the_outcome() {
+        // Slow, shed, timed-out, and 5xx requests are operator-facing.
+        assert_eq!(wide_event_level(Some(100), 200, 250_000), Level::Info);
+        assert_eq!(wide_event_level(None, 429, 10), Level::Info);
+        assert_eq!(wide_event_level(None, 408, 10), Level::Info);
+        assert_eq!(wide_event_level(None, 500, 10), Level::Info);
+        // Ordinary successes and client errors stay at debug volume.
+        assert_eq!(wide_event_level(Some(100), 200, 50_000), Level::Debug);
+        assert_eq!(wide_event_level(None, 200, 250_000), Level::Debug);
+        assert_eq!(wide_event_level(None, 404, 10), Level::Debug);
+    }
+
+    #[test]
+    fn wire_error_answer_echoes_a_request_id() {
+        let error = WireError {
+            status: 408,
+            message: "request header took too long".into(),
         };
-        assert_eq!(entries[0].0, "slow_request");
-        assert!(line.contains("\"slow-1\""));
-        assert!(line.contains("\"stage.fabric\""));
+        let bytes = wire_error_answer("serve", "mcdla-serve", &error);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 408"), "{text}");
+        assert!(text.contains("x-mcdla-request-id:"), "{text}");
+        assert!(text.contains("connection: close"), "{text}");
+        assert!(text.contains("request header took too long"), "{text}");
+    }
+
+    #[test]
+    fn history_body_zips_series_against_the_timestamps() {
+        let dump = HistoryDump {
+            timestamps_ms: vec![1000, 2000],
+            series: vec![("req_per_s".into(), vec![5.0, 7.0])],
+            capacity: 600,
+            interval_ms: 1000,
+        };
+        let text = serde::json::to_string(&history_value("mcdla-serve", &dump));
+        assert!(text.contains("\"interval_ms\":1000"), "{text}");
+        assert!(text.contains("\"samples\":2"), "{text}");
+        assert!(text.contains("\"timestamps_ms\":[1000,2000]"), "{text}");
+        assert!(text.contains("\"req_per_s\":[5"), "{text}");
+    }
+
+    #[test]
+    fn history_query_parses_filter_and_last() {
+        let (filter, last) = history_query(Some("series=req_per_s, store.hit_rate,&last=30"));
+        assert_eq!(filter, Some(vec!["req_per_s", "store.hit_rate"]));
+        assert_eq!(last, Some(30));
+        let (filter, last) = history_query(None);
+        assert_eq!(filter, None);
+        assert_eq!(last, None);
+        // A bare or junk `last` is ignored rather than rejected.
+        assert_eq!(history_query(Some("last=junk")).1, None);
     }
 }

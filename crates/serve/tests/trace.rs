@@ -241,3 +241,156 @@ fn metrics_expose_request_and_stage_histograms() {
 
     handle.shutdown();
 }
+
+/// The `/debug/requests?sort=slow` listing is a *total* order even when
+/// the striped flight recorder was fed by racing writers: `total_us`
+/// non-increasing, and within equal latencies `seq` strictly
+/// decreasing (newest first). No pair of entries is ever incomparable
+/// or duplicated.
+#[test]
+fn slow_sorted_listing_is_a_total_order_under_concurrent_writers() {
+    let (handle, addr) = start();
+    // Race cheap requests from several connections: healthz latencies
+    // cluster in the same microsecond buckets, so ties are guaranteed.
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let addr = addr.clone();
+            scope.spawn(move || {
+                let mut conn = Connection::open(&addr).expect("open");
+                for _ in 0..100 {
+                    let resp = conn.request("GET", "/healthz", None).expect("healthz");
+                    assert_eq!(resp.status, 200);
+                }
+            });
+        }
+    });
+
+    let mut conn = Connection::open(&addr).expect("open");
+    let resp = conn
+        .request("GET", "/debug/requests?sort=slow&limit=500", None)
+        .expect("listing");
+    assert_eq!(resp.status, 200);
+    let parsed = serde::json::parse(&resp.body).expect("listing JSON");
+    let requests = parsed
+        .get("requests")
+        .and_then(|v| v.as_seq())
+        .expect("requests array");
+    assert!(
+        requests.len() >= 400,
+        "all 400 raced requests are retained (cap 1024), got {}",
+        requests.len()
+    );
+    let keys: Vec<(u64, u64)> = requests
+        .iter()
+        .map(|r| {
+            (
+                r.get("total_us")
+                    .and_then(|v| v.as_u64())
+                    .expect("total_us"),
+                r.get("seq").and_then(|v| v.as_u64()).expect("seq"),
+            )
+        })
+        .collect();
+    for pair in keys.windows(2) {
+        let ((us_a, seq_a), (us_b, seq_b)) = (pair[0], pair[1]);
+        assert!(
+            us_a > us_b || (us_a == us_b && seq_a > seq_b),
+            "listing must be strictly ordered by (total_us desc, seq desc): \
+             ({us_a}, {seq_a}) then ({us_b}, {seq_b})"
+        );
+    }
+    handle.shutdown();
+}
+
+/// The worker's `/metrics/history` surface: the sampler populates the
+/// rings, timestamps are monotone, and `?series=`/`?last=` filter and
+/// bound the answer.
+#[test]
+fn metrics_history_serves_filtered_bounded_monotone_rings() {
+    let server = Server::bind(&ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        sample_ms: Some(40),
+        ..ServeConfig::default()
+    })
+    .expect("bind sampled server");
+    let handle = server.spawn().expect("spawn event loop");
+    let addr = handle.addr().to_string();
+    let mut conn = Connection::open(&addr).expect("open");
+
+    // Generate traffic across two sampler windows.
+    for _ in 0..50 {
+        let resp = conn.request("GET", "/healthz", None).expect("healthz");
+        assert_eq!(resp.status, 200);
+    }
+    std::thread::sleep(std::time::Duration::from_millis(150));
+
+    let resp = conn
+        .request("GET", "/metrics/history", None)
+        .expect("history");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let parsed = serde::json::parse(&resp.body).expect("history JSON");
+    assert_eq!(
+        parsed.get("service").and_then(|v| v.as_str()),
+        Some("mcdla-serve")
+    );
+    let samples = parsed
+        .get("samples")
+        .and_then(|v| v.as_u64())
+        .expect("samples");
+    assert!(samples >= 2, "sampler at 40 ms must have ticked: {samples}");
+    let stamps: Vec<u64> = parsed
+        .get("timestamps_ms")
+        .and_then(|v| v.as_seq())
+        .expect("timestamps_ms")
+        .iter()
+        .map(|v| v.as_u64().expect("stamp"))
+        .collect();
+    assert_eq!(stamps.len() as u64, samples);
+    assert!(
+        stamps.windows(2).all(|w| w[0] <= w[1]),
+        "timestamps must be monotone: {stamps:?}"
+    );
+    let series = parsed
+        .get("series")
+        .and_then(|v| v.as_map())
+        .expect("series map");
+    for name in [
+        "req_per_s",
+        "healthz.req_per_s",
+        "store.hit_rate",
+        "rss_bytes",
+    ] {
+        let ring = series
+            .iter()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| v.as_seq())
+            .unwrap_or_else(|| panic!("series {name} missing"));
+        assert_eq!(ring.len() as u64, samples, "every ring spans every sample");
+    }
+    // The 50 healthz requests show up in some window of their series.
+    let healthz_peak = series
+        .iter()
+        .find(|(k, _)| k == "healthz.req_per_s")
+        .and_then(|(_, v)| v.as_seq())
+        .unwrap()
+        .iter()
+        .map(|v| v.as_f64().unwrap())
+        .fold(0.0f64, f64::max);
+    assert!(healthz_peak > 0.0, "healthz traffic must register");
+
+    // ?series= filters, ?last= bounds.
+    let resp = conn
+        .request("GET", "/metrics/history?series=req_per_s&last=2", None)
+        .expect("filtered history");
+    let parsed = serde::json::parse(&resp.body).expect("filtered JSON");
+    let series = parsed
+        .get("series")
+        .and_then(|v| v.as_map())
+        .expect("filtered series");
+    assert_eq!(series.len(), 1, "series filter must drop other rings");
+    assert_eq!(series[0].0, "req_per_s");
+    let bounded = parsed.get("samples").and_then(|v| v.as_u64()).unwrap();
+    assert!(bounded <= 2, "last=2 must bound samples, got {bounded}");
+
+    handle.shutdown();
+}

@@ -607,3 +607,101 @@ fn oversized_snapshots_are_compacted_into_a_bounded_restart() {
     handle.shutdown();
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// ISSUE-10 pin: `X-Mcdla-Request-Id` is echoed on every answer shape —
+/// the chunked head of a streamed grid, the 429 shed path, and the 408
+/// stalled-request path — so log correlation survives exactly the
+/// requests most worth correlating.
+#[test]
+fn request_id_echoes_on_stream_heads_and_shed_paths() {
+    // Streamed grid: the propagated id must ride the chunked head.
+    let (handle, addr) = start(ServeConfig::default());
+    let body = r#"{"designs":["DcDla"],"benchmarks":["AlexNet"],"strategies":["DataParallel"]}"#;
+    let request = format!(
+        "POST /grid?stream=1 HTTP/1.1\r\nhost: t\r\nx-mcdla-request-id: stream-rid-7\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let out = raw_roundtrip(&addr, request.as_bytes());
+    assert!(out.starts_with("HTTP/1.1 200 "), "{out}");
+    let head = out.split("\r\n\r\n").next().unwrap().to_ascii_lowercase();
+    assert!(
+        head.contains("x-mcdla-request-id: stream-rid-7"),
+        "streamed head must echo the propagated id:\n{out}"
+    );
+    assert!(
+        head.contains("transfer-encoding: chunked"),
+        "the echo must be on the *streamed* head:\n{out}"
+    );
+    handle.shutdown();
+
+    // Shed path: 1 pool worker + 1 queue slot, a burst of distinct
+    // heavy grids each carrying its own id. Every 429 must echo the id
+    // of the request it rejects.
+    let (handle, addr) = start(ServeConfig {
+        threads: 1,
+        queue_depth: 1,
+        ..ServeConfig::default()
+    });
+    let answers: Vec<(u16, String, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let lo = 40_000 + i as u64 * 1_000;
+                    let batches: Vec<String> = (lo..lo + 200).map(|b| b.to_string()).collect();
+                    let body = format!(
+                        r#"{{"designs":["DcDla"],"benchmarks":["AlexNet"],"strategies":["DataParallel"],"batches":[{}]}}"#,
+                        batches.join(",")
+                    );
+                    let rid = format!("shed-rid-{i}");
+                    let request = format!(
+                        "POST /grid HTTP/1.1\r\nhost: t\r\nx-mcdla-request-id: {rid}\r\ncontent-length: {}\r\n\r\n{body}",
+                        body.len()
+                    );
+                    let out = raw_roundtrip(&addr, request.as_bytes());
+                    let status: u16 = out
+                        .split(' ')
+                        .nth(1)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(0);
+                    (status, rid, out)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let shed: Vec<_> = answers.iter().filter(|(s, ..)| *s == 429).collect();
+    assert!(
+        !shed.is_empty(),
+        "a burst of 8 against 1 worker + 1 queue slot must shed; statuses: {:?}",
+        answers.iter().map(|(s, ..)| *s).collect::<Vec<_>>()
+    );
+    for (_, rid, out) in &shed {
+        assert!(
+            out.to_ascii_lowercase()
+                .contains(&format!("x-mcdla-request-id: {rid}")),
+            "429 must echo the shed request's own id {rid}:\n{out}"
+        );
+    }
+    handle.shutdown();
+
+    // Stalled request: the 408 arrives before any id could propagate,
+    // so the server mints one — but the header must still be there.
+    let (handle, addr) = start(ServeConfig {
+        request_timeout: std::time::Duration::from_millis(200),
+        ..ServeConfig::default()
+    });
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(b"GET /healthz HTT").expect("send partial");
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("read 408");
+    assert!(out.starts_with("HTTP/1.1 408 "), "{out}");
+    assert!(
+        out.to_ascii_lowercase().contains("x-mcdla-request-id: "),
+        "408 must carry a (minted) request id:\n{out}"
+    );
+    handle.shutdown();
+}

@@ -35,6 +35,8 @@ struct Args {
     workers: Option<usize>,
     backends: Vec<String>,
     timeout_ms: Option<u64>,
+    interval_ms: Option<u64>,
+    samples: Option<u64>,
 }
 
 const USAGE: &str = "\
@@ -66,7 +68,13 @@ subcommands
   serve         run the persistent HTTP simulation service
   query         query a running service or gateway (healthz | stats |
                 metrics | cluster-stats | simulate | grid |
-                trace <id> | requests)
+                trace <id> | requests | history [QUERY] |
+                cluster-history [QUERY]); QUERY is a raw query string,
+                e.g. `mcdla query history 'series=req_per_s&last=60'`
+  top           live fleet console: repaint per-node req/s, latency,
+                hit rates, sheds, and sparklines from the telemetry
+                history (--addr GATEWAY or --backends WORKERS;
+                --interval-ms, --samples N for scripted captures)
   cluster       spawn a local fleet: N workers on ephemeral ports plus a
                 gateway routing across them (--workers N)
   gateway       run a gateway over an existing fleet (--backends LIST)
@@ -77,6 +85,10 @@ subcommands
                 monolithic one, write BENCH_stages.json
   fabric-bench  time the routed flow-level fabric against the analytical
                 collective model, write BENCH_fabric.json
+  obs-bench     A/B the telemetry sampler on/off over the pipelined
+                cached path, write BENCH_obs.json (gate: < 1% overhead)
+  bench-report  collate every committed BENCH_*.json into one headline
+                trajectory table [--json]
   all           every report above, in order
   help          this message
 
@@ -109,9 +121,13 @@ options
   --body JSON       simulate/query: the request body (`-` reads stdin;
                     `query grid` defaults to {}, the full paper matrix)
   --workers N       cluster: fleet size
-  --backends LIST   gateway: comma-separated worker host:port addresses
-  --timeout-ms N    query/cluster/gateway: connect/read/write deadline
-                    per request (query default: 10 s connect, 120 s read)
+  --backends LIST   gateway/top: comma-separated worker host:port addresses
+  --timeout-ms N    query/cluster/gateway/top: connect/read/write deadline
+                    per request (query default: 10 s connect, 120 s read;
+                    top default: 2 s everywhere so a dead node cannot
+                    stall the repaint)
+  --interval-ms N   top: repaint cadence (default 1000)
+  --samples N       top: exit after N frames (default: run until Ctrl-C)
 
 service endpoints (see docs/protocol.md and docs/cluster.md)
   POST /simulate   one serde Scenario in, {scenario,digest,cached,report} out
@@ -119,7 +135,10 @@ service endpoints (see docs/protocol.md and docs/cluster.md)
   GET  /healthz    liveness probe
   GET  /stats      store hit/miss/eviction/in-flight + request counters
   GET  /metrics    Prometheus text exposition (worker and gateway)
+  GET  /metrics/history    time-series rings (?series=a,b&last=N)
   GET  /cluster/stats  gateway: per-worker health + fleet totals
+  GET  /cluster/history    gateway: tail-aligned fleet history +
+                           per-worker rings (?last=N)
   GET  /debug/trace/<id>   one recorded request's span tree
   GET  /debug/requests     the flight-recorder listing (?sort=slow,
                            ?endpoint=..., ?limit=N)
@@ -163,6 +182,8 @@ fn parse_args() -> Result<Args, String> {
         workers: None,
         backends: Vec::new(),
         timeout_ms: None,
+        interval_ms: None,
+        samples: None,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -252,6 +273,24 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or_else(|| format!("timeout must be >= 1 ms (got `{v}`)"))?;
                 args.timeout_ms = Some(n);
             }
+            "--interval-ms" => {
+                let v = argv.next().ok_or("--interval-ms needs a value")?;
+                let n: u64 = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("interval must be >= 1 ms (got `{v}`)"))?;
+                args.interval_ms = Some(n);
+            }
+            "--samples" => {
+                let v = argv.next().ok_or("--samples needs a count")?;
+                let n: u64 = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("sample count must be >= 1 (got `{v}`)"))?;
+                args.samples = Some(n);
+            }
             other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
             positional => args.rest.push(positional.to_owned()),
         }
@@ -315,6 +354,7 @@ const SUBCOMMANDS: &[&str] = &[
     "simulate",
     "serve",
     "query",
+    "top",
     "cluster",
     "gateway",
     "serve-bench",
@@ -322,6 +362,8 @@ const SUBCOMMANDS: &[&str] = &[
     "cluster-bench",
     "stage-bench",
     "fabric-bench",
+    "obs-bench",
+    "bench-report",
     "all",
     "help",
     "--help",
@@ -347,10 +389,13 @@ fn run(args: &Args) -> Result<(), String> {
         ));
     }
     if args.timeout_ms.is_some()
-        && !matches!(args.command.as_str(), "query" | "cluster" | "gateway")
+        && !matches!(
+            args.command.as_str(),
+            "query" | "cluster" | "gateway" | "top"
+        )
     {
         return Err(format!(
-            "--timeout-ms is a `query`/`cluster`/`gateway` flag (got `{}`)",
+            "--timeout-ms is a `query`/`cluster`/`gateway`/`top` flag (got `{}`)",
             args.command
         ));
     }
@@ -360,9 +405,15 @@ fn run(args: &Args) -> Result<(), String> {
             args.command
         ));
     }
-    if !args.backends.is_empty() && args.command != "gateway" {
+    if !args.backends.is_empty() && !matches!(args.command.as_str(), "gateway" | "top") {
         return Err(format!(
-            "--backends is a `gateway` flag (got `{}`)",
+            "--backends is a `gateway`/`top` flag (got `{}`)",
+            args.command
+        ));
+    }
+    if (args.interval_ms.is_some() || args.samples.is_some()) && args.command != "top" {
+        return Err(format!(
+            "--interval-ms/--samples are `top` flags (got `{}`)",
             args.command
         ));
     }
@@ -390,7 +441,7 @@ fn run(args: &Args) -> Result<(), String> {
                 println!("{}", serde::json::to_string_pretty(&data()));
                 return Ok(());
             }
-            None if args.command != "sweep" => {
+            None if !matches!(args.command.as_str(), "sweep" | "bench-report") => {
                 return Err(format!("`{}` has no JSON form (tables only)", args.command));
             }
             None => {}
@@ -503,7 +554,8 @@ fn run(args: &Args) -> Result<(), String> {
         }
         "query" => {
             let endpoint = args.rest.first().ok_or(
-                "`query` needs an endpoint: healthz | stats | metrics | cluster-stats | simulate | grid | trace | requests",
+                "`query` needs an endpoint: healthz | stats | metrics | cluster-stats | simulate \
+                 | grid | trace | requests | history | cluster-history",
             )?;
             let addr = args.addr.as_deref().unwrap_or("127.0.0.1:7878");
             let body = resolve_body(args)?;
@@ -522,6 +574,20 @@ fn run(args: &Args) -> Result<(), String> {
                 }
                 // The flight-recorder listing (newest first).
                 "requests" => ("GET", "/debug/requests".to_owned(), None),
+                // Time-series rings; the optional second positional is a
+                // raw query string (`series=req_per_s&last=60`).
+                "history" | "cluster-history" => {
+                    let base = if endpoint == "history" {
+                        "/metrics/history"
+                    } else {
+                        "/cluster/history"
+                    };
+                    let path = match args.rest.get(1) {
+                        Some(q) if !q.is_empty() => format!("{base}?{q}"),
+                        _ => base.to_owned(),
+                    };
+                    ("GET", path, None)
+                }
                 "simulate" => (
                     "POST",
                     "/simulate".to_owned(),
@@ -536,7 +602,8 @@ fn run(args: &Args) -> Result<(), String> {
                 other => {
                     return Err(format!(
                         "unknown query endpoint `{other}` (expected healthz | stats | metrics \
-                         | cluster-stats | simulate | grid | trace | requests)"
+                         | cluster-stats | simulate | grid | trace | requests | history \
+                         | cluster-history)"
                     ))
                 }
             };
@@ -551,6 +618,26 @@ fn run(args: &Args) -> Result<(), String> {
             if !response.is_ok() {
                 return Err(format!("{addr}{path} answered HTTP {}", response.status));
             }
+        }
+        "top" => {
+            // A dead node must not stall the repaint: default every
+            // deadline to 2 s unless --timeout-ms overrides it.
+            let top_timeouts = match args.timeout_ms {
+                Some(ms) => {
+                    mcdla::serve::client::Timeouts::all(std::time::Duration::from_millis(ms))
+                }
+                None => mcdla::serve::client::Timeouts::all(std::time::Duration::from_secs(2)),
+            };
+            let config = mcdla::cluster::console::TopConfig {
+                gateway: args.addr.clone(),
+                workers: args.backends.clone(),
+                interval: std::time::Duration::from_millis(args.interval_ms.unwrap_or(1000)),
+                frames: args.samples,
+                timeouts: top_timeouts,
+            };
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            mcdla::cluster::console::run_top(&config, &mut out)?;
         }
         "cluster" => {
             let workers = args.workers.ok_or("`cluster` needs --workers N")?;
@@ -689,6 +776,33 @@ fn run(args: &Args) -> Result<(), String> {
                 }
             );
             println!("wrote {path}");
+        }
+        "obs-bench" => {
+            let result = mcdla_bench::obs_bench::obs_bench(4, 20_000, 5);
+            let path = args.out.as_deref().unwrap_or("BENCH_obs.json");
+            std::fs::write(path, &result.json).map_err(|e| format!("writing {path}: {e}"))?;
+            print!("{}", result.summary);
+            println!(
+                "sampler overhead {:+.2}% on the pipelined cached path ({} the 1% bar)",
+                result.overhead_ratio * 100.0,
+                if result.meets_gate {
+                    "meets"
+                } else {
+                    "exceeds"
+                }
+            );
+            println!("wrote {path}");
+        }
+        "bench-report" => {
+            let rows = mcdla_bench::collate::collect(std::path::Path::new("."));
+            if args.json {
+                println!(
+                    "{}",
+                    serde::json::to_string_pretty(&mcdla_bench::collate::report_json(&rows))
+                );
+            } else {
+                print!("{}", mcdla_bench::collate::report_text(&rows));
+            }
         }
         "store-bench" => {
             let threads = args.threads.unwrap_or(4);
